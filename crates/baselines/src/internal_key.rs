@@ -1,0 +1,124 @@
+//! Internal key encoding for multi-versioned memtables.
+//!
+//! LevelDB-lineage systems never update in place: each write appends a new
+//! `(user_key, sequence)` version. We store versions in the same byte-
+//! ordered skiplist FloDB uses by encoding `(user_key asc, seq desc)` into
+//! a single byte string:
+//!
+//! ```text
+//! escape(user_key) ++ 0x00 0x00 ++ big_endian(u64::MAX - seq)
+//! ```
+//!
+//! where `escape` maps `0x00` to `0x00 0xFF`. The terminator `0x00 0x00`
+//! sorts below every escaped byte, so user-key order is preserved even for
+//! keys that are prefixes of one another, and within one user key newer
+//! sequences sort first.
+
+/// Escapes `user_key` and appends the terminator, without the seq suffix.
+///
+/// The result is a *prefix* shared by every version of the key; use it for
+/// seeks and grouping.
+pub fn encode_user_prefix(user_key: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(user_key.len() + 2);
+    for &b in user_key {
+        if b == 0x00 {
+            out.push(0x00);
+            out.push(0xFF);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(0x00);
+    out.push(0x00);
+    out
+}
+
+/// Encodes `(user_key, seq)` as an internal key.
+pub fn encode_internal(user_key: &[u8], seq: u64) -> Vec<u8> {
+    let mut out = encode_user_prefix(user_key);
+    out.extend_from_slice(&(u64::MAX - seq).to_be_bytes());
+    out
+}
+
+/// Decodes an internal key back to `(user_key, seq)`.
+///
+/// Returns `None` on malformed input.
+pub fn decode_internal(internal: &[u8]) -> Option<(Vec<u8>, u64)> {
+    if internal.len() < 10 {
+        return None;
+    }
+    let (prefix, seq_bytes) = internal.split_at(internal.len() - 8);
+    let inv = u64::from_be_bytes(seq_bytes.try_into().ok()?);
+    let seq = u64::MAX - inv;
+    // Unescape the prefix, which must end with the 0x00 0x00 terminator.
+    if prefix.len() < 2 || prefix[prefix.len() - 2..] != [0x00, 0x00] {
+        return None;
+    }
+    let body = &prefix[..prefix.len() - 2];
+    let mut key = Vec::with_capacity(body.len());
+    let mut i = 0;
+    while i < body.len() {
+        if body[i] == 0x00 {
+            if i + 1 >= body.len() || body[i + 1] != 0xFF {
+                return None;
+            }
+            key.push(0x00);
+            i += 2;
+        } else {
+            key.push(body[i]);
+            i += 1;
+        }
+    }
+    Some((key, seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for key in [&b"simple"[..], b"", b"\x00", b"a\x00b", b"\x00\x00\xFF"] {
+            for seq in [0u64, 1, 42, u64::MAX - 1] {
+                let enc = encode_internal(key, seq);
+                let (k, s) = decode_internal(&enc).expect("roundtrip");
+                assert_eq!(k.as_slice(), key);
+                assert_eq!(s, seq);
+            }
+        }
+    }
+
+    #[test]
+    fn user_key_order_preserved() {
+        // Including tricky prefix pairs and embedded zeros.
+        let mut keys: Vec<&[u8]> = vec![b"a", b"ab", b"a\x00", b"b", b"", b"a\x00b"];
+        keys.sort();
+        let encoded: Vec<Vec<u8>> = keys.iter().map(|k| encode_internal(k, 5)).collect();
+        let mut sorted = encoded.clone();
+        sorted.sort();
+        assert_eq!(encoded, sorted, "encoding must preserve user-key order");
+    }
+
+    #[test]
+    fn newer_seq_sorts_first_within_key() {
+        let newer = encode_internal(b"k", 10);
+        let older = encode_internal(b"k", 5);
+        assert!(newer < older);
+    }
+
+    #[test]
+    fn versions_group_under_prefix() {
+        let prefix = encode_user_prefix(b"key");
+        for seq in [1u64, 7, 1000] {
+            assert!(encode_internal(b"key", seq).starts_with(&prefix));
+        }
+        assert!(!encode_internal(b"kez", 1).starts_with(&prefix));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_internal(b"short").is_none());
+        // Valid length but missing terminator.
+        assert!(decode_internal(&[1u8; 12]).is_none());
+    }
+}

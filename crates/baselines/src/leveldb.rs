@@ -1,0 +1,307 @@
+//! LevelDB and HyperLevelDB concurrency designs.
+//!
+//! **LevelDB** (§2.2): "supports multiple writer threads, but serializes
+//! writes by having threads deposit their intended writes in a concurrent
+//! queue; the writes in this queue are applied to the key-value store one
+//! by one by a single thread. Moreover, LevelDB also requires readers to
+//! take a global lock during each operation" — two brief critical
+//! sections per read (§5.2). Flushing and compaction share one thread.
+//!
+//! **HyperLevelDB** (§2.2): "replaces LevelDB's sequential memory
+//! component with a concurrent one, which allows writers to apply their
+//! updates in parallel... However, writers still need to acquire a global
+//! mutex lock at the start and end of each operation."
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use flodb_core::{KvStore, ScanEntry, StoreStats};
+use flodb_sync::WriteQueue;
+use parking_lot::Mutex;
+
+use crate::lsm_core::{spawn_thread, BaselineOptions, LsmCore};
+
+struct WriteOp {
+    key: Box<[u8]>,
+    value: Option<Box<[u8]>>,
+}
+
+/// The LevelDB design: single write leader + global mutex on reads.
+pub struct LevelDbStore {
+    core: Arc<LsmCore>,
+    /// The global mutex every operation brushes against (§2.2).
+    global: Mutex<()>,
+    writers: WriteQueue<WriteOp>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl LevelDbStore {
+    /// Opens a LevelDB-style store.
+    pub fn open(mut opts: BaselineOptions) -> Self {
+        // LevelDB's fd-cache is guarded by the global lock (§4 footnote 2).
+        opts.disk.sharded_cache = false;
+        let core = LsmCore::new(&opts);
+        let threads = vec![{
+            let core = Arc::clone(&core);
+            // One thread does both flushing and compaction (§2.2:
+            // "the compaction process of LevelDB is single-threaded").
+            spawn_thread("leveldb-flush", move || core.flush_loop(true))
+        }];
+        Self {
+            core,
+            global: Mutex::new(()),
+            writers: WriteQueue::new(),
+            threads: Mutex::new(threads),
+        }
+    }
+
+    fn write(&self, key: &[u8], value: Option<&[u8]>) {
+        let op = WriteOp {
+            key: Box::from(key),
+            value: value.map(Box::from),
+        };
+        let core = &self.core;
+        let global = &self.global;
+        // Writers deposit into the queue; the leader applies the whole
+        // batch sequentially under the global mutex (flat combining).
+        self.writers.submit(op, |batch| {
+            let _g = global.lock();
+            for op in batch {
+                let seq = core.seq.next();
+                core.write(&op.key, seq, op.value.as_deref());
+            }
+        });
+    }
+}
+
+impl KvStore for LevelDbStore {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.write(key, Some(value));
+        self.core.stats.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn delete(&self, key: &[u8]) {
+        self.write(key, None);
+        self.core.stats.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        // Critical section 1: acquire refs / metadata (§5.2).
+        drop(self.global.lock());
+        let result = self.core.get_latest(key);
+        // Critical section 2: release refs / update metadata.
+        drop(self.global.lock());
+        self.core.stats.gets.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    fn scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+        drop(self.global.lock());
+        let out = self.core.scan_snapshot(low, high);
+        drop(self.global.lock());
+        self.core.stats.scans.fetch_add(1, Ordering::Relaxed);
+        self.core
+            .stats
+            .scanned_keys
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "LevelDB"
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.core.snapshot_stats(0)
+    }
+
+    fn quiesce(&self) {
+        self.core.quiesce();
+    }
+}
+
+impl Drop for LevelDbStore {
+    fn drop(&mut self) {
+        self.core.stop.store(true, Ordering::Release);
+        self.core.wake_flush();
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The HyperLevelDB design: concurrent memtable writes, global mutex at
+/// the start and end of every operation.
+pub struct HyperLevelDbStore {
+    core: Arc<LsmCore>,
+    global: Mutex<()>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl HyperLevelDbStore {
+    /// Opens a HyperLevelDB-style store.
+    pub fn open(mut opts: BaselineOptions) -> Self {
+        opts.disk.sharded_cache = false;
+        let core = LsmCore::new(&opts);
+        let threads = vec![
+            {
+                let core = Arc::clone(&core);
+                spawn_thread("hyperleveldb-flush", move || core.flush_loop(false))
+            },
+            {
+                // HyperLevelDB's improved compaction gets its own thread.
+                let core = Arc::clone(&core);
+                spawn_thread("hyperleveldb-compact", move || core.compaction_loop())
+            },
+        ];
+        Self {
+            core,
+            global: Mutex::new(()),
+            threads: Mutex::new(threads),
+        }
+    }
+
+    fn write(&self, key: &[u8], value: Option<&[u8]>) {
+        // Global mutex at the start of the operation (version-number
+        // assignment is the serialized part)...
+        let seq = {
+            let _g = self.global.lock();
+            self.core.seq.next()
+        };
+        // ...then the insert proceeds concurrently...
+        self.core.write(key, seq, value);
+        // ...and the mutex is taken again at the end (§2.2).
+        drop(self.global.lock());
+    }
+}
+
+impl KvStore for HyperLevelDbStore {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.write(key, Some(value));
+        self.core.stats.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn delete(&self, key: &[u8]) {
+        self.write(key, None);
+        self.core.stats.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        drop(self.global.lock());
+        let result = self.core.get_latest(key);
+        drop(self.global.lock());
+        self.core.stats.gets.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    fn scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+        drop(self.global.lock());
+        let out = self.core.scan_snapshot(low, high);
+        drop(self.global.lock());
+        self.core.stats.scans.fetch_add(1, Ordering::Relaxed);
+        self.core
+            .stats
+            .scanned_keys
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "HyperLevelDB"
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.core.snapshot_stats(0)
+    }
+
+    fn quiesce(&self) {
+        self.core.quiesce();
+    }
+}
+
+impl Drop for HyperLevelDbStore {
+    fn drop(&mut self) {
+        self.core.stop.store(true, Ordering::Release);
+        self.core.wake_flush();
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn KvStore) {
+        store.put(b"a", b"1");
+        store.put(b"b", b"2");
+        store.put(b"a", b"3");
+        assert_eq!(store.get(b"a"), Some(b"3".to_vec()));
+        store.delete(b"b");
+        assert_eq!(store.get(b"b"), None);
+        let out = store.scan(b"a", b"z");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, b"3".to_vec());
+        store.quiesce();
+        assert_eq!(store.get(b"a"), Some(b"3".to_vec()));
+    }
+
+    #[test]
+    fn leveldb_basic_ops() {
+        let store = LevelDbStore::open(BaselineOptions::small_for_tests());
+        exercise(&store);
+        assert_eq!(store.name(), "LevelDB");
+        assert_eq!(store.stats().puts, 3);
+    }
+
+    #[test]
+    fn hyperleveldb_basic_ops() {
+        let store = HyperLevelDbStore::open(BaselineOptions::small_for_tests());
+        exercise(&store);
+        assert_eq!(store.name(), "HyperLevelDB");
+    }
+
+    #[test]
+    fn leveldb_concurrent_writers_serialize_correctly() {
+        let store = Arc::new(LevelDbStore::open(BaselineOptions::small_for_tests()));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    let key = (t * 1000 + i).to_be_bytes();
+                    store.put(&key, &key);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u64 {
+            for i in (0..250u64).step_by(31) {
+                let key = (t * 1000 + i).to_be_bytes();
+                assert_eq!(store.get(&key), Some(key.to_vec()));
+            }
+        }
+    }
+
+    #[test]
+    fn hyperleveldb_concurrent_same_key() {
+        let store = Arc::new(HyperLevelDbStore::open(BaselineOptions::small_for_tests()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    store.put(b"hot", &i.to_be_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(store.get(b"hot").is_some());
+    }
+}

@@ -1,0 +1,475 @@
+//! Shared single-level LSM machinery for the baseline stores.
+//!
+//! Classic LSMs have exactly one mutable memtable plus at most one
+//! immutable memtable being flushed (§2.1). `LsmCore` implements that
+//! state machine — make-room/switch/stall, background flush, snapshot
+//! reads — while each baseline wraps it in its own concurrency-control
+//! discipline (global mutex, write leader, …), which is where the systems
+//! differ (§2.2).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use flodb_storage::{DiskComponent, DiskOptions, Env, MemEnv, Record};
+use flodb_sync::SequenceGenerator;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::hash_memtable::HashMemtable;
+use crate::versioned_memtable::VersionedMemtable;
+
+/// Which memtable structure a baseline uses (Figures 3-4 compare the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemtableKind {
+    /// Sorted, multi-versioned skiplist (LevelDB default).
+    SkipList,
+    /// Unsorted hash table, sorted at flush time.
+    HashTable,
+}
+
+/// A baseline memtable: either structure behind one interface.
+#[derive(Debug)]
+pub enum BaselineMemtable {
+    /// Skiplist-backed.
+    Skip(VersionedMemtable),
+    /// Hash-table-backed.
+    Hash(HashMemtable),
+}
+
+impl BaselineMemtable {
+    /// Creates an empty memtable of `kind`.
+    pub fn new(kind: MemtableKind) -> Self {
+        match kind {
+            MemtableKind::SkipList => Self::Skip(VersionedMemtable::new()),
+            MemtableKind::HashTable => Self::Hash(HashMemtable::new()),
+        }
+    }
+
+    /// Appends a version.
+    pub fn insert(&self, key: &[u8], seq: u64, value: Option<&[u8]>) {
+        match self {
+            Self::Skip(m) => m.insert(key, seq, value),
+            Self::Hash(m) => m.insert(key, seq, value),
+        }
+    }
+
+    /// Freshest version with `seq <= snapshot`.
+    pub fn get(&self, key: &[u8], snapshot: u64) -> Option<(u64, Option<Box<[u8]>>)> {
+        match self {
+            Self::Skip(m) => m.get(key, snapshot),
+            Self::Hash(m) => m.get(key, snapshot),
+        }
+    }
+
+    /// Snapshot range query (sorted output).
+    pub fn snapshot_range(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        snapshot: u64,
+    ) -> Vec<(Vec<u8>, u64, Option<Box<[u8]>>)> {
+        match self {
+            Self::Skip(m) => m.snapshot_range(low, high, snapshot),
+            Self::Hash(m) => m.snapshot_range(low, high, snapshot),
+        }
+    }
+
+    /// Approximate resident bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        match self {
+            Self::Skip(m) => m.approximate_bytes(),
+            Self::Hash(m) => m.approximate_bytes(),
+        }
+    }
+
+    /// Returns whether the memtable is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Self::Skip(m) => m.is_empty(),
+            Self::Hash(m) => m.is_empty(),
+        }
+    }
+
+    /// Drains all versions into flushable records (sorted).
+    pub fn collect_records(&self) -> Vec<Record> {
+        match self {
+            Self::Skip(m) => m.collect_records(),
+            Self::Hash(m) => m.collect_records(),
+        }
+    }
+}
+
+/// Options shared by every baseline store.
+#[derive(Clone)]
+pub struct BaselineOptions {
+    /// Memory-component byte budget (single level).
+    pub memory_bytes: usize,
+    /// Memtable structure.
+    pub memtable: MemtableKind,
+    /// Disk component tuning (the store constructor picks the cache kind).
+    pub disk: DiskOptions,
+    /// Storage environment.
+    pub env: Arc<dyn Env>,
+}
+
+impl BaselineOptions {
+    /// Paper-shaped defaults: 128 MB memtable on an unthrottled SimDisk.
+    pub fn default_in_memory() -> Self {
+        Self {
+            memory_bytes: 128 * 1024 * 1024,
+            memtable: MemtableKind::SkipList,
+            disk: DiskOptions::default(),
+            env: Arc::new(MemEnv::new(None)),
+        }
+    }
+
+    /// Tiny configuration for tests.
+    pub fn small_for_tests() -> Self {
+        let mut disk = DiskOptions::default();
+        disk.compaction.l0_trigger = 2;
+        disk.compaction.base_level_bytes = 64 * 1024;
+        disk.compaction.target_file_bytes = 32 * 1024;
+        Self {
+            memory_bytes: 256 * 1024,
+            disk,
+            ..Self::default_in_memory()
+        }
+    }
+}
+
+struct MemState {
+    active: Arc<BaselineMemtable>,
+    imm: Option<Arc<BaselineMemtable>>,
+}
+
+pub(crate) struct CoreStats {
+    pub puts: AtomicU64,
+    pub deletes: AtomicU64,
+    pub gets: AtomicU64,
+    pub scans: AtomicU64,
+    pub scanned_keys: AtomicU64,
+    pub persists: AtomicU64,
+    pub stalls: AtomicU64,
+}
+
+impl Default for CoreStats {
+    fn default() -> Self {
+        Self {
+            puts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
+            scanned_keys: AtomicU64::new(0),
+            persists: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The shared single-level LSM engine.
+pub(crate) struct LsmCore {
+    pub seq: SequenceGenerator,
+    pub disk: DiskComponent,
+    memtable_kind: MemtableKind,
+    budget: usize,
+    state: RwLock<MemState>,
+    /// Serializes flushes so `flush_once` is safe to call from any thread
+    /// (background flusher and `quiesce` may race).
+    flush_lock: Mutex<()>,
+    flush_park: Mutex<()>,
+    flush_cv: Condvar,
+    room: Mutex<()>,
+    room_cv: Condvar,
+    pub stop: AtomicBool,
+    pub stats: CoreStats,
+}
+
+impl LsmCore {
+    pub fn new(opts: &BaselineOptions) -> Arc<Self> {
+        Arc::new(Self {
+            seq: SequenceGenerator::new(),
+            disk: DiskComponent::new(Arc::clone(&opts.env), opts.disk),
+            memtable_kind: opts.memtable,
+            budget: opts.memory_bytes,
+            state: RwLock::new(MemState {
+                active: Arc::new(BaselineMemtable::new(opts.memtable)),
+                imm: None,
+            }),
+            flush_lock: Mutex::new(()),
+            flush_park: Mutex::new(()),
+            flush_cv: Condvar::new(),
+            room: Mutex::new(()),
+            room_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            stats: CoreStats::default(),
+        })
+    }
+
+    /// Ensures the active memtable has room, switching or stalling
+    /// (LevelDB's `MakeRoomForWrite`).
+    pub fn make_room(&self) {
+        loop {
+            let (bytes, has_imm) = {
+                let st = self.state.read();
+                (st.active.approximate_bytes(), st.imm.is_some())
+            };
+            if bytes < self.budget {
+                return;
+            }
+            if has_imm {
+                // Both memtables full: the write stall of Figure 4.
+                self.stats.stalls.fetch_add(1, Ordering::Relaxed);
+                self.wake_flush();
+                let mut g = self.room.lock();
+                self.room_cv.wait_for(&mut g, Duration::from_micros(500));
+                continue;
+            }
+            let mut st = self.state.write();
+            if st.imm.is_none() && st.active.approximate_bytes() >= self.budget {
+                let fresh = Arc::new(BaselineMemtable::new(self.memtable_kind));
+                st.imm = Some(std::mem::replace(&mut st.active, fresh));
+                drop(st);
+                self.wake_flush();
+            }
+        }
+    }
+
+    /// Appends a version to the active memtable.
+    pub fn write(&self, key: &[u8], seq: u64, value: Option<&[u8]>) {
+        self.make_room();
+        let active = Arc::clone(&self.state.read().active);
+        active.insert(key, seq, value);
+    }
+
+    /// Point lookup at "now".
+    pub fn get_latest(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let snapshot = u64::MAX - 1;
+        let (active, imm) = {
+            let st = self.state.read();
+            (Arc::clone(&st.active), st.imm.clone())
+        };
+        if let Some((_, v)) = active.get(key, snapshot) {
+            return v.map(Vec::from);
+        }
+        if let Some(imm) = imm {
+            if let Some((_, v)) = imm.get(key, snapshot) {
+                return v.map(Vec::from);
+            }
+        }
+        self.disk
+            .get(key)
+            .expect("disk read failed")
+            .and_then(|r| r.value.map(Vec::from))
+    }
+
+    /// Serializable snapshot scan (multi-versioned: no restarts needed).
+    pub fn scan_snapshot(&self, low: &[u8], high: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let snapshot = self.seq.current();
+        let (active, imm) = {
+            let st = self.state.read();
+            (Arc::clone(&st.active), st.imm.clone())
+        };
+        let mut merged: BTreeMap<Vec<u8>, (u64, Option<Box<[u8]>>)> = BTreeMap::new();
+        let mut absorb = |key: Vec<u8>, seq: u64, value: Option<Box<[u8]>>| {
+            match merged.entry(key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert((seq, value));
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if seq > e.get().0 {
+                        e.insert((seq, value));
+                    }
+                }
+            }
+        };
+        for (key, seq, value) in active.snapshot_range(low, high, snapshot) {
+            absorb(key, seq, value);
+        }
+        if let Some(imm) = imm {
+            for (key, seq, value) in imm.snapshot_range(low, high, snapshot) {
+                absorb(key, seq, value);
+            }
+        }
+        for record in self.disk.scan(low, high).expect("disk scan failed") {
+            if record.seq <= snapshot {
+                absorb(record.key.to_vec(), record.seq, record.value);
+            }
+        }
+        merged
+            .into_iter()
+            .filter_map(|(key, (_, value))| Some((key, Vec::from(value?))))
+            .collect()
+    }
+
+    pub fn wake_flush(&self) {
+        let _g = self.flush_park.lock();
+        self.flush_cv.notify_all();
+    }
+
+    /// Flushes the immutable memtable if one exists; returns whether work
+    /// was done. `compact_inline == true` models LevelDB's single thread
+    /// doing both flushing and compaction.
+    pub fn flush_once(&self, compact_inline: bool) -> bool {
+        // Exclusive flusher: a concurrent caller waits here, re-reads and
+        // finds `imm` already cleared (or flushes the next one).
+        let _flushing = self.flush_lock.lock();
+        let imm = self.state.read().imm.clone();
+        let Some(imm) = imm else {
+            return false;
+        };
+        // `collect_records` is where hash memtables pay their sort.
+        let records = imm.collect_records();
+        self.disk.flush_records(records).expect("flush failed");
+        self.state.write().imm = None;
+        self.stats.persists.fetch_add(1, Ordering::Relaxed);
+        {
+            let _g = self.room.lock();
+            self.room_cv.notify_all();
+        }
+        if compact_inline {
+            self.disk.compact_all().expect("compaction failed");
+        }
+        true
+    }
+
+    /// Background flush loop.
+    pub fn flush_loop(self: &Arc<Self>, compact_inline: bool) {
+        while !self.stop.load(Ordering::Acquire) {
+            if !self.flush_once(compact_inline) {
+                let mut g = self.flush_park.lock();
+                self.flush_cv
+                    .wait_for(&mut g, Duration::from_micros(500));
+            }
+        }
+        self.flush_once(compact_inline);
+    }
+
+    /// Background compaction loop (RocksDB's decoupled compaction).
+    pub fn compaction_loop(self: &Arc<Self>) {
+        while !self.stop.load(Ordering::Acquire) {
+            match self.disk.maybe_compact() {
+                Ok(true) => {}
+                Ok(false) => std::thread::sleep(Duration::from_micros(500)),
+                Err(e) => panic!("compaction failed: {e}"),
+            }
+        }
+    }
+
+    /// Blocks until memory is drained and compaction has settled.
+    ///
+    /// Pumps flushes on the calling thread, so it works whether or not a
+    /// background flush loop is running.
+    pub fn quiesce(&self) {
+        loop {
+            let settled = {
+                let st = self.state.read();
+                st.imm.is_none() && st.active.is_empty()
+            };
+            if settled && !self.disk.needs_compaction() {
+                return;
+            }
+            // Force a switch of the non-empty active memtable.
+            {
+                let mut st = self.state.write();
+                if st.imm.is_none() && !st.active.is_empty() {
+                    let fresh = Arc::new(BaselineMemtable::new(self.memtable_kind));
+                    st.imm = Some(std::mem::replace(&mut st.active, fresh));
+                }
+            }
+            if !self.flush_once(true) {
+                // Nothing to flush (a racing background flush beat us to
+                // it, or only compaction debt remains).
+                self.disk.compact_all().expect("compaction failed");
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    pub fn snapshot_stats(&self, fast_level_writes: u64) -> flodb_core::StoreStats {
+        flodb_core::StoreStats {
+            puts: self.stats.puts.load(Ordering::Relaxed),
+            deletes: self.stats.deletes.load(Ordering::Relaxed),
+            gets: self.stats.gets.load(Ordering::Relaxed),
+            scans: self.stats.scans.load(Ordering::Relaxed),
+            scanned_keys: self.stats.scanned_keys.load(Ordering::Relaxed),
+            persists: self.stats.persists.load(Ordering::Relaxed),
+            fast_level_writes,
+            scan_restarts: 0,
+            fallback_scans: 0,
+        }
+    }
+}
+
+/// Spawns the named background thread.
+pub(crate) fn spawn_thread(
+    name: &str,
+    f: impl FnOnce() + Send + 'static,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .expect("failed to spawn background thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_get() {
+        let core = LsmCore::new(&BaselineOptions::small_for_tests());
+        let seq = core.seq.next();
+        core.write(b"k", seq, Some(b"v"));
+        assert_eq!(core.get_latest(b"k"), Some(b"v".to_vec()));
+        assert_eq!(core.get_latest(b"missing"), None);
+    }
+
+    #[test]
+    fn switch_and_flush_on_budget() {
+        let mut opts = BaselineOptions::small_for_tests();
+        opts.memory_bytes = 4 * 1024;
+        let core = LsmCore::new(&opts);
+        for i in 0..200u64 {
+            let seq = core.seq.next();
+            core.write(&i.to_be_bytes(), seq, Some(&[0u8; 64]));
+            core.flush_once(true);
+        }
+        assert!(core.stats.persists.load(Ordering::Relaxed) > 0);
+        for i in (0..200u64).step_by(17) {
+            assert!(core.get_latest(&i.to_be_bytes()).is_some(), "key {i}");
+        }
+    }
+
+    #[test]
+    fn scan_merges_all_sources() {
+        let core = LsmCore::new(&BaselineOptions::small_for_tests());
+        for i in 0..10u64 {
+            let seq = core.seq.next();
+            core.write(&i.to_be_bytes(), seq, Some(&i.to_le_bytes()));
+        }
+        core.quiesce();
+        // Some data on disk now; write more in memory, delete one key.
+        let seq = core.seq.next();
+        core.write(&3u64.to_be_bytes(), seq, None);
+        let out = core.scan_snapshot(&0u64.to_be_bytes(), &9u64.to_be_bytes());
+        assert_eq!(out.len(), 9, "deleted key hidden");
+    }
+
+    #[test]
+    fn hash_memtable_core_works() {
+        let mut opts = BaselineOptions::small_for_tests();
+        opts.memtable = MemtableKind::HashTable;
+        let core = LsmCore::new(&opts);
+        for i in 0..50u64 {
+            let seq = core.seq.next();
+            core.write(&i.to_be_bytes(), seq, Some(b"v"));
+        }
+        assert_eq!(core.get_latest(&25u64.to_be_bytes()), Some(b"v".to_vec()));
+        let out = core.scan_snapshot(&0u64.to_be_bytes(), &49u64.to_be_bytes());
+        assert_eq!(out.len(), 50);
+        core.quiesce();
+        assert_eq!(core.get_latest(&25u64.to_be_bytes()), Some(b"v".to_vec()));
+    }
+}

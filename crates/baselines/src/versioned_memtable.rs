@@ -1,0 +1,232 @@
+//! Multi-versioned skiplist memtable (LevelDB/RocksDB semantics).
+//!
+//! Every write appends a new `(key, seq)` version; nothing is updated in
+//! place. Memory therefore grows with every write — including repeated
+//! writes to one key — which triggers flushes under skew (§3.2: "the
+//! multi-versioning approach cannot leverage the locality of skewed
+//! workloads. In fact, continually updating a single key is enough to fill
+//! up the memory component").
+
+use flodb_memtable::SkipList;
+use flodb_storage::Record;
+
+use crate::internal_key::{decode_internal, encode_internal, encode_user_prefix};
+
+/// An insert-only, multi-versioned, concurrent memtable.
+///
+/// Built on the same lock-free skiplist as FloDB's Memtable; versions are
+/// encoded into the key (see the crate's `internal_key` module), so inserts never
+/// collide and reads are wait-free.
+#[derive(Debug, Default)]
+pub struct VersionedMemtable {
+    list: SkipList,
+}
+
+impl VersionedMemtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Self {
+            list: SkipList::new(),
+        }
+    }
+
+    /// Appends a version of `key`; `None` is a delete tombstone.
+    pub fn insert(&self, key: &[u8], seq: u64, value: Option<&[u8]>) {
+        let internal = encode_internal(key, seq);
+        let fresh = self.list.insert(&internal, value, seq);
+        debug_assert!(fresh, "internal keys are unique per (key, seq)");
+    }
+
+    /// Returns the freshest version of `key` with `seq <= snapshot`.
+    ///
+    /// Outer `None` = no such version; `Some((seq, None))` = tombstone.
+    pub fn get(&self, key: &[u8], snapshot: u64) -> Option<(u64, Option<Box<[u8]>>)> {
+        let prefix = encode_user_prefix(key);
+        let mut from = prefix.clone();
+        from.extend_from_slice(&(u64::MAX - snapshot).to_be_bytes());
+        let mut it = self.list.iter();
+        it.seek(&from);
+        if it.valid() && it.key().starts_with(&prefix) {
+            let vv = it.value();
+            debug_assert!(vv.seq <= snapshot);
+            return Some((vv.seq, vv.value));
+        }
+        None
+    }
+
+    /// Returns, per user key in `[low, high]`, the freshest version with
+    /// `seq <= snapshot`, in key order (tombstones included).
+    pub fn snapshot_range(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        snapshot: u64,
+    ) -> Vec<(Vec<u8>, u64, Option<Box<[u8]>>)> {
+        let mut out: Vec<(Vec<u8>, u64, Option<Box<[u8]>>)> = Vec::new();
+        let mut it = self.list.iter();
+        it.seek(&encode_user_prefix(low)[..encode_user_prefix(low).len() - 2]);
+        // Seek to the beginning of `low`'s escaped form (without the
+        // terminator so `low` itself is included).
+        while it.valid() {
+            let Some((user, seq)) = decode_internal(it.key()) else {
+                it.next();
+                continue;
+            };
+            if user.as_slice() > high {
+                break;
+            }
+            let in_range = user.as_slice() >= low;
+            let newest_taken = out
+                .last()
+                .is_some_and(|(last, _, _)| last.as_slice() == user.as_slice());
+            if in_range && !newest_taken && seq <= snapshot {
+                let vv = it.value();
+                out.push((user, vv.seq, vv.value));
+            }
+            it.next();
+        }
+        out
+    }
+
+    /// Approximate resident bytes (grows with every version).
+    pub fn approximate_bytes(&self) -> usize {
+        self.list.approximate_bytes()
+    }
+
+    /// Number of stored versions (not distinct keys).
+    pub fn versions(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Returns whether no versions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Drains every version into flushable records (sorted; the disk
+    /// component keeps the freshest per key).
+    pub fn collect_records(&self) -> Vec<Record> {
+        self.list
+            .collect_entries()
+            .into_iter()
+            .filter_map(|(internal, vv)| {
+                let (key, _) = decode_internal(&internal)?;
+                Some(Record {
+                    key: key.into_boxed_slice(),
+                    seq: vv.seq,
+                    value: vv.value,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_accumulate() {
+        let m = VersionedMemtable::new();
+        m.insert(b"k", 1, Some(b"v1"));
+        m.insert(b"k", 2, Some(b"v2"));
+        assert_eq!(m.versions(), 2, "no in-place update");
+        // Snapshot reads see the version visible at the snapshot.
+        assert_eq!(m.get(b"k", 1).unwrap().1.as_deref(), Some(&b"v1"[..]));
+        assert_eq!(m.get(b"k", 2).unwrap().1.as_deref(), Some(&b"v2"[..]));
+        assert_eq!(m.get(b"k", 100).unwrap().1.as_deref(), Some(&b"v2"[..]));
+    }
+
+    #[test]
+    fn memory_grows_with_repeated_writes() {
+        let m = VersionedMemtable::new();
+        m.insert(b"hot", 1, Some(&[0u8; 64]));
+        let after_one = m.approximate_bytes();
+        for seq in 2..100u64 {
+            m.insert(b"hot", seq, Some(&[0u8; 64]));
+        }
+        assert!(
+            m.approximate_bytes() > after_one * 50,
+            "multi-versioning must not absorb skew in place"
+        );
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        let m = VersionedMemtable::new();
+        m.insert(b"a", 5, Some(b"old"));
+        m.insert(b"b", 6, Some(b"b"));
+        m.insert(b"a", 10, Some(b"new"));
+        // A snapshot at 7 must not see seq 10.
+        let out = m.snapshot_range(b"a", b"z", 7);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].2.as_deref(), Some(&b"old"[..]));
+    }
+
+    #[test]
+    fn tombstone_versions() {
+        let m = VersionedMemtable::new();
+        m.insert(b"k", 1, Some(b"v"));
+        m.insert(b"k", 2, None);
+        let (seq, val) = m.get(b"k", 10).unwrap();
+        assert_eq!(seq, 2);
+        assert!(val.is_none());
+        // The old version is still reachable below the tombstone.
+        assert!(m.get(b"k", 1).unwrap().1.is_some());
+    }
+
+    #[test]
+    fn get_missing_and_below_first_version() {
+        let m = VersionedMemtable::new();
+        m.insert(b"k", 5, Some(b"v"));
+        assert!(m.get(b"absent", 100).is_none());
+        assert!(m.get(b"k", 4).is_none(), "no version at snapshot 4");
+    }
+
+    #[test]
+    fn range_respects_bounds_and_order() {
+        let m = VersionedMemtable::new();
+        for (i, key) in [b"a", b"c", b"e"].iter().enumerate() {
+            m.insert(*key, i as u64 + 1, Some(b"v"));
+        }
+        let out = m.snapshot_range(b"b", b"e", 100);
+        let keys: Vec<&[u8]> = out.iter().map(|(k, _, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![&b"c"[..], &b"e"[..]]);
+    }
+
+    #[test]
+    fn collect_records_decodes_all_versions() {
+        let m = VersionedMemtable::new();
+        m.insert(b"k", 1, Some(b"v1"));
+        m.insert(b"k", 2, Some(b"v2"));
+        m.insert(b"j", 3, None);
+        let records = m.collect_records();
+        assert_eq!(records.len(), 3);
+        // Sorted by (user key asc, seq desc).
+        assert_eq!(records[0].key.as_ref(), b"j");
+        assert_eq!(records[1].seq, 2);
+        assert_eq!(records[2].seq, 1);
+    }
+
+    #[test]
+    fn concurrent_version_appends() {
+        use std::sync::Arc;
+        let m = Arc::new(VersionedMemtable::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let seq = t * 1000 + i + 1;
+                    m.insert(b"contended", seq, Some(&seq.to_be_bytes()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.versions(), 2000);
+        let (seq, _) = m.get(b"contended", u64::MAX - 1).unwrap();
+        assert_eq!(seq, 3500, "freshest version wins");
+    }
+}

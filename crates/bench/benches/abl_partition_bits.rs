@@ -1,0 +1,60 @@
+//! Ablation (§4.3): the Membuffer's partition-bit count `l`.
+//!
+//! More partitions shrink multi-insert neighborhoods (better path reuse)
+//! but sharpen the skew vulnerability: hot keys sharing a prefix exhaust
+//! one partition's buckets while the rest sit idle. The paper exposes `l`
+//! as a parameter; this bench shows both sides — uniform write throughput
+//! and the fraction of writes still absorbed under the 98/2 skew.
+
+use std::sync::Arc;
+
+use flodb_bench::table::mops;
+use flodb_bench::{Scale, Table};
+use flodb_core::{FloDb, FloDbOptions, KvStore};
+use flodb_storage::MemEnv;
+use flodb_workloads::keys::KeyDistribution;
+use flodb_workloads::mix::OperationMix;
+
+fn run(scale: &Scale, bits: u32, keys: KeyDistribution) -> (f64, f64) {
+    let mut opts = FloDbOptions::default_in_memory();
+    opts.memory_bytes = scale.memory_bytes;
+    opts.env = Arc::new(MemEnv::new(None));
+    opts.persist_enabled = false;
+    opts.partition_bits = bits;
+    let db = Arc::new(FloDb::open(opts).expect("flodb open"));
+    let store: Arc<dyn KvStore> = Arc::clone(&db) as Arc<dyn KvStore>;
+    let report = flodb_bench::run_cell(
+        &store,
+        scale.max_threads.min(4),
+        OperationMix::write_only(),
+        keys,
+        scale,
+        false,
+    );
+    let stats = db.stats();
+    let fast = stats.fast_level_writes as f64 / (stats.puts + stats.deletes).max(1) as f64;
+    (report.ops_per_sec(), fast * 100.0)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut table = Table::new(&[
+        "partition bits",
+        "uniform Mops/s",
+        "uniform fast %",
+        "skewed Mops/s",
+        "skewed fast %",
+    ]);
+    for bits in [0u32, 2, 4, 6, 8] {
+        let (uni_ops, uni_fast) = run(&scale, bits, KeyDistribution::Uniform { n: scale.dataset });
+        let (skew_ops, skew_fast) = run(&scale, bits, KeyDistribution::paper_skew(scale.dataset));
+        table.row(vec![
+            bits.to_string(),
+            mops(uni_ops),
+            format!("{uni_fast:.0}%"),
+            mops(skew_ops),
+            format!("{skew_fast:.0}%"),
+        ]);
+    }
+    table.print("Ablation: Membuffer partition bits (write-only, no persistence)");
+}

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks for the two memory-component structures:
+//! Membuffer (hash table) and Memtable (skiplist), including multi-insert.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flodb_membuffer::{MemBuffer, MemBufferConfig};
+use flodb_memtable::{BatchEntry, SkipList};
+
+fn membuffer_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membuffer");
+    group.sample_size(20);
+
+    let table = MemBuffer::new(MemBufferConfig {
+        partition_bits: 4,
+        buckets_per_partition: 4096,
+    });
+    for i in 0..10_000u64 {
+        table.add(&(i * (u64::MAX / 10_000)).to_be_bytes(), Some(b"payload!"));
+    }
+    let mut i = 0u64;
+    group.bench_function("get_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            table.get(&(i * (u64::MAX / 10_000)).to_be_bytes())
+        })
+    });
+    group.bench_function("update_in_place", |b| {
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            table.add(&(i * (u64::MAX / 10_000)).to_be_bytes(), Some(b"payload2"))
+        })
+    });
+    group.finish();
+}
+
+fn skiplist_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skiplist");
+    group.sample_size(20);
+
+    let list = SkipList::new();
+    for i in 0..100_000u64 {
+        list.insert(&(i * 1000).to_be_bytes(), Some(b"payload!"), i + 1);
+    }
+    let mut i = 0u64;
+    group.bench_function("get_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            list.get(&(i * 1000).to_be_bytes())
+        })
+    });
+
+    let mut seq = 1_000_000u64;
+    let mut fresh = 1u64;
+    group.bench_function("insert_fresh", |b| {
+        b.iter(|| {
+            seq += 1;
+            fresh = fresh.wrapping_mul(6364136223846793005).wrapping_add(1);
+            list.insert(&fresh.to_be_bytes(), Some(b"payload!"), seq)
+        })
+    });
+
+    // Multi-insert of 5 nearby keys (Figure 8's micro-scale counterpart).
+    group.bench_function("multi_insert_5_nearby", |b| {
+        b.iter_batched(
+            || {
+                seq += 5;
+                fresh = fresh
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
+                let base = fresh % (100_000 * 1000);
+                (0..5u64)
+                    .map(|j| BatchEntry {
+                        key: Box::from((base + j * 7 + 1).to_be_bytes().as_slice()),
+                        value: Some(Box::from(&b"payload!"[..])),
+                        seq: seq + j,
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |batch| list.multi_insert(batch),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, membuffer_ops, skiplist_ops);
+criterion_main!(benches);

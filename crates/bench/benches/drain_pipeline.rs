@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the drain pipeline: Membuffer → Memtable
+//! movement with multi-insert vs simple-insert application.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flodb_membuffer::{MemBuffer, MemBufferConfig};
+use flodb_memtable::{BatchEntry, SkipList};
+use flodb_sync::SequenceGenerator;
+
+/// Builds a Membuffer pre-loaded with `n` entries spread over partitions.
+fn loaded_membuffer(n: u64) -> MemBuffer {
+    let mbf = MemBuffer::new(MemBufferConfig {
+        partition_bits: 4,
+        buckets_per_partition: ((n as usize).next_power_of_two() / 16).max(16),
+    });
+    let spread = u64::MAX / n;
+    for i in 0..n {
+        mbf.add(&(i * spread).to_be_bytes(), Some(b"drain-me"));
+    }
+    mbf
+}
+
+fn drain_batch_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drain");
+    group.sample_size(15);
+
+    for (name, multi) in [("multi_insert", true), ("simple_insert", false)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mbf = loaded_membuffer(4096);
+                    let mtb = SkipList::new();
+                    let seq = SequenceGenerator::new();
+                    (mbf, mtb, seq)
+                },
+                |(mbf, mtb, seq)| {
+                    // Full drain, bucket by bucket.
+                    for chunk in 0..mbf.total_buckets() {
+                        let drained = mbf.claim_bucket(chunk);
+                        if drained.is_empty() {
+                            continue;
+                        }
+                        let first = seq.next_block(drained.len() as u64);
+                        let mut tokens = Vec::with_capacity(drained.len());
+                        if multi {
+                            let batch: Vec<BatchEntry> = drained
+                                .into_iter()
+                                .enumerate()
+                                .map(|(i, d)| {
+                                    tokens.push(d.token);
+                                    BatchEntry {
+                                        key: d.key,
+                                        value: d.value,
+                                        seq: first + i as u64,
+                                    }
+                                })
+                                .collect();
+                            mtb.multi_insert(batch);
+                        } else {
+                            for (i, d) in drained.into_iter().enumerate() {
+                                mtb.insert(&d.key, d.value.as_deref(), first + i as u64);
+                                tokens.push(d.token);
+                            }
+                        }
+                        mbf.remove_drained(&tokens);
+                    }
+                    mtb
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, drain_batch_application);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 3: RocksDB with a *skiplist* memory component — median read and
+//! write latency as the memory component grows, normalized to the
+//! smallest size (readwhilewriting: 8 readers + 1 writer).
+//!
+//! Paper result: write latency grows with memory size (logarithmic insert
+//! cost into an ever-larger skiplist); read latency stays roughly flat
+//! (most reads are served from disk).
+
+use std::time::Duration;
+
+use flodb_baselines::MemtableKind;
+use flodb_bench::table::human_bytes;
+use flodb_bench::{make_env, make_rocksdb_with_memtable, InitKind, Scale, Table};
+use flodb_workloads::driver::{run_workload, WorkloadConfig};
+use flodb_workloads::keys::KeyDistribution;
+use flodb_workloads::mix::OperationMix;
+
+fn run(memtable: MemtableKind, title: &str) {
+    let scale = Scale::from_env();
+    // The paper uses a 1M-entry database; scale via FLODB_BENCH_DATASET.
+    let keys = KeyDistribution::Uniform { n: scale.dataset };
+    let mut table = Table::new(&[
+        "memory",
+        "read p50 (norm)",
+        "write p50 (norm)",
+        "write p99 (norm)",
+    ]);
+    let mut base: Option<(f64, f64, f64)> = None;
+    for memory in scale.memory_sweep_from(8, 6) {
+        let env = make_env(&scale, true);
+        let store = make_rocksdb_with_memtable(memtable, memory, env);
+        flodb_bench::init_store(&store, InitKind::RandomHalf, &scale);
+
+        let readers = (scale.max_threads.saturating_sub(1)).clamp(1, 8);
+        let mut cfg = WorkloadConfig::new(readers + 1, OperationMix::read_only(), keys);
+        cfg.duration = Duration::from_millis(
+            (scale.cell_time.as_millis() as u64).max(200),
+        );
+        cfg.single_writer = true; // Thread 0 writes, the rest read.
+        cfg.measure_latency = true;
+        cfg.value_bytes = scale.value_bytes;
+        let report = run_workload(&store, &cfg);
+
+        let read_p50 = report.read_latency.median_ns() as f64;
+        let write_p50 = report.write_latency.median_ns() as f64;
+        let write_p99 = report.write_latency.percentile_ns(99.0) as f64;
+        let (rb, wb, tb) = *base.get_or_insert((
+            read_p50.max(1.0),
+            write_p50.max(1.0),
+            write_p99.max(1.0),
+        ));
+        table.row(vec![
+            human_bytes(memory),
+            format!("{:.2}", read_p50 / rb),
+            format!("{:.2}", write_p50 / wb),
+            format!("{:.2}", write_p99 / tb),
+        ]);
+    }
+    table.print(title);
+}
+
+fn main() {
+    run(
+        MemtableKind::SkipList,
+        "Figure 3: RocksDB skiplist memtable, median latency vs memory size",
+    );
+}

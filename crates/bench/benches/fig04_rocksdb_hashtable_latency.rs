@@ -1,0 +1,60 @@
+//! Figure 4: RocksDB with a *hash-table* memory component — median read
+//! and write latency as the memory component grows, normalized to the
+//! smallest size.
+//!
+//! Paper result: end-to-end write latency grows even faster than with the
+//! skiplist, because the whole memtable must be *sorted* before it can be
+//! flushed; while that sort runs, the active memtable fills and writers
+//! stall.
+
+use std::time::Duration;
+
+use flodb_baselines::MemtableKind;
+use flodb_bench::table::human_bytes;
+use flodb_bench::{make_env, make_rocksdb_with_memtable, InitKind, Scale, Table};
+use flodb_workloads::driver::{run_workload, WorkloadConfig};
+use flodb_workloads::keys::KeyDistribution;
+use flodb_workloads::mix::OperationMix;
+
+fn main() {
+    let scale = Scale::from_env();
+    let keys = KeyDistribution::Uniform { n: scale.dataset };
+    let mut table = Table::new(&[
+        "memory",
+        "read p50 (norm)",
+        "write p50 (norm)",
+        "write p99 (norm)",
+    ]);
+    let mut base: Option<(f64, f64, f64)> = None;
+    for memory in scale.memory_sweep_from(8, 6) {
+        let env = make_env(&scale, true);
+        let store = make_rocksdb_with_memtable(MemtableKind::HashTable, memory, env);
+        flodb_bench::init_store(&store, InitKind::RandomHalf, &scale);
+
+        let readers = (scale.max_threads.saturating_sub(1)).clamp(1, 8);
+        let mut cfg = WorkloadConfig::new(readers + 1, OperationMix::read_only(), keys);
+        cfg.duration = Duration::from_millis(
+            (scale.cell_time.as_millis() as u64).max(200),
+        );
+        cfg.single_writer = true;
+        cfg.measure_latency = true;
+        cfg.value_bytes = scale.value_bytes;
+        let report = run_workload(&store, &cfg);
+
+        let read_p50 = report.read_latency.median_ns() as f64;
+        let write_p50 = report.write_latency.median_ns() as f64;
+        let write_p99 = report.write_latency.percentile_ns(99.0) as f64;
+        let (rb, wb, tb) = *base.get_or_insert((
+            read_p50.max(1.0),
+            write_p50.max(1.0),
+            write_p99.max(1.0),
+        ));
+        table.row(vec![
+            human_bytes(memory),
+            format!("{:.2}", read_p50 / rb),
+            format!("{:.2}", write_p50 / wb),
+            format!("{:.2}", write_p99 / tb),
+        ]);
+    }
+    table.print("Figure 4: RocksDB hash-table memtable, median latency vs memory size");
+}

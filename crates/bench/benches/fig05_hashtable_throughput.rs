@@ -1,0 +1,79 @@
+//! Figure 5: raw concurrent hash table throughput on a mixed read-write
+//! workload, across thread counts and dataset sizes (paper: 32K, 1M, 33M,
+//! 1B entries).
+//!
+//! Paper result: 100+ Mops/s, scales with threads, and throughput is
+//! nearly insensitive to the dataset size — the property that makes the
+//! Membuffer fast regardless of memory-component size.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use flodb_bench::{Scale, Table};
+use flodb_membuffer::{MemBuffer, MemBufferConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn run_cell(n: u64, threads: usize, scale: &Scale) -> f64 {
+    // Size the table so `n` entries fit comfortably.
+    let buckets_total = ((n as usize / 2).next_power_of_two()).max(64);
+    let table = Arc::new(MemBuffer::new(MemBufferConfig {
+        partition_bits: 4,
+        buckets_per_partition: (buckets_total / 16).max(4),
+    }));
+    // Pre-fill: spread keys over the whole u64 space so partitions load
+    // evenly (hash-table workloads are unpartitioned in the paper).
+    let spread = u64::MAX / n.max(1);
+    for i in 0..n {
+        table.add(&(i * spread).to_be_bytes(), Some(b"12345678"));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let table = Arc::clone(&table);
+        let stop = Arc::clone(&stop);
+        let total = Arc::clone(&total);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(t as u64 + 1);
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..256 {
+                    let key = (rng.gen_range(0..n) * spread).to_be_bytes();
+                    if ops % 2 == 0 {
+                        let _ = table.get(&key);
+                    } else {
+                        let _ = table.add(&key, Some(b"87654321"));
+                    }
+                    ops += 1;
+                }
+            }
+            total.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(scale.cell_time);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    total.load(Ordering::Relaxed) as f64 / scale.cell_time.as_secs_f64()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes = [32_768u64, 1_048_576, scale.dataset.max(2_097_152)];
+    let mut header = vec!["threads".to_string()];
+    header.extend(sizes.iter().map(|n| format!("{n} keys")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for threads in scale.thread_sweep() {
+        let mut row = vec![threads.to_string()];
+        for &n in &sizes {
+            let ops = run_cell(n, threads, &scale);
+            row.push(format!("{:.1}", ops / 1e6));
+        }
+        table.row(row);
+    }
+    table.print("Figure 5: concurrent hash table, mixed read-write (Mops/s)");
+}

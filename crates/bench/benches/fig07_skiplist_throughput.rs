@@ -1,0 +1,72 @@
+//! Figure 7: raw concurrent skiplist throughput on the same mixed
+//! read-write workload as Figure 5.
+//!
+//! Paper result: one to two orders of magnitude slower than the hash
+//! table, and *sensitive to dataset size* (logarithmic operations) — why a
+//! single-level sorted memory component cannot scale with memory.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use flodb_bench::{Scale, Table};
+use flodb_memtable::SkipList;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn run_cell(n: u64, threads: usize, scale: &Scale) -> f64 {
+    let list = Arc::new(SkipList::new());
+    for i in 0..n {
+        list.insert(&i.to_be_bytes(), Some(b"12345678"), i + 1);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let seq = Arc::new(AtomicU64::new(n + 1));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let list = Arc::clone(&list);
+        let stop = Arc::clone(&stop);
+        let total = Arc::clone(&total);
+        let seq = Arc::clone(&seq);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(t as u64 + 1);
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..64 {
+                    let key = rng.gen_range(0..n).to_be_bytes();
+                    if ops % 2 == 0 {
+                        let _ = list.get(&key);
+                    } else {
+                        let s = seq.fetch_add(1, Ordering::Relaxed);
+                        list.insert(&key, Some(b"87654321"), s);
+                    }
+                    ops += 1;
+                }
+            }
+            total.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(scale.cell_time);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    total.load(Ordering::Relaxed) as f64 / scale.cell_time.as_secs_f64()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes = [32_768u64, 1_048_576, scale.dataset.max(2_097_152)];
+    let mut header = vec!["threads".to_string()];
+    header.extend(sizes.iter().map(|n| format!("{n} keys")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for threads in scale.thread_sweep() {
+        let mut row = vec![threads.to_string()];
+        for &n in &sizes {
+            let ops = run_cell(n, threads, &scale);
+            row.push(format!("{:.2}", ops / 1e6));
+        }
+        table.row(row);
+    }
+    table.print("Figure 7: concurrent skiplist, mixed read-write (Mops/s)");
+}

@@ -1,0 +1,120 @@
+//! Figure 8: skiplist simple inserts vs. 5-key multi-inserts as a function
+//! of key neighborhood size (paper: 100M-element initial skiplist;
+//! neighborhood n means batch keys lie within distance 2n).
+//!
+//! Paper result: multi-insert wins everywhere, and its advantage grows as
+//! the neighborhood shrinks (more path reuse) — up to ~2x at size 10.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use flodb_bench::{Scale, Table};
+use flodb_memtable::{BatchEntry, SkipList};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const BATCH: usize = 5;
+/// Grid spacing: prefilled keys sit on multiples, new keys fall between.
+const SPACING: u64 = 1024;
+
+fn prefill(n: u64) -> Arc<SkipList> {
+    let list = Arc::new(SkipList::new());
+    let batch: Vec<BatchEntry> = (0..n)
+        .map(|i| BatchEntry {
+            key: Box::from((i * SPACING).to_be_bytes().as_slice()),
+            value: Some(Box::from(&b"prefill!"[..])),
+            seq: i + 1,
+        })
+        .collect();
+    list.multi_insert(batch);
+    list
+}
+
+/// One measurement: insert fresh keys, batched or not, with batch keys
+/// confined to a window of `neighborhood` grid slots (None = anywhere).
+fn run_cell(
+    list: &Arc<SkipList>,
+    n: u64,
+    threads: usize,
+    neighborhood: Option<u64>,
+    multi: bool,
+    scale: &Scale,
+) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let seq = Arc::new(AtomicU64::new(n * 2 + 1));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let list = Arc::clone(list);
+        let stop = Arc::clone(&stop);
+        let total = Arc::clone(&total);
+        let seq = Arc::clone(&seq);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(t as u64 + 99);
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let base = rng.gen_range(0..n);
+                let window = neighborhood.map_or(n, |w| (2 * w).max(1));
+                let mut keys = [[0u8; 8]; BATCH];
+                for slot in keys.iter_mut() {
+                    let grid = (base + rng.gen_range(0..window)) % n;
+                    // Fresh keys: offset 1..SPACING keeps them between
+                    // prefilled grid points.
+                    let key = grid * SPACING + rng.gen_range(1..SPACING);
+                    *slot = key.to_be_bytes();
+                }
+                if multi {
+                    let s0 = seq.fetch_add(BATCH as u64, Ordering::Relaxed);
+                    let batch: Vec<BatchEntry> = keys
+                        .iter()
+                        .enumerate()
+                        .map(|(i, k)| BatchEntry {
+                            key: Box::from(k.as_slice()),
+                            value: Some(Box::from(&b"fresh-kv"[..])),
+                            seq: s0 + i as u64,
+                        })
+                        .collect();
+                    list.multi_insert(batch);
+                } else {
+                    for k in &keys {
+                        let s = seq.fetch_add(1, Ordering::Relaxed);
+                        list.insert(k, Some(b"fresh-kv"), s);
+                    }
+                }
+                ops += BATCH as u64;
+            }
+            total.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(scale.cell_time);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    total.load(Ordering::Relaxed) as f64 / scale.cell_time.as_secs_f64()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.dataset.max(100_000);
+    let threads = scale.max_threads.min(4);
+    let mut table = Table::new(&["neighborhood", "simple (Mops/s)", "multi (Mops/s)", "speedup"]);
+    for neighborhood in [Some(10u64), Some(100), Some(1_000), Some(10_000), None] {
+        // A fresh prefilled list per cell keeps sizes comparable.
+        let simple = {
+            let list = prefill(n);
+            run_cell(&list, n, threads, neighborhood, false, &scale)
+        };
+        let multi = {
+            let list = prefill(n);
+            run_cell(&list, n, threads, neighborhood, true, &scale)
+        };
+        table.row(vec![
+            neighborhood.map_or("None".into(), |w| w.to_string()),
+            format!("{:.3}", simple / 1e6),
+            format!("{:.3}", multi / 1e6),
+            format!("{:.2}x", multi / simple.max(1.0)),
+        ]);
+    }
+    table.print("Figure 8: simple insert vs 5-key multi-insert by neighborhood size");
+}

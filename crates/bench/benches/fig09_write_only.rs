@@ -1,0 +1,32 @@
+//! Figure 9: write-only workload (50% inserts, 50% deletes), fresh store,
+//! throttled SimDisk, throughput vs. thread count.
+//!
+//! Paper result: FloDB saturates the persistence throughput with one
+//! thread and stays 1.9-3.5x over HyperLevelDB; LevelDB and RocksDB stay
+//! flat (single-writer design); HyperLevelDB scales.
+
+use flodb_bench::{thread_sweep_figure, InitKind, Scale, ALL_SYSTEMS};
+use flodb_workloads::mix::OperationMix;
+
+fn main() {
+    let scale = Scale::from_env();
+    // The paper's dashed "average persistence throughput" line: the
+    // SimDisk bandwidth divided by the serialized record footprint.
+    let record_bytes = (8 + scale.value_bytes + 12) as f64;
+    let persist_line = scale.disk_bytes_per_sec as f64 / record_bytes;
+    println!(
+        "# persistence throughput bound ~ {:.3} Mops/s ({} MB/s SimDisk)",
+        persist_line / 1e6,
+        scale.disk_bytes_per_sec / (1024 * 1024)
+    );
+    thread_sweep_figure(
+        "Figure 9: write-only workload (Mops/s)",
+        &ALL_SYSTEMS,
+        OperationMix::write_only(),
+        InitKind::Fresh,
+        /* throttled = */ true,
+        /* single_writer = */ false,
+        /* metric_keys = */ false,
+        &scale,
+    );
+}

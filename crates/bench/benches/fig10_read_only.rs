@@ -1,0 +1,24 @@
+//! Figure 10: read-only workload after sequential initialization,
+//! throughput vs. thread count (the paper sweeps to 128 threads).
+//!
+//! Paper result: FloDB and RocksDB scale (lock-free read paths, concurrent
+//! fd-cache); LevelDB and HyperLevelDB flat-line on the global mutex;
+//! RocksDB overtakes FloDB past 16 threads thanks to its optimized disk
+//! component.
+
+use flodb_bench::{thread_sweep_figure, InitKind, Scale, ALL_SYSTEMS};
+use flodb_workloads::mix::OperationMix;
+
+fn main() {
+    let scale = Scale::from_env();
+    thread_sweep_figure(
+        "Figure 10: read-only workload, sequential initialization (Mops/s)",
+        &ALL_SYSTEMS,
+        OperationMix::read_only(),
+        InitKind::SequentialHalf,
+        /* throttled = */ false,
+        /* single_writer = */ false,
+        /* metric_keys = */ false,
+        &scale,
+    );
+}

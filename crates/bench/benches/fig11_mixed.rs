@@ -1,0 +1,21 @@
+//! Figure 11: mixed read-write workload (50% reads, 25% inserts, 25%
+//! deletes), random initialization, throughput vs. thread count.
+//!
+//! Paper result: FloDB outperforms every baseline at all thread counts.
+
+use flodb_bench::{thread_sweep_figure, InitKind, Scale, ALL_SYSTEMS};
+use flodb_workloads::mix::OperationMix;
+
+fn main() {
+    let scale = Scale::from_env();
+    thread_sweep_figure(
+        "Figure 11: mixed read-write workload 50r/25i/25d (Mops/s)",
+        &ALL_SYSTEMS,
+        OperationMix::mixed_balanced(),
+        InitKind::RandomHalf,
+        /* throttled = */ true,
+        /* single_writer = */ false,
+        /* metric_keys = */ false,
+        &scale,
+    );
+}

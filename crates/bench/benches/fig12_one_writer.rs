@@ -1,0 +1,21 @@
+//! Figure 12: one writer thread, all other threads reading.
+//!
+//! Paper result: FloDB leads; the single writer cannot saturate any
+//! system, so read-path synchronization dominates.
+
+use flodb_bench::{thread_sweep_figure, InitKind, Scale, ALL_SYSTEMS};
+use flodb_workloads::mix::OperationMix;
+
+fn main() {
+    let scale = Scale::from_env();
+    thread_sweep_figure(
+        "Figure 12: one writer, many readers (Mops/s)",
+        &ALL_SYSTEMS,
+        OperationMix::read_only(), // Overridden per-thread by single_writer.
+        InitKind::RandomHalf,
+        /* throttled = */ true,
+        /* single_writer = */ true,
+        /* metric_keys = */ false,
+        &scale,
+    );
+}

@@ -1,0 +1,22 @@
+//! Figure 13: mixed scan-write workload (95% updates, 5% scans of 100
+//! keys), throughput in keys accessed per second vs. thread count.
+//!
+//! Paper result: FloDB leads; HyperLevelDB comes within 43-90% thanks to
+//! its compaction producing far fewer files.
+
+use flodb_bench::{thread_sweep_figure, InitKind, Scale, ALL_SYSTEMS};
+use flodb_workloads::mix::OperationMix;
+
+fn main() {
+    let scale = Scale::from_env();
+    thread_sweep_figure(
+        "Figure 13: mixed scan-write workload, 5% scans of 100 keys (Mkeys/s)",
+        &ALL_SYSTEMS,
+        OperationMix::scan_write(0.05),
+        InitKind::RandomHalf,
+        /* throttled = */ true,
+        /* single_writer = */ false,
+        /* metric_keys = */ true,
+        &scale,
+    );
+}

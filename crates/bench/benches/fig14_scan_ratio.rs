@@ -1,0 +1,45 @@
+//! Figure 14: impact of the scan ratio (2% → 50%) on FloDB's operation
+//! throughput and key throughput, at the full thread count.
+//!
+//! Paper result: raising the scan ratio lowers operations/s (scans are
+//! long) but *raises* keys/s (each scan contributes its whole range, and
+//! fewer writes interfere).
+
+use flodb_bench::{make_env, make_store, InitKind, Scale, SystemKind, Table};
+use flodb_workloads::keys::KeyDistribution;
+use flodb_workloads::mix::OperationMix;
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = scale.max_threads.min(16);
+    let keys = KeyDistribution::Uniform { n: scale.dataset };
+    let mut table = Table::new(&[
+        "scan %",
+        "write Mops/s",
+        "scan Mops/s",
+        "total Mops/s",
+        "Mkeys/s",
+    ]);
+    for pct in [2u32, 5, 10, 25, 50] {
+        let env = make_env(&scale, true);
+        let store = make_store(SystemKind::FloDb, scale.memory_bytes, env);
+        flodb_bench::init_store(&store, InitKind::RandomHalf, &scale);
+        let report = flodb_bench::run_cell(
+            &store,
+            threads,
+            OperationMix::scan_write(pct as f64 / 100.0),
+            keys,
+            &scale,
+            false,
+        );
+        let secs = report.elapsed.as_secs_f64();
+        table.row(vec![
+            format!("{pct}%"),
+            format!("{:.3}", report.writes as f64 / secs / 1e6),
+            format!("{:.3}", report.scans as f64 / secs / 1e6),
+            format!("{:.3}", report.ops_per_sec() / 1e6),
+            format!("{:.3}", report.keys_per_sec() / 1e6),
+        ]);
+    }
+    table.print("Figure 14: scan-ratio impact on operation- and key-throughput (FloDB)");
+}

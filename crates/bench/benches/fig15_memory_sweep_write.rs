@@ -1,0 +1,41 @@
+//! Figure 15: write-only burst throughput as the memory component grows
+//! (paper: 128 MB → 192 GB, 16 threads, 10-second bursts so the
+//! persistence bottleneck does not dominate).
+//!
+//! Paper result: the baselines *degrade* as memory grows (larger skiplist
+//! → slower inserts); FloDB scales, ≥2.3x the best baseline everywhere and
+//! ~10x above 4 GB.
+
+use flodb_bench::table::{human_bytes, mops};
+use flodb_bench::{make_env, make_store, InitKind, Scale, Table, ALL_SYSTEMS};
+use flodb_workloads::keys::KeyDistribution;
+use flodb_workloads::mix::OperationMix;
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = scale.max_threads.min(16);
+    let keys = KeyDistribution::Uniform { n: scale.dataset };
+    let mut header = vec!["memory".to_string()];
+    header.extend(ALL_SYSTEMS.iter().map(|s| s.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for memory in scale.memory_sweep_from(8, 6) {
+        let mut row = vec![human_bytes(memory)];
+        for kind in ALL_SYSTEMS {
+            let env = make_env(&scale, true);
+            let store = make_store(kind, memory, env);
+            flodb_bench::init_store(&store, InitKind::Fresh, &scale);
+            let report = flodb_bench::run_cell(
+                &store,
+                threads,
+                OperationMix::write_only(),
+                keys,
+                &scale,
+                false,
+            );
+            row.push(mops(report.ops_per_sec()));
+        }
+        table.row(row);
+    }
+    table.print("Figure 15: write-only burst vs memory component size (Mops/s)");
+}

@@ -1,0 +1,102 @@
+//! Figure 17: memory-component ablation with persistence disabled —
+//! (1) no Membuffer ("No HT", the classic single-level design),
+//! (2) Membuffer + simple-insert draining,
+//! (3) Membuffer + multi-insert draining.
+//!
+//! Paper result: No-HT *degrades* as memory grows; both two-tier variants
+//! scale; multi-insert gives 3.1x over single-level and 2x over
+//! simple-insert in the single-writer case; the fraction of writes
+//! absorbed directly by the Membuffer grows with memory.
+
+use std::sync::Arc;
+
+use flodb_bench::table::{human_bytes, mops};
+use flodb_bench::{Scale, Table};
+use flodb_core::{FloDb, FloDbOptions, KvStore};
+use flodb_storage::MemEnv;
+use flodb_workloads::keys::KeyDistribution;
+use flodb_workloads::mix::OperationMix;
+
+#[derive(Clone, Copy)]
+struct Variant {
+    name: &'static str,
+    membuffer: bool,
+    multi_insert: bool,
+}
+
+const VARIANTS: [Variant; 3] = [
+    Variant {
+        name: "No HT",
+        membuffer: false,
+        multi_insert: false,
+    },
+    Variant {
+        name: "HT, simple insert SL",
+        membuffer: true,
+        multi_insert: false,
+    },
+    Variant {
+        name: "HT, multi-insert SL",
+        membuffer: true,
+        multi_insert: true,
+    },
+];
+
+fn build(variant: Variant, memory: usize) -> Arc<dyn KvStore> {
+    let mut opts = FloDbOptions::default_in_memory();
+    opts.memory_bytes = memory;
+    opts.membuffer_enabled = variant.membuffer;
+    opts.use_multi_insert = variant.multi_insert;
+    if !variant.membuffer {
+        opts.drain_threads = 0;
+        opts.membuffer_fraction = 0.0;
+    }
+    // Figure 17 isolates the memory component: the flush machinery runs
+    // but immutable Memtables are dropped instead of persisted.
+    opts.persist_enabled = false;
+    opts.env = Arc::new(MemEnv::new(None));
+    Arc::new(FloDb::open(opts).expect("flodb open"))
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let keys = KeyDistribution::Uniform { n: scale.dataset };
+    let mut header = vec!["config"];
+    header.extend(VARIANTS.iter().map(|v| v.name));
+    header.push("direct-HT write %");
+    let mut table = Table::new(&header);
+    // The paper's x-axis: {1GB,1t}, {1GB,8t}, {2GB,8t}, {4GB,8t}, {8GB,8t},
+    // scaled geometrically from the base memory size.
+    let many = scale.max_threads.min(8);
+    let mut cells: Vec<(usize, usize)> = vec![(scale.memory_bytes, 1)];
+    for mem in scale.memory_sweep_from(8, 5) {
+        cells.push((mem, many));
+    }
+    for (memory, threads) in cells {
+        let mut row = vec![format!("{}, {}t", human_bytes(memory), threads)];
+        let mut direct_pct = String::from("-");
+        for variant in VARIANTS {
+            let store = build(variant, memory);
+            let report = flodb_bench::run_cell(
+                &store,
+                threads,
+                OperationMix::write_only(),
+                keys,
+                &scale,
+                false,
+            );
+            row.push(mops(report.ops_per_sec()));
+            if variant.multi_insert {
+                let stats = store.stats();
+                let writes = (stats.puts + stats.deletes).max(1);
+                direct_pct = format!(
+                    "{:.0}%",
+                    100.0 * stats.fast_level_writes as f64 / writes as f64
+                );
+            }
+        }
+        row.push(direct_pct);
+        table.row(row);
+    }
+    table.print("Figure 17: Membuffer and multi-insert draining ablation (Mops/s, no persistence)");
+}

@@ -1,0 +1,55 @@
+//! §5.2 (text): the scan fallback rate — how often the heavyweight
+//! writer-blocking fallback is invoked, across scan ranges, memory sizes
+//! and thread counts.
+//!
+//! Paper result: "in all of our experiments, the ratio of fallback scans
+//! to total completed scans was less than 1%".
+
+use flodb_bench::table::human_bytes;
+use flodb_bench::{make_env, make_store, InitKind, Scale, SystemKind, Table};
+use flodb_workloads::driver::{run_workload, WorkloadConfig};
+use flodb_workloads::keys::KeyDistribution;
+use flodb_workloads::mix::OperationMix;
+
+fn main() {
+    let scale = Scale::from_env();
+    let keys = KeyDistribution::Uniform { n: scale.dataset };
+    let mut table = Table::new(&[
+        "scan range",
+        "memory",
+        "threads",
+        "scans",
+        "restarts",
+        "fallbacks",
+        "fallback %",
+    ]);
+    for scan_len in [10u64, 100, 1_000, 10_000] {
+        for memory in scale.memory_sweep_from(2, 2) {
+            let threads = scale.max_threads.min(8);
+            let env = make_env(&scale, true);
+            let store = make_store(SystemKind::FloDb, memory, env);
+            flodb_bench::init_store(&store, InitKind::RandomHalf, &scale);
+            let mut cfg = WorkloadConfig::new(threads, OperationMix::scan_write(0.05), keys);
+            cfg.duration = scale.cell_time;
+            cfg.scan_len = scan_len;
+            cfg.value_bytes = scale.value_bytes;
+            let _ = run_workload(&store, &cfg);
+            let stats = store.stats();
+            let pct = if stats.scans == 0 {
+                0.0
+            } else {
+                100.0 * stats.fallback_scans as f64 / stats.scans as f64
+            };
+            table.row(vec![
+                scan_len.to_string(),
+                human_bytes(memory),
+                threads.to_string(),
+                stats.scans.to_string(),
+                stats.scan_restarts.to_string(),
+                stats.fallback_scans.to_string(),
+                format!("{pct:.2}%"),
+            ]);
+        }
+    }
+    table.print("Fallback-scan rate (paper: <1% across all configurations)");
+}

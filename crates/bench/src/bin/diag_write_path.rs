@@ -1,0 +1,75 @@
+//! Diagnostic: sustained write-only throughput accounting for FloDB and
+//! one baseline — where does the persistence-bound pipeline lose time?
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use flodb_baselines::{BaselineOptions, HyperLevelDbStore};
+use flodb_bench::{make_env, Scale};
+use flodb_core::{FloDb, FloDbOptions, KvStore};
+use flodb_workloads::driver::{run_workload, WorkloadConfig};
+use flodb_workloads::keys::KeyDistribution;
+use flodb_workloads::mix::OperationMix;
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
+    let secs: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+
+    // --- FloDB -------------------------------------------------------------
+    let env = make_env(&scale, true);
+    let mut opts = FloDbOptions::default_in_memory();
+    opts.memory_bytes = scale.memory_bytes;
+    opts.env = Arc::clone(&env);
+    let db = Arc::new(FloDb::open(opts).unwrap());
+    let store: Arc<dyn KvStore> = Arc::clone(&db) as Arc<dyn KvStore>;
+
+    let mut cfg = WorkloadConfig::new(
+        threads,
+        OperationMix::write_only(),
+        KeyDistribution::Uniform { n: scale.dataset },
+    );
+    cfg.duration = Duration::from_secs(secs);
+    cfg.value_bytes = scale.value_bytes;
+    let t0 = Instant::now();
+    let report = run_workload(&store, &cfg);
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let s = db.flodb_stats();
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    let disk = db.disk_stats();
+    println!("=== FloDB ({threads} threads, {secs}s, mem {} MB, disk {} MB/s) ===",
+        scale.memory_bytes / 1024 / 1024, scale.disk_bytes_per_sec / 1024 / 1024);
+    println!("ops/s             {:>12.0}", report.total_ops as f64 / elapsed);
+    println!("puts+deletes      {:>12}", load(&s.puts) + load(&s.deletes));
+    println!("fast path         {:>12} ({:.1}%)", load(&s.membuffer_writes),
+        100.0 * load(&s.membuffer_writes) as f64 / (load(&s.puts) + load(&s.deletes)) as f64);
+    println!("memtable writes   {:>12}", load(&s.memtable_writes));
+    println!("write stalls      {:>12}", load(&s.write_stalls));
+    println!("drained entries   {:>12}", load(&s.drained_entries));
+    println!("drain batches     {:>12}", load(&s.drain_batches));
+    println!("persists          {:>12}", load(&s.persists));
+    println!("env bytes written {:>12} ({:.1} MB/s)", disk.env_bytes_written,
+        disk.env_bytes_written as f64 / elapsed / 1024.0 / 1024.0);
+    println!("bytes per op      {:>12.0}", disk.env_bytes_written as f64 / report.total_ops as f64);
+
+    // --- HyperLevelDB (best-performing baseline) ---------------------------
+    let env = make_env(&scale, true);
+    let mut opts = BaselineOptions::default_in_memory();
+    opts.memory_bytes = scale.memory_bytes;
+    opts.env = Arc::clone(&env);
+    let store: Arc<dyn KvStore> = Arc::new(HyperLevelDbStore::open(opts));
+    let t0 = Instant::now();
+    let report = run_workload(&store, &cfg);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = store.stats();
+    println!("\n=== HyperLevelDB ({threads} threads, {secs}s) ===");
+    println!("ops/s             {:>12.0}", report.total_ops as f64 / elapsed);
+    println!("persists          {:>12}", stats.persists);
+}

@@ -1,0 +1,122 @@
+//! Diagnostic repro for scan snapshot tearing (not a benchmark).
+//!
+//! One writer sweeps keys 0..N in rounds; scanners assert each snapshot is
+//! a prefix cut of the writer's history. Command-line flags isolate
+//! subsystems: `--no-membuffer`, `--no-persist`, `--drains N`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use flodb_core::{FloDb, FloDbOptions, KvStore};
+
+const KEYS: u64 = 64;
+
+fn key(n: u64) -> [u8; 8] {
+    n.to_be_bytes()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = FloDbOptions::small_for_tests();
+    if args.iter().any(|a| a == "--no-membuffer") {
+        opts.membuffer_enabled = false;
+        opts.drain_threads = 0;
+    }
+    if args.iter().any(|a| a == "--no-persist") {
+        opts.persist_enabled = false;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--drains") {
+        opts.drain_threads = args[i + 1].parse().unwrap();
+    }
+    if args.iter().any(|a| a == "--no-piggyback") {
+        opts.piggyback_chain_limit = 0;
+    }
+    let secs: u64 = args
+        .iter()
+        .position(|a| a == "--secs")
+        .map(|i| args[i + 1].parse().unwrap())
+        .unwrap_or(10);
+
+    let db = Arc::new(FloDb::open(opts).unwrap());
+    for i in 0..KEYS {
+        db.put(&key(i), &0u64.to_le_bytes());
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut round = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                for i in 0..KEYS {
+                    db.put(&key(i), &round.to_le_bytes());
+                }
+                round += 1;
+            }
+        })
+    };
+
+    let mut scanners = Vec::new();
+    let torn = Arc::new(AtomicBool::new(false));
+    for s in 0..3 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        let torn = Arc::clone(&torn);
+        scanners.push(std::thread::spawn(move || {
+            let mut checked = 0u64;
+            while !stop.load(Ordering::Relaxed) && !torn.load(Ordering::Relaxed) {
+                let out = db.scan(&key(0), &key(KEYS - 1));
+                let rounds: Vec<u64> = out
+                    .iter()
+                    .map(|(_, v)| u64::from_le_bytes(v.as_slice().try_into().unwrap()))
+                    .collect();
+                checked += 1;
+                if rounds.len() != KEYS as usize {
+                    println!("scanner {s}: MISSING KEYS: {} of {KEYS}", rounds.len());
+                    torn.store(true, Ordering::Relaxed);
+                    break;
+                }
+                let max = *rounds.iter().max().unwrap();
+                let min = *rounds.iter().min().unwrap();
+                let mut bad = max - min > 1;
+                let mut dropped = false;
+                for &r in &rounds {
+                    if dropped && r != min {
+                        bad = true;
+                    } else if r == min && max != min {
+                        dropped = true;
+                    }
+                }
+                if bad {
+                    println!("scanner {s}: TORN after {checked} scans: {rounds:?}");
+                    let st = db.stats();
+                    println!(
+                        "  stats: scans={} restarts={} fallbacks={} fast={} slow-ish={}",
+                        st.scans,
+                        st.scan_restarts,
+                        st.fallback_scans,
+                        st.fast_level_writes,
+                        st.puts - st.fast_level_writes,
+                    );
+                    torn.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            checked
+        }));
+    }
+
+    let start = std::time::Instant::now();
+    while start.elapsed() < Duration::from_secs(secs) && !torn.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    let total: u64 = scanners.into_iter().map(|s| s.join().unwrap()).sum();
+    if torn.load(Ordering::Relaxed) {
+        println!("RESULT: TORN (after {total} scans)");
+        std::process::exit(1);
+    }
+    println!("RESULT: CLEAN ({total} scans)");
+}

@@ -1,0 +1,125 @@
+//! Shared experiment runners used by the figure benches.
+
+use std::sync::Arc;
+
+use flodb_core::KvStore;
+use flodb_workloads::{
+    driver::{run_workload, RunReport, WorkloadConfig},
+    init,
+    keys::KeyDistribution,
+    mix::OperationMix,
+};
+
+use crate::scale::Scale;
+use crate::systems::{make_env, make_store, SystemKind};
+use crate::table::{mops, Table};
+
+/// How the database is initialized before measuring (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitKind {
+    /// Fresh, empty store (write-only experiments).
+    Fresh,
+    /// Half the dataset inserted in random order (mixed workloads).
+    RandomHalf,
+    /// Half the dataset inserted in sorted order (read-only workloads).
+    SequentialHalf,
+}
+
+/// Initializes `store` according to `kind` and waits for background work.
+pub fn init_store(store: &Arc<dyn KvStore>, kind: InitKind, scale: &Scale) {
+    match kind {
+        InitKind::Fresh => {}
+        InitKind::RandomHalf => {
+            init::fill_random(store.as_ref(), scale.dataset, scale.value_bytes);
+            store.quiesce();
+        }
+        InitKind::SequentialHalf => {
+            init::fill_sequential(store.as_ref(), scale.dataset, scale.value_bytes);
+            store.quiesce();
+        }
+    }
+}
+
+/// Runs one measured cell.
+pub fn run_cell(
+    store: &Arc<dyn KvStore>,
+    threads: usize,
+    mix: OperationMix,
+    keys: KeyDistribution,
+    scale: &Scale,
+    single_writer: bool,
+) -> RunReport {
+    let mut cfg = WorkloadConfig::new(threads, mix, keys);
+    cfg.duration = scale.cell_time;
+    cfg.value_bytes = scale.value_bytes;
+    cfg.single_writer = single_writer;
+    run_workload(store, &cfg)
+}
+
+/// The standard figure shape: thread sweep (rows) × systems (columns),
+/// reporting Mops/s. `metric_keys` switches the metric to keys/s
+/// (Figure 13).
+#[allow(clippy::too_many_arguments)]
+pub fn thread_sweep_figure(
+    title: &str,
+    systems: &[SystemKind],
+    mix: OperationMix,
+    init_kind: InitKind,
+    throttled: bool,
+    single_writer: bool,
+    metric_keys: bool,
+    scale: &Scale,
+) -> Table {
+    let mut header = vec!["threads".to_string()];
+    header.extend(systems.iter().map(|s| s.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    let keys = KeyDistribution::Uniform { n: scale.dataset };
+    for threads in scale.thread_sweep() {
+        let mut row = vec![threads.to_string()];
+        for kind in systems {
+            let env = make_env(scale, throttled);
+            let store = make_store(*kind, scale.memory_bytes, env);
+            init_store(&store, init_kind, scale);
+            let report = run_cell(&store, threads, mix, keys, scale, single_writer);
+            let metric = if metric_keys {
+                report.keys_per_sec()
+            } else {
+                report.ops_per_sec()
+            };
+            row.push(mops(metric));
+        }
+        table.row(row);
+    }
+    table.print(title);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_runs_against_flodb() {
+        let scale = Scale {
+            dataset: 1000,
+            cell_time: std::time::Duration::from_millis(50),
+            max_threads: 2,
+            memory_bytes: 1024 * 1024,
+            value_bytes: 64,
+            disk_bytes_per_sec: 64 * 1024 * 1024,
+        };
+        let store = make_store(SystemKind::FloDb, scale.memory_bytes, make_env(&scale, false));
+        init_store(&store, InitKind::RandomHalf, &scale);
+        let report = run_cell(
+            &store,
+            2,
+            OperationMix::mixed_balanced(),
+            KeyDistribution::Uniform { n: 1000 },
+            &scale,
+            false,
+        );
+        assert!(report.total_ops > 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Store factory: builds any of the five systems uniformly.
+
+use std::sync::Arc;
+
+use flodb_baselines::{
+    BaselineOptions, HyperLevelDbStore, LevelDbStore, MemtableKind, RocksDbClsmStore,
+    RocksDbStore,
+};
+use flodb_core::{FloDb, FloDbOptions, KvStore};
+use flodb_storage::{DiskOptions, Env, MemEnv, ThrottleConfig};
+
+use crate::scale::Scale;
+
+/// The five evaluated systems (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// The paper's contribution.
+    FloDb,
+    /// LevelDB baseline.
+    LevelDb,
+    /// HyperLevelDB baseline.
+    HyperLevelDb,
+    /// RocksDB baseline (skiplist memtable).
+    RocksDb,
+    /// RocksDB with cLSM features enabled.
+    RocksDbClsm,
+}
+
+/// Every system, in the paper's legend order.
+pub const ALL_SYSTEMS: [SystemKind; 5] = [
+    SystemKind::FloDb,
+    SystemKind::RocksDb,
+    SystemKind::RocksDbClsm,
+    SystemKind::HyperLevelDb,
+    SystemKind::LevelDb,
+];
+
+impl SystemKind {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::FloDb => "FloDB",
+            Self::LevelDb => "LevelDB",
+            Self::HyperLevelDb => "HyperLevelDB",
+            Self::RocksDb => "RocksDB",
+            Self::RocksDbClsm => "RocksDB/cLSM",
+        }
+    }
+}
+
+/// Builds a fresh SimDisk env; `throttled` applies the scale's write
+/// bandwidth (the paper's persistence bottleneck).
+pub fn make_env(scale: &Scale, throttled: bool) -> Arc<dyn Env> {
+    let throttle = throttled.then(|| ThrottleConfig {
+        write_bytes_per_sec: scale.disk_bytes_per_sec,
+        burst_bytes: scale.disk_bytes_per_sec / 8,
+    });
+    Arc::new(MemEnv::new(throttle))
+}
+
+fn disk_options() -> DiskOptions {
+    let mut disk = DiskOptions::default();
+    disk.compaction.base_level_bytes = 4 * 1024 * 1024;
+    disk.compaction.target_file_bytes = 1024 * 1024;
+    disk
+}
+
+/// Builds a store of `kind` with the given memory-component budget.
+pub fn make_store(
+    kind: SystemKind,
+    memory_bytes: usize,
+    env: Arc<dyn Env>,
+) -> Arc<dyn KvStore> {
+    match kind {
+        SystemKind::FloDb => {
+            let mut opts = FloDbOptions::default_in_memory();
+            opts.memory_bytes = memory_bytes;
+            opts.env = env;
+            opts.disk = disk_options();
+            Arc::new(FloDb::open(opts).expect("flodb open"))
+        }
+        SystemKind::LevelDb => Arc::new(LevelDbStore::open(baseline_opts(memory_bytes, env))),
+        SystemKind::HyperLevelDb => {
+            Arc::new(HyperLevelDbStore::open(baseline_opts(memory_bytes, env)))
+        }
+        SystemKind::RocksDb => Arc::new(RocksDbStore::open(baseline_opts(memory_bytes, env))),
+        SystemKind::RocksDbClsm => {
+            Arc::new(RocksDbClsmStore::open(baseline_opts(memory_bytes, env)))
+        }
+    }
+}
+
+/// Builds a RocksDB store with an explicit memtable kind (Figures 3-4).
+pub fn make_rocksdb_with_memtable(
+    memtable: MemtableKind,
+    memory_bytes: usize,
+    env: Arc<dyn Env>,
+) -> Arc<dyn KvStore> {
+    let mut opts = baseline_opts(memory_bytes, env);
+    opts.memtable = memtable;
+    Arc::new(RocksDbStore::open(opts))
+}
+
+fn baseline_opts(memory_bytes: usize, env: Arc<dyn Env>) -> BaselineOptions {
+    let mut opts = BaselineOptions::default_in_memory();
+    opts.memory_bytes = memory_bytes;
+    opts.env = env;
+    opts.disk = disk_options();
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_systems_build_and_serve() {
+        let scale = Scale::from_env();
+        for kind in ALL_SYSTEMS {
+            let store = make_store(kind, 1024 * 1024, make_env(&scale, false));
+            store.put(b"k", b"v");
+            assert_eq!(store.get(b"k"), Some(b"v".to_vec()), "{}", kind.name());
+            assert_eq!(store.name(), kind.name());
+        }
+    }
+}

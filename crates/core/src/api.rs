@@ -1,0 +1,93 @@
+//! The store-facing API shared by FloDB and every baseline.
+
+/// One entry returned by a scan.
+pub type ScanEntry = (Vec<u8>, Vec<u8>);
+
+/// Aggregate operation counters common to all stores, used by the
+/// benchmark harness.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Completed put operations.
+    pub puts: u64,
+    /// Completed delete operations.
+    pub deletes: u64,
+    /// Completed get operations.
+    pub gets: u64,
+    /// Completed scan operations.
+    pub scans: u64,
+    /// Keys returned across all scans.
+    pub scanned_keys: u64,
+    /// Memtable flushes to disk.
+    pub persists: u64,
+    /// Writes absorbed directly by the fast memory level (FloDB's
+    /// Membuffer; zero for single-level baselines).
+    pub fast_level_writes: u64,
+    /// Scan restarts caused by concurrent updates (FloDB only).
+    pub scan_restarts: u64,
+    /// Fallback (writer-blocking) scans (FloDB only).
+    pub fallback_scans: u64,
+}
+
+/// The uniform key-value store interface (§2.1 of the paper).
+///
+/// All five systems in this repository — FloDB and the LevelDB,
+/// HyperLevelDB, RocksDB and RocksDB/cLSM baselines — implement this trait
+/// so workloads and benchmarks treat them interchangeably.
+pub trait KvStore: Send + Sync {
+    /// Inserts or overwrites `key`.
+    fn put(&self, key: &[u8], value: &[u8]);
+
+    /// Logically removes `key` (tombstone insert).
+    fn delete(&self, key: &[u8]);
+
+    /// Returns the current value of `key`, or `None` if absent or deleted.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Returns all live entries with `low <= key <= high`, in key order.
+    ///
+    /// Scans are serializable: the result is a consistent snapshot of the
+    /// store at some point between invocation and return (point-in-time
+    /// semantics, §2.1).
+    fn scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry>;
+
+    /// Human-readable system name (for benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Operation counters; stores without instrumentation return defaults.
+    fn stats(&self) -> StoreStats {
+        StoreStats::default()
+    }
+
+    /// Blocks until queued background work (drains, flushes, compactions)
+    /// has settled; used by tests and between benchmark phases.
+    fn quiesce(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Null;
+
+    impl KvStore for Null {
+        fn put(&self, _: &[u8], _: &[u8]) {}
+        fn delete(&self, _: &[u8]) {}
+        fn get(&self, _: &[u8]) -> Option<Vec<u8>> {
+            None
+        }
+        fn scan(&self, _: &[u8], _: &[u8]) -> Vec<ScanEntry> {
+            Vec::new()
+        }
+        fn name(&self) -> &'static str {
+            "null"
+        }
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let s = Null;
+        assert_eq!(s.stats(), StoreStats::default());
+        s.quiesce();
+        assert_eq!(s.name(), "null");
+    }
+}

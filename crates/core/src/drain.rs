@@ -1,0 +1,247 @@
+//! The drain pipeline: moving entries Membuffer → Memtable.
+//!
+//! Draining (Figure 6) claims batches of marked entries from Membuffer
+//! buckets, stamps them with fresh sequence numbers, inserts them into the
+//! skiplist — with one multi-insert per batch, exploiting the partition
+//! neighborhood (§4.3) — and finally removes them from the Membuffer,
+//! skipping any entry that was concurrently updated in place.
+
+use flodb_membuffer::{DrainedEntry, MemBuffer, RemoveToken};
+use flodb_memtable::{BatchEntry, SkipList};
+use flodb_sync::SequenceGenerator;
+
+use crate::view::ImmMembuffer;
+
+/// How a batch of drained entries is applied to the skiplist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainStyle {
+    /// One multi-insert per batch (the paper's design).
+    MultiInsert,
+    /// One plain insert per entry (the Figure 17 ablation).
+    SimpleInsert,
+}
+
+/// Applies `drained` to `mtb` with fresh sequence numbers, then removes
+/// the moved entries from `mbf`. Returns the number of entries moved.
+pub fn apply_batch(
+    mbf: &MemBuffer,
+    mtb: &SkipList,
+    seq: &SequenceGenerator,
+    drained: Vec<DrainedEntry>,
+    style: DrainStyle,
+) -> usize {
+    if drained.is_empty() {
+        return 0;
+    }
+    let n = drained.len();
+    let first_seq = seq.next_block(n as u64);
+    let mut tokens: Vec<RemoveToken> = Vec::with_capacity(n);
+    match style {
+        DrainStyle::MultiInsert => {
+            let mut batch = Vec::with_capacity(n);
+            for (i, d) in drained.into_iter().enumerate() {
+                tokens.push(d.token);
+                batch.push(BatchEntry {
+                    key: d.key,
+                    value: d.value,
+                    seq: first_seq + i as u64,
+                });
+            }
+            mtb.multi_insert(batch);
+        }
+        DrainStyle::SimpleInsert => {
+            for (i, d) in drained.into_iter().enumerate() {
+                mtb.insert(&d.key, d.value.as_deref(), first_seq + i as u64);
+                tokens.push(d.token);
+            }
+        }
+    }
+    mbf.remove_drained(&tokens);
+    n
+}
+
+/// Drains up to `max_entries` from `mbf`, sweeping the bucket range
+/// `[range_start, range_start + range_len)` from relative position
+/// `cursor` (wrapping within the range). Returns `(entries_moved,
+/// next_cursor)`.
+///
+/// Sweeping buckets in order keeps each batch inside one partition most of
+/// the time, which is what makes multi-insert path reuse effective.
+///
+/// Each background drainer must own a *disjoint* bucket range: two
+/// drainers sharing a bucket could both have a claim of the same key in
+/// flight (the first claims, a writer updates in place, the second claims
+/// the fresh entry), and their Memtable inserts could then land in an
+/// order that leaves the stale value stamped with the newer sequence
+/// number — a lost update.
+pub fn drain_sweep(
+    mbf: &MemBuffer,
+    mtb: &SkipList,
+    seq: &SequenceGenerator,
+    range_start: usize,
+    range_len: usize,
+    cursor: usize,
+    max_entries: usize,
+    style: DrainStyle,
+) -> (usize, usize) {
+    debug_assert!(range_start + range_len <= mbf.total_buckets());
+    let len = range_len.max(1);
+    let mut cursor = cursor % len;
+    let mut moved = 0;
+    let mut scanned = 0;
+    let mut pending: Vec<DrainedEntry> = Vec::new();
+    while scanned < len && moved + pending.len() < max_entries {
+        pending.extend(mbf.claim_bucket(range_start + cursor));
+        cursor = (cursor + 1) % len;
+        scanned += 1;
+        if pending.len() >= max_entries.min(64) {
+            moved += apply_batch(mbf, mtb, seq, std::mem::take(&mut pending), style);
+        }
+    }
+    moved += apply_batch(mbf, mtb, seq, pending, style);
+    (moved, cursor)
+}
+
+/// Participates in the cooperative full drain of a frozen Membuffer
+/// (master scans and helping writers, Algorithm 2 lines 12-16).
+///
+/// Claims chunks from the shared tracker until none remain; returns the
+/// number of entries this participant moved.
+pub fn help_drain_imm(
+    imm: &ImmMembuffer,
+    mtb: &SkipList,
+    seq: &SequenceGenerator,
+    style: DrainStyle,
+) -> usize {
+    let mut moved = 0;
+    while let Some(chunk) = imm.tracker.claim() {
+        let drained = imm.buffer.claim_bucket(chunk);
+        moved += apply_batch(&imm.buffer, mtb, seq, drained, style);
+        imm.tracker.finish();
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use flodb_membuffer::MemBufferConfig;
+
+    use super::*;
+
+    fn small_mbf() -> MemBuffer {
+        MemBuffer::new(MemBufferConfig {
+            partition_bits: 2,
+            buckets_per_partition: 32,
+        })
+    }
+
+    #[test]
+    fn sweep_moves_everything() {
+        let mbf = small_mbf();
+        let mtb = SkipList::new();
+        let seq = SequenceGenerator::new();
+        for i in 0..100u64 {
+            mbf.add(&i.to_be_bytes(), Some(&i.to_le_bytes()));
+        }
+        let total = mbf.total_buckets();
+        let (moved, _) =
+            drain_sweep(&mbf, &mtb, &seq, 0, total, 0, usize::MAX, DrainStyle::MultiInsert);
+        assert_eq!(moved, 100);
+        assert_eq!(mbf.len(), 0);
+        assert_eq!(mtb.len(), 100);
+        // Sequence numbers were assigned.
+        assert!(mtb.get(&5u64.to_be_bytes()).unwrap().seq >= 1);
+    }
+
+    #[test]
+    fn sweep_respects_entry_budget() {
+        let mbf = small_mbf();
+        let mtb = SkipList::new();
+        let seq = SequenceGenerator::new();
+        for i in 0..100u64 {
+            mbf.add(&i.to_be_bytes(), Some(b"v"));
+        }
+        let total = mbf.total_buckets();
+        let (moved, cursor) =
+            drain_sweep(&mbf, &mtb, &seq, 0, total, 0, 10, DrainStyle::MultiInsert);
+        assert!(moved >= 10, "should move at least the budget");
+        assert!(moved < 100, "budget must bound the sweep");
+        assert_eq!(mbf.len(), 100 - moved);
+        // Resuming from the cursor eventually drains the rest.
+        let (rest, _) =
+            drain_sweep(&mbf, &mtb, &seq, 0, total, cursor, usize::MAX, DrainStyle::MultiInsert);
+        assert_eq!(moved + rest, 100);
+    }
+
+    #[test]
+    fn simple_and_multi_styles_agree() {
+        for style in [DrainStyle::MultiInsert, DrainStyle::SimpleInsert] {
+            let mbf = small_mbf();
+            let mtb = SkipList::new();
+            let seq = SequenceGenerator::new();
+            for i in 0..50u64 {
+                mbf.add(&i.to_be_bytes(), Some(&i.to_le_bytes()));
+            }
+            let total = mbf.total_buckets();
+            drain_sweep(&mbf, &mtb, &seq, 0, total, 0, usize::MAX, style);
+            assert_eq!(mtb.len(), 50, "{style:?}");
+            for i in 0..50u64 {
+                let v = mtb.get(&i.to_be_bytes()).unwrap();
+                assert_eq!(v.value.as_deref(), Some(i.to_le_bytes().as_slice()));
+            }
+        }
+    }
+
+    #[test]
+    fn tombstones_drain_as_tombstones() {
+        let mbf = small_mbf();
+        let mtb = SkipList::new();
+        let seq = SequenceGenerator::new();
+        mbf.add(b"gone", None);
+        drain_sweep(
+            &mbf,
+            &mtb,
+            &seq,
+            0,
+            mbf.total_buckets(),
+            0,
+            usize::MAX,
+            DrainStyle::MultiInsert,
+        );
+        assert!(mtb.get(b"gone").unwrap().is_tombstone());
+    }
+
+    #[test]
+    fn cooperative_imm_drain_completes_with_helpers() {
+        let mbf = Arc::new(small_mbf());
+        // Small u64 keys all share their top bits, so they all land in
+        // partition 0 (the paper's skew vulnerability, §4.3): only that
+        // partition's capacity is usable. Count what was accepted.
+        let mut accepted = 0;
+        for i in 0..200u64 {
+            if mbf.add(&i.to_be_bytes(), Some(b"v")) == flodb_membuffer::AddResult::Added {
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 0);
+        let imm = Arc::new(ImmMembuffer::new(Arc::clone(&mbf)));
+        let mtb = Arc::new(SkipList::new());
+        let seq = Arc::new(SequenceGenerator::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let imm = Arc::clone(&imm);
+            let mtb = Arc::clone(&mtb);
+            let seq = Arc::clone(&seq);
+            handles.push(std::thread::spawn(move || {
+                help_drain_imm(&imm, &mtb, &seq, DrainStyle::MultiInsert)
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, accepted);
+        assert!(imm.tracker.is_complete());
+        assert_eq!(mtb.len(), accepted);
+        assert_eq!(mbf.len(), 0);
+    }
+}

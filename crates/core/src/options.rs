@@ -1,0 +1,204 @@
+//! Configuration for a FloDB instance.
+
+use std::sync::Arc;
+
+use flodb_storage::{DiskOptions, Env, MemEnv, ThrottleConfig};
+
+/// Write-ahead-log durability mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalMode {
+    /// No commit log; a crash loses the memory component (the default for
+    /// benchmarks, matching the paper's setup).
+    Disabled,
+    /// Append every update to the log before acknowledging.
+    Enabled {
+        /// Fsync each batch (durability over latency).
+        sync: bool,
+    },
+}
+
+/// Options controlling the FloDB memory component, background threads and
+/// disk substrate.
+#[derive(Clone)]
+pub struct FloDbOptions {
+    /// Total memory-component byte budget (Membuffer + Memtable). The
+    /// paper's default is 128 MB (§5.1).
+    pub memory_bytes: usize,
+    /// Fraction of `memory_bytes` given to the Membuffer; the paper uses
+    /// 1/4 (§5.1).
+    pub membuffer_fraction: f64,
+    /// Number of most-significant key bits selecting a Membuffer partition
+    /// (`l`, §4.3).
+    pub partition_bits: u32,
+    /// Expected average entry footprint, used to size Membuffer buckets
+    /// (paper workloads: 8 B keys + 256 B values).
+    pub avg_entry_bytes: usize,
+    /// Number of background draining threads (§4.2; at least 1 unless the
+    /// Membuffer is disabled).
+    pub drain_threads: usize,
+    /// Entries a drainer accumulates before one multi-insert.
+    pub drain_batch_entries: usize,
+    /// Use skiplist multi-insert for draining; `false` falls back to
+    /// simple inserts (the Figure 17 ablation).
+    pub use_multi_insert: bool,
+    /// Enable the Membuffer level; `false` degenerates to the classic
+    /// single-level design ("No HT" in Figure 17).
+    pub membuffer_enabled: bool,
+    /// Scan restarts tolerated before the writer-blocking fallback
+    /// (RESTART_THRESHOLD in Algorithm 3).
+    pub scan_restart_threshold: u32,
+    /// Maximum piggybacking-chain length before a scan must establish a
+    /// fresh sequence number (§4.4).
+    pub piggyback_chain_limit: u32,
+    /// Consecutive master scans allowed to reuse the previous master's
+    /// sequence number without re-draining the Membuffer (§4.4's
+    /// low-concurrency optimization). `0` disables reuse: every master
+    /// drains and is linearizable with respect to updates.
+    pub master_reuse_limit: u32,
+    /// Force every scan to establish a fresh sequence number (linearizable
+    /// scans at the cost of a full drain per scan, §4.4 "Correctness").
+    pub linearizable_scans: bool,
+    /// Persist immutable Memtables to disk; `false` drops them instead,
+    /// isolating memory-component throughput (the Figure 17 mode).
+    pub persist_enabled: bool,
+    /// Memtable byte size that triggers a persist.
+    pub memtable_flush_trigger_fraction: f64,
+    /// Commit-log mode.
+    pub wal: WalMode,
+    /// Disk component tuning.
+    pub disk: DiskOptions,
+    /// Storage environment (simulated or real disk).
+    pub env: Arc<dyn Env>,
+    /// Run compactions on the persist thread after each flush.
+    pub compact_after_flush: bool,
+}
+
+impl std::fmt::Debug for FloDbOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FloDbOptions")
+            .field("memory_bytes", &self.memory_bytes)
+            .field("membuffer_fraction", &self.membuffer_fraction)
+            .field("partition_bits", &self.partition_bits)
+            .field("drain_threads", &self.drain_threads)
+            .field("use_multi_insert", &self.use_multi_insert)
+            .field("membuffer_enabled", &self.membuffer_enabled)
+            .field("persist_enabled", &self.persist_enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FloDbOptions {
+    /// Paper-shaped defaults on an unthrottled in-memory disk: 128 MB
+    /// memory component split 1/4 Membuffer, 3/4 Memtable.
+    pub fn default_in_memory() -> Self {
+        Self {
+            memory_bytes: 128 * 1024 * 1024,
+            membuffer_fraction: 0.25,
+            partition_bits: 4,
+            avg_entry_bytes: 280,
+            drain_threads: 1,
+            drain_batch_entries: 256,
+            use_multi_insert: true,
+            membuffer_enabled: true,
+            scan_restart_threshold: 8,
+            piggyback_chain_limit: 8,
+            master_reuse_limit: 0,
+            linearizable_scans: false,
+            persist_enabled: true,
+            memtable_flush_trigger_fraction: 1.0,
+            wal: WalMode::Disabled,
+            disk: DiskOptions::default(),
+            env: Arc::new(MemEnv::new(None)),
+            compact_after_flush: true,
+        }
+    }
+
+    /// Same shape throttled like the paper's SSD (Figure 9's persistence
+    /// bottleneck).
+    pub fn paper_ssd() -> Self {
+        Self {
+            env: Arc::new(MemEnv::new(Some(ThrottleConfig::paper_ssd()))),
+            ..Self::default_in_memory()
+        }
+    }
+
+    /// A tiny configuration for unit and integration tests: small memory
+    /// component, aggressive flushing, fast compaction.
+    pub fn small_for_tests() -> Self {
+        let mut disk = DiskOptions::default();
+        disk.compaction.l0_trigger = 2;
+        disk.compaction.base_level_bytes = 64 * 1024;
+        disk.compaction.target_file_bytes = 32 * 1024;
+        Self {
+            memory_bytes: 256 * 1024,
+            avg_entry_bytes: 64,
+            disk,
+            ..Self::default_in_memory()
+        }
+    }
+
+    /// Byte budget of the Membuffer level.
+    pub fn membuffer_bytes(&self) -> usize {
+        (self.memory_bytes as f64 * self.membuffer_fraction) as usize
+    }
+
+    /// Byte budget of the Memtable level.
+    pub fn memtable_bytes(&self) -> usize {
+        self.memory_bytes - self.membuffer_bytes()
+    }
+
+    /// Memtable size that triggers persisting.
+    pub fn memtable_flush_trigger(&self) -> usize {
+        (self.memtable_bytes() as f64 * self.memtable_flush_trigger_fraction) as usize
+    }
+
+    /// Validates option consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.membuffer_fraction) {
+            return Err("membuffer_fraction must be in [0, 1)".into());
+        }
+        if self.partition_bits > 16 {
+            return Err("partition_bits must be <= 16".into());
+        }
+        if self.membuffer_enabled && self.drain_threads == 0 {
+            return Err("drain_threads must be >= 1 when the Membuffer is enabled".into());
+        }
+        if self.memory_bytes < 64 * 1024 {
+            return Err("memory_bytes must be at least 64 KiB".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_split_is_quarter() {
+        let o = FloDbOptions::default_in_memory();
+        assert_eq!(o.membuffer_bytes(), 32 * 1024 * 1024);
+        assert_eq!(o.memtable_bytes(), 96 * 1024 * 1024);
+        o.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut o = FloDbOptions::small_for_tests();
+        o.membuffer_fraction = 1.5;
+        assert!(o.validate().is_err());
+
+        let mut o = FloDbOptions::small_for_tests();
+        o.drain_threads = 0;
+        assert!(o.validate().is_err());
+
+        let mut o = FloDbOptions::small_for_tests();
+        o.membuffer_enabled = false;
+        o.drain_threads = 0;
+        assert!(o.validate().is_ok(), "no drainers needed without Membuffer");
+
+        let mut o = FloDbOptions::small_for_tests();
+        o.memory_bytes = 1;
+        assert!(o.validate().is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! Multithreaded scan coordination: master and piggybacking scans.
+//!
+//! "A master scan is a scan that starts when no other scan is concurrently
+//! running. A piggybacking scan is a scan that starts while some other scan
+//! is concurrently running. At any given time, only one master scan may be
+//! running" (§4.4). The master drains the Membuffer and publishes a scan
+//! sequence number; piggybacking scans reuse it, spreading the drain cost
+//! over many scans. Chains of piggybacking scans are bounded so the reused
+//! sequence number does not grow stale without bound.
+
+use parking_lot::{Condvar, Mutex};
+
+/// The role a scan was admitted under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanRole {
+    /// Must drain the Membuffer and establish a sequence number.
+    Master,
+    /// A master that reuses the previous master's still-fresh sequence
+    /// number instead of draining again (§4.4's low-concurrency
+    /// optimization: "avoid fully draining the Membuffer too often").
+    MasterReuse(u64),
+    /// Reuses the published sequence number of the running chain.
+    Piggyback(u64),
+}
+
+#[derive(Debug, Default)]
+struct ScanState {
+    master_active: bool,
+    /// Sequence number of the live chain, if one is published.
+    published_seq: Option<u64>,
+    /// Scans admitted into the current chain.
+    chain_len: u32,
+    /// Scans currently executing (any role).
+    active: u32,
+    /// Sequence number established by the most recent master, surviving
+    /// the chain's death (for master-reuse).
+    last_master_seq: Option<u64>,
+    /// Masters that reused `last_master_seq` since it was established.
+    reuse_count: u32,
+}
+
+/// Admission control for scans.
+#[derive(Debug, Default)]
+pub struct ScanCoordinator {
+    state: Mutex<ScanState>,
+    cv: Condvar,
+}
+
+impl ScanCoordinator {
+    /// Creates an idle coordinator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits a scan.
+    ///
+    /// With `linearizable == true` every scan becomes a fresh master
+    /// (waiting for the running one to finish), which makes all scans
+    /// linearizable with respect to updates at the cost of a drain per
+    /// scan (§4.4). `master_reuse_limit > 0` lets up to that many
+    /// consecutive masters reuse the previous master's sequence number
+    /// instead of re-draining (the §4.4 low-concurrency optimization;
+    /// such scans are serializable but not linearizable).
+    pub fn enter(&self, chain_limit: u32, master_reuse_limit: u32, linearizable: bool) -> ScanRole {
+        let mut st = self.state.lock();
+        loop {
+            if !linearizable {
+                if let Some(seq) = st.published_seq {
+                    if st.active > 0 && st.chain_len < chain_limit {
+                        st.chain_len += 1;
+                        st.active += 1;
+                        return ScanRole::Piggyback(seq);
+                    }
+                }
+            }
+            if !st.master_active {
+                st.master_active = true;
+                st.chain_len = 0;
+                st.active += 1;
+                if !linearizable {
+                    if let Some(seq) = st.last_master_seq {
+                        if st.reuse_count < master_reuse_limit {
+                            st.reuse_count += 1;
+                            st.published_seq = Some(seq);
+                            return ScanRole::MasterReuse(seq);
+                        }
+                    }
+                }
+                st.published_seq = None;
+                return ScanRole::Master;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Publishes the master's established sequence number, releasing
+    /// waiting piggybackers.
+    pub fn publish(&self, seq: u64) {
+        let mut st = self.state.lock();
+        debug_assert!(st.master_active);
+        st.published_seq = Some(seq);
+        st.last_master_seq = Some(seq);
+        st.reuse_count = 0;
+        self.cv.notify_all();
+    }
+
+    /// Records a scan finishing under `role`.
+    pub fn exit(&self, role: ScanRole) {
+        let mut st = self.state.lock();
+        st.active -= 1;
+        if matches!(role, ScanRole::Master | ScanRole::MasterReuse(_)) {
+            st.master_active = false;
+        }
+        if st.active == 0 {
+            // The chain dies with its last member: a later scan must
+            // re-establish freshness (master-reuse may still revive
+            // `last_master_seq`, within its own limit).
+            st.published_seq = None;
+            st.chain_len = 0;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Drops the reusable master sequence number (called when a reusing
+    /// scan restarts, so the retry drains fresh state instead of spinning
+    /// on a stale stamp).
+    pub fn invalidate_reuse(&self) {
+        let mut st = self.state.lock();
+        st.last_master_seq = None;
+    }
+
+    /// Number of currently executing scans (diagnostics).
+    #[cfg(test)]
+    pub fn active_scans(&self) -> u32 {
+        self.state.lock().active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    use super::*;
+
+    #[test]
+    fn first_scan_is_master() {
+        let c = ScanCoordinator::new();
+        let role = c.enter(8, 0, false);
+        assert_eq!(role, ScanRole::Master);
+        c.publish(5);
+        c.exit(role);
+        assert_eq!(c.active_scans(), 0);
+    }
+
+    #[test]
+    fn second_scan_piggybacks_on_published_seq() {
+        let c = ScanCoordinator::new();
+        let master = c.enter(8, 0, false);
+        c.publish(42);
+        let second = c.enter(8, 0, false);
+        assert_eq!(second, ScanRole::Piggyback(42));
+        c.exit(second);
+        c.exit(master);
+    }
+
+    #[test]
+    fn chain_ends_when_all_scans_exit() {
+        let c = ScanCoordinator::new();
+        let master = c.enter(8, 0, false);
+        c.publish(42);
+        c.exit(master);
+        // No active scan remains: the next scan must be a master.
+        let next = c.enter(8, 0, false);
+        assert_eq!(next, ScanRole::Master);
+        c.exit(next);
+    }
+
+    #[test]
+    fn chain_limit_forces_new_master() {
+        let c = ScanCoordinator::new();
+        let master = c.enter(1, 0, false);
+        c.publish(7);
+        let pig = c.enter(1, 0, false);
+        assert_eq!(pig, ScanRole::Piggyback(7));
+        // Chain limit reached: the next admission must wait for the master
+        // slot; release the master so it can proceed as master.
+        let c2 = Arc::new(c);
+        let waiter = {
+            let c2 = Arc::clone(&c2);
+            thread::spawn(move || {
+                let role = c2.enter(1, 0, false);
+                assert_eq!(role, ScanRole::Master);
+                c2.exit(role);
+            })
+        };
+        thread::sleep(Duration::from_millis(30));
+        c2.exit(master);
+        waiter.join().unwrap();
+        c2.exit(pig);
+    }
+
+    #[test]
+    fn linearizable_mode_never_piggybacks() {
+        let c = ScanCoordinator::new();
+        let master = c.enter(8, 0, true);
+        c.publish(3);
+        // A linearizable scan must wait rather than piggyback.
+        let c = Arc::new(c);
+        let got_master = Arc::new(AtomicU32::new(0));
+        let waiter = {
+            let c = Arc::clone(&c);
+            let got_master = Arc::clone(&got_master);
+            thread::spawn(move || {
+                let role = c.enter(8, 0, true);
+                assert_eq!(role, ScanRole::Master);
+                got_master.store(1, Ordering::SeqCst);
+                c.exit(role);
+            })
+        };
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(got_master.load(Ordering::SeqCst), 0);
+        c.exit(master);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn master_reuse_skips_drain_within_limit() {
+        let c = ScanCoordinator::new();
+        let m1 = c.enter(8, 2, false);
+        assert_eq!(m1, ScanRole::Master);
+        c.publish(10);
+        c.exit(m1);
+        // Chain died (no active scans), but reuse is allowed twice.
+        assert_eq!(c.enter(8, 2, false), ScanRole::MasterReuse(10));
+        c.exit(ScanRole::MasterReuse(10));
+        assert_eq!(c.enter(8, 2, false), ScanRole::MasterReuse(10));
+        c.exit(ScanRole::MasterReuse(10));
+        // Limit exhausted: the next master drains fresh.
+        let m2 = c.enter(8, 2, false);
+        assert_eq!(m2, ScanRole::Master);
+        c.publish(20);
+        c.exit(m2);
+        // A fresh publication resets the budget.
+        assert_eq!(c.enter(8, 2, false), ScanRole::MasterReuse(20));
+        c.exit(ScanRole::MasterReuse(20));
+    }
+
+    #[test]
+    fn master_reuse_disabled_by_default_limit() {
+        let c = ScanCoordinator::new();
+        let m1 = c.enter(8, 0, false);
+        c.publish(10);
+        c.exit(m1);
+        assert_eq!(c.enter(8, 0, false), ScanRole::Master);
+    }
+
+    #[test]
+    fn invalidate_reuse_forces_fresh_master() {
+        let c = ScanCoordinator::new();
+        let m1 = c.enter(8, 4, false);
+        c.publish(10);
+        c.exit(m1);
+        c.invalidate_reuse();
+        assert_eq!(c.enter(8, 4, false), ScanRole::Master);
+    }
+
+    #[test]
+    fn piggybackers_can_join_a_reuse_chain() {
+        let c = ScanCoordinator::new();
+        let m1 = c.enter(8, 1, false);
+        c.publish(10);
+        c.exit(m1);
+        let reuse = c.enter(8, 1, false);
+        assert_eq!(reuse, ScanRole::MasterReuse(10));
+        // A reusing master republishes the seq, so piggybackers join it.
+        assert_eq!(c.enter(8, 1, false), ScanRole::Piggyback(10));
+        c.exit(ScanRole::Piggyback(10));
+        c.exit(reuse);
+    }
+
+    #[test]
+    fn piggybackers_wait_for_publication() {
+        let c = Arc::new(ScanCoordinator::new());
+        let master = c.enter(8, 0, false);
+        let seqs = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let c = Arc::clone(&c);
+            let seqs = Arc::clone(&seqs);
+            handles.push(thread::spawn(move || {
+                let role = c.enter(8, 0, false);
+                if let ScanRole::Piggyback(seq) = role {
+                    seqs.lock().push(seq);
+                }
+                c.exit(role);
+            }));
+        }
+        thread::sleep(Duration::from_millis(20));
+        c.publish(99);
+        c.exit(master);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All concurrent scans piggybacked on seq 99 (or became masters
+        // after the chain died; with the master held until publish, at
+        // least one must have reused 99).
+        assert!(seqs.lock().iter().all(|&s| s == 99));
+    }
+}

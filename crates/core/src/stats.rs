@@ -1,0 +1,90 @@
+//! Operation counters for FloDB.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::api::StoreStats;
+
+/// Atomic counters tracking FloDB's behaviour, cheap enough for the hot
+/// path (relaxed increments on cache-local lines).
+#[derive(Debug, Default)]
+pub struct FloDbStats {
+    /// Put operations completed.
+    pub puts: AtomicU64,
+    /// Delete operations completed.
+    pub deletes: AtomicU64,
+    /// Get operations completed.
+    pub gets: AtomicU64,
+    /// Scan operations completed.
+    pub scans: AtomicU64,
+    /// Keys returned by scans.
+    pub scanned_keys: AtomicU64,
+    /// Writes absorbed directly by the Membuffer (fast path).
+    pub membuffer_writes: AtomicU64,
+    /// Writes that fell through to the Memtable (slow path).
+    pub memtable_writes: AtomicU64,
+    /// Entries moved Membuffer → Memtable by drains.
+    pub drained_entries: AtomicU64,
+    /// Multi-insert batches executed by drains.
+    pub drain_batches: AtomicU64,
+    /// Memtable flushes to disk.
+    pub persists: AtomicU64,
+    /// Scan restarts due to concurrent updates.
+    pub scan_restarts: AtomicU64,
+    /// Writer-blocking fallback scans.
+    pub fallback_scans: AtomicU64,
+    /// Piggybacking scans (reused a master's sequence number).
+    pub piggyback_scans: AtomicU64,
+    /// Master scans (established a sequence number).
+    pub master_scans: AtomicU64,
+    /// Master scans that reused a previous master's sequence number
+    /// without draining (§4.4 optimization).
+    pub master_reuse_scans: AtomicU64,
+    /// Times a writer helped drain the immutable Membuffer.
+    pub writer_drain_helps: AtomicU64,
+    /// Times a writer stalled waiting for Memtable room.
+    pub write_stalls: AtomicU64,
+}
+
+impl FloDbStats {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshots the counters into the cross-store [`StoreStats`] shape.
+    pub fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            puts: self.puts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            scanned_keys: self.scanned_keys.load(Ordering::Relaxed),
+            persists: self.persists.load(Ordering::Relaxed),
+            fast_level_writes: self.membuffer_writes.load(Ordering::Relaxed),
+            scan_restarts: self.scan_restarts.load(Ordering::Relaxed),
+            fallback_scans: self.fallback_scans.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = FloDbStats::default();
+        FloDbStats::bump(&s.puts);
+        FloDbStats::bump(&s.puts);
+        FloDbStats::add(&s.scanned_keys, 10);
+        let snap = s.snapshot();
+        assert_eq!(snap.puts, 2);
+        assert_eq!(snap.scanned_keys, 10);
+        assert_eq!(snap.gets, 0);
+    }
+}

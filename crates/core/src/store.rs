@@ -1,0 +1,1085 @@
+//! The FloDB store: user-facing operations and background threads.
+//!
+//! Operation flow follows the paper exactly:
+//!
+//! - **Put/Delete** (Algorithm 2): try the Membuffer; on a full bucket fall
+//!   through to the Memtable, first honoring `pauseWriters` (helping drain
+//!   the frozen Membuffer if one exists) and waiting for Memtable room.
+//! - **Get** (Algorithm 2): MBF → IMM_MBF → MTB → IMM_MTB → disk; first
+//!   hit wins because levels are searched in data-flow order.
+//! - **Scan** (Algorithm 3): a master scan freezes writers, swaps in a
+//!   fresh Membuffer, drains the frozen one (with writer help), takes a
+//!   sequence number, unfreezes, then iterates MTB/IMM_MTB/disk; any entry
+//!   fresher than the scan number forces a restart, bounded by a
+//!   writer-blocking fallback. Concurrent scans piggyback on the master's
+//!   sequence number.
+//! - **Draining** (Figure 6) and **persisting** run on background threads;
+//!   component switches use RCU and never block readers or writers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use flodb_membuffer::{AddResult, MemBuffer, MemBufferConfig};
+use flodb_memtable::SkipList;
+use flodb_storage::wal::{self, WalWriter};
+use flodb_storage::{DiskComponent, Record};
+use flodb_sync::{Backoff, PauseFlag, SequenceGenerator};
+use parking_lot::{Condvar, Mutex};
+
+use crate::api::{KvStore, ScanEntry, StoreStats};
+use crate::drain::{self, DrainStyle};
+use crate::options::{FloDbOptions, WalMode};
+use crate::scan::{ScanCoordinator, ScanRole};
+use crate::stats::FloDbStats;
+use crate::view::{ImmMembuffer, MemView, ViewCell};
+
+/// Scan outcome signalling that a concurrent update invalidated the scan.
+struct Restart;
+
+struct Inner {
+    opts: FloDbOptions,
+    memtable_trigger: usize,
+    drain_style: DrainStyle,
+    view: ViewCell,
+    seq: SequenceGenerator,
+    disk: DiskComponent,
+    pause_writers: PauseFlag,
+    pause_draining: PauseFlag,
+    coord: ScanCoordinator,
+    /// Serializes [freeze .. stamp] windows across master and fallback
+    /// scans. Two interleaved freezes would let the second one drain
+    /// writes made *after* the first scan's linearization point into the
+    /// Memtable with sequence numbers *below* the first scan's stamp,
+    /// silently including a partial post-cut round in its snapshot.
+    freeze_lock: Mutex<()>,
+    stats: FloDbStats,
+    stop: AtomicBool,
+    force_flush: AtomicBool,
+    /// Writers waiting for Memtable room park here (Algorithm 2, line 18).
+    room: Mutex<()>,
+    room_cv: Condvar,
+    /// The persist thread parks here between checks.
+    persist_park: Mutex<()>,
+    persist_cv: Condvar,
+    wal: Option<Mutex<WalWriter>>,
+}
+
+/// The FloDB key-value store.
+///
+/// See the crate documentation for the architecture; construct with
+/// [`FloDb::open`] and interact through the [`KvStore`] trait.
+pub struct FloDb {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn new_membuffer(&self) -> Arc<MemBuffer> {
+        Arc::new(MemBuffer::new(membuffer_config(&self.opts)))
+    }
+}
+
+fn membuffer_config(opts: &FloDbOptions) -> MemBufferConfig {
+    MemBufferConfig::for_capacity_bytes(
+        opts.membuffer_bytes(),
+        opts.partition_bits,
+        opts.avg_entry_bytes,
+    )
+}
+
+impl FloDb {
+    /// Opens a store with `opts`, spawning the background threads.
+    ///
+    /// The disk component recovers its file layout from the manifest (when
+    /// `opts.disk.manifest` is set). If a write-ahead log is enabled and
+    /// log files exist in the environment, their intact frames are
+    /// replayed, flushed to the recovered disk component, and the consumed
+    /// logs deleted; sequence numbering resumes past them.
+    pub fn open(opts: FloDbOptions) -> Result<Self, String> {
+        opts.validate()?;
+        let disk =
+            DiskComponent::open(Arc::clone(&opts.env), opts.disk).map_err(|e| e.to_string())?;
+
+        // Recover WAL contents, if any. The sequence counter must resume
+        // past everything already persisted: disk records keep their
+        // original sequence numbers, and a fresh write stamped below them
+        // would lose every seq-based merge (scans would resurrect stale
+        // disk values).
+        let mtb = Arc::new(SkipList::new());
+        let mut max_seq = disk.max_persisted_seq();
+        if !matches!(opts.wal, WalMode::Disabled) {
+            let mut logs: Vec<String> = opts
+                .env
+                .list()
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .filter(|n| n.ends_with(".log"))
+                .collect();
+            logs.sort();
+            for log in &logs {
+                let (records, seen) =
+                    wal::replay(opts.env.as_ref(), log).map_err(|e| e.to_string())?;
+                for r in records {
+                    mtb.insert(&r.key, r.value.as_deref(), r.seq);
+                }
+                max_seq = max_seq.max(seen);
+            }
+            // With a manifest, settle the recovered state onto disk so the
+            // replayed logs can be pruned; log growth is thereby bounded
+            // across restarts. A crash in here simply replays the same
+            // logs again (flushing is idempotent: duplicate records carry
+            // identical seqs). Without a manifest the flushed layout would
+            // not survive the *next* restart, so the recovered entries
+            // must stay in the memory component and the logs must remain.
+            if opts.disk.manifest {
+                if !mtb.is_empty() {
+                    let records: Vec<Record> = mtb
+                        .collect_entries()
+                        .into_iter()
+                        .map(|(key, vv)| Record {
+                            key,
+                            seq: vv.seq,
+                            value: vv.value,
+                        })
+                        .collect();
+                    disk.flush_records(records).map_err(|e| e.to_string())?;
+                }
+                for log in &logs {
+                    opts.env.delete(log).map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        let mtb = if opts.disk.manifest && !matches!(opts.wal, WalMode::Disabled) {
+            Arc::new(SkipList::new())
+        } else {
+            mtb
+        };
+
+        let wal = match opts.wal {
+            WalMode::Disabled => None,
+            WalMode::Enabled { sync } => {
+                let file = opts
+                    .env
+                    .new_writable(&wal::wal_file_name(max_seq + 1))
+                    .map_err(|e| e.to_string())?;
+                Some(Mutex::new(WalWriter::new(file, sync)))
+            }
+        };
+
+        let membuffer_enabled = opts.membuffer_enabled;
+        let memtable_trigger = opts.memtable_flush_trigger();
+        let drain_style = if opts.use_multi_insert {
+            DrainStyle::MultiInsert
+        } else {
+            DrainStyle::SimpleInsert
+        };
+        let drain_threads = opts.drain_threads;
+
+        let inner = Arc::new(Inner {
+            memtable_trigger,
+            drain_style,
+            view: ViewCell::new(MemView {
+                mbf: membuffer_enabled.then(|| {
+                    Arc::new(MemBuffer::new(membuffer_config(&opts)))
+                }),
+                imm_mbf: None,
+                mtb,
+                imm_mtb: None,
+            }),
+            seq: SequenceGenerator::starting_at(max_seq + 1),
+            disk,
+            pause_writers: PauseFlag::new(),
+            pause_draining: PauseFlag::new(),
+            coord: ScanCoordinator::new(),
+            freeze_lock: Mutex::new(()),
+            stats: FloDbStats::default(),
+            stop: AtomicBool::new(false),
+            force_flush: AtomicBool::new(false),
+            room: Mutex::new(()),
+            room_cv: Condvar::new(),
+            persist_park: Mutex::new(()),
+            persist_cv: Condvar::new(),
+            wal,
+            opts,
+        });
+
+        let mut threads = Vec::new();
+        if membuffer_enabled {
+            for i in 0..drain_threads {
+                let inner = Arc::clone(&inner);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("flodb-drain-{i}"))
+                        .spawn(move || drain_loop(&inner, i))
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("flodb-persist".into())
+                    .spawn(move || persist_loop(&inner))
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+
+        Ok(Self {
+            inner,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// Snapshot of FloDB-specific counters.
+    pub fn flodb_stats(&self) -> &FloDbStats {
+        &self.inner.stats
+    }
+
+    /// Disk-component statistics (files per level, compactions, bytes).
+    pub fn disk_stats(&self) -> flodb_storage::DiskStats {
+        self.inner.disk.stats()
+    }
+
+    /// Approximate bytes resident in the memory component.
+    pub fn memory_usage(&self) -> usize {
+        self.inner.view.read(|v| {
+            v.mbf.as_ref().map_or(0, |m| m.approximate_bytes())
+                + v.mtb.approximate_bytes()
+                + v.imm_mtb.as_ref().map_or(0, |m| m.approximate_bytes())
+        })
+    }
+
+    /// Forces the entire memory component down to disk and waits for
+    /// quiescence (drains, flushes and compactions complete).
+    pub fn flush_all(&self) {
+        self.inner.force_flush.store(true, Ordering::SeqCst);
+        let backoff = Backoff::new();
+        loop {
+            self.wake_persist();
+            let (mbf_len, imm_mbf, mtb_len, imm_mtb) = self.inner.view.read(|v| {
+                (
+                    v.mbf.as_ref().map_or(0, |m| m.len()),
+                    v.imm_mbf.is_some(),
+                    v.mtb.len(),
+                    v.imm_mtb.is_some(),
+                )
+            });
+            if mbf_len == 0 && !imm_mbf && mtb_len == 0 && !imm_mtb {
+                break;
+            }
+            backoff.snooze();
+        }
+        self.inner.force_flush.store(false, Ordering::SeqCst);
+        self.inner.disk.compact_all().expect("compaction failed");
+    }
+
+    fn wake_persist(&self) {
+        let _g = self.inner.persist_park.lock();
+        self.inner.persist_cv.notify_all();
+    }
+
+    fn put_impl(&self, key: &[u8], value: Option<&[u8]>) {
+        let inner = &*self.inner;
+        if let Some(wal) = &inner.wal {
+            let seq = inner.seq.next();
+            let record = Record {
+                key: Box::from(key),
+                seq,
+                value: value.map(Box::from),
+            };
+            wal.lock()
+                .append_batch(std::slice::from_ref(&record))
+                .expect("wal append failed");
+        }
+
+        // Fast path: complete in the Membuffer (Algorithm 2, lines 10-11).
+        if inner.opts.membuffer_enabled {
+            let fast = inner.view.read(|v| {
+                v.mbf
+                    .as_ref()
+                    .map(|mbf| mbf.add(key, value))
+                    .unwrap_or(AddResult::BucketFull)
+            });
+            if !matches!(fast, AddResult::BucketFull) {
+                FloDbStats::bump(&inner.stats.membuffer_writes);
+                return;
+            }
+        }
+
+        // Slow path (Algorithm 2, lines 12-20).
+        loop {
+            // Honor pauseWriters: help drain or wait (lines 12-16).
+            while inner.pause_writers.is_paused() {
+                let imm = inner.view.read(|v| v.imm_mbf.clone());
+                match imm {
+                    Some(imm) if !imm.tracker.is_complete() => {
+                        FloDbStats::bump(&inner.stats.writer_drain_helps);
+                        let mtb = inner.view.read(|v| Arc::clone(&v.mtb));
+                        drain::help_drain_imm(&imm, &mtb, &inner.seq, inner.drain_style);
+                    }
+                    _ => inner.pause_writers.wait_until_resumed(),
+                }
+            }
+            // Wait for Memtable room (lines 17-18).
+            let mut stalled = false;
+            loop {
+                if inner.pause_writers.is_paused() {
+                    break;
+                }
+                let bytes = inner.view.read(|v| v.mtb.approximate_bytes());
+                if bytes <= inner.memtable_trigger {
+                    break;
+                }
+                if !stalled {
+                    FloDbStats::bump(&inner.stats.write_stalls);
+                    stalled = true;
+                }
+                self.wake_persist();
+                let mut g = inner.room.lock();
+                inner
+                    .room_cv
+                    .wait_for(&mut g, Duration::from_micros(500));
+            }
+
+            // Insert with a fresh sequence number (lines 19-20). The pause
+            // re-check, the sequence acquisition and the insert share one
+            // RCU read-side critical section: if this write obtains a
+            // sequence number below a scan's stamp, the scan's grace period
+            // (master_prepare / fallback) cannot return before the insert
+            // has completed — otherwise a descheduled writer could slip a
+            // pre-stamp entry into a range the scan already iterated past,
+            // tearing the snapshot without triggering a restart.
+            let inserted = inner.view.read(|v| {
+                if inner.pause_writers.is_paused() {
+                    return false;
+                }
+                let seq = inner.seq.next();
+                v.mtb.insert(key, value, seq);
+                true
+            });
+            if inserted {
+                FloDbStats::bump(&inner.stats.memtable_writes);
+                return;
+            }
+        }
+    }
+
+    fn get_impl(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let inner = &*self.inner;
+        // Memory levels, freshest first, inside one critical section.
+        let mem: Option<Option<Vec<u8>>> = inner.view.read(|v| {
+            if let Some(mbf) = &v.mbf {
+                if let Some(val) = mbf.get(key) {
+                    return Some(val.map(Vec::from));
+                }
+            }
+            if let Some(imm) = &v.imm_mbf {
+                if let Some(val) = imm.buffer.get(key) {
+                    return Some(val.map(Vec::from));
+                }
+            }
+            if let Some(vv) = v.mtb.get(key) {
+                return Some(vv.value.map(Vec::from));
+            }
+            if let Some(imm) = &v.imm_mtb {
+                if let Some(vv) = imm.get(key) {
+                    return Some(vv.value.map(Vec::from));
+                }
+            }
+            None
+        });
+        match mem {
+            Some(hit) => hit, // `None` inside means tombstone: deleted.
+            None => inner
+                .disk
+                .get(key)
+                .expect("disk read failed")
+                .and_then(|r| r.value.map(Vec::from)),
+        }
+    }
+
+    fn scan_impl(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+        let inner = &*self.inner;
+        let mut restarts = 0u32;
+        loop {
+            let role = inner.coord.enter(
+                inner.opts.piggyback_chain_limit,
+                inner.opts.master_reuse_limit,
+                inner.opts.linearizable_scans,
+            );
+            let scan_seq = match role {
+                ScanRole::Master => {
+                    FloDbStats::bump(&inner.stats.master_scans);
+                    let seq = self.master_prepare();
+                    inner.coord.publish(seq);
+                    seq
+                }
+                ScanRole::MasterReuse(seq) => {
+                    FloDbStats::bump(&inner.stats.master_reuse_scans);
+                    seq
+                }
+                ScanRole::Piggyback(seq) => {
+                    FloDbStats::bump(&inner.stats.piggyback_scans);
+                    seq
+                }
+            };
+            let result = self.collect_range(low, high, scan_seq);
+            inner.coord.exit(role);
+            match result {
+                Ok(entries) => return entries,
+                Err(Restart) => {
+                    FloDbStats::bump(&inner.stats.scan_restarts);
+                    if matches!(role, ScanRole::MasterReuse(_)) {
+                        // The reused stamp went stale; force the retry to
+                        // establish a fresh one.
+                        inner.coord.invalidate_reuse();
+                    }
+                    restarts += 1;
+                    if restarts >= inner.opts.scan_restart_threshold {
+                        return self.fallback_scan(low, high);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Algorithm 3, lines 4-14: freeze, swap, drain, stamp, unfreeze.
+    fn master_prepare(&self) -> u64 {
+        let inner = &*self.inner;
+        inner.pause_draining.pause();
+        inner.pause_writers.pause();
+        let seq = {
+            let _freezing = inner.freeze_lock.lock();
+            self.freeze_and_drain_membuffer();
+            // Line 12: the scan's linearization stamp.
+            inner.seq.next()
+        };
+        // Lines 13-14: release writers and drainers.
+        inner.pause_writers.resume();
+        inner.pause_draining.resume();
+        seq
+    }
+
+    /// Lines 6-11 of Algorithm 3: install a fresh Membuffer, freeze the
+    /// old one, and fully drain it into the Memtable (cooperating with
+    /// helping writers). Callers must hold `pause_draining` and
+    /// `pause_writers`.
+    fn freeze_and_drain_membuffer(&self) {
+        let inner = &*self.inner;
+        if inner.opts.membuffer_enabled {
+            // Install a fresh Membuffer; freeze the old one (lines 6-7).
+            // `update` waits a grace period, subsuming MemBufferRCUWait and
+            // MemTableRCUWait (lines 8-9).
+            inner.view.update(|old| MemView {
+                mbf: Some(inner.new_membuffer()),
+                imm_mbf: old
+                    .mbf
+                    .as_ref()
+                    .map(|m| Arc::new(ImmMembuffer::new(Arc::clone(m)))),
+                ..old.clone()
+            });
+            // Drain the frozen buffer, cooperating with helping writers
+            // (lines 10-11).
+            let view = inner.view.snapshot();
+            if let Some(imm) = &view.imm_mbf {
+                let moved =
+                    drain::help_drain_imm(imm, &view.mtb, &inner.seq, inner.drain_style);
+                FloDbStats::add(&inner.stats.drained_entries, moved as u64);
+                let backoff = Backoff::new();
+                while !imm.tracker.is_complete() {
+                    backoff.snooze();
+                }
+            }
+            inner.view.update(|old| MemView {
+                imm_mbf: None,
+                ..old.clone()
+            });
+        } else {
+            // No Membuffer: a pure grace period quiesces in-flight writes.
+            inner.view.update(MemView::clone);
+        }
+    }
+
+    /// Algorithm 3, lines 15-30: iterate MTB, IMM_MTB and disk, restarting
+    /// on any entry fresher than the scan stamp.
+    fn collect_range(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        scan_seq: u64,
+    ) -> Result<Vec<ScanEntry>, Restart> {
+        let inner = &*self.inner;
+        let view = inner.view.snapshot();
+        // key -> (seq, value); freshest wins among seqs <= scan_seq.
+        let mut merged: std::collections::BTreeMap<Box<[u8]>, (u64, Option<Box<[u8]>>)> =
+            std::collections::BTreeMap::new();
+
+        let mut absorb = |key: &[u8], seq: u64, value: Option<Box<[u8]>>| {
+            match merged.entry(Box::from(key)) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert((seq, value));
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if seq > e.get().0 {
+                        e.insert((seq, value));
+                    }
+                }
+            }
+        };
+
+        let memtables = [Some(&view.mtb), view.imm_mtb.as_ref()];
+        for list in memtables.into_iter().flatten() {
+            let mut it = list.iter();
+            it.seek(low);
+            while it.valid() && it.key() <= high {
+                let vv = it.value();
+                if vv.seq > scan_seq {
+                    return Err(Restart);
+                }
+                absorb(it.key(), vv.seq, vv.value);
+                it.next();
+            }
+        }
+
+        for record in inner.disk.scan(low, high).expect("disk scan failed") {
+            if record.seq > scan_seq {
+                return Err(Restart);
+            }
+            absorb(&record.key, record.seq, record.value);
+        }
+
+        Ok(merged
+            .into_iter()
+            .filter_map(|(key, (_, value))| Some((key.into_vec(), Vec::from(value?))))
+            .collect())
+    }
+
+    /// The writer-blocking fallback guaranteeing scan liveness (§4.4).
+    ///
+    /// Unlike a master scan, the pauses are held through the collection:
+    /// with Memtable writers and drains frozen, nothing can stamp a newer
+    /// sequence number mid-iteration, so the scan cannot be invalidated.
+    /// The Membuffer must still be frozen and drained first — fast-path
+    /// writes are never blocked, and a fallback reading only the Memtable
+    /// and disk would miss every update still resident in the Membuffer.
+    fn fallback_scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+        let inner = &*self.inner;
+        FloDbStats::bump(&inner.stats.fallback_scans);
+        inner.pause_draining.pause();
+        inner.pause_writers.pause();
+        // Hold the freeze lock through the collection: no other scan can
+        // freeze-and-stamp mid-iteration, so (with writers and drains
+        // paused) no post-stamp entry can appear and the loop terminates
+        // once the bounded population of racing writers has quiesced.
+        let _freezing = inner.freeze_lock.lock();
+        let result = loop {
+            self.freeze_and_drain_membuffer();
+            let seq = inner.seq.next();
+            match self.collect_range(low, high, seq) {
+                Ok(entries) => break entries,
+                // A writer slipped in between our pause and its own pause
+                // check; the population of such racers is bounded by the
+                // thread count, so retrying terminates.
+                Err(Restart) => continue,
+            }
+        };
+        drop(_freezing);
+        inner.pause_writers.resume();
+        inner.pause_draining.resume();
+        result
+    }
+}
+
+/// Background draining (Figure 6): continuously move Membuffer entries
+/// into the Memtable, keeping Membuffer occupancy low.
+///
+/// Each worker owns a disjoint bucket range (see [`drain::drain_sweep`]);
+/// the pause check runs *inside* the read-side critical section so a
+/// master scan's freeze either waits for this batch or is observed by it
+/// — a batch that slipped past both could stamp post-freeze writes with
+/// pre-stamp sequence numbers.
+fn drain_loop(inner: &Arc<Inner>, worker: usize) {
+    let workers = inner.opts.drain_threads.max(1);
+    let mut cursor = 0usize;
+    let batch = inner.opts.drain_batch_entries.max(1);
+    while !inner.stop.load(Ordering::Acquire) {
+        if inner.pause_draining.is_paused() {
+            inner
+                .pause_draining
+                .wait_until_resumed_timeout(Duration::from_millis(10));
+            continue;
+        }
+        // The whole batch runs inside one read-side critical section so a
+        // concurrent component switch waits for it (see ViewCell docs).
+        let moved = inner.view.read(|v| {
+            if inner.pause_draining.is_paused() {
+                return 0;
+            }
+            let Some(mbf) = &v.mbf else { return 0 };
+            let total = mbf.total_buckets();
+            let start = total * worker / workers;
+            let len = total * (worker + 1) / workers - start;
+            let (moved, next) = drain::drain_sweep(
+                mbf,
+                &v.mtb,
+                &inner.seq,
+                start,
+                len,
+                cursor,
+                batch,
+                inner.drain_style,
+            );
+            cursor = next;
+            moved
+        });
+        if moved == 0 {
+            // Nothing to drain: back off briefly.
+            std::thread::sleep(Duration::from_micros(100));
+        } else {
+            FloDbStats::add(&inner.stats.drained_entries, moved as u64);
+            FloDbStats::bump(&inner.stats.drain_batches);
+        }
+    }
+}
+
+/// Background persisting: switch a full Memtable out (RCU), flush it to
+/// the disk component, then release it.
+fn persist_loop(inner: &Arc<Inner>) {
+    while !inner.stop.load(Ordering::Acquire) {
+        if !persist_once(inner) {
+            let mut g = inner.persist_park.lock();
+            inner
+                .persist_cv
+                .wait_for(&mut g, Duration::from_micros(500));
+        }
+    }
+    // Final drain-through so `Drop` leaves no frozen component behind.
+    persist_once(inner);
+}
+
+fn persist_once(inner: &Arc<Inner>) -> bool {
+    let view = inner.view.snapshot();
+    let force = inner.force_flush.load(Ordering::Acquire);
+    let should_switch = view.imm_mtb.is_none()
+        && (view.mtb.approximate_bytes() >= inner.memtable_trigger
+            || (force && !view.mtb.is_empty()));
+    if should_switch {
+        // Make the Memtable immutable and install a fresh one; the grace
+        // period inside `update` is the paper's "RCU to make sure that all
+        // pending updates to the immutable Memtable have completed".
+        inner.view.update(|old| MemView {
+            mtb: Arc::new(SkipList::new()),
+            imm_mtb: Some(Arc::clone(&old.mtb)),
+            ..old.clone()
+        });
+        let _g = inner.room.lock();
+        inner.room_cv.notify_all();
+    }
+
+    let view = inner.view.snapshot();
+    let Some(imm) = view.imm_mtb.clone() else {
+        return should_switch;
+    };
+    if inner.opts.persist_enabled && !imm.is_empty() {
+        let records: Vec<Record> = imm
+            .collect_entries()
+            .into_iter()
+            .map(|(key, vv)| Record {
+                key,
+                seq: vv.seq,
+                value: vv.value,
+            })
+            .collect();
+        inner.disk.flush_records(records).expect("flush failed");
+        if inner.opts.compact_after_flush {
+            inner.disk.compact_all().expect("compaction failed");
+        }
+    }
+    // Release the immutable Memtable; scans holding a snapshot keep it
+    // alive through their Arc (the paper's second RCU use, realized by
+    // reference counting on top of the snapshot grace period).
+    inner.view.update(|old| MemView {
+        imm_mtb: None,
+        ..old.clone()
+    });
+    FloDbStats::bump(&inner.stats.persists);
+    let _g = inner.room.lock();
+    inner.room_cv.notify_all();
+    true
+}
+
+impl KvStore for FloDb {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.put_impl(key, Some(value));
+        FloDbStats::bump(&self.inner.stats.puts);
+    }
+
+    fn delete(&self, key: &[u8]) {
+        self.put_impl(key, None);
+        FloDbStats::bump(&self.inner.stats.deletes);
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let r = self.get_impl(key);
+        FloDbStats::bump(&self.inner.stats.gets);
+        r
+    }
+
+    fn scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+        let entries = self.scan_impl(low, high);
+        FloDbStats::bump(&self.inner.stats.scans);
+        FloDbStats::add(&self.inner.stats.scanned_keys, entries.len() as u64);
+        entries
+    }
+
+    fn name(&self) -> &'static str {
+        "FloDB"
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats.snapshot()
+    }
+
+    fn quiesce(&self) {
+        let backoff = Backoff::new();
+        loop {
+            self.wake_persist();
+            let (mbf_len, imm_mbf, imm_mtb) = self.inner.view.read(|v| {
+                (
+                    v.mbf.as_ref().map_or(0, |m| m.len()),
+                    v.imm_mbf.is_some(),
+                    v.imm_mtb.is_some(),
+                )
+            });
+            if mbf_len == 0 && !imm_mbf && !imm_mtb && !self.inner.disk.needs_compaction() {
+                return;
+            }
+            backoff.snooze();
+        }
+    }
+}
+
+impl Drop for FloDb {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        self.wake_persist();
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for FloDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FloDb")
+            .field("memory_usage", &self.memory_usage())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> FloDb {
+        FloDb::open(FloDbOptions::small_for_tests()).unwrap()
+    }
+
+    fn k(n: u64) -> [u8; 8] {
+        n.to_be_bytes()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let db = db();
+        db.put(b"hello", b"world");
+        assert_eq!(db.get(b"hello"), Some(b"world".to_vec()));
+        assert_eq!(db.get(b"missing"), None);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let db = db();
+        db.put(b"k", b"v1");
+        db.put(b"k", b"v2");
+        assert_eq!(db.get(b"k"), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn delete_hides_key() {
+        let db = db();
+        db.put(b"k", b"v");
+        db.delete(b"k");
+        assert_eq!(db.get(b"k"), None);
+        // Deleting a missing key is fine.
+        db.delete(b"never-existed");
+        assert_eq!(db.get(b"never-existed"), None);
+    }
+
+    #[test]
+    fn get_falls_through_to_disk() {
+        let db = db();
+        for i in 0..500u64 {
+            db.put(&k(i), &i.to_le_bytes());
+        }
+        db.flush_all();
+        // Everything is on disk now; memory is empty.
+        for i in (0..500u64).step_by(37) {
+            assert_eq!(db.get(&k(i)), Some(i.to_le_bytes().to_vec()), "key {i}");
+        }
+        assert!(db.disk_stats().flushes > 0);
+    }
+
+    #[test]
+    fn delete_shadows_disk_resident_value() {
+        let db = db();
+        db.put(b"k", b"old");
+        db.flush_all();
+        db.delete(b"k");
+        assert_eq!(db.get(b"k"), None);
+        db.flush_all();
+        assert_eq!(db.get(b"k"), None);
+    }
+
+    #[test]
+    fn scan_returns_sorted_range() {
+        let db = db();
+        for i in [5u64, 1, 9, 3, 7] {
+            db.put(&k(i), &i.to_le_bytes());
+        }
+        let out = db.scan(&k(2), &k(8));
+        let keys: Vec<u64> = out
+            .iter()
+            .map(|(key, _)| u64::from_be_bytes(key.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn scan_sees_membuffer_writes_via_drain() {
+        // Entries that only ever lived in the Membuffer must still appear:
+        // the master scan drains them first.
+        let db = db();
+        db.put(&k(1), b"one");
+        db.put(&k(2), b"two");
+        let out = db.scan(&k(0), &k(10));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1, b"one".to_vec());
+    }
+
+    #[test]
+    fn scan_merges_memory_and_disk() {
+        let db = db();
+        for i in 0..20u64 {
+            db.put(&k(i), b"disk");
+        }
+        db.flush_all();
+        db.put(&k(5), b"fresh");
+        db.delete(&k(6));
+        let out = db.scan(&k(0), &k(19));
+        assert_eq!(out.len(), 19, "deleted key must vanish");
+        let five = out
+            .iter()
+            .find(|(key, _)| key.as_slice() == k(5))
+            .unwrap();
+        assert_eq!(five.1, b"fresh".to_vec());
+    }
+
+    #[test]
+    fn empty_scan() {
+        let db = db();
+        assert!(db.scan(&k(0), &k(100)).is_empty());
+    }
+
+    #[test]
+    fn stats_track_fast_path() {
+        let db = db();
+        for i in 0..50u64 {
+            db.put(&k(i), b"v");
+        }
+        let stats = db.stats();
+        assert_eq!(stats.puts, 50);
+        assert!(
+            stats.fast_level_writes > 0,
+            "most writes should hit the Membuffer"
+        );
+    }
+
+    #[test]
+    fn quiesce_drains_membuffer() {
+        let db = db();
+        for i in 0..100u64 {
+            db.put(&k(i), b"v");
+        }
+        db.quiesce();
+        let mbf_len = db.inner.view.read(|v| v.mbf.as_ref().unwrap().len());
+        assert_eq!(mbf_len, 0, "background drain must empty the Membuffer");
+    }
+
+    #[test]
+    fn no_membuffer_mode_works() {
+        let mut opts = FloDbOptions::small_for_tests();
+        opts.membuffer_enabled = false;
+        opts.drain_threads = 0;
+        let db = FloDb::open(opts).unwrap();
+        db.put(b"a", b"1");
+        assert_eq!(db.get(b"a"), Some(b"1".to_vec()));
+        let out = db.scan(b"a", b"z");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn simple_insert_drain_mode_works() {
+        let mut opts = FloDbOptions::small_for_tests();
+        opts.use_multi_insert = false;
+        let db = FloDb::open(opts).unwrap();
+        for i in 0..100u64 {
+            db.put(&k(i), b"v");
+        }
+        db.quiesce();
+        assert_eq!(db.get(&k(42)), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn persist_disabled_drops_memtables() {
+        let mut opts = FloDbOptions::small_for_tests();
+        opts.persist_enabled = false;
+        let db = FloDb::open(opts).unwrap();
+        for i in 0..5000u64 {
+            db.put(&k(i), &[0u8; 64]);
+        }
+        db.quiesce();
+        assert_eq!(db.disk_stats().flushes, 0, "nothing may reach disk");
+    }
+
+    #[test]
+    fn wal_recovery_restores_memory_component() {
+        let env: Arc<dyn flodb_storage::Env> = Arc::new(flodb_storage::MemEnv::new(None));
+        let mut opts = FloDbOptions::small_for_tests();
+        opts.env = Arc::clone(&env);
+        opts.wal = WalMode::Enabled { sync: false };
+        {
+            let db = FloDb::open(opts.clone()).unwrap();
+            db.put(b"alpha", b"1");
+            db.put(b"beta", b"2");
+            db.delete(b"alpha");
+            // Simulated crash: drop without flushing.
+        }
+        let db = FloDb::open(opts).unwrap();
+        assert_eq!(db.get(b"alpha"), None, "tombstone must replay");
+        assert_eq!(db.get(b"beta"), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let db = Arc::new(db());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let key = t * 1000 + i;
+                    db.put(&k(key), &key.to_le_bytes());
+                    if i % 7 == 0 {
+                        let _ = db.get(&k(t * 1000 + i / 2));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u64 {
+            for i in (0..500u64).step_by(41) {
+                let key = t * 1000 + i;
+                assert_eq!(db.get(&k(key)), Some(key.to_le_bytes().to_vec()));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_scans_and_writes_are_consistent() {
+        let db = Arc::new(db());
+        for i in 0..100u64 {
+            db.put(&k(i), &0u64.to_le_bytes());
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut round = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for i in 0..100u64 {
+                        db.put(&k(i), &round.to_le_bytes());
+                    }
+                    round += 1;
+                }
+            })
+        };
+        for _ in 0..20 {
+            let out = db.scan(&k(0), &k(99));
+            // Serializable snapshot: all 100 keys present; values form a
+            // consistent cut (each key's round within 1 generation of the
+            // minimum is NOT guaranteed, but presence and order are).
+            assert_eq!(out.len(), 100);
+            for w in out.windows(2) {
+                assert!(w[0].0 < w[1].0, "scan must be sorted");
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn master_reuse_mode_trades_freshness_for_drains() {
+        let mut opts = FloDbOptions::small_for_tests();
+        opts.master_reuse_limit = 4;
+        let db = FloDb::open(opts).unwrap();
+        for i in 0..50u64 {
+            db.put(&k(i), b"v");
+        }
+        // Back-to-back scans of a quiet store: the first drains, the rest
+        // reuse its stamp (and stay correct).
+        for _ in 0..5 {
+            assert_eq!(db.scan(&k(0), &k(49)).len(), 50);
+        }
+        let f = db.flodb_stats();
+        let reused = f.master_reuse_scans.load(Ordering::Relaxed);
+        assert!(reused >= 1, "expected reuse on a quiet store, got {reused}");
+        // Reused scans may serve a stale-but-consistent snapshot (the
+        // Membuffer is not re-drained), but the reuse budget bounds the
+        // staleness: within `master_reuse_limit + 1` scans a fresh master
+        // drains and surfaces the write.
+        db.put(&k(25), b"w");
+        let mut saw_fresh = false;
+        for _ in 0..=5 {
+            let out = db.scan(&k(0), &k(49));
+            assert_eq!(out.len(), 50, "reused snapshots must stay complete");
+            let v25 = out.iter().find(|(key, _)| key.as_slice() == k(25)).unwrap();
+            if v25.1 == b"w".to_vec() {
+                saw_fresh = true;
+                break;
+            }
+            assert_eq!(v25.1, b"v".to_vec(), "stale value must be the old one");
+        }
+        assert!(saw_fresh, "the write must appear within the reuse budget");
+    }
+
+    #[test]
+    fn linearizable_scan_mode() {
+        let mut opts = FloDbOptions::small_for_tests();
+        opts.linearizable_scans = true;
+        let db = FloDb::open(opts).unwrap();
+        db.put(b"x", b"1");
+        let out = db.scan(b"a", b"z");
+        assert_eq!(out.len(), 1);
+        // A linearizable scan must reflect every prior put.
+        db.put(b"y", b"2");
+        let out = db.scan(b"a", b"z");
+        assert_eq!(out.len(), 2);
+    }
+}

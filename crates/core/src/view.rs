@@ -1,0 +1,265 @@
+//! The RCU-protected view of the memory components.
+//!
+//! FloDB switches memory components — installing a fresh Membuffer before
+//! a scan drain, or a fresh Memtable before persisting — "using RCU, which
+//! never blocks any updates or reads" (§4.2). [`ViewCell`] realizes that: a
+//! single atomic pointer to an immutable [`MemView`] snapshot; readers and
+//! writers dereference it inside an RCU read-side critical section, and
+//! switchers install a new snapshot then wait one grace period, which
+//! doubles as the paper's `MemBufferRCUWait`/`MemTableRCUWait` (all
+//! in-flight operations against the old snapshot have completed when
+//! `update` returns).
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use flodb_membuffer::{DrainTracker, MemBuffer};
+use flodb_memtable::SkipList;
+use flodb_sync::RcuDomain;
+use parking_lot::Mutex;
+
+/// An immutable Membuffer being fully drained before a scan, plus the
+/// work-sharing tracker used by the master scanner and helping writers.
+#[derive(Debug)]
+pub struct ImmMembuffer {
+    /// The frozen buffer.
+    pub buffer: Arc<MemBuffer>,
+    /// Chunk tracker shared by all draining participants.
+    pub tracker: DrainTracker,
+}
+
+impl ImmMembuffer {
+    /// Freezes `buffer` for draining.
+    pub fn new(buffer: Arc<MemBuffer>) -> Self {
+        let tracker = buffer.drain_tracker();
+        Self { buffer, tracker }
+    }
+}
+
+/// One immutable snapshot of the four memory components
+/// (MBF, IMM_MBF, MTB, IMM_MTB in Algorithm 2's notation).
+#[derive(Debug, Clone)]
+pub struct MemView {
+    /// The mutable Membuffer absorbing writes.
+    pub mbf: Option<Arc<MemBuffer>>,
+    /// A Membuffer frozen by a master scan, while its drain is incomplete.
+    pub imm_mbf: Option<Arc<ImmMembuffer>>,
+    /// The mutable Memtable.
+    pub mtb: Arc<SkipList>,
+    /// A Memtable frozen for persisting, until its flush completes.
+    pub imm_mtb: Option<Arc<SkipList>>,
+}
+
+/// The RCU cell holding the current [`MemView`].
+pub struct ViewCell {
+    ptr: AtomicPtr<MemView>,
+    domain: RcuDomain,
+    /// Serializes view switches (persist thread vs. master scans); user
+    /// operations never take this lock.
+    switch_lock: Mutex<()>,
+}
+
+impl ViewCell {
+    /// Creates a cell holding `view`.
+    pub fn new(view: MemView) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(view))),
+            domain: RcuDomain::new(),
+            switch_lock: Mutex::new(()),
+        }
+    }
+
+    /// Runs `f` against the current view inside an RCU critical section.
+    ///
+    /// The entire operation (e.g. a Membuffer add or Memtable insert) runs
+    /// inside the section, so a concurrent [`ViewCell::update`] returns
+    /// only after `f` has finished — the property Algorithm 3 needs before
+    /// draining.
+    #[inline]
+    pub fn read<R>(&self, f: impl FnOnce(&MemView) -> R) -> R {
+        let _guard = self.domain.read_lock();
+        // SAFETY: The pointer is only replaced by `update`, which frees the
+        // old view strictly after a grace period; we are inside a read-side
+        // critical section, so the view is live.
+        let view = unsafe { &*self.ptr.load(Ordering::Acquire) };
+        f(view)
+    }
+
+    /// Returns a clone of the current view (Arc bumps only).
+    ///
+    /// Long-running operations (scans, persist) snapshot the view and then
+    /// leave the critical section, so they never delay grace periods.
+    pub fn snapshot(&self) -> MemView {
+        self.read(MemView::clone)
+    }
+
+    /// Atomically replaces the view with `make(current)` and waits one
+    /// grace period.
+    ///
+    /// On return, every operation that might have observed the old view
+    /// has completed: pending Membuffer adds are in the frozen buffer,
+    /// pending Memtable inserts are in the frozen table. Switches are
+    /// serialized among themselves but never block readers or writers.
+    pub fn update(&self, make: impl FnOnce(&MemView) -> MemView) {
+        let _switch = self.switch_lock.lock();
+        // SAFETY: Only `update` (serialized by `switch_lock`) replaces the
+        // pointer, and frees strictly after a grace period.
+        let old_ptr = self.ptr.load(Ordering::Acquire);
+        let old = unsafe { &*old_ptr };
+        let new = Box::into_raw(Box::new(make(old)));
+        self.ptr.store(new, Ordering::Release);
+        self.domain.synchronize();
+        // SAFETY: The grace period has elapsed: no reader can still hold a
+        // reference into the old view box.
+        drop(unsafe { Box::from_raw(old_ptr) });
+    }
+}
+
+impl Drop for ViewCell {
+    fn drop(&mut self) {
+        // SAFETY: Exclusive access; no readers can exist.
+        drop(unsafe { Box::from_raw(*self.ptr.get_mut()) });
+    }
+}
+
+impl std::fmt::Debug for ViewCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ViewCell").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    use flodb_membuffer::MemBufferConfig;
+
+    use super::*;
+
+    fn view() -> MemView {
+        MemView {
+            mbf: Some(Arc::new(MemBuffer::new(MemBufferConfig {
+                partition_bits: 2,
+                buckets_per_partition: 8,
+            }))),
+            imm_mbf: None,
+            mtb: Arc::new(SkipList::new()),
+            imm_mtb: None,
+        }
+    }
+
+    #[test]
+    fn read_sees_current_view() {
+        let cell = ViewCell::new(view());
+        cell.read(|v| {
+            assert!(v.imm_mbf.is_none());
+            assert!(v.mtb.is_empty());
+        });
+    }
+
+    #[test]
+    fn update_replaces_view() {
+        let cell = ViewCell::new(view());
+        let new_mtb = Arc::new(SkipList::new());
+        new_mtb.insert(b"k", Some(b"v"), 1);
+        cell.update(|old| MemView {
+            mtb: Arc::clone(&new_mtb),
+            imm_mtb: Some(Arc::clone(&old.mtb)),
+            ..old.clone()
+        });
+        cell.read(|v| {
+            assert_eq!(v.mtb.len(), 1);
+            assert!(v.imm_mtb.is_some());
+        });
+    }
+
+    #[test]
+    fn update_waits_for_inflight_readers() {
+        let cell = Arc::new(ViewCell::new(view()));
+        let in_read = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let cell = Arc::clone(&cell);
+            let in_read = Arc::clone(&in_read);
+            let release = Arc::clone(&release);
+            thread::spawn(move || {
+                cell.read(|v| {
+                    let mtb = Arc::clone(&v.mtb);
+                    in_read.store(true, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        thread::yield_now();
+                    }
+                    // The old view must still be alive here.
+                    mtb.insert(b"late", Some(b"w"), 42);
+                });
+            })
+        };
+        while !in_read.load(Ordering::SeqCst) {
+            thread::yield_now();
+        }
+
+        let updater = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                cell.update(|old| MemView {
+                    imm_mtb: Some(Arc::clone(&old.mtb)),
+                    mtb: Arc::new(SkipList::new()),
+                    ..old.clone()
+                });
+            })
+        };
+        thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!updater.is_finished(), "update returned during a read");
+        release.store(true, Ordering::SeqCst);
+        reader.join().unwrap();
+        updater.join().unwrap();
+        // The reader's insert landed in the now-immutable table.
+        cell.read(|v| {
+            assert_eq!(v.imm_mtb.as_ref().unwrap().len(), 1);
+            assert!(v.mtb.is_empty());
+        });
+    }
+
+    #[test]
+    fn snapshot_outlives_switch() {
+        let cell = ViewCell::new(view());
+        let snap = cell.snapshot();
+        cell.update(|old| MemView {
+            mtb: Arc::new(SkipList::new()),
+            ..old.clone()
+        });
+        // The snapshot still references the pre-switch memtable.
+        snap.mtb.insert(b"z", Some(b"1"), 1);
+        assert_eq!(snap.mtb.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_reads_and_updates_are_safe() {
+        let cell = Arc::new(ViewCell::new(view()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            handles.push(thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    cell.read(|v| {
+                        assert!(v.mbf.is_some());
+                        n += v.mtb.len() as u64;
+                    });
+                }
+                n
+            }));
+        }
+        for _ in 0..200 {
+            cell.update(|old| old.clone());
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

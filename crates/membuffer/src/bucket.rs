@@ -1,0 +1,129 @@
+//! Cache-line buckets with fixed slots and a per-bucket spinlock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crossbeam_epoch::Atomic;
+use flodb_sync::Backoff;
+
+/// Number of entry slots per bucket.
+///
+/// CLHT sizes buckets to one cache line; with a lock word and four slot
+/// pointers the struct fits in 64 bytes (`CachePadded` in the table rounds
+/// it up regardless).
+pub(crate) const SLOTS: usize = 4;
+
+/// Source of unique entry identities (ABA protection for drain tokens:
+/// the allocator may reuse a freed entry's address, so tokens must not
+/// identify entries by pointer alone).
+static NEXT_ENTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A single hash-table entry.
+///
+/// Entries are immutable once published except for the drain mark: an
+/// in-place *update* replaces the whole slot pointer with a fresh entry.
+/// This makes "was this entry concurrently updated?" an identity
+/// comparison, which the drain protocol relies on.
+#[derive(Debug)]
+pub(crate) struct HtEntry {
+    pub(crate) key: Box<[u8]>,
+    /// `None` encodes a delete tombstone.
+    pub(crate) value: Option<Box<[u8]>>,
+    /// Set by a drainer that claimed this entry (Figure 6, step 1).
+    pub(crate) marked: AtomicBool,
+    /// Process-unique identity, never reused even if the address is.
+    pub(crate) id: u64,
+}
+
+impl HtEntry {
+    pub(crate) fn new(key: &[u8], value: Option<&[u8]>) -> Self {
+        Self {
+            key: Box::from(key),
+            value: value.map(Box::from),
+            marked: AtomicBool::new(false),
+            id: NEXT_ENTRY_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn charge_bytes(&self) -> usize {
+        self.key.len() + self.value.as_deref().map_or(0, <[u8]>::len) + 48
+    }
+}
+
+/// A bucket: spinlock + fixed slot array.
+#[derive(Debug)]
+pub(crate) struct Bucket {
+    lock: AtomicBool,
+    pub(crate) slots: [Atomic<HtEntry>; SLOTS],
+}
+
+impl Bucket {
+    pub(crate) fn new() -> Self {
+        Self {
+            lock: AtomicBool::new(false),
+            slots: Default::default(),
+        }
+    }
+
+    /// Acquires the bucket spinlock, returning a guard that releases it.
+    pub(crate) fn lock(&self) -> BucketGuard<'_> {
+        let backoff = Backoff::new();
+        while self
+            .lock
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff.spin();
+        }
+        BucketGuard { bucket: self }
+    }
+}
+
+/// RAII guard for a held bucket spinlock.
+pub(crate) struct BucketGuard<'a> {
+    bucket: &'a Bucket,
+}
+
+impl Drop for BucketGuard<'_> {
+    fn drop(&mut self) {
+        self.bucket.lock.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+
+    #[test]
+    fn lock_is_mutually_exclusive() {
+        let bucket = Arc::new(Bucket::new());
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let bucket = Arc::clone(&bucket);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let _g = bucket.lock();
+                    // Non-atomic-looking increment under the lock: load,
+                    // then store. Races would lose counts.
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn entry_charge_accounts_key_and_value() {
+        let e = HtEntry::new(b"key", Some(b"value"));
+        assert_eq!(e.charge_bytes(), 3 + 5 + 48);
+        let t = HtEntry::new(b"key", None);
+        assert_eq!(t.charge_bytes(), 3 + 48);
+    }
+}

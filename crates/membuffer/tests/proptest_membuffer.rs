@@ -1,0 +1,105 @@
+//! Property-based tests: the Membuffer must behave like a capacity-bounded
+//! HashMap where adds may be refused (bucket full) but never corrupted.
+
+use std::collections::HashMap;
+
+use flodb_membuffer::{AddResult, MemBuffer, MemBufferConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u16, value: u8 },
+    Delete { key: u16 },
+    Get { key: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u8>()).prop_map(|(key, value)| Op::Put { key, value }),
+        any::<u16>().prop_map(|key| Op::Delete { key }),
+        any::<u16>().prop_map(|key| Op::Get { key }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Sequential semantics match a model; `BucketFull` refusals leave
+    /// state untouched.
+    #[test]
+    fn matches_hashmap_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let m = MemBuffer::new(MemBufferConfig {
+            partition_bits: 2,
+            buckets_per_partition: 8,
+        });
+        // Model only holds keys the buffer accepted.
+        let mut model: HashMap<u16, Option<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Put { key, value } => {
+                    match m.add(&key.to_be_bytes(), Some(&[value])) {
+                        AddResult::Added => {
+                            prop_assert!(!model.contains_key(&key));
+                            model.insert(key, Some(value));
+                        }
+                        AddResult::Updated => {
+                            prop_assert!(model.contains_key(&key));
+                            model.insert(key, Some(value));
+                        }
+                        AddResult::BucketFull => {
+                            prop_assert!(!model.contains_key(&key));
+                        }
+                    }
+                }
+                Op::Delete { key } => {
+                    match m.add(&key.to_be_bytes(), None) {
+                        AddResult::Added => { model.insert(key, None); }
+                        AddResult::Updated => { model.insert(key, None); }
+                        AddResult::BucketFull => {}
+                    }
+                }
+                Op::Get { key } => {
+                    let got = m.get(&key.to_be_bytes());
+                    match model.get(&key) {
+                        Some(Some(v)) => {
+                            prop_assert_eq!(got, Some(Some(Box::from([*v].as_slice()))));
+                        }
+                        Some(None) => prop_assert_eq!(got, Some(None)),
+                        None => prop_assert_eq!(got, None),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(m.len(), model.len());
+    }
+
+    /// Drain-then-remove empties the buffer and yields exactly the resident
+    /// entries.
+    #[test]
+    fn full_drain_yields_all_entries(keys in proptest::collection::hash_set(any::<u16>(), 1..100)) {
+        let m = MemBuffer::new(MemBufferConfig {
+            partition_bits: 2,
+            buckets_per_partition: 64,
+        });
+        let mut accepted = Vec::new();
+        for key in &keys {
+            if m.add(&key.to_be_bytes(), Some(&key.to_le_bytes())) == AddResult::Added {
+                accepted.push(*key);
+            }
+        }
+        let mut drained_keys = Vec::new();
+        let mut tokens = Vec::new();
+        for chunk in 0..m.total_buckets() {
+            for d in m.claim_bucket(chunk) {
+                drained_keys.push(u16::from_be_bytes(d.key.as_ref().try_into().unwrap()));
+                tokens.push(d.token);
+            }
+        }
+        m.remove_drained(&tokens);
+        drained_keys.sort_unstable();
+        accepted.sort_unstable();
+        prop_assert_eq!(drained_keys, accepted);
+        prop_assert_eq!(m.len(), 0);
+    }
+}

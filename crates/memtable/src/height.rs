@@ -1,0 +1,88 @@
+//! Random tower heights for skiplist nodes.
+//!
+//! Uses a per-thread xorshift64* generator (no external dependency in the
+//! hot path) with the LevelDB branching factor: each level is kept with
+//! probability 1/4.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::skiplist::MAX_HEIGHT;
+
+static SEED_COUNTER: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+
+thread_local! {
+    static RNG: Cell<u64> = Cell::new(
+        SEED_COUNTER.fetch_add(0x6C62_272E_07BB_0142, Ordering::Relaxed) | 1,
+    );
+}
+
+/// Returns the next pseudo-random `u64` for the calling thread.
+#[inline]
+fn next_u64() -> u64 {
+    RNG.with(|rng| {
+        let mut x = rng.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        rng.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    })
+}
+
+/// Draws a random tower height in `1..=MAX_HEIGHT` with P(h > k) = 4^-k.
+#[inline]
+pub(crate) fn random_height() -> usize {
+    let mut height = 1;
+    let mut bits = next_u64();
+    // Each pair of bits keeps growing with probability 1/4.
+    while height < MAX_HEIGHT && (bits & 3) == 0 {
+        height += 1;
+        bits >>= 2;
+        if bits == 0 {
+            bits = next_u64();
+        }
+    }
+    height
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heights_in_range() {
+        for _ in 0..10_000 {
+            let h = random_height();
+            assert!((1..=MAX_HEIGHT).contains(&h));
+        }
+    }
+
+    #[test]
+    fn height_distribution_is_geometric() {
+        let n = 200_000;
+        let mut counts = [0usize; MAX_HEIGHT + 1];
+        for _ in 0..n {
+            counts[random_height()] += 1;
+        }
+        // ~75% of towers have height exactly 1; allow generous slack.
+        let h1_frac = counts[1] as f64 / n as f64;
+        assert!(
+            (0.70..0.80).contains(&h1_frac),
+            "height-1 fraction {h1_frac} outside expected band"
+        );
+        // Taller towers must be rarer.
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+    }
+
+    #[test]
+    fn different_threads_use_different_seeds() {
+        let a: Vec<usize> = (0..64).map(|_| random_height()).collect();
+        let b = std::thread::spawn(|| (0..64).map(|_| random_height()).collect::<Vec<_>>())
+            .join()
+            .unwrap();
+        // Astronomically unlikely to match if seeds differ.
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,37 @@
+//! The FloDB Memtable: a concurrent lock-free skiplist with per-entry
+//! sequence numbers and a novel *multi-insert* operation.
+//!
+//! This crate implements the second in-memory level of the FloDB
+//! architecture (§4.1 of *FloDB: Unlocking Memory in Persistent Key-Value
+//! Stores*, EuroSys 2017): a larger, sorted, concurrent data structure that
+//! is directly flushable to disk. Its distinguishing features relative to a
+//! textbook concurrent skiplist are:
+//!
+//! - **Per-entry sequence numbers** (§3.2): every entry carries the global
+//!   sequence number it was written with. Scans snapshot the global counter
+//!   and restart when they encounter a fresher entry. The sequence number
+//!   and the value are stored behind a *single* atomic pointer
+//!   ([`VersionedValue`]) so a reader can never observe a new value paired
+//!   with an old sequence number.
+//! - **In-place updates** (§3.2): re-inserting an existing key swaps the
+//!   versioned value in place instead of appending a new version, so skewed
+//!   workloads do not inflate the memory component.
+//! - **Multi-insert** (§4.3, Algorithm 1): inserting a sorted batch reuses
+//!   the search path (the predecessor array) of the previous element,
+//!   which makes draining the Membuffer into the Memtable fast when the
+//!   batch occupies a small key neighborhood.
+//! - **No concurrent removal**: by FloDB's design, entries leave the
+//!   skiplist only when the whole (immutable) Memtable is persisted and
+//!   dropped, which is what makes the lock-free multi-insert sound.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod height;
+mod iter;
+mod skiplist;
+mod value;
+
+pub use iter::SkipListIter;
+pub use skiplist::{BatchEntry, SkipList, MAX_HEIGHT};
+pub use value::VersionedValue;

@@ -1,0 +1,714 @@
+//! The concurrent lock-free skiplist with multi-insert (Algorithm 1).
+//!
+//! The structure follows the lock-free skiplist of Herlihy & Shavit [29]
+//! as simplified by FloDB's "no concurrent removal" guarantee: towers are
+//! linked bottom-up with CAS, searches are wait-free, and no node is ever
+//! unlinked while the list is alive. Replaced values are reclaimed through
+//! `crossbeam-epoch`; nodes are reclaimed wholesale when the list drops
+//! (which in FloDB happens after the immutable Memtable is persisted and a
+//! grace period has elapsed).
+
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+
+use crate::height::random_height;
+use crate::value::VersionedValue;
+
+/// Maximum tower height; with branching factor 4 this comfortably indexes
+/// billions of entries.
+pub const MAX_HEIGHT: usize = 16;
+
+/// Approximate fixed per-node overhead used for memory accounting
+/// (allocation headers, tower pointers, key/value boxes).
+const NODE_OVERHEAD: usize = 64;
+
+/// One element of a multi-insert batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEntry {
+    /// The key.
+    pub key: Box<[u8]>,
+    /// `Some(payload)` for a put, `None` for a delete tombstone.
+    pub value: Option<Box<[u8]>>,
+    /// Global sequence number assigned by the drainer.
+    pub seq: u64,
+}
+
+pub(crate) struct Node {
+    pub(crate) key: Box<[u8]>,
+    pub(crate) value: Atomic<VersionedValue>,
+    pub(crate) height: usize,
+    pub(crate) tower: Box<[Atomic<Node>]>,
+}
+
+impl Node {
+    fn new(key: Box<[u8]>, value: Owned<VersionedValue>, height: usize) -> Owned<Self> {
+        let tower = (0..height).map(|_| Atomic::null()).collect();
+        Owned::new(Self {
+            key,
+            value: Atomic::from(value),
+            height,
+            tower,
+        })
+    }
+
+    fn head() -> Owned<Self> {
+        let tower = (0..MAX_HEIGHT).map(|_| Atomic::null()).collect();
+        Owned::new(Self {
+            key: Box::new([]),
+            value: Atomic::null(),
+            height: MAX_HEIGHT,
+            tower,
+        })
+    }
+}
+
+/// A concurrent, lock-free, insert-only skiplist keyed by byte strings.
+///
+/// Supports concurrent [`SkipList::insert`], [`SkipList::multi_insert`],
+/// [`SkipList::get`] and iteration. Re-inserting an existing key replaces
+/// its [`VersionedValue`] in place, keeping whichever value carries the
+/// larger sequence number, so the structure holds exactly one version per
+/// key (FloDB's in-place update semantics, §3.2).
+///
+/// # Examples
+///
+/// ```
+/// use flodb_memtable::SkipList;
+///
+/// let list = SkipList::new();
+/// list.insert(b"b", Some(b"2"), 1);
+/// list.insert(b"a", Some(b"1"), 2);
+/// assert_eq!(list.get(b"a").unwrap().value.as_deref(), Some(&b"1"[..]));
+/// assert_eq!(list.len(), 2);
+/// ```
+pub struct SkipList {
+    head: *const Node,
+    entries: AtomicUsize,
+    bytes: AtomicIsize,
+}
+
+// SAFETY: All shared mutation goes through atomics; node and value
+// lifetimes are managed by crossbeam-epoch and the list's own Drop. The raw
+// head pointer is only written once at construction.
+unsafe impl Send for SkipList {}
+// SAFETY: See above; `&SkipList` only exposes lock-free concurrent methods.
+unsafe impl Sync for SkipList {}
+
+impl SkipList {
+    /// Creates an empty skiplist.
+    pub fn new() -> Self {
+        let guard = epoch::pin();
+        let head = Node::head().into_shared(&guard).as_raw();
+        Self {
+            head,
+            entries: AtomicUsize::new(0),
+            bytes: AtomicIsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn head_shared<'g>(&self, _guard: &'g Guard) -> Shared<'g, Node> {
+        // `head` was created from an `Owned` at construction and is freed
+        // only in `Drop`, so it is valid for the list's lifetime; tying the
+        // `Shared` to a guard lifetime keeps all uses epoch-disciplined.
+        Shared::from(self.head as *const _)
+    }
+
+    /// Returns the number of distinct keys in the list.
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// Returns whether the list contains no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the approximate memory footprint in bytes.
+    ///
+    /// Repeated in-place updates of a key do not grow this figure (beyond a
+    /// payload-size delta), which is what lets FloDB capture skewed
+    /// workloads in memory (§5.4).
+    pub fn approximate_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// Inserts or updates `key`, returning `true` if a new node was linked
+    /// and `false` if an existing entry was updated in place.
+    ///
+    /// `value == None` writes a delete tombstone. If the key already holds a
+    /// value with a *larger* sequence number, the existing value is kept:
+    /// sequence numbers, not arrival order, decide freshness.
+    pub fn insert(&self, key: &[u8], value: Option<&[u8]>, seq: u64) -> bool {
+        let guard = epoch::pin();
+        let head = self.head_shared(&guard);
+        let mut preds = [head; MAX_HEIGHT];
+        let mut succs = [head; MAX_HEIGHT];
+        let vv = Owned::new(VersionedValue {
+            seq,
+            value: value.map(Box::from),
+        });
+        self.insert_with_preds(key, vv, &mut preds, &mut succs, &guard)
+    }
+
+    /// Inserts a sorted batch, reusing the search path between consecutive
+    /// elements (the paper's multi-insert, Algorithm 1).
+    ///
+    /// The batch is sorted internally by key; callers need not pre-sort.
+    /// Returns the number of *new* nodes linked (elements that updated an
+    /// existing key in place are not counted).
+    pub fn multi_insert(&self, mut batch: Vec<BatchEntry>) -> usize {
+        batch.sort_by(|a, b| a.key.cmp(&b.key));
+        let guard = epoch::pin();
+        let head = self.head_shared(&guard);
+        // The predecessor arrays persist across elements: this is the
+        // path-reuse that makes multi-insert fast on small neighborhoods.
+        let mut preds = [head; MAX_HEIGHT];
+        let mut succs = [head; MAX_HEIGHT];
+        let mut inserted = 0;
+        for entry in batch {
+            let vv = Owned::new(VersionedValue {
+                seq: entry.seq,
+                value: entry.value,
+            });
+            if self.insert_with_preds(&entry.key, vv, &mut preds, &mut succs, &guard) {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Looks up `key`, returning a clone of its current versioned value.
+    ///
+    /// Tombstones are returned as `Some(VersionedValue { value: None, .. })`
+    /// so callers can distinguish "deleted here" from "not present".
+    pub fn get(&self, key: &[u8]) -> Option<VersionedValue> {
+        let guard = epoch::pin();
+        let mut pred = self.head_shared(&guard);
+        for level in (0..MAX_HEIGHT).rev() {
+            // SAFETY: `pred` is the head or a node reached via a validly
+            // linked tower pointer; nodes are never unlinked or freed while
+            // the list is alive.
+            let mut curr = unsafe { pred.deref() }.tower[level].load(Ordering::Acquire, &guard);
+            // SAFETY: As above; `curr` comes from a live tower pointer.
+            while let Some(c) = unsafe { curr.as_ref() } {
+                match c.key.as_ref().cmp(key) {
+                    std::cmp::Ordering::Less => {
+                        pred = curr;
+                        curr = c.tower[level].load(Ordering::Acquire, &guard);
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let v = c.value.load(Ordering::Acquire, &guard);
+                        // SAFETY: A published node's value pointer is never
+                        // null and is protected by `guard` against
+                        // reclamation after a concurrent in-place update.
+                        return Some(unsafe { v.deref() }.clone());
+                    }
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// `FindFromPreds` (Algorithm 1, lines 1-18).
+    ///
+    /// Positions `preds`/`succs` around `key` at every level, starting the
+    /// descent not from the head but from the stored predecessors of the
+    /// previous call whenever they are further along. Returns whether an
+    /// exact match was found (in which case `succs[0]` is that node).
+    fn find_from_preds<'g>(
+        &self,
+        key: &[u8],
+        preds: &mut [Shared<'g, Node>; MAX_HEIGHT],
+        succs: &mut [Shared<'g, Node>; MAX_HEIGHT],
+        guard: &'g Guard,
+    ) -> bool {
+        let head = self.head_shared(guard);
+        let mut pred = head;
+        for level in (0..MAX_HEIGHT).rev() {
+            // Jump ahead to the stored predecessor when it is strictly
+            // further along than the current one (the path-reuse core).
+            let stored = preds[level];
+            if stored != head && stored != pred {
+                // SAFETY: Stored predecessors are live nodes (never freed
+                // while the list is alive).
+                let stored_key = unsafe { stored.deref() }.key.as_ref();
+                let advance = if pred == head {
+                    true
+                } else {
+                    // SAFETY: As above.
+                    stored_key > unsafe { pred.deref() }.key.as_ref()
+                };
+                // Only usable if it is still a predecessor of `key`.
+                if advance && stored_key < key {
+                    pred = stored;
+                }
+            }
+            // SAFETY: `pred` is head or a live node.
+            let mut curr = unsafe { pred.deref() }.tower[level].load(Ordering::Acquire, guard);
+            loop {
+                // SAFETY: `curr` was read from a live tower pointer.
+                let Some(c) = (unsafe { curr.as_ref() }) else {
+                    break;
+                };
+                if c.key.as_ref() < key {
+                    pred = curr;
+                    curr = c.tower[level].load(Ordering::Acquire, guard);
+                } else {
+                    break;
+                }
+            }
+            preds[level] = pred;
+            succs[level] = curr;
+        }
+        // SAFETY: `succs[0]` is null or a live node.
+        matches!(unsafe { succs[0].as_ref() }, Some(c) if c.key.as_ref() == key)
+    }
+
+    /// Shared insert path for `insert` and `multi_insert`
+    /// (Algorithm 1, lines 24-42).
+    fn insert_with_preds<'g>(
+        &self,
+        key: &[u8],
+        vv: Owned<VersionedValue>,
+        preds: &mut [Shared<'g, Node>; MAX_HEIGHT],
+        succs: &mut [Shared<'g, Node>; MAX_HEIGHT],
+        guard: &'g Guard,
+    ) -> bool {
+        // Exactly one of `vv` / `new_node` holds the pending value at any
+        // point in the loop: the value moves into the node when it is
+        // allocated and is stolen back if the key turns out to exist.
+        let mut vv = Some(vv);
+        let mut new_node: Option<Owned<Node>> = None;
+        let mut node_bytes = 0usize;
+        loop {
+            if self.find_from_preds(key, preds, succs, guard) {
+                // Key exists: update in place (SWAP in the pseudocode).
+                let owned_vv = match new_node.take() {
+                    Some(mut node) => {
+                        let atomic = std::mem::replace(&mut node.value, Atomic::null());
+                        // SAFETY: `node` was never published, so we hold
+                        // the only pointer to its value.
+                        unsafe { atomic.into_owned() }
+                    }
+                    None => vv.take().expect("value still pending"),
+                };
+                // SAFETY: `succs[0]` is a live node (exact match).
+                let node_ref = unsafe { succs[0].deref() };
+                self.update_in_place(node_ref, owned_vv, guard);
+                return false;
+            }
+
+            let node = match new_node.take() {
+                Some(n) => n,
+                None => {
+                    let owned_vv = vv.take().expect("value still pending");
+                    let height = random_height();
+                    node_bytes =
+                        key.len() + owned_vv.payload_len() + NODE_OVERHEAD + 8 * height;
+                    Node::new(Box::from(key), owned_vv, height)
+                }
+            };
+            let height = node.height;
+
+            // Point the new tower at the successors before publishing.
+            for (level, succ) in succs.iter().enumerate().take(height) {
+                node.tower[level].store(*succ, Ordering::Relaxed);
+            }
+
+            // Publish at level 0; this is the linearization point.
+            // SAFETY: `preds[0]` is head or a live node.
+            let pred0 = unsafe { preds[0].deref() };
+            match pred0.tower[0].compare_exchange(
+                succs[0],
+                node,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+                guard,
+            ) {
+                Ok(node_shared) => {
+                    self.entries.fetch_add(1, Ordering::Relaxed);
+                    self.bytes.fetch_add(node_bytes as isize, Ordering::Relaxed);
+                    self.link_upper_levels(key, node_shared, height, preds, succs, guard);
+                    return true;
+                }
+                Err(e) => {
+                    // Another insert got there first; keep the allocated
+                    // node and retry with a fresh view.
+                    new_node = Some(e.new);
+                }
+            }
+        }
+    }
+
+    /// Links levels `1..height` of a freshly published node.
+    fn link_upper_levels<'g>(
+        &self,
+        key: &[u8],
+        node_shared: Shared<'g, Node>,
+        height: usize,
+        preds: &mut [Shared<'g, Node>; MAX_HEIGHT],
+        succs: &mut [Shared<'g, Node>; MAX_HEIGHT],
+        guard: &'g Guard,
+    ) {
+        // SAFETY: The node was just published and is never reclaimed while
+        // the list is alive.
+        let node_ref = unsafe { node_shared.deref() };
+        for level in 1..height {
+            loop {
+                // SAFETY: `preds[level]` is head or a live node.
+                let pred = unsafe { preds[level].deref() };
+                if pred.tower[level]
+                    .compare_exchange(
+                        succs[level],
+                        node_shared,
+                        Ordering::SeqCst,
+                        Ordering::Acquire,
+                        guard,
+                    )
+                    .is_ok()
+                {
+                    break;
+                }
+                // Competing inserts moved the neighborhood: refresh the
+                // view and retarget this level (Algorithm 1, line 41).
+                self.find_from_preds(key, preds, succs, guard);
+                if succs[level] == node_shared {
+                    // Already linked at this level by a competing retry.
+                    break;
+                }
+                node_ref.tower[level].store(succs[level], Ordering::Release);
+            }
+        }
+    }
+
+    /// CAS loop replacing a node's value if the incoming one is as fresh or
+    /// fresher (by sequence number).
+    fn update_in_place<'g>(&self, node: &Node, mut vv: Owned<VersionedValue>, guard: &'g Guard) {
+        loop {
+            let cur = node.value.load(Ordering::Acquire, guard);
+            // SAFETY: Published nodes always hold a non-null value, and
+            // `guard` protects it from reclamation.
+            let cur_ref = unsafe { cur.deref() };
+            if cur_ref.seq > vv.seq {
+                // The resident value is fresher; drop ours.
+                return;
+            }
+            let delta = vv.payload_len() as isize - cur_ref.payload_len() as isize;
+            match node
+                .value
+                .compare_exchange(cur, vv, Ordering::SeqCst, Ordering::Acquire, guard)
+            {
+                Ok(_) => {
+                    self.bytes.fetch_add(delta, Ordering::Relaxed);
+                    // SAFETY: `cur` has been unlinked by the successful CAS
+                    // and can be reclaimed after a grace period.
+                    unsafe { guard.defer_destroy(cur) };
+                    return;
+                }
+                Err(e) => vv = e.new,
+            }
+        }
+    }
+
+    pub(crate) fn head_raw(&self) -> *const Node {
+        self.head
+    }
+}
+
+impl Default for SkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for SkipList {
+    fn drop(&mut self) {
+        // SAFETY: We have exclusive access (`&mut self`); no guards can be
+        // active on this list, so walking and freeing without protection is
+        // sound. Values replaced earlier were handed to the epoch collector
+        // and are freed independently.
+        unsafe {
+            let guard = epoch::unprotected();
+            let head = Shared::<'_, Node>::from(self.head as *const _);
+            let mut curr = head.deref().tower[0].load(Ordering::Relaxed, guard);
+            drop(head.into_owned());
+            while let Some(node) = curr.as_ref() {
+                let next = node.tower[0].load(Ordering::Relaxed, guard);
+                let value = node.value.load(Ordering::Relaxed, guard);
+                if !value.is_null() {
+                    drop(value.into_owned());
+                }
+                drop(curr.into_owned());
+                curr = next;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SkipList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkipList")
+            .field("entries", &self.len())
+            .field("approx_bytes", &self.approximate_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+    use std::thread;
+
+    use super::*;
+
+    fn k(n: u64) -> Box<[u8]> {
+        Box::new(n.to_be_bytes())
+    }
+
+    #[test]
+    fn empty_list() {
+        let l = SkipList::new();
+        assert!(l.is_empty());
+        assert_eq!(l.get(b"missing"), None);
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let l = SkipList::new();
+        assert!(l.insert(b"a", Some(b"1"), 1));
+        assert!(l.insert(b"b", Some(b"2"), 2));
+        assert_eq!(l.get(b"a").unwrap().value.as_deref(), Some(&b"1"[..]));
+        assert_eq!(l.get(b"b").unwrap().seq, 2);
+        assert_eq!(l.get(b"c"), None);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn in_place_update_keeps_len_and_freshest() {
+        let l = SkipList::new();
+        assert!(l.insert(b"k", Some(b"old"), 1));
+        assert!(!l.insert(b"k", Some(b"new"), 2));
+        assert_eq!(l.len(), 1);
+        let v = l.get(b"k").unwrap();
+        assert_eq!(v.value.as_deref(), Some(&b"new"[..]));
+        assert_eq!(v.seq, 2);
+
+        // A stale write (smaller seq) must not clobber a fresher value.
+        assert!(!l.insert(b"k", Some(b"stale"), 1));
+        assert_eq!(l.get(b"k").unwrap().value.as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn tombstones_are_stored() {
+        let l = SkipList::new();
+        l.insert(b"k", Some(b"v"), 1);
+        l.insert(b"k", None, 2);
+        let v = l.get(b"k").unwrap();
+        assert!(v.is_tombstone());
+        assert_eq!(v.seq, 2);
+    }
+
+    #[test]
+    fn ordered_after_random_inserts() {
+        let l = SkipList::new();
+        let mut model = BTreeMap::new();
+        // Deterministic pseudo-random order.
+        let mut x = 12345u64;
+        for i in 0..2000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = x % 500;
+            l.insert(&k(key), Some(&i.to_be_bytes()), i + 1);
+            model.insert(key, i + 1);
+        }
+        assert_eq!(l.len(), model.len());
+        for (key, seq) in model {
+            assert_eq!(l.get(&k(key)).unwrap().seq, seq);
+        }
+    }
+
+    #[test]
+    fn multi_insert_sorts_and_inserts() {
+        let l = SkipList::new();
+        let batch = vec![
+            BatchEntry { key: k(3), value: Some(Box::from(&b"3"[..])), seq: 1 },
+            BatchEntry { key: k(1), value: Some(Box::from(&b"1"[..])), seq: 2 },
+            BatchEntry { key: k(2), value: None, seq: 3 },
+        ];
+        assert_eq!(l.multi_insert(batch), 3);
+        assert_eq!(l.len(), 3);
+        assert!(l.get(&k(2)).unwrap().is_tombstone());
+    }
+
+    #[test]
+    fn multi_insert_updates_existing_in_place() {
+        let l = SkipList::new();
+        l.insert(&k(1), Some(b"old"), 1);
+        let batch = vec![
+            BatchEntry { key: k(1), value: Some(Box::from(&b"new"[..])), seq: 5 },
+            BatchEntry { key: k(2), value: Some(Box::from(&b"two"[..])), seq: 6 },
+        ];
+        assert_eq!(l.multi_insert(batch), 1);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.get(&k(1)).unwrap().value.as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn multi_insert_duplicate_keys_in_batch() {
+        let l = SkipList::new();
+        let batch = vec![
+            BatchEntry { key: k(1), value: Some(Box::from(&b"a"[..])), seq: 1 },
+            BatchEntry { key: k(1), value: Some(Box::from(&b"b"[..])), seq: 2 },
+        ];
+        assert_eq!(l.multi_insert(batch), 1);
+        // The larger sequence number wins.
+        assert_eq!(l.get(&k(1)).unwrap().value.as_deref(), Some(&b"b"[..]));
+    }
+
+    #[test]
+    fn multi_insert_equivalent_to_single_inserts() {
+        let single = SkipList::new();
+        let multi = SkipList::new();
+        let mut batch = Vec::new();
+        let mut x = 999u64;
+        for i in 0..500u64 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let key = x % 200;
+            single.insert(&k(key), Some(&i.to_be_bytes()), i + 1);
+            batch.push(BatchEntry {
+                key: k(key),
+                value: Some(Box::from(i.to_be_bytes().as_slice())),
+                seq: i + 1,
+            });
+        }
+        multi.multi_insert(batch);
+        assert_eq!(single.len(), multi.len());
+        for key in 0..200u64 {
+            assert_eq!(single.get(&k(key)), multi.get(&k(key)), "key {key}");
+        }
+    }
+
+    #[test]
+    fn bytes_accounting_does_not_grow_on_updates() {
+        let l = SkipList::new();
+        l.insert(&k(1), Some(&[0u8; 100]), 1);
+        let after_first = l.approximate_bytes();
+        for seq in 2..100 {
+            l.insert(&k(1), Some(&[0u8; 100]), seq);
+        }
+        assert_eq!(l.approximate_bytes(), after_first);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let l = Arc::new(SkipList::new());
+        let threads = 4;
+        let per = 2000u64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let l = Arc::clone(&l);
+            handles.push(thread::spawn(move || {
+                for i in 0..per {
+                    let key = t * per + i;
+                    assert!(l.insert(&k(key), Some(&key.to_be_bytes()), key + 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.len(), (threads * per) as usize);
+        for key in 0..threads * per {
+            let v = l.get(&k(key)).unwrap();
+            assert_eq!(v.value.as_deref(), Some(key.to_be_bytes().as_slice()));
+        }
+    }
+
+    #[test]
+    fn concurrent_same_key_inserts_keep_one_node() {
+        let l = Arc::new(SkipList::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let l = Arc::clone(&l);
+            handles.push(thread::spawn(move || {
+                for i in 0..1000u64 {
+                    l.insert(&k(7), Some(&i.to_be_bytes()), t * 1000 + i + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.len(), 1);
+        // The surviving value must carry the globally largest seq.
+        assert_eq!(l.get(&k(7)).unwrap().seq, 4000);
+    }
+
+    #[test]
+    fn concurrent_multi_inserts() {
+        let l = Arc::new(SkipList::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let l = Arc::clone(&l);
+            handles.push(thread::spawn(move || {
+                for round in 0..20u64 {
+                    let batch: Vec<BatchEntry> = (0..50)
+                        .map(|i| {
+                            let key = (t * 20 + round) * 50 + i;
+                            BatchEntry {
+                                key: k(key),
+                                value: Some(Box::from(key.to_be_bytes().as_slice())),
+                                seq: key + 1,
+                            }
+                        })
+                        .collect();
+                    assert_eq!(l.multi_insert(batch), 50);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.len(), 4 * 20 * 50);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let l = Arc::new(SkipList::new());
+        for key in 0..100u64 {
+            l.insert(&k(key), Some(&0u64.to_be_bytes()), 1);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let l = Arc::clone(&l);
+            let stop = Arc::clone(&stop);
+            handles.push(thread::spawn(move || {
+                let mut reads = 0u64;
+                // At least one full pass, even if the writer already
+                // finished (slow-scheduler robustness).
+                loop {
+                    for key in 0..100u64 {
+                        let v = l.get(&k(key)).unwrap();
+                        assert!(!v.is_tombstone());
+                        reads += 1;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                reads
+            }));
+        }
+        for seq in 2..2000u64 {
+            l.insert(&k(seq % 100), Some(&seq.to_be_bytes()), seq);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            assert!(h.join().unwrap() > 0);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Versioned values: a (sequence number, value-or-tombstone) pair stored
+//! behind a single atomic pointer.
+
+/// A value together with the sequence number it was written at.
+///
+/// The paper's Algorithm 3 detects scan/update races by comparing an entry's
+/// sequence number against the scan's snapshot. Storing the pair in one
+/// heap allocation and swapping a single pointer makes the (value, seq)
+/// update atomic: a concurrent reader either sees the old pair or the new
+/// pair, never a mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// Global sequence number assigned when this value was written.
+    pub seq: u64,
+    /// The payload; `None` is a delete tombstone.
+    pub value: Option<Box<[u8]>>,
+}
+
+impl VersionedValue {
+    /// Creates a put value.
+    pub fn put(seq: u64, value: impl Into<Box<[u8]>>) -> Self {
+        Self {
+            seq,
+            value: Some(value.into()),
+        }
+    }
+
+    /// Creates a delete tombstone.
+    pub fn tombstone(seq: u64) -> Self {
+        Self { seq, value: None }
+    }
+
+    /// Returns whether this is a tombstone.
+    pub fn is_tombstone(&self) -> bool {
+        self.value.is_none()
+    }
+
+    /// Returns the payload length in bytes (0 for tombstones).
+    pub fn payload_len(&self) -> usize {
+        self.value.as_deref().map_or(0, <[u8]>::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_tombstone() {
+        let v = VersionedValue::put(3, vec![1u8, 2]);
+        assert!(!v.is_tombstone());
+        assert_eq!(v.payload_len(), 2);
+        assert_eq!(v.seq, 3);
+
+        let t = VersionedValue::tombstone(4);
+        assert!(t.is_tombstone());
+        assert_eq!(t.payload_len(), 0);
+    }
+}

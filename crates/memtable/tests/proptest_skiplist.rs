@@ -1,0 +1,118 @@
+//! Property-based tests: the skiplist must behave like a reference
+//! `BTreeMap` that keeps, per key, the value with the largest sequence
+//! number.
+
+use std::collections::BTreeMap;
+
+use flodb_memtable::{BatchEntry, SkipList};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u8, value: u8 },
+    Delete { key: u8 },
+    MultiInsert { pairs: Vec<(u8, u8)> },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(key, value)| Op::Insert { key, value }),
+        any::<u8>().prop_map(|key| Op::Delete { key }),
+        proptest::collection::vec((any::<u8>(), any::<u8>()), 1..8)
+            .prop_map(|pairs| Op::MultiInsert { pairs }),
+    ]
+}
+
+fn k(key: u8) -> Box<[u8]> {
+    Box::new([key])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Sequential operations on the skiplist match a model map.
+    #[test]
+    fn matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let list = SkipList::new();
+        // Model: key -> (seq, Option<value>).
+        let mut model: BTreeMap<u8, (u64, Option<u8>)> = BTreeMap::new();
+        let mut seq = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Insert { key, value } => {
+                    seq += 1;
+                    list.insert(&k(key), Some(&[value]), seq);
+                    model.insert(key, (seq, Some(value)));
+                }
+                Op::Delete { key } => {
+                    seq += 1;
+                    list.insert(&k(key), None, seq);
+                    model.insert(key, (seq, None));
+                }
+                Op::MultiInsert { pairs } => {
+                    let mut batch = Vec::new();
+                    for (key, value) in pairs {
+                        seq += 1;
+                        batch.push(BatchEntry {
+                            key: k(key),
+                            value: Some(Box::from([value].as_slice())),
+                            seq,
+                        });
+                        // The batch is applied with per-element seqs; the
+                        // largest seq per key wins, matching sort order
+                        // stability in the list.
+                        let entry = model.entry(key).or_insert((0, None));
+                        if seq >= entry.0 {
+                            *entry = (seq, Some(value));
+                        }
+                    }
+                    list.multi_insert(batch);
+                }
+            }
+        }
+
+        prop_assert_eq!(list.len(), model.len());
+        for (key, (mseq, mval)) in &model {
+            let got = list.get(&k(*key)).expect("model key must exist");
+            prop_assert_eq!(got.seq, *mseq);
+            let expected: Option<Box<[u8]>> = mval.map(|v| Box::from([v].as_slice()));
+            prop_assert_eq!(got.value, expected);
+        }
+        // Iteration order must equal the model's sorted key order.
+        let collected = list.collect_entries();
+        let keys: Vec<u8> = collected.iter().map(|(key, _)| key[0]).collect();
+        let model_keys: Vec<u8> = model.keys().copied().collect();
+        prop_assert_eq!(keys, model_keys);
+    }
+
+    /// Iteration is always sorted and deduplicated, whatever the inserts.
+    #[test]
+    fn iteration_sorted_unique(keys in proptest::collection::vec(any::<u16>(), 1..300)) {
+        let list = SkipList::new();
+        for (i, key) in keys.iter().enumerate() {
+            list.insert(&key.to_be_bytes(), Some(b"v"), i as u64 + 1);
+        }
+        let entries = list.collect_entries();
+        for window in entries.windows(2) {
+            prop_assert!(window[0].0 < window[1].0, "unsorted or duplicate keys");
+        }
+    }
+
+    /// Multi-insert and a sequence of single inserts are observationally
+    /// equivalent.
+    #[test]
+    fn multi_insert_equivalence(pairs in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..60)) {
+        let single = SkipList::new();
+        let multi = SkipList::new();
+        let mut batch = Vec::new();
+        for (i, (key, value)) in pairs.iter().enumerate() {
+            let seq = i as u64 + 1;
+            single.insert(&k(*key), Some(&[*value]), seq);
+            batch.push(BatchEntry { key: k(*key), value: Some(Box::from([*value].as_slice())), seq });
+        }
+        multi.multi_insert(batch);
+        prop_assert_eq!(single.len(), multi.len());
+        prop_assert_eq!(single.collect_entries(), multi.collect_entries());
+    }
+}

@@ -1,0 +1,185 @@
+//! Data blocks: the unit of I/O inside an SSTable.
+//!
+//! A block is a run of consecutive [`Record`]s in `(key asc, seq desc)`
+//! order, targeted at a few kilobytes. A key may repeat with decreasing
+//! sequence numbers — multi-versioned memtables flush *every* version,
+//! like LevelDB's internal keys — and lookups return the freshest (first)
+//! record of a run. Blocks are read whole; lookups scan forward (at 4 KiB
+//! a linear scan is cache-resident and branch-predictable, so the restart
+//! array LevelDB uses is omitted).
+
+use crate::error::Result;
+use crate::record::Record;
+
+/// Builds one block by appending records in key order.
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    count: u32,
+    first_key: Option<Box<[u8]>>,
+    last_key: Option<Box<[u8]>>,
+}
+
+impl BlockBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that keys arrive in non-decreasing order.
+    pub fn add(&mut self, record: &Record) {
+        debug_assert!(
+            self.last_key.as_deref().map_or(true, |k| k <= &*record.key),
+            "records must be added in non-decreasing key order"
+        );
+        if self.first_key.is_none() {
+            self.first_key = Some(record.key.clone());
+        }
+        self.last_key = Some(record.key.clone());
+        record.encode_into(&mut self.buf);
+        self.count += 1;
+    }
+
+    /// Current serialized size in bytes.
+    pub fn size(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Number of records added.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Returns whether no records were added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// First key in the block, if any.
+    pub fn first_key(&self) -> Option<&[u8]> {
+        self.first_key.as_deref()
+    }
+
+    /// Serializes the block and resets the builder.
+    pub fn finish(&mut self) -> Vec<u8> {
+        self.first_key = None;
+        self.last_key = None;
+        self.count = 0;
+        std::mem::take(&mut self.buf)
+    }
+}
+
+/// A decoded block: records in key order.
+#[derive(Debug)]
+pub struct Block {
+    records: Vec<Record>,
+}
+
+impl Block {
+    /// Decodes a serialized block.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let mut records = Vec::new();
+        let mut pos = 0;
+        while pos < data.len() {
+            records.push(Record::decode_from(data, &mut pos)?);
+        }
+        Ok(Self { records })
+    }
+
+    /// Returns the freshest record for `key`, if present.
+    ///
+    /// Within a key's run records are ordered newest-first, so the first
+    /// record at or past the lower bound is the freshest version.
+    pub fn get(&self, key: &[u8]) -> Option<&Record> {
+        let i = self.lower_bound(key);
+        self.records
+            .get(i)
+            .filter(|r| r.key.as_ref() == key)
+    }
+
+    /// Returns the index of the first record with `key >= target`.
+    pub fn lower_bound(&self, target: &[u8]) -> usize {
+        self.records.partition_point(|r| r.key.as_ref() < target)
+    }
+
+    /// Returns all records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Consumes the block, returning its records.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(k: u64, v: u64) -> Record {
+        Record::put(k.to_be_bytes().as_slice(), v, v.to_be_bytes().as_slice())
+    }
+
+    #[test]
+    fn build_and_decode() {
+        let mut b = BlockBuilder::new();
+        for i in 0..100u64 {
+            b.add(&record(i, i * 2));
+        }
+        assert_eq!(b.count(), 100);
+        assert_eq!(b.first_key(), Some(0u64.to_be_bytes().as_slice()));
+        let data = b.finish();
+        assert!(b.is_empty(), "finish must reset the builder");
+
+        let block = Block::decode(&data).unwrap();
+        assert_eq!(block.records().len(), 100);
+        let got = block.get(&50u64.to_be_bytes()).unwrap();
+        assert_eq!(got.seq, 100);
+    }
+
+    #[test]
+    fn get_missing_key() {
+        let mut b = BlockBuilder::new();
+        b.add(&record(1, 1));
+        b.add(&record(3, 3));
+        let block = Block::decode(&b.finish()).unwrap();
+        assert!(block.get(&2u64.to_be_bytes()).is_none());
+    }
+
+    #[test]
+    fn lower_bound_positions() {
+        let mut b = BlockBuilder::new();
+        for i in [10u64, 20, 30] {
+            b.add(&record(i, i));
+        }
+        let block = Block::decode(&b.finish()).unwrap();
+        assert_eq!(block.lower_bound(&5u64.to_be_bytes()), 0);
+        assert_eq!(block.lower_bound(&10u64.to_be_bytes()), 0);
+        assert_eq!(block.lower_bound(&15u64.to_be_bytes()), 1);
+        assert_eq!(block.lower_bound(&35u64.to_be_bytes()), 3);
+    }
+
+    #[test]
+    fn tombstones_roundtrip_through_blocks() {
+        let mut b = BlockBuilder::new();
+        b.add(&Record::tombstone(1u64.to_be_bytes().as_slice(), 9));
+        let block = Block::decode(&b.finish()).unwrap();
+        let r = block.get(&1u64.to_be_bytes()).unwrap();
+        assert!(r.is_tombstone());
+        assert_eq!(r.seq, 9);
+    }
+
+    #[test]
+    fn corrupt_block_fails_cleanly() {
+        let mut b = BlockBuilder::new();
+        b.add(&record(1, 1));
+        let mut data = b.finish();
+        data.truncate(data.len() - 1);
+        assert!(Block::decode(&data).is_err());
+    }
+}

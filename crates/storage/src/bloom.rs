@@ -1,0 +1,145 @@
+//! Bloom filters for SSTables.
+//!
+//! LevelDB-style: a fixed number of bits per key, with `k` probe positions
+//! derived by double hashing. Bloom filters let point reads skip tables
+//! that cannot contain the key, which is what keeps FloDB's read path
+//! competitive despite a mostly-disk-resident dataset (§5.2, Figure 10).
+
+/// A serializable bloom filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bloom {
+    bits: Vec<u8>,
+    k: u32,
+}
+
+fn bloom_hash(key: &[u8]) -> u64 {
+    // 64-bit FNV-1a; the upper and lower halves seed double hashing.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+impl Bloom {
+    /// Builds a filter over `keys` with `bits_per_key` bits of budget each.
+    pub fn build<'a>(keys: impl Iterator<Item = &'a [u8]>, n_keys: usize, bits_per_key: usize) -> Self {
+        // k = bits_per_key * ln2 rounded, clamped to a sane range.
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        let nbits = (n_keys * bits_per_key).max(64);
+        let nbytes = (nbits + 7) / 8;
+        let nbits = nbytes * 8;
+        let mut bits = vec![0u8; nbytes];
+        for key in keys {
+            let h = bloom_hash(key);
+            let mut acc = h;
+            let delta = h.rotate_left(17) | 1;
+            for _ in 0..k {
+                let bit = (acc % nbits as u64) as usize;
+                bits[bit / 8] |= 1 << (bit % 8);
+                acc = acc.wrapping_add(delta);
+            }
+        }
+        Self { bits, k }
+    }
+
+    /// Returns `false` only if `key` was definitely not inserted.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        if self.bits.is_empty() {
+            return true;
+        }
+        let nbits = self.bits.len() * 8;
+        let h = bloom_hash(key);
+        let mut acc = h;
+        let delta = h.rotate_left(17) | 1;
+        for _ in 0..self.k {
+            let bit = (acc % nbits as u64) as usize;
+            if self.bits[bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            acc = acc.wrapping_add(delta);
+        }
+        true
+    }
+
+    /// Serializes the filter (`bits ++ k_byte`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.bits.clone();
+        out.push(self.k as u8);
+        out
+    }
+
+    /// Deserializes a filter produced by [`Bloom::encode`].
+    pub fn decode(data: &[u8]) -> Self {
+        if data.is_empty() {
+            return Self { bits: Vec::new(), k: 1 };
+        }
+        let (bits, k) = data.split_at(data.len() - 1);
+        Self {
+            bits: bits.to_vec(),
+            k: u32::from(k[0]).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| (i as u64).to_be_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let ks = keys(10_000);
+        let bloom = Bloom::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
+        for k in &ks {
+            assert!(bloom.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let ks = keys(10_000);
+        let bloom = Bloom::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
+        let mut fp = 0;
+        let probes = 10_000;
+        for i in 0..probes {
+            let absent = (1_000_000u64 + i).to_be_bytes();
+            if bloom.may_contain(&absent) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        // 10 bits/key gives ~1% theoretical; allow 3%.
+        assert!(rate < 0.03, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ks = keys(100);
+        let bloom = Bloom::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
+        let decoded = Bloom::decode(&bloom.encode());
+        assert_eq!(bloom, decoded);
+        for k in &ks {
+            assert!(decoded.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn empty_filter_admits_everything() {
+        let bloom = Bloom::decode(&[]);
+        assert!(bloom.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn zero_keys_filter_is_valid() {
+        let bloom = Bloom::build(std::iter::empty(), 0, 10);
+        // May return either way, but must not panic.
+        let _ = bloom.may_contain(b"x");
+        let decoded = Bloom::decode(&bloom.encode());
+        let _ = decoded.may_contain(b"x");
+    }
+}

@@ -1,0 +1,643 @@
+//! The disk component: flushes, point reads, range scans, compaction.
+//!
+//! [`DiskComponent`] glues the substrate together the way LevelDB does:
+//! memtable flushes become L0 tables, reads walk the leveled hierarchy
+//! newest-to-oldest, scans k-way-merge every overlapping file, and a
+//! compaction step keeps level budgets in shape. All five stores in this
+//! repository (FloDB and the four baselines) persist through this one
+//! component, mirroring the paper's control: "we keep the persisting and
+//! compaction mechanisms of LevelDB" (§4).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::compaction::{pick_compaction, run_compaction, CompactionConfig};
+use crate::env::Env;
+use crate::error::Result;
+use crate::manifest;
+use crate::record::Record;
+use crate::sstable::{table_file_name, TableBuilder};
+use crate::table_cache::{GlobalLockTableCache, ShardedTableCache, TableCache};
+use crate::version::{FileMeta, Version, VersionEdit, VersionSet, NUM_LEVELS};
+
+/// Options for a [`DiskComponent`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiskOptions {
+    /// Leveled-compaction tunables.
+    pub compaction: CompactionConfig,
+    /// Open-table cache capacity (total handles).
+    pub cache_capacity: usize,
+    /// Use the sharded (concurrent) table cache; `false` reproduces the
+    /// LevelDB global-lock fd-cache the baselines contend on.
+    pub sharded_cache: bool,
+    /// Shard count for the sharded cache.
+    pub cache_shards: usize,
+    /// Log version edits to a MANIFEST so [`DiskComponent::open`] can
+    /// reconstruct the file layout after a restart (LevelDB behaviour).
+    /// [`DiskComponent::new`] ignores this and never writes a manifest.
+    pub manifest: bool,
+}
+
+impl Default for DiskOptions {
+    fn default() -> Self {
+        Self {
+            compaction: CompactionConfig::default(),
+            cache_capacity: 256,
+            sharded_cache: true,
+            cache_shards: 16,
+            manifest: true,
+        }
+    }
+}
+
+/// Counters exposed by [`DiskComponent::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct DiskStats {
+    /// Number of memtable flushes performed.
+    pub flushes: u64,
+    /// Number of compactions performed.
+    pub compactions: u64,
+    /// Files per level.
+    pub files_per_level: Vec<usize>,
+    /// Bytes per level.
+    pub bytes_per_level: Vec<u64>,
+    /// Total bytes written through the env (write amplification numerator).
+    pub env_bytes_written: u64,
+    /// Table cache hits/misses.
+    pub cache_hits: u64,
+    /// Table cache misses.
+    pub cache_misses: u64,
+}
+
+/// The on-disk half of an LSM store.
+pub struct DiskComponent {
+    env: Arc<dyn Env>,
+    versions: VersionSet,
+    cache: Arc<dyn TableCache>,
+    opts: DiskOptions,
+    /// Serializes compactions (flushes may proceed concurrently).
+    compaction_lock: Mutex<()>,
+    /// Orders manifest appends with their version-set application.
+    manifest: Option<Mutex<manifest::ManifestWriter>>,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl DiskComponent {
+    /// Creates an empty, *ephemeral* disk component on `env`: no manifest
+    /// is read or written, so the layout is lost when the component drops.
+    /// Use [`DiskComponent::open`] for a persistent store.
+    pub fn new(env: Arc<dyn Env>, opts: DiskOptions) -> Self {
+        Self::build(env, opts, None)
+    }
+
+    /// Opens a disk component on `env`, recovering the file layout from
+    /// the newest manifest generation if one exists, then starting a fresh
+    /// generation (when `opts.manifest` is set) and deleting obsolete
+    /// manifests and orphaned tables.
+    pub fn open(env: Arc<dyn Env>, opts: DiskOptions) -> Result<Self> {
+        let recovered = manifest::recover(env.as_ref())?;
+        let component = Self::build(Arc::clone(&env), opts, None);
+        let mut generation = 0;
+        if let Some(r) = recovered {
+            for edit in &r.edits {
+                component.versions.apply(edit)?;
+            }
+            component.versions.bump_file_number(r.next_file);
+            generation = r.generation;
+        }
+        let component = if opts.manifest {
+            // Start a fresh generation seeded with a snapshot of the live
+            // layout, so older generations become redundant.
+            let mut writer = manifest::ManifestWriter::create(env.as_ref(), generation + 1)?;
+            let version = component.versions.current();
+            let mut snapshot = VersionEdit::default();
+            for (level, files) in version.levels.iter().enumerate() {
+                for file in files {
+                    snapshot.add(level, file.meta.clone());
+                }
+            }
+            writer.append(&snapshot, component.versions.peek_file_number())?;
+            manifest::prune_old_generations(env.as_ref(), generation + 1)?;
+            Self {
+                manifest: Some(Mutex::new(writer)),
+                ..component
+            }
+        } else {
+            component
+        };
+        component.remove_orphaned_tables()?;
+        Ok(component)
+    }
+
+    fn build(env: Arc<dyn Env>, opts: DiskOptions, manifest: Option<Mutex<manifest::ManifestWriter>>) -> Self {
+        let cache: Arc<dyn TableCache> = if opts.sharded_cache {
+            Arc::new(ShardedTableCache::new(
+                Arc::clone(&env),
+                opts.cache_capacity,
+                opts.cache_shards,
+            ))
+        } else {
+            Arc::new(GlobalLockTableCache::new(
+                Arc::clone(&env),
+                opts.cache_capacity,
+            ))
+        };
+        Self {
+            env,
+            versions: VersionSet::new(),
+            cache,
+            opts,
+            compaction_lock: Mutex::new(()),
+            manifest,
+            flushes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        }
+    }
+
+    /// Deletes `.sst` files not referenced by the current version (e.g.
+    /// written by a flush whose manifest record never made it to disk).
+    fn remove_orphaned_tables(&self) -> Result<()> {
+        let version = self.versions.current();
+        let live: std::collections::HashSet<u64> = version
+            .levels
+            .iter()
+            .flatten()
+            .map(|f| f.number)
+            .collect();
+        for name in self.env.list()? {
+            if let Some(number) = name
+                .strip_suffix(".sst")
+                .and_then(|stem| stem.parse::<u64>().ok())
+            {
+                if !live.contains(&number) {
+                    self.env.delete(&name)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies `edit` to the version set and, when a manifest is active,
+    /// logs it in the same order.
+    fn apply_edit(
+        &self,
+        edit: &VersionEdit,
+    ) -> Result<(Arc<Version>, Vec<Arc<crate::version::FileHandle>>)> {
+        match &self.manifest {
+            Some(writer) => {
+                let mut writer = writer.lock();
+                let applied = self.versions.apply(edit)?;
+                writer.append(edit, self.versions.peek_file_number())?;
+                Ok(applied)
+            }
+            None => self.versions.apply(edit),
+        }
+    }
+
+    /// Returns the current version snapshot.
+    pub fn version(&self) -> Arc<Version> {
+        self.versions.current()
+    }
+
+    /// Largest sequence number persisted in any live table.
+    ///
+    /// A store reopening this component must resume its global sequence
+    /// counter past this value, or fresh writes would lose seq-based
+    /// merges against recovered disk records.
+    pub fn max_persisted_seq(&self) -> u64 {
+        self.versions
+            .current()
+            .levels
+            .iter()
+            .flatten()
+            .map(|f| f.largest_seq)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns the environment (shared with WALs and tests).
+    pub fn env(&self) -> &Arc<dyn Env> {
+        &self.env
+    }
+
+    /// Flushes a run of records into one or more L0 tables.
+    ///
+    /// Records need not be pre-sorted (the hash-memtable baselines flush
+    /// unsorted data and pay the sort here, reproducing Figure 4's
+    /// compaction-time penalty). Duplicate keys are kept as a
+    /// newest-first version run — LevelDB flushes *every* version it
+    /// holds, which is exactly the write amplification that prevents
+    /// multi-versioned stores from capturing skewed workloads (Figure 16);
+    /// versions collapse later, during compaction.
+    pub fn flush_records(&self, mut records: Vec<Record>) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        records.sort_by(|a, b| a.key.cmp(&b.key).then(b.seq.cmp(&a.seq)));
+
+        let mut edit = VersionEdit::default();
+        let mut builder: Option<(u64, TableBuilder)> = None;
+        for record in &records {
+            if builder.is_none() {
+                let number = self.versions.new_file_number();
+                let file = self.env.new_writable(&table_file_name(number))?;
+                builder = Some((
+                    number,
+                    TableBuilder::new(
+                        file,
+                        self.opts.compaction.block_bytes,
+                        self.opts.compaction.bloom_bits_per_key,
+                    ),
+                ));
+            }
+            let (_, b) = builder.as_mut().expect("just ensured");
+            b.add(record)?;
+            if b.file_size() >= self.opts.compaction.target_file_bytes {
+                let (number, b) = builder.take().expect("present");
+                let meta = b.finish()?;
+                edit.add(0, file_meta(number, meta));
+            }
+        }
+        if let Some((number, b)) = builder.take() {
+            let meta = b.finish()?;
+            edit.add(0, file_meta(number, meta));
+        }
+        self.apply_edit(&edit)?;
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Point lookup: returns the freshest on-disk record for `key`
+    /// (including tombstones) or `None`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Record>> {
+        let version = self.versions.current();
+        let mut best_l0: Option<Record> = None;
+        for (level, file) in version.files_for_key(key) {
+            let table = self.cache.get(file.number)?;
+            if let Some(record) = table.get(key)? {
+                if level == 0 {
+                    // L0 files overlap; keep searching L0 for a fresher seq.
+                    if best_l0.as_ref().map_or(true, |b| record.seq > b.seq) {
+                        best_l0 = Some(record);
+                    }
+                } else {
+                    // Deeper levels are strictly older than any L0 hit.
+                    return Ok(best_l0.or(Some(record)));
+                }
+            } else if level != 0 && best_l0.is_some() {
+                return Ok(best_l0);
+            }
+        }
+        Ok(best_l0)
+    }
+
+    /// Range scan over `[low, high]` (inclusive): freshest record per key,
+    /// in key order, tombstones included so the caller can shadow.
+    pub fn scan(&self, low: &[u8], high: &[u8]) -> Result<Vec<Record>> {
+        let version = self.versions.current();
+        let mut iters = Vec::new();
+        for level in 0..NUM_LEVELS {
+            for file in version.overlapping(level, low, high) {
+                let table = self.cache.get(file.number)?;
+                let mut it = table.iter();
+                it.seek(low)?;
+                if it.valid() {
+                    iters.push(it);
+                }
+            }
+        }
+        let mut cursor = crate::compaction::MergeCursor::new(iters);
+        let mut out = Vec::new();
+        while let Some(record) = cursor.next_merged()? {
+            if record.key.as_ref() > high {
+                break;
+            }
+            out.push(record);
+        }
+        Ok(out)
+    }
+
+    /// Runs at most one compaction step; returns whether one ran.
+    pub fn maybe_compact(&self) -> Result<bool> {
+        let _guard = self.compaction_lock.lock();
+        let version = self.versions.current();
+        let Some(job) = pick_compaction(&version, &self.opts.compaction) else {
+            return Ok(false);
+        };
+        // Tombstones can be dropped when no level below the output holds
+        // data overlapping the job (then nothing older can resurface).
+        let out_level = job.level + 1;
+        let drop_tombstones = ((out_level + 1)..NUM_LEVELS)
+            .all(|l| version.levels[l].is_empty());
+        let mut alloc = || self.versions.new_file_number();
+        let edit = run_compaction(
+            self.env.as_ref(),
+            self.cache.as_ref(),
+            &job,
+            &self.opts.compaction,
+            &mut alloc,
+            drop_tombstones,
+        )?;
+        let (_, removed) = self.apply_edit(&edit)?;
+        for handle in removed {
+            // Deletion is deferred until the last snapshot referencing the
+            // file drops (LevelDB's version refcounting): install the
+            // cleanup and release our reference.
+            let cache = Arc::clone(&self.cache);
+            let env = Arc::clone(&self.env);
+            let number = handle.number;
+            handle.set_cleanup(move || {
+                cache.evict(number);
+                let _ = env.delete(&table_file_name(number));
+            });
+        }
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Compacts until the shape is within budget everywhere.
+    pub fn compact_all(&self) -> Result<()> {
+        while self.maybe_compact()? {}
+        Ok(())
+    }
+
+    /// Returns whether any compaction is currently warranted.
+    pub fn needs_compaction(&self) -> bool {
+        pick_compaction(&self.versions.current(), &self.opts.compaction).is_some()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> DiskStats {
+        let version = self.versions.current();
+        let cache = self.cache.stats();
+        DiskStats {
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            files_per_level: version.levels.iter().map(Vec::len).collect(),
+            bytes_per_level: (0..NUM_LEVELS).map(|l| version.level_bytes(l)).collect(),
+            env_bytes_written: self.env.bytes_written(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+        }
+    }
+}
+
+fn file_meta(number: u64, meta: crate::sstable::TableMeta) -> FileMeta {
+    FileMeta {
+        number,
+        size: meta.file_size,
+        smallest: meta.smallest,
+        largest: meta.largest,
+        entries: meta.entries,
+        largest_seq: meta.largest_seq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MemEnv;
+
+    fn disk() -> DiskComponent {
+        let opts = DiskOptions {
+            compaction: CompactionConfig {
+                l0_trigger: 2,
+                base_level_bytes: 16 * 1024,
+                target_file_bytes: 8 * 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        DiskComponent::new(Arc::new(MemEnv::new(None)), opts)
+    }
+
+    fn put(k: u64, seq: u64) -> Record {
+        Record::put(k.to_be_bytes().as_slice(), seq, vec![k as u8; 32])
+    }
+
+    #[test]
+    fn flush_then_get() {
+        let d = disk();
+        d.flush_records((0..100).map(|k| put(k, k + 1)).collect())
+            .unwrap();
+        let r = d.get(&42u64.to_be_bytes()).unwrap().unwrap();
+        assert_eq!(r.seq, 43);
+        assert!(d.get(&1000u64.to_be_bytes()).unwrap().is_none());
+        assert_eq!(d.stats().flushes, 1);
+    }
+
+    #[test]
+    fn newer_flush_shadows_older() {
+        let d = disk();
+        d.flush_records(vec![put(1, 1)]).unwrap();
+        d.flush_records(vec![put(1, 2)]).unwrap();
+        assert_eq!(d.get(&1u64.to_be_bytes()).unwrap().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn tombstone_is_returned() {
+        let d = disk();
+        d.flush_records(vec![put(1, 1)]).unwrap();
+        d.flush_records(vec![Record::tombstone(1u64.to_be_bytes().as_slice(), 2)])
+            .unwrap();
+        let r = d.get(&1u64.to_be_bytes()).unwrap().unwrap();
+        assert!(r.is_tombstone());
+    }
+
+    #[test]
+    fn get_survives_compaction() {
+        let d = disk();
+        for round in 0..6u64 {
+            d.flush_records((0..200).map(|k| put(k, round * 200 + k + 1)).collect())
+                .unwrap();
+        }
+        d.compact_all().unwrap();
+        assert!(!d.needs_compaction());
+        let stats = d.stats();
+        assert!(stats.compactions > 0);
+        // All keys still resolve to the freshest round.
+        for k in 0..200u64 {
+            let r = d.get(&k.to_be_bytes()).unwrap().unwrap();
+            assert_eq!(r.seq, 5 * 200 + k + 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn scan_merges_levels() {
+        let d = disk();
+        d.flush_records((0..50).map(|k| put(k * 2, k + 1)).collect())
+            .unwrap();
+        d.compact_all().unwrap();
+        d.flush_records(vec![put(10, 1000), Record::tombstone(20u64.to_be_bytes().as_slice(), 1001)])
+            .unwrap();
+
+        let out = d
+            .scan(&8u64.to_be_bytes(), &24u64.to_be_bytes())
+            .unwrap();
+        let kv: Vec<(u64, u64, bool)> = out
+            .iter()
+            .map(|r| {
+                (
+                    u64::from_be_bytes(r.key.as_ref().try_into().unwrap()),
+                    r.seq,
+                    r.is_tombstone(),
+                )
+            })
+            .collect();
+        // Keys 8..=24 even: 8,10,12,...,24; key 10 fresher (seq 1000), key
+        // 20 shadowed by tombstone.
+        assert_eq!(kv.len(), 9);
+        assert_eq!(kv[0], (8, 5, false));
+        assert_eq!(kv[1], (10, 1000, false));
+        assert!(kv.iter().any(|&(k, _, tomb)| k == 20 && tomb));
+    }
+
+    #[test]
+    fn scan_empty_range() {
+        let d = disk();
+        d.flush_records(vec![put(5, 1)]).unwrap();
+        assert!(d
+            .scan(&100u64.to_be_bytes(), &200u64.to_be_bytes())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn unsorted_flush_is_sorted_and_deduped() {
+        let d = disk();
+        d.flush_records(vec![put(5, 1), put(3, 2), put(5, 7), put(1, 3)])
+            .unwrap();
+        let out = d.scan(&0u64.to_be_bytes(), &10u64.to_be_bytes()).unwrap();
+        let keys: Vec<u64> = out
+            .iter()
+            .map(|r| u64::from_be_bytes(r.key.as_ref().try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+        assert_eq!(out[2].seq, 7, "duplicate must keep the larger seq");
+    }
+
+    #[test]
+    fn compaction_reduces_file_count_and_deletes_inputs() {
+        let d = disk();
+        for round in 0..4u64 {
+            d.flush_records((0..100).map(|k| put(k, round * 100 + k + 1)).collect())
+                .unwrap();
+        }
+        let files_before: usize = d.stats().files_per_level.iter().sum();
+        d.compact_all().unwrap();
+        let stats = d.stats();
+        let files_after: usize = stats.files_per_level.iter().sum();
+        assert!(files_after < files_before);
+        assert_eq!(stats.files_per_level[0], 0, "L0 fully drained");
+        // Env must not keep deleted files around.
+        let live: usize = d.env().list().unwrap().len();
+        assert_eq!(live, files_after);
+    }
+
+    fn disk_opts() -> DiskOptions {
+        DiskOptions {
+            compaction: CompactionConfig {
+                l0_trigger: 2,
+                base_level_bytes: 16 * 1024,
+                target_file_bytes: 8 * 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_layout_from_manifest() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+        {
+            let d = DiskComponent::open(Arc::clone(&env), disk_opts()).unwrap();
+            for round in 0..4u64 {
+                d.flush_records((0..200).map(|k| put(k, round * 200 + k + 1)).collect())
+                    .unwrap();
+            }
+            d.compact_all().unwrap();
+        }
+        let d = DiskComponent::open(Arc::clone(&env), disk_opts()).unwrap();
+        for k in (0..200u64).step_by(13) {
+            let r = d.get(&k.to_be_bytes()).unwrap().unwrap();
+            assert_eq!(r.seq, 3 * 200 + k + 1, "key {k} lost across reopen");
+        }
+        // New flushes continue with fresh file numbers (no collisions).
+        d.flush_records(vec![put(1, 10_000)]).unwrap();
+        assert_eq!(d.get(&1u64.to_be_bytes()).unwrap().unwrap().seq, 10_000);
+    }
+
+    #[test]
+    fn reopen_prunes_orphans_and_old_manifests() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+        {
+            let d = DiskComponent::open(Arc::clone(&env), disk_opts()).unwrap();
+            d.flush_records((0..50).map(|k| put(k, k + 1)).collect())
+                .unwrap();
+        }
+        // Simulate a flush whose manifest record never landed: an .sst not
+        // referenced by any version.
+        let mut orphan = env.new_writable("999999.sst").unwrap();
+        orphan.append(b"garbage").unwrap();
+        orphan.finish().unwrap();
+
+        let d = DiskComponent::open(Arc::clone(&env), disk_opts()).unwrap();
+        let names = env.list().unwrap();
+        assert!(
+            !names.contains(&"999999.sst".to_string()),
+            "orphaned table must be deleted"
+        );
+        let manifests: Vec<&String> =
+            names.iter().filter(|n| n.starts_with("MANIFEST-")).collect();
+        assert_eq!(manifests.len(), 1, "only the live generation remains");
+        // And the data is intact.
+        assert!(d.get(&25u64.to_be_bytes()).unwrap().is_some());
+    }
+
+    #[test]
+    fn ephemeral_new_ignores_existing_manifest() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+        {
+            let d = DiskComponent::open(Arc::clone(&env), disk_opts()).unwrap();
+            d.flush_records(vec![put(1, 1)]).unwrap();
+        }
+        let d = DiskComponent::new(Arc::clone(&env), disk_opts());
+        assert!(
+            d.get(&1u64.to_be_bytes()).unwrap().is_none(),
+            "`new` must start empty"
+        );
+    }
+
+    #[test]
+    fn concurrent_reads_during_flush_and_compaction() {
+        let d = Arc::new(disk());
+        d.flush_records((0..500).map(|k| put(k, k + 1)).collect())
+            .unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let d = Arc::clone(&d);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for k in (0..500u64).step_by(61) {
+                        let r = d.get(&k.to_be_bytes()).unwrap().unwrap();
+                        assert!(r.seq >= k + 1);
+                    }
+                }
+            }));
+        }
+        for round in 1..5u64 {
+            d.flush_records((0..500).map(|k| put(k, round * 1000 + k)).collect())
+                .unwrap();
+            d.maybe_compact().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

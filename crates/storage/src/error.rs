@@ -1,0 +1,60 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O failure (real filesystem envs).
+    Io(std::io::Error),
+    /// A file or object was not found.
+    NotFound(String),
+    /// On-disk data failed validation (bad magic, CRC mismatch, truncation).
+    Corruption(String),
+    /// The operation is invalid in the current state.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::NotFound(what) => write!(f, "not found: {what}"),
+            Self::Corruption(why) => write!(f, "corruption: {why}"),
+            Self::InvalidArgument(why) => write!(f, "invalid argument: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StorageError::NotFound("f".into()).to_string().contains("f"));
+        assert!(StorageError::Corruption("bad".into())
+            .to_string()
+            .contains("bad"));
+        let io: StorageError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(io.to_string().contains("io error"));
+    }
+}

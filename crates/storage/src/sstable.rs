@@ -1,0 +1,533 @@
+//! Sorted-string tables: immutable on-disk files of key-ordered records.
+//!
+//! Layout:
+//!
+//! ```text
+//! [data block 0][data block 1]...[bloom filter][index block][footer]
+//! ```
+//!
+//! The index block stores `(first_key, offset, len)` per data block; the
+//! fixed-size footer stores the bloom/index locations, the entry count and
+//! a magic number. Point lookups consult the bloom filter, binary-search
+//! the index, then scan one block.
+
+use std::sync::Arc;
+
+use crate::block::{Block, BlockBuilder};
+use crate::bloom::Bloom;
+use crate::env::{RandomAccessFile, WritableFile};
+use crate::error::{Result, StorageError};
+use crate::record::{crc32, get_varint, put_varint, Record};
+
+const FOOTER_LEN: usize = 48;
+const MAGIC: u64 = 0xF10D_B5_00_EE17_55AA;
+
+/// Returns the canonical file name for table `number`.
+pub fn table_file_name(number: u64) -> String {
+    format!("{number:06}.sst")
+}
+
+/// Summary of a finished table, fed into the version set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Total file size in bytes.
+    pub file_size: u64,
+    /// Smallest user key in the table.
+    pub smallest: Box<[u8]>,
+    /// Largest user key in the table.
+    pub largest: Box<[u8]>,
+    /// Number of records.
+    pub entries: u64,
+    /// Largest sequence number among the records.
+    pub largest_seq: u64,
+}
+
+/// Streams key-ordered records into an SSTable file.
+pub struct TableBuilder {
+    file: Box<dyn WritableFile>,
+    block: BlockBuilder,
+    block_bytes: usize,
+    bloom_bits_per_key: usize,
+    /// (first_key, offset, len) of finished blocks.
+    index: Vec<(Box<[u8]>, u64, u64)>,
+    keys: Vec<Box<[u8]>>,
+    offset: u64,
+    smallest: Option<Box<[u8]>>,
+    largest: Option<Box<[u8]>>,
+    entries: u64,
+    largest_seq: u64,
+}
+
+impl TableBuilder {
+    /// Creates a builder writing into `file`.
+    pub fn new(file: Box<dyn WritableFile>, block_bytes: usize, bloom_bits_per_key: usize) -> Self {
+        Self {
+            file,
+            block: BlockBuilder::new(),
+            block_bytes: block_bytes.max(128),
+            bloom_bits_per_key,
+            index: Vec::new(),
+            keys: Vec::new(),
+            offset: 0,
+            smallest: None,
+            largest: None,
+            entries: 0,
+            largest_seq: 0,
+        }
+    }
+
+    /// Appends a record; keys must arrive in `(key asc, seq desc)` order.
+    /// A key may repeat (multi-versioned flushes keep every version).
+    pub fn add(&mut self, record: &Record) -> Result<()> {
+        // Never split a same-key version run across blocks: the index maps
+        // a key to exactly one block, and a run straddling a boundary
+        // would hide its freshest versions from point lookups.
+        if self.block.size() >= self.block_bytes
+            && self.largest.as_deref() != Some(record.key.as_ref())
+        {
+            self.flush_block()?;
+        }
+        if self.smallest.is_none() {
+            self.smallest = Some(record.key.clone());
+        }
+        self.largest = Some(record.key.clone());
+        self.largest_seq = self.largest_seq.max(record.seq);
+        self.keys.push(record.key.clone());
+        self.block.add(record);
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Current output offset (approximate file size so far).
+    pub fn file_size(&self) -> u64 {
+        self.offset + self.block.size() as u64
+    }
+
+    /// Number of records added so far.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let first_key: Box<[u8]> = self
+            .block
+            .first_key()
+            .expect("non-empty block has a first key")
+            .into();
+        let data = self.block.finish();
+        self.index
+            .push((first_key, self.offset, data.len() as u64));
+        self.file.append(&data)?;
+        self.offset += data.len() as u64;
+        Ok(())
+    }
+
+    /// Finalizes the table, returning its metadata.
+    pub fn finish(mut self) -> Result<TableMeta> {
+        self.flush_block()?;
+
+        // Bloom filter.
+        let bloom = Bloom::build(
+            self.keys.iter().map(|k| k.as_ref()),
+            self.keys.len(),
+            self.bloom_bits_per_key,
+        );
+        let bloom_data = bloom.encode();
+        let bloom_off = self.offset;
+        self.file.append(&bloom_data)?;
+        self.offset += bloom_data.len() as u64;
+
+        // Index block.
+        let mut index_data = Vec::new();
+        put_varint(&mut index_data, self.index.len() as u64);
+        for (first_key, off, len) in &self.index {
+            put_varint(&mut index_data, first_key.len() as u64);
+            index_data.extend_from_slice(first_key);
+            put_varint(&mut index_data, *off);
+            put_varint(&mut index_data, *len);
+        }
+        let index_off = self.offset;
+        self.file.append(&index_data)?;
+        self.offset += index_data.len() as u64;
+
+        // Footer: fixed-size trailer.
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&(index_data.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&bloom_off.to_le_bytes());
+        footer.extend_from_slice(&(bloom_data.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&self.entries.to_le_bytes());
+        footer.extend_from_slice(&MAGIC.to_le_bytes());
+        debug_assert_eq!(footer.len(), FOOTER_LEN);
+        self.file.append(&footer)?;
+        self.offset += FOOTER_LEN as u64;
+        self.file.sync()?;
+        self.file.finish()?;
+
+        let smallest = self
+            .smallest
+            .ok_or_else(|| StorageError::InvalidArgument("empty table".into()))?;
+        let largest = self.largest.expect("largest set with smallest");
+        Ok(TableMeta {
+            file_size: self.offset,
+            smallest,
+            largest,
+            entries: self.entries,
+            largest_seq: self.largest_seq,
+        })
+    }
+}
+
+struct IndexEntry {
+    first_key: Box<[u8]>,
+    offset: u64,
+    len: u64,
+}
+
+/// An open, immutable SSTable.
+pub struct Table {
+    file: Arc<dyn RandomAccessFile>,
+    index: Vec<IndexEntry>,
+    bloom: Bloom,
+    entries: u64,
+}
+
+impl Table {
+    /// Opens a table from a random-access file.
+    pub fn open(file: Arc<dyn RandomAccessFile>) -> Result<Self> {
+        let size = file.len();
+        if size < FOOTER_LEN as u64 {
+            return Err(StorageError::Corruption("table smaller than footer".into()));
+        }
+        let footer = file.read_at(size - FOOTER_LEN as u64, FOOTER_LEN)?;
+        let u64_at = |i: usize| {
+            u64::from_le_bytes(footer[i * 8..(i + 1) * 8].try_into().expect("8 bytes"))
+        };
+        if u64_at(5) != MAGIC {
+            return Err(StorageError::Corruption("bad table magic".into()));
+        }
+        let (index_off, index_len) = (u64_at(0), u64_at(1));
+        let (bloom_off, bloom_len) = (u64_at(2), u64_at(3));
+        let entries = u64_at(4);
+
+        let bloom_data = file.read_at(bloom_off, bloom_len as usize)?;
+        let bloom = Bloom::decode(&bloom_data);
+
+        let index_data = file.read_at(index_off, index_len as usize)?;
+        let mut pos = 0;
+        let n = get_varint(&index_data, &mut pos)? as usize;
+        let mut index = Vec::with_capacity(n);
+        for _ in 0..n {
+            let klen = get_varint(&index_data, &mut pos)? as usize;
+            if index_data.len() < pos + klen {
+                return Err(StorageError::Corruption("truncated index key".into()));
+            }
+            let first_key: Box<[u8]> = Box::from(&index_data[pos..pos + klen]);
+            pos += klen;
+            let offset = get_varint(&index_data, &mut pos)?;
+            let len = get_varint(&index_data, &mut pos)?;
+            index.push(IndexEntry {
+                first_key,
+                offset,
+                len,
+            });
+        }
+
+        Ok(Self {
+            file,
+            index,
+            bloom,
+            entries,
+        })
+    }
+
+    /// Number of records in the table.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of data blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.index.len()
+    }
+
+    fn read_block(&self, i: usize) -> Result<Block> {
+        let e = &self.index[i];
+        let data = self.file.read_at(e.offset, e.len as usize)?;
+        Block::decode(&data)
+    }
+
+    /// Index of the block that may contain `key` (last block whose first
+    /// key is `<= key`).
+    fn block_for(&self, key: &[u8]) -> Option<usize> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let i = self
+            .index
+            .partition_point(|e| e.first_key.as_ref() <= key);
+        if i == 0 {
+            None
+        } else {
+            Some(i - 1)
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Record>> {
+        if !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        let Some(block_idx) = self.block_for(key) else {
+            return Ok(None);
+        };
+        let block = self.read_block(block_idx)?;
+        Ok(block.get(key).cloned())
+    }
+
+    /// Creates a cursor over the table.
+    pub fn iter(self: &Arc<Self>) -> TableIterator {
+        TableIterator {
+            table: Arc::clone(self),
+            block: None,
+            block_idx: 0,
+            record_idx: 0,
+        }
+    }
+}
+
+/// Cursor over one table, in key order.
+pub struct TableIterator {
+    table: Arc<Table>,
+    block: Option<Block>,
+    block_idx: usize,
+    record_idx: usize,
+}
+
+impl TableIterator {
+    /// Positions on the first record with `key >= target`.
+    pub fn seek(&mut self, target: &[u8]) -> Result<()> {
+        let start_block = self.table.block_for(target).unwrap_or(0);
+        self.block_idx = start_block;
+        self.block = None;
+        if self.table.index.is_empty() {
+            return Ok(());
+        }
+        let block = self.table.read_block(self.block_idx)?;
+        self.record_idx = block.lower_bound(target);
+        let exhausted = self.record_idx >= block.records().len();
+        self.block = Some(block);
+        if exhausted {
+            self.advance_block()?;
+        }
+        Ok(())
+    }
+
+    /// Positions on the first record of the table.
+    pub fn seek_to_first(&mut self) -> Result<()> {
+        self.block_idx = 0;
+        self.record_idx = 0;
+        self.block = None;
+        if !self.table.index.is_empty() {
+            self.block = Some(self.table.read_block(0)?);
+        }
+        Ok(())
+    }
+
+    fn advance_block(&mut self) -> Result<()> {
+        loop {
+            self.block_idx += 1;
+            if self.block_idx >= self.table.index.len() {
+                self.block = None;
+                return Ok(());
+            }
+            let block = self.table.read_block(self.block_idx)?;
+            if !block.records().is_empty() {
+                self.record_idx = 0;
+                self.block = Some(block);
+                return Ok(());
+            }
+        }
+    }
+
+    /// Returns whether the cursor is on a record.
+    pub fn valid(&self) -> bool {
+        self.block
+            .as_ref()
+            .is_some_and(|b| self.record_idx < b.records().len())
+    }
+
+    /// Current record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is not valid.
+    pub fn record(&self) -> &Record {
+        &self.block.as_ref().expect("valid cursor").records()[self.record_idx]
+    }
+
+    /// Advances the cursor.
+    pub fn next(&mut self) -> Result<()> {
+        self.record_idx += 1;
+        if let Some(b) = &self.block {
+            if self.record_idx >= b.records().len() {
+                self.advance_block()?;
+                self.record_idx = 0;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates the integrity of a serialized table prefix (used by tests and
+/// recovery tooling): re-reads every block and checks record decode.
+pub fn verify_table(table: &Arc<Table>) -> Result<u64> {
+    let mut it = table.iter();
+    it.seek_to_first()?;
+    let mut n = 0;
+    let mut prev: Option<(Box<[u8]>, u64)> = None;
+    while it.valid() {
+        let r = it.record();
+        if let Some((pk, pseq)) = &prev {
+            // Non-decreasing keys; within a key run, strictly newer first.
+            if pk.as_ref() > r.key.as_ref() {
+                return Err(StorageError::Corruption("keys out of order".into()));
+            }
+            if pk.as_ref() == r.key.as_ref() && *pseq <= r.seq {
+                return Err(StorageError::Corruption(
+                    "version run not newest-first".into(),
+                ));
+            }
+        }
+        prev = Some((r.key.clone(), r.seq));
+        n += 1;
+        it.next()?;
+    }
+    if n != table.entries() {
+        return Err(StorageError::Corruption(format!(
+            "entry count mismatch: footer {} walked {n}",
+            table.entries()
+        )));
+    }
+    Ok(n)
+}
+
+/// Convenience: CRC over a whole table file (diagnostics).
+pub fn table_checksum(file: &Arc<dyn RandomAccessFile>) -> Result<u32> {
+    let data = file.read_at(0, file.len() as usize)?;
+    Ok(crc32(&data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Env, MemEnv};
+
+    fn build_table(env: &MemEnv, name: &str, keys: impl Iterator<Item = u64>) -> TableMeta {
+        let file = env.new_writable(name).unwrap();
+        let mut b = TableBuilder::new(file, 512, 10);
+        for k in keys {
+            b.add(&Record::put(
+                k.to_be_bytes().as_slice(),
+                k + 1,
+                vec![k as u8; 16],
+            ))
+            .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn build_open_get() {
+        let env = MemEnv::new(None);
+        let meta = build_table(&env, "t.sst", 0..1000);
+        assert_eq!(meta.entries, 1000);
+        assert_eq!(meta.smallest.as_ref(), 0u64.to_be_bytes());
+        assert_eq!(meta.largest.as_ref(), 999u64.to_be_bytes());
+
+        let table = Arc::new(Table::open(env.open_random("t.sst").unwrap()).unwrap());
+        assert!(table.num_blocks() > 1, "must span multiple blocks");
+        for k in (0..1000u64).step_by(37) {
+            let r = table.get(&k.to_be_bytes()).unwrap().unwrap();
+            assert_eq!(r.seq, k + 1);
+            assert_eq!(r.value.as_deref(), Some(vec![k as u8; 16].as_slice()));
+        }
+        assert!(table.get(&5000u64.to_be_bytes()).unwrap().is_none());
+    }
+
+    #[test]
+    fn iterator_full_scan_in_order() {
+        let env = MemEnv::new(None);
+        build_table(&env, "t.sst", (0..500).map(|i| i * 2));
+        let table = Arc::new(Table::open(env.open_random("t.sst").unwrap()).unwrap());
+        let mut it = table.iter();
+        it.seek_to_first().unwrap();
+        let mut n = 0u64;
+        while it.valid() {
+            assert_eq!(it.record().key.as_ref(), (n * 2).to_be_bytes());
+            n += 1;
+            it.next().unwrap();
+        }
+        assert_eq!(n, 500);
+    }
+
+    #[test]
+    fn iterator_seek() {
+        let env = MemEnv::new(None);
+        build_table(&env, "t.sst", (0..500).map(|i| i * 2));
+        let table = Arc::new(Table::open(env.open_random("t.sst").unwrap()).unwrap());
+        let mut it = table.iter();
+        // Seek to a key between entries.
+        it.seek(&101u64.to_be_bytes()).unwrap();
+        assert!(it.valid());
+        assert_eq!(it.record().key.as_ref(), 102u64.to_be_bytes());
+        // Seek before the start.
+        it.seek(&0u64.to_be_bytes()).unwrap();
+        assert_eq!(it.record().key.as_ref(), 0u64.to_be_bytes());
+        // Seek past the end.
+        it.seek(&10_000u64.to_be_bytes()).unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn verify_accepts_good_table() {
+        let env = MemEnv::new(None);
+        build_table(&env, "t.sst", 0..100);
+        let table = Arc::new(Table::open(env.open_random("t.sst").unwrap()).unwrap());
+        assert_eq!(verify_table(&table).unwrap(), 100);
+    }
+
+    #[test]
+    fn open_rejects_truncated_file() {
+        let env = MemEnv::new(None);
+        let mut f = env.new_writable("bad.sst").unwrap();
+        f.append(b"short").unwrap();
+        assert!(Table::open(env.open_random("bad.sst").unwrap()).is_err());
+    }
+
+    #[test]
+    fn open_rejects_bad_magic() {
+        let env = MemEnv::new(None);
+        let mut f = env.new_writable("bad.sst").unwrap();
+        f.append(&[0u8; 64]).unwrap();
+        let err = Table::open(env.open_random("bad.sst").unwrap());
+        assert!(matches!(err, Err(StorageError::Corruption(_))));
+    }
+
+    #[test]
+    fn table_file_names_sort_with_numbers() {
+        assert_eq!(table_file_name(7), "000007.sst");
+        assert!(table_file_name(9) < table_file_name(10));
+    }
+
+    #[test]
+    fn empty_table_build_fails_cleanly() {
+        let env = MemEnv::new(None);
+        let file = env.new_writable("e.sst").unwrap();
+        let b = TableBuilder::new(file, 512, 10);
+        assert!(b.finish().is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! Leveled file metadata: versions and version edits.
+//!
+//! A [`Version`] is an immutable snapshot of which SSTables live in which
+//! level. Readers grab an `Arc<Version>` and proceed without locks (the
+//! RocksDB-style read path); writers apply [`VersionEdit`]s under the
+//! [`VersionSet`] mutex, installing a fresh `Arc`.
+//!
+//! Invariants (checked by `Version::check_invariants`):
+//! - L0 files may overlap and are ordered newest-first (higher file number
+//!   first);
+//! - levels ≥ 1 hold disjoint key ranges, sorted by smallest key.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, StorageError};
+
+/// Number of on-disk levels (L0..=L6), matching LevelDB.
+pub const NUM_LEVELS: usize = 7;
+
+/// Metadata for one SSTable file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Monotonic file number (also names the file).
+    pub number: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// Smallest user key.
+    pub smallest: Box<[u8]>,
+    /// Largest user key.
+    pub largest: Box<[u8]>,
+    /// Record count.
+    pub entries: u64,
+    /// Largest sequence number in the file (recovery resumes the global
+    /// sequence counter past the maximum over all live files).
+    pub largest_seq: u64,
+}
+
+impl FileMeta {
+    /// Returns whether this file's key range intersects `[low, high]`.
+    pub fn overlaps(&self, low: &[u8], high: &[u8]) -> bool {
+        self.smallest.as_ref() <= high && self.largest.as_ref() >= low
+    }
+
+    /// Returns whether `key` falls inside this file's range.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.smallest.as_ref() <= key && key <= self.largest.as_ref()
+    }
+}
+
+/// A live reference to an SSTable: metadata plus a deferred cleanup hook.
+///
+/// Version snapshots hold `Arc<FileHandle>`s; a compaction that obsoletes a
+/// file installs a cleanup closure (evict + unlink) on its handle instead
+/// of deleting eagerly, so the file survives exactly as long as some
+/// reader's snapshot can still reach it — LevelDB's version refcounting.
+pub struct FileHandle {
+    /// The file metadata.
+    pub meta: FileMeta,
+    cleanup: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl FileHandle {
+    /// Wraps metadata with no cleanup installed.
+    pub fn new(meta: FileMeta) -> Self {
+        Self {
+            meta,
+            cleanup: Mutex::new(None),
+        }
+    }
+
+    /// Installs the action to run when the last snapshot releases this
+    /// file. Replaces any previously installed action.
+    pub fn set_cleanup(&self, f: impl FnOnce() + Send + 'static) {
+        *self.cleanup.lock() = Some(Box::new(f));
+    }
+}
+
+impl Drop for FileHandle {
+    fn drop(&mut self) {
+        if let Some(f) = self.cleanup.get_mut().take() {
+            f();
+        }
+    }
+}
+
+impl std::ops::Deref for FileHandle {
+    type Target = FileMeta;
+
+    fn deref(&self) -> &FileMeta {
+        &self.meta
+    }
+}
+
+impl std::fmt::Debug for FileHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileHandle").field("meta", &self.meta).finish()
+    }
+}
+
+/// An immutable snapshot of the file layout.
+#[derive(Debug, Clone, Default)]
+pub struct Version {
+    /// `levels[0]` newest-first; deeper levels sorted by smallest key.
+    pub levels: Vec<Vec<Arc<FileHandle>>>,
+}
+
+impl Version {
+    /// Creates an empty version.
+    pub fn empty() -> Self {
+        Self {
+            levels: vec![Vec::new(); NUM_LEVELS],
+        }
+    }
+
+    /// Total bytes at `level`.
+    pub fn level_bytes(&self, level: usize) -> u64 {
+        self.levels[level].iter().map(|f| f.size).sum()
+    }
+
+    /// Total number of files.
+    pub fn num_files(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Files at `level` overlapping `[low, high]`.
+    pub fn overlapping(&self, level: usize, low: &[u8], high: &[u8]) -> Vec<Arc<FileHandle>> {
+        self.levels[level]
+            .iter()
+            .filter(|f| f.overlaps(low, high))
+            .cloned()
+            .collect()
+    }
+
+    /// Files to consult for a point lookup of `key`, in freshness order:
+    /// all matching L0 files (newest first), then at most one file per
+    /// deeper level.
+    pub fn files_for_key(&self, key: &[u8]) -> Vec<(usize, Arc<FileHandle>)> {
+        let mut out = Vec::new();
+        for f in &self.levels[0] {
+            if f.contains(key) {
+                out.push((0, Arc::clone(f)));
+            }
+        }
+        for (level, files) in self.levels.iter().enumerate().skip(1) {
+            // Levels >= 1 are sorted and disjoint: binary search.
+            let i = files.partition_point(|f| f.largest.as_ref() < key);
+            if i < files.len() && files[i].contains(key) {
+                out.push((level, Arc::clone(&files[i])));
+            }
+        }
+        out
+    }
+
+    /// Checks the structural invariants, returning a description of the
+    /// first violation.
+    pub fn check_invariants(&self) -> Result<()> {
+        if self.levels.len() != NUM_LEVELS {
+            return Err(StorageError::Corruption("wrong level count".into()));
+        }
+        for w in self.levels[0].windows(2) {
+            if w[0].number < w[1].number {
+                return Err(StorageError::Corruption(
+                    "L0 not ordered newest-first".into(),
+                ));
+            }
+        }
+        for (level, files) in self.levels.iter().enumerate().skip(1) {
+            for w in files.windows(2) {
+                if w[0].smallest >= w[1].smallest {
+                    return Err(StorageError::Corruption(format!(
+                        "L{level} not sorted by smallest key"
+                    )));
+                }
+                if w[0].largest >= w[1].smallest {
+                    return Err(StorageError::Corruption(format!(
+                        "L{level} files overlap"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A delta to apply to a version.
+#[derive(Debug, Default, Clone)]
+pub struct VersionEdit {
+    /// Files to add: `(level, meta)`.
+    pub added: Vec<(usize, FileMeta)>,
+    /// Files to remove: `(level, file_number)`.
+    pub deleted: Vec<(usize, u64)>,
+}
+
+impl VersionEdit {
+    /// Records a new file at `level`.
+    pub fn add(&mut self, level: usize, meta: FileMeta) {
+        self.added.push((level, meta));
+    }
+
+    /// Records the removal of `file_number` from `level`.
+    pub fn delete(&mut self, level: usize, file_number: u64) {
+        self.deleted.push((level, file_number));
+    }
+}
+
+/// The mutable set of versions: applies edits, hands out snapshots.
+#[derive(Debug)]
+pub struct VersionSet {
+    current: Mutex<Arc<Version>>,
+    next_file: std::sync::atomic::AtomicU64,
+}
+
+impl VersionSet {
+    /// Creates a version set with an empty current version.
+    pub fn new() -> Self {
+        Self {
+            current: Mutex::new(Arc::new(Version::empty())),
+            next_file: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// Returns the current version snapshot (lock held only for the clone).
+    pub fn current(&self) -> Arc<Version> {
+        Arc::clone(&self.current.lock())
+    }
+
+    /// Allocates a fresh file number.
+    pub fn new_file_number(&self) -> u64 {
+        self.next_file
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Returns the next file number without allocating it (recorded in
+    /// manifest records so recovery can resume allocation).
+    pub fn peek_file_number(&self) -> u64 {
+        self.next_file.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Moves the allocator forward to at least `n` (manifest recovery).
+    pub fn bump_file_number(&self, n: u64) {
+        self.next_file
+            .fetch_max(n, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Applies `edit`, installing and returning the new current version.
+    ///
+    /// Returns the handles removed from the layout; callers install their
+    /// cleanup (evict + unlink) on these, which fires once the last
+    /// snapshot referencing them drops.
+    pub fn apply(&self, edit: &VersionEdit) -> Result<(Arc<Version>, Vec<Arc<FileHandle>>)> {
+        let mut guard = self.current.lock();
+        let mut next = Version {
+            levels: guard.levels.clone(),
+        };
+        let mut removed = Vec::new();
+        for (level, number) in &edit.deleted {
+            let files = &mut next.levels[*level];
+            let Some(pos) = files.iter().position(|f| f.number == *number) else {
+                return Err(StorageError::InvalidArgument(format!(
+                    "edit deletes unknown file {number} at L{level}"
+                )));
+            };
+            removed.push(files.remove(pos));
+        }
+        for (level, meta) in &edit.added {
+            let files = &mut next.levels[*level];
+            let handle = Arc::new(FileHandle::new(meta.clone()));
+            if *level == 0 {
+                // Newest-first by file number.
+                let pos = files.partition_point(|f| f.number > handle.number);
+                files.insert(pos, handle);
+            } else {
+                let pos = files.partition_point(|f| f.smallest < handle.smallest);
+                files.insert(pos, handle);
+            }
+        }
+        next.check_invariants()?;
+        let next = Arc::new(next);
+        *guard = Arc::clone(&next);
+        Ok((next, removed))
+    }
+}
+
+impl Default for VersionSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(number: u64, lo: u64, hi: u64) -> FileMeta {
+        FileMeta {
+            number,
+            size: 100,
+            smallest: Box::new(lo.to_be_bytes()),
+            largest: Box::new(hi.to_be_bytes()),
+            entries: hi - lo + 1,
+            largest_seq: hi,
+        }
+    }
+
+    #[test]
+    fn empty_version_is_valid() {
+        let v = Version::empty();
+        v.check_invariants().unwrap();
+        assert_eq!(v.num_files(), 0);
+        assert!(v.files_for_key(b"k").is_empty());
+    }
+
+    #[test]
+    fn apply_adds_files_in_order() {
+        let vs = VersionSet::new();
+        let mut edit = VersionEdit::default();
+        edit.add(1, meta(2, 50, 99));
+        edit.add(1, meta(1, 0, 49));
+        edit.add(0, meta(3, 0, 100));
+        edit.add(0, meta(4, 0, 100));
+        let (v, removed) = vs.apply(&edit).unwrap();
+        assert!(removed.is_empty());
+        // L1 sorted by smallest.
+        assert_eq!(v.levels[1][0].number, 1);
+        assert_eq!(v.levels[1][1].number, 2);
+        // L0 newest first.
+        assert_eq!(v.levels[0][0].number, 4);
+        assert_eq!(v.levels[0][1].number, 3);
+    }
+
+    #[test]
+    fn apply_rejects_overlap_in_deep_levels() {
+        let vs = VersionSet::new();
+        let mut edit = VersionEdit::default();
+        edit.add(1, meta(1, 0, 50));
+        edit.add(1, meta(2, 40, 80));
+        assert!(vs.apply(&edit).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_unknown_delete() {
+        let vs = VersionSet::new();
+        let mut edit = VersionEdit::default();
+        edit.delete(1, 99);
+        assert!(vs.apply(&edit).is_err());
+    }
+
+    #[test]
+    fn files_for_key_order_is_freshest_first() {
+        let vs = VersionSet::new();
+        let mut edit = VersionEdit::default();
+        edit.add(0, meta(10, 0, 100));
+        edit.add(0, meta(11, 0, 100));
+        edit.add(1, meta(5, 0, 60));
+        edit.add(2, meta(3, 0, 60));
+        let (v, _) = vs.apply(&edit).unwrap();
+        let files = v.files_for_key(&30u64.to_be_bytes());
+        let numbers: Vec<u64> = files.iter().map(|(_, f)| f.number).collect();
+        assert_eq!(numbers, vec![11, 10, 5, 3]);
+    }
+
+    #[test]
+    fn snapshots_are_immutable() {
+        let vs = VersionSet::new();
+        let before = vs.current();
+        let mut edit = VersionEdit::default();
+        edit.add(1, meta(1, 0, 10));
+        vs.apply(&edit).unwrap();
+        assert_eq!(before.num_files(), 0, "old snapshot must not change");
+        assert_eq!(vs.current().num_files(), 1);
+    }
+
+    #[test]
+    fn delete_then_add_same_apply() {
+        let vs = VersionSet::new();
+        let mut edit = VersionEdit::default();
+        edit.add(1, meta(1, 0, 10));
+        vs.apply(&edit).unwrap();
+        let mut edit2 = VersionEdit::default();
+        edit2.delete(1, 1);
+        edit2.add(2, meta(2, 0, 10));
+        let (v, removed) = vs.apply(&edit2).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].number, 1);
+        assert!(v.levels[1].is_empty());
+        assert_eq!(v.levels[2].len(), 1);
+    }
+
+    #[test]
+    fn overlap_queries() {
+        let f = meta(1, 10, 20);
+        assert!(f.overlaps(&5u64.to_be_bytes(), &15u64.to_be_bytes()));
+        assert!(f.overlaps(&15u64.to_be_bytes(), &30u64.to_be_bytes()));
+        assert!(!f.overlaps(&21u64.to_be_bytes(), &30u64.to_be_bytes()));
+        assert!(f.contains(&10u64.to_be_bytes()));
+        assert!(!f.contains(&9u64.to_be_bytes()));
+    }
+}

@@ -1,0 +1,324 @@
+//! Property-based tests for the storage substrate: every on-disk format
+//! must round-trip arbitrary data exactly, and the full disk component
+//! must agree with a `BTreeMap` model under random flush/compact/query
+//! sequences.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use flodb_storage::block::{Block, BlockBuilder};
+use flodb_storage::bloom::Bloom;
+use flodb_storage::compaction::CompactionConfig;
+use flodb_storage::env::{Env, MemEnv};
+use flodb_storage::sstable::{verify_table, Table, TableBuilder};
+use flodb_storage::wal::{replay, wal_file_name, WalWriter};
+use flodb_storage::{DiskComponent, DiskOptions, Record};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..40),
+        any::<u64>(),
+        proptest::option::of(proptest::collection::vec(any::<u8>(), 0..200)),
+    )
+        .prop_map(|(key, seq, value)| Record {
+            key: key.into_boxed_slice(),
+            seq,
+            value: value.map(Vec::into_boxed_slice),
+        })
+}
+
+/// Sorted, key-deduplicated records, as table builders require.
+fn arb_sorted_records() -> impl Strategy<Value = Vec<Record>> {
+    proptest::collection::vec(arb_record(), 1..150).prop_map(|mut records| {
+        records.sort_by(|a, b| a.key.cmp(&b.key).then(b.seq.cmp(&a.seq)));
+        records.dedup_by(|next, first| next.key == first.key);
+        records
+    })
+}
+
+proptest! {
+    #[test]
+    fn record_encode_decode_roundtrip(record in arb_record()) {
+        let mut buf = Vec::new();
+        record.encode_into(&mut buf);
+        prop_assert_eq!(buf.len(), record.encoded_len());
+        let mut pos = 0;
+        let decoded = Record::decode_from(&buf, &mut pos).unwrap();
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn block_roundtrip_and_lookup(records in arb_sorted_records()) {
+        let mut builder = BlockBuilder::new();
+        for r in &records {
+            builder.add(r);
+        }
+        let encoded = builder.finish();
+        let block = Block::decode(&encoded).unwrap();
+        prop_assert_eq!(block.records(), records.as_slice());
+        for r in &records {
+            prop_assert_eq!(block.get(&r.key), Some(r));
+        }
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives(
+        keys in proptest::collection::hash_set(
+            proptest::collection::vec(any::<u8>(), 1..24), 1..200),
+    ) {
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let bloom = Bloom::build(refs.iter().copied(), refs.len(), 10);
+        for key in &refs {
+            prop_assert!(bloom.may_contain(key), "false negative for {key:?}");
+        }
+        // Round-trip through the encoded form too.
+        let decoded = Bloom::decode(&bloom.encode());
+        for key in &refs {
+            prop_assert!(decoded.may_contain(key));
+        }
+    }
+
+    #[test]
+    fn sstable_roundtrip(records in arb_sorted_records()) {
+        let env = MemEnv::new(None);
+        let file = env.new_writable("t.sst").unwrap();
+        let mut builder = TableBuilder::new(file, 512, 10);
+        for r in &records {
+            builder.add(r).unwrap();
+        }
+        let meta = builder.finish().unwrap();
+        prop_assert_eq!(meta.entries, records.len() as u64);
+
+        let table = Arc::new(Table::open(env.open_random("t.sst").unwrap()).unwrap());
+        prop_assert_eq!(verify_table(&table).unwrap(), records.len() as u64);
+        // Every record resolves by point lookup.
+        for r in &records {
+            let got = table.get(&r.key).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(r));
+        }
+        // Full iteration yields the records in order.
+        let mut it = table.iter();
+        it.seek_to_first().unwrap();
+        let mut seen = Vec::new();
+        while it.valid() {
+            seen.push(it.record().clone());
+            it.next().unwrap();
+        }
+        prop_assert_eq!(seen, records);
+    }
+
+    #[test]
+    fn sstable_seek_positions_at_lower_bound(
+        records in arb_sorted_records(),
+        probe in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let env = MemEnv::new(None);
+        let file = env.new_writable("t.sst").unwrap();
+        let mut builder = TableBuilder::new(file, 256, 10);
+        for r in &records {
+            builder.add(r).unwrap();
+        }
+        builder.finish().unwrap();
+        let table = Arc::new(Table::open(env.open_random("t.sst").unwrap()).unwrap());
+        let mut it = table.iter();
+        it.seek(&probe).unwrap();
+        let expected = records.iter().find(|r| r.key.as_ref() >= probe.as_slice());
+        match expected {
+            Some(r) => {
+                prop_assert!(it.valid());
+                prop_assert_eq!(it.record(), r);
+            }
+            None => prop_assert!(!it.valid()),
+        }
+    }
+
+    #[test]
+    fn wal_replay_returns_appended_batches(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_record(), 1..20), 1..10),
+    ) {
+        let env = MemEnv::new(None);
+        let name = wal_file_name(1);
+        let mut writer = WalWriter::new(env.new_writable(&name).unwrap(), false);
+        let mut expected = Vec::new();
+        let mut max_seq = 0u64;
+        for batch in &batches {
+            writer.append_batch(batch).unwrap();
+            for r in batch {
+                max_seq = max_seq.max(r.seq);
+                expected.push(r.clone());
+            }
+        }
+        writer.finish().unwrap();
+        let (recovered, seen) = replay(&env, &name).unwrap();
+        prop_assert_eq!(recovered, expected);
+        prop_assert_eq!(seen, max_seq);
+    }
+
+    #[test]
+    fn wal_torn_tail_keeps_intact_prefix(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_record(), 1..10), 1..6),
+        cut in any::<u16>(),
+    ) {
+        // Write all batches, then truncate the file at an arbitrary point:
+        // replay must return a prefix of whole batches, never an error.
+        let env = MemEnv::new(None);
+        let name = wal_file_name(1);
+        let mut frames = Vec::new(); // Cumulative end offset per batch.
+        {
+            let mut writer = WalWriter::new(env.new_writable(&name).unwrap(), false);
+            for batch in &batches {
+                writer.append_batch(batch).unwrap();
+                frames.push(writer.bytes_written());
+            }
+            writer.finish().unwrap();
+        }
+        let full = env.open_random(&name).unwrap();
+        let total = full.len() as usize;
+        let cut = cut as usize % (total + 1);
+        let data = full.read_at(0, cut).unwrap();
+        let mut truncated = env.new_writable("cut.log").unwrap();
+        truncated.append(&data).unwrap();
+        truncated.finish().unwrap();
+
+        let (recovered, _) = replay(&env, "cut.log").unwrap();
+        // The recovered records are exactly the batches whose frames fit
+        // entirely under the cut.
+        let whole: usize = frames.iter().take_while(|&&end| end as usize <= cut).count();
+        let expected: Vec<Record> = batches[..whole].iter().flatten().cloned().collect();
+        prop_assert_eq!(recovered, expected);
+    }
+
+    #[test]
+    fn disk_component_matches_model(
+        flushes in proptest::collection::vec(
+            proptest::collection::vec(
+                ((0u64..64), proptest::option::of(any::<u8>())), 1..30),
+            1..8),
+    ) {
+        let opts = DiskOptions {
+            compaction: CompactionConfig {
+                l0_trigger: 2,
+                base_level_bytes: 8 * 1024,
+                target_file_bytes: 4 * 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let disk = DiskComponent::new(Arc::new(MemEnv::new(None)), opts);
+        let mut model: BTreeMap<u64, (u64, Option<u8>)> = BTreeMap::new();
+        let mut seq = 0u64;
+        for batch in &flushes {
+            let records: Vec<Record> = batch
+                .iter()
+                .map(|(k, v)| {
+                    seq += 1;
+                    model.insert(*k, (seq, *v));
+                    Record {
+                        key: Box::from(k.to_be_bytes().as_slice()),
+                        seq,
+                        value: v.map(|b| Box::from([b].as_slice())),
+                    }
+                })
+                .collect();
+            disk.flush_records(records).unwrap();
+            disk.compact_all().unwrap();
+        }
+        // Point lookups agree. Deleted keys may resolve to the tombstone
+        // record or to nothing at all: bottom-level compaction is allowed
+        // to drop tombstones once nothing older can resurface.
+        for k in 0u64..64 {
+            let got = disk.get(&k.to_be_bytes()).unwrap();
+            match model.get(&k) {
+                None => prop_assert!(got.is_none()),
+                Some((seq, Some(value))) => {
+                    let got = got.unwrap();
+                    prop_assert_eq!(got.seq, *seq, "key {}", k);
+                    let want = [*value];
+                    prop_assert_eq!(got.value.as_deref(), Some(want.as_slice()));
+                }
+                Some((seq, None)) => {
+                    if let Some(got) = got {
+                        prop_assert!(got.is_tombstone(), "key {}", k);
+                        prop_assert_eq!(got.seq, *seq, "key {}", k);
+                    }
+                }
+            }
+        }
+        // A full scan yields the same freshest *live* records, in key
+        // order (tombstones may or may not survive compaction).
+        let scanned = disk.scan(&0u64.to_be_bytes(), &63u64.to_be_bytes()).unwrap();
+        let want: Vec<(u64, u64)> = model
+            .iter()
+            .filter(|(_, (_, v))| v.is_some())
+            .map(|(k, (s, _))| (*k, *s))
+            .collect();
+        let got: Vec<(u64, u64)> = scanned
+            .iter()
+            .filter(|r| !r.is_tombstone())
+            .map(|r| (u64::from_be_bytes(r.key.as_ref().try_into().unwrap()), r.seq))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn disk_reopen_preserves_model(
+        flushes in proptest::collection::vec(
+            proptest::collection::vec(
+                ((0u64..32), proptest::option::of(any::<u8>())), 1..20),
+            1..5),
+    ) {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+        let opts = DiskOptions {
+            compaction: CompactionConfig {
+                l0_trigger: 2,
+                base_level_bytes: 8 * 1024,
+                target_file_bytes: 4 * 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // Track only live entries: tombstones may be dropped by the
+        // bottom-level compaction.
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let max_seq;
+        let mut seq = 0u64;
+        {
+            let disk = DiskComponent::open(Arc::clone(&env), opts).unwrap();
+            for batch in &flushes {
+                let records: Vec<Record> = batch
+                    .iter()
+                    .map(|(k, v)| {
+                        seq += 1;
+                        match v {
+                            Some(_) => {
+                                model.insert(*k, seq);
+                            }
+                            None => {
+                                model.remove(k);
+                            }
+                        }
+                        Record {
+                            key: Box::from(k.to_be_bytes().as_slice()),
+                            seq,
+                            value: v.map(|b| Box::from([b].as_slice())),
+                        }
+                    })
+                    .collect();
+                disk.flush_records(records).unwrap();
+            }
+            disk.compact_all().unwrap();
+            max_seq = disk.max_persisted_seq();
+        }
+        let disk = DiskComponent::open(Arc::clone(&env), opts).unwrap();
+        for (k, want_seq) in &model {
+            let got = disk.get(&k.to_be_bytes()).unwrap().unwrap();
+            prop_assert_eq!(got.seq, *want_seq, "key {} after reopen", k);
+        }
+        // The persisted-seq watermark survives the reopen.
+        prop_assert_eq!(disk.max_persisted_seq(), max_seq);
+    }
+}

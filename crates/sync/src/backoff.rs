@@ -1,0 +1,122 @@
+//! Bounded exponential backoff for contended atomic loops.
+
+use std::hint;
+use std::thread;
+
+/// Number of doubling steps spent spinning before yielding to the scheduler.
+const SPIN_LIMIT: u32 = 6;
+/// Number of doubling steps after which [`Backoff::is_completed`] reports
+/// that blocking (e.g. parking) would be preferable.
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff helper for optimistic concurrency loops.
+///
+/// Starts with busy spinning (`spin_loop` hints), escalates to
+/// `thread::yield_now`, and reports completion so callers can switch to a
+/// heavier blocking strategy. The shape mirrors `crossbeam_utils::Backoff`
+/// but is self-contained so the data-structure crates depend only on this
+/// substrate.
+///
+/// # Examples
+///
+/// ```
+/// use flodb_sync::Backoff;
+///
+/// let backoff = Backoff::new();
+/// let mut tries = 0;
+/// while tries < 3 {
+///     backoff.snooze();
+///     tries += 1;
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    /// Creates a fresh backoff in the spinning state.
+    pub fn new() -> Self {
+        Self {
+            step: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Resets the backoff to the initial (pure spin) state.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Backs off for a failed compare-and-swap: spins exponentially but
+    /// never yields, suitable for very short critical windows.
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..(1u32 << step) {
+            hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Backs off while waiting for another thread to make progress: spins
+    /// first, then yields to the OS scheduler.
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << step) {
+                hint::spin_loop();
+            }
+        } else {
+            thread::yield_now();
+        }
+        if step <= YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// Returns `true` once backoff has escalated far enough that the caller
+    /// should block instead of spinning further.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_escalates_and_resets() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT + 1 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn spin_does_not_overflow() {
+        let b = Backoff::new();
+        for _ in 0..1000 {
+            b.spin();
+        }
+        // The step counter saturates; a further spin must not panic.
+        b.spin();
+    }
+
+    #[test]
+    fn default_is_fresh() {
+        let b = Backoff::default();
+        assert!(!b.is_completed());
+    }
+}

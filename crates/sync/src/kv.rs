@@ -1,0 +1,148 @@
+//! Common key/value representation shared by every layer of the store.
+//!
+//! Keys and values are opaque byte strings ordered lexicographically, as in
+//! LevelDB. The paper's workloads use 8-byte keys and 256-byte values; the
+//! helpers here encode `u64` keys big-endian so that numeric order and byte
+//! order coincide.
+
+/// An owned key.
+pub type Key = Box<[u8]>;
+
+/// An owned value.
+pub type Value = Box<[u8]>;
+
+/// Encodes a `u64` as an 8-byte big-endian key.
+///
+/// Big-endian encoding makes the lexicographic byte order equal to the
+/// numeric order, which scans rely on.
+///
+/// # Examples
+///
+/// ```
+/// use flodb_sync::kv::{decode_u64_key, encode_u64_key};
+///
+/// let a = encode_u64_key(1);
+/// let b = encode_u64_key(2);
+/// assert!(a < b);
+/// assert_eq!(decode_u64_key(&a), Some(1));
+/// ```
+#[inline]
+pub fn encode_u64_key(k: u64) -> Key {
+    Box::new(k.to_be_bytes())
+}
+
+/// Decodes an 8-byte big-endian key back to a `u64`.
+///
+/// Returns `None` if the slice is not exactly 8 bytes long.
+#[inline]
+pub fn decode_u64_key(bytes: &[u8]) -> Option<u64> {
+    let arr: [u8; 8] = bytes.try_into().ok()?;
+    Some(u64::from_be_bytes(arr))
+}
+
+/// Returns the partition index given the `l` most significant bits of an
+/// 8-byte key, as used by the Membuffer partitioning scheme (§4.3).
+///
+/// Keys shorter than 8 bytes are zero-extended on the right, so short keys
+/// land in a well-defined partition. With `l == 0` everything maps to
+/// partition 0.
+#[inline]
+pub fn key_partition(key: &[u8], l_bits: u32) -> usize {
+    if l_bits == 0 {
+        return 0;
+    }
+    debug_assert!(l_bits <= 32, "partition bits must be small");
+    let mut prefix = [0u8; 8];
+    let n = key.len().min(8);
+    prefix[..n].copy_from_slice(&key[..n]);
+    let v = u64::from_be_bytes(prefix);
+    (v >> (64 - l_bits)) as usize
+}
+
+/// A key-value pair with an optional value, where `None` encodes the
+/// tombstone left behind by a delete (§3.2: "a delete is done by inserting a
+/// special tombstone value").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvPair {
+    /// The key.
+    pub key: Key,
+    /// `Some(value)` for a put, `None` for a delete tombstone.
+    pub value: Option<Value>,
+}
+
+impl KvPair {
+    /// Creates a put pair.
+    pub fn put(key: impl Into<Key>, value: impl Into<Value>) -> Self {
+        Self {
+            key: key.into(),
+            value: Some(value.into()),
+        }
+    }
+
+    /// Creates a delete tombstone.
+    pub fn delete(key: impl Into<Key>) -> Self {
+        Self {
+            key: key.into(),
+            value: None,
+        }
+    }
+
+    /// Returns whether this pair is a tombstone.
+    pub fn is_tombstone(&self) -> bool {
+        self.value.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_key_order_matches_numeric_order() {
+        let mut keys: Vec<Key> = (0..100u64).rev().map(encode_u64_key).collect();
+        keys.sort();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(decode_u64_key(k), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        assert_eq!(decode_u64_key(&[1, 2, 3]), None);
+        assert_eq!(decode_u64_key(&[0; 9]), None);
+    }
+
+    #[test]
+    fn partition_uses_most_significant_bits() {
+        let l = 4;
+        // Top nibble 0x0 -> partition 0; top nibble 0xF -> partition 15.
+        assert_eq!(key_partition(&encode_u64_key(0), l), 0);
+        assert_eq!(key_partition(&encode_u64_key(u64::MAX), l), 15);
+        // Adjacent keys share a partition.
+        let a = key_partition(&encode_u64_key(1000), l);
+        let b = key_partition(&encode_u64_key(1001), l);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partition_zero_bits_is_constant() {
+        assert_eq!(key_partition(b"anything", 0), 0);
+        assert_eq!(key_partition(b"", 0), 0);
+    }
+
+    #[test]
+    fn partition_handles_short_keys() {
+        assert_eq!(key_partition(b"", 4), 0);
+        // A single 0xFF byte zero-extended still has its top nibble set.
+        assert_eq!(key_partition(&[0xFF], 4), 15);
+    }
+
+    #[test]
+    fn tombstone_roundtrip() {
+        let p = KvPair::put(encode_u64_key(1), vec![1u8, 2, 3]);
+        assert!(!p.is_tombstone());
+        let d = KvPair::delete(encode_u64_key(1));
+        assert!(d.is_tombstone());
+        assert_eq!(p.key, d.key);
+    }
+}

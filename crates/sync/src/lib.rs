@@ -1,0 +1,35 @@
+//! Concurrency substrate for the FloDB reproduction.
+//!
+//! This crate provides the low-level synchronization building blocks the
+//! paper's memory component relies on (§4.2 of *FloDB: Unlocking Memory in
+//! Persistent Key-Value Stores*, EuroSys 2017):
+//!
+//! - [`rcu::RcuDomain`] — a read-copy-update domain used to switch memory
+//!   components (Membuffer / Memtable) without ever blocking readers or
+//!   writers, only background threads.
+//! - [`seq::SequenceGenerator`] — the global sequence number source used to
+//!   order Memtable entries relative to scans.
+//! - [`backoff::Backoff`] — bounded exponential backoff for contended CAS
+//!   loops.
+//! - [`pause::PauseFlag`] — the `pauseWriters` / `pauseDrainingThreads`
+//!   protocol flags from Algorithms 2 and 3.
+//! - [`flat_combining::WriteQueue`] — a flat-combining write queue modeling
+//!   LevelDB's single-writer leader (§2.2), used by the baselines.
+//! - [`kv`] — the common key/value byte-string representation shared by all
+//!   layers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backoff;
+pub mod flat_combining;
+pub mod kv;
+pub mod pause;
+pub mod rcu;
+pub mod seq;
+
+pub use backoff::Backoff;
+pub use flat_combining::WriteQueue;
+pub use pause::PauseFlag;
+pub use rcu::RcuDomain;
+pub use seq::SequenceGenerator;

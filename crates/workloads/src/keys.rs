@@ -1,0 +1,167 @@
+//! Key distributions over a dataset of `n` 8-byte keys.
+
+use rand::Rng;
+
+/// A distribution over the key space `0..n`, encoded as 8-byte big-endian
+/// keys (the paper's key size, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key equally likely (§5.2 default).
+    Uniform {
+        /// Dataset size in keys.
+        n: u64,
+    },
+    /// Hot-set skew: `hot_ops` of operations target the first
+    /// `hot_fraction` of the key space (§5.4 uses 0.98 / 0.02).
+    HotSet {
+        /// Dataset size in keys.
+        n: u64,
+        /// Fraction of the key space that is hot.
+        hot_fraction: f64,
+        /// Probability an operation targets the hot set.
+        hot_ops: f64,
+    },
+    /// YCSB-style zipfian over `0..n` with skew `theta` (0.99 classic).
+    Zipfian {
+        /// Dataset size in keys.
+        n: u64,
+        /// Skew parameter in `(0, 1)`.
+        theta: f64,
+    },
+}
+
+impl KeyDistribution {
+    /// The paper's skewed workload: 2% of keys get 98% of accesses.
+    pub fn paper_skew(n: u64) -> Self {
+        Self::HotSet {
+            n,
+            hot_fraction: 0.02,
+            hot_ops: 0.98,
+        }
+    }
+
+    /// Dataset size.
+    pub fn n(&self) -> u64 {
+        match self {
+            Self::Uniform { n } | Self::HotSet { n, .. } | Self::Zipfian { n, .. } => *n,
+        }
+    }
+
+    /// Draws a key index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        match *self {
+            Self::Uniform { n } => rng.gen_range(0..n),
+            Self::HotSet {
+                n,
+                hot_fraction,
+                hot_ops,
+            } => {
+                let hot_n = ((n as f64 * hot_fraction) as u64).max(1);
+                if rng.gen_bool(hot_ops) {
+                    // Hot keys are spread across the key space (stride) so
+                    // they do not all share a Membuffer partition prefix;
+                    // the partition-skew effect still shows at small
+                    // Membuffer sizes because hot keys repeat heavily.
+                    let i = rng.gen_range(0..hot_n);
+                    (i * (n / hot_n)).min(n - 1)
+                } else {
+                    rng.gen_range(0..n)
+                }
+            }
+            Self::Zipfian { n, theta } => zipfian_sample(rng, n, theta),
+        }
+    }
+
+    /// Encodes a key index as an 8-byte big-endian key.
+    #[inline]
+    pub fn encode(index: u64) -> [u8; 8] {
+        index.to_be_bytes()
+    }
+}
+
+/// Approximate zipfian sampling (Gray et al., as used by YCSB), with the
+/// zeta(n) constant approximated in closed form so billion-key spaces do
+/// not require an O(n) precomputation.
+fn zipfian_sample<R: Rng>(rng: &mut R, n: u64, theta: f64) -> u64 {
+    debug_assert!((0.0..1.0).contains(&theta));
+    let zetan = approx_zeta(n, theta);
+    let zeta2 = 1.0 + 0.5f64.powf(theta);
+    let alpha = 1.0 / (1.0 - theta);
+    let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+    let u: f64 = rng.gen();
+    let uz = u * zetan;
+    if uz < 1.0 {
+        return 0;
+    }
+    if uz < 1.0 + 0.5f64.powf(theta) {
+        return 1;
+    }
+    ((n as f64 * (eta * u - eta + 1.0).powf(alpha)) as u64).min(n - 1)
+}
+
+/// Closed-form approximation of the generalized harmonic number
+/// `zeta(n, theta)` via the integral bound.
+fn approx_zeta(n: u64, theta: f64) -> f64 {
+    // zeta(n) ~= 1 + integral_1^n x^-theta dx = 1 + (n^(1-theta) - 1)/(1-theta)
+    1.0 + ((n as f64).powf(1.0 - theta) - 1.0) / (1.0 - theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn uniform_covers_space() {
+        let d = KeyDistribution::Uniform { n: 100 };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 100];
+        for _ in 0..10_000 {
+            seen[d.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().filter(|s| **s).count() > 95);
+    }
+
+    #[test]
+    fn hotset_concentrates_accesses() {
+        let d = KeyDistribution::paper_skew(10_000);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let hot_n = 200u64; // 2% of 10k.
+        let stride = 10_000 / hot_n;
+        let mut hot_hits = 0;
+        let total = 100_000;
+        for _ in 0..total {
+            let k = d.sample(&mut rng);
+            if k % stride == 0 {
+                hot_hits += 1;
+            }
+        }
+        let frac = hot_hits as f64 / total as f64;
+        assert!(frac > 0.9, "hot fraction {frac} too low");
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let d = KeyDistribution::Zipfian {
+            n: 1000,
+            theta: 0.99,
+        };
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            let k = d.sample(&mut rng);
+            assert!(k < 1000);
+            counts[k as usize] += 1;
+        }
+        // Rank 0 must dominate the tail decisively.
+        assert!(counts[0] > counts[500] * 10);
+    }
+
+    #[test]
+    fn encoding_is_ordered() {
+        assert!(KeyDistribution::encode(1) < KeyDistribution::encode(2));
+        assert!(KeyDistribution::encode(255) < KeyDistribution::encode(256));
+    }
+}

@@ -1,0 +1,180 @@
+//! Operation mixes matching the paper's workloads (§5.2).
+
+use rand::Rng;
+
+/// The kind of one generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Point read.
+    Read,
+    /// Put of a fresh value.
+    Insert,
+    /// Delete (tombstone).
+    Delete,
+    /// Range scan of the configured length.
+    Scan,
+}
+
+/// A probability mix over operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperationMix {
+    /// P(read).
+    pub read: f64,
+    /// P(insert).
+    pub insert: f64,
+    /// P(delete).
+    pub delete: f64,
+    /// P(scan).
+    pub scan: f64,
+}
+
+impl OperationMix {
+    /// Read-only (Figure 10).
+    pub fn read_only() -> Self {
+        Self {
+            read: 1.0,
+            insert: 0.0,
+            delete: 0.0,
+            scan: 0.0,
+        }
+    }
+
+    /// Write-only: 50% inserts, 50% deletes (Figure 9).
+    pub fn write_only() -> Self {
+        Self {
+            read: 0.0,
+            insert: 0.5,
+            delete: 0.5,
+            scan: 0.0,
+        }
+    }
+
+    /// Balanced mixed: 50% reads, 25% inserts, 25% deletes (Figure 11).
+    pub fn mixed_balanced() -> Self {
+        Self {
+            read: 0.5,
+            insert: 0.25,
+            delete: 0.25,
+            scan: 0.0,
+        }
+    }
+
+    /// Mixed 50% reads / 50% updates (Figure 16's skewed experiment).
+    pub fn read_update() -> Self {
+        Self {
+            read: 0.5,
+            insert: 0.5,
+            delete: 0.0,
+            scan: 0.0,
+        }
+    }
+
+    /// Scan-write: `scan_ratio` scans, the rest updates (Figures 13-14;
+    /// the paper's default is 5% scans / 95% updates).
+    pub fn scan_write(scan_ratio: f64) -> Self {
+        Self {
+            read: 0.0,
+            insert: 1.0 - scan_ratio,
+            delete: 0.0,
+            scan: scan_ratio,
+        }
+    }
+
+    /// Validates that probabilities are sane and sum to 1.
+    pub fn validate(&self) -> Result<(), String> {
+        let parts = [self.read, self.insert, self.delete, self.scan];
+        if parts.iter().any(|p| !(0.0..=1.0).contains(p)) {
+            return Err("mix probabilities must be in [0,1]".into());
+        }
+        let sum: f64 = parts.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(format!("mix probabilities sum to {sum}, not 1"));
+        }
+        Ok(())
+    }
+
+    /// Draws an operation kind.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> OpKind {
+        let x: f64 = rng.gen();
+        if x < self.read {
+            OpKind::Read
+        } else if x < self.read + self.insert {
+            OpKind::Insert
+        } else if x < self.read + self.insert + self.delete {
+            OpKind::Delete
+        } else {
+            OpKind::Scan
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for mix in [
+            OperationMix::read_only(),
+            OperationMix::write_only(),
+            OperationMix::mixed_balanced(),
+            OperationMix::read_update(),
+            OperationMix::scan_write(0.05),
+            OperationMix::scan_write(0.5),
+        ] {
+            mix.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_mixes_are_rejected() {
+        let bad = OperationMix {
+            read: 0.5,
+            insert: 0.2,
+            delete: 0.0,
+            scan: 0.0,
+        };
+        assert!(bad.validate().is_err());
+        let bad = OperationMix {
+            read: -0.1,
+            insert: 1.1,
+            delete: 0.0,
+            scan: 0.0,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn sampling_tracks_probabilities() {
+        let mix = OperationMix::mixed_balanced();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u64; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            match mix.sample(&mut rng) {
+                OpKind::Read => counts[0] += 1,
+                OpKind::Insert => counts[1] += 1,
+                OpKind::Delete => counts[2] += 1,
+                OpKind::Scan => counts[3] += 1,
+            }
+        }
+        let read_frac = counts[0] as f64 / n as f64;
+        assert!((0.48..0.52).contains(&read_frac));
+        assert_eq!(counts[3], 0);
+    }
+
+    #[test]
+    fn scan_write_ratio() {
+        let mix = OperationMix::scan_write(0.05);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let scans = (0..n)
+            .filter(|_| mix.sample(&mut rng) == OpKind::Scan)
+            .count();
+        let frac = scans as f64 / n as f64;
+        assert!((0.04..0.06).contains(&frac));
+    }
+}

@@ -1,0 +1,96 @@
+//! FloDB — a two-tier LSM memory component that unlocks memory in
+//! persistent key-value stores.
+//!
+//! This is a from-scratch Rust reproduction of *FloDB: Unlocking Memory in
+//! Persistent Key-Value Stores* (Balmau, Guerraoui, Trigonakis, Zablotchi —
+//! EuroSys 2017). The umbrella crate re-exports the whole workspace:
+//!
+//! - [`FloDb`] (from [`core`]) — the paper's contribution: an LSM store
+//!   whose memory component has **two levels**, a small fast hash-table
+//!   *Membuffer* on top of a large sorted skiplist *Memtable*, drained in
+//!   the background with skiplist multi-inserts and switched with RCU so
+//!   reads, writes and scans all proceed concurrently.
+//! - [`baselines`] — the four comparator designs of the paper's evaluation
+//!   (LevelDB, HyperLevelDB, RocksDB, RocksDB/cLSM), reimplemented over
+//!   the same disk substrate.
+//! - [`storage`] — the LevelDB-style disk component (SSTables, WAL,
+//!   leveled compaction, table caches) and the simulated throttled disk.
+//! - [`membuffer`], [`memtable`], [`sync`] — the concurrent substrates:
+//!   partitioned cache-line-bucket hash table, lock-free skiplist with
+//!   multi-insert, and the RCU/sequence/pause primitives.
+//! - [`workloads`] — the evaluation's key distributions, operation mixes
+//!   and multithreaded measurement driver.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flodb::{FloDb, FloDbOptions, KvStore};
+//!
+//! let db = FloDb::open(FloDbOptions::small_for_tests()).unwrap();
+//! db.put(b"user:1", b"alice");
+//! db.put(b"user:2", b"bob");
+//! assert_eq!(db.get(b"user:1"), Some(b"alice".to_vec()));
+//!
+//! // Serializable range scan across all levels (Membuffer included —
+//! // the master scan drains it first).
+//! let users = db.scan(b"user:", b"user:~");
+//! assert_eq!(users.len(), 2);
+//!
+//! db.delete(b"user:2");
+//! assert_eq!(db.get(b"user:2"), None);
+//! ```
+//!
+//! # Picking a configuration
+//!
+//! [`FloDbOptions::default_in_memory`] reproduces the paper's default
+//! shape (128 MB memory component, 1/4 Membuffer + 3/4 Memtable, one
+//! drain thread, multi-insert draining) over an unthrottled in-memory
+//! disk; [`FloDbOptions::paper_ssd`] throttles persistence like the
+//! paper's SSD; `small_for_tests` shrinks everything for fast tests. Use
+//! [`storage::FsEnv`] as `options.env` for a real on-disk store.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use flodb_core::{FloDb, FloDbOptions, FloDbStats, KvStore, ScanEntry, StoreStats, WalMode};
+
+/// The FloDB store and the uniform `KvStore` interface (re-export of
+/// `flodb-core`).
+pub mod core {
+    pub use flodb_core::*;
+}
+
+/// Baseline LSM designs from the paper's evaluation (re-export of
+/// `flodb-baselines`).
+pub mod baselines {
+    pub use flodb_baselines::*;
+}
+
+/// The LSM disk component substrate (re-export of `flodb-storage`).
+pub mod storage {
+    pub use flodb_storage::*;
+}
+
+/// The Membuffer: a partitioned concurrent hash table (re-export of
+/// `flodb-membuffer`).
+pub mod membuffer {
+    pub use flodb_membuffer::*;
+}
+
+/// The Memtable: a lock-free skiplist with multi-insert (re-export of
+/// `flodb-memtable`).
+pub mod memtable {
+    pub use flodb_memtable::*;
+}
+
+/// Concurrency primitives: RCU, sequence numbers, pause flags, flat
+/// combining (re-export of `flodb-sync`).
+pub mod sync {
+    pub use flodb_sync::*;
+}
+
+/// Workload generation and the measurement driver (re-export of
+/// `flodb-workloads`).
+pub mod workloads {
+    pub use flodb_workloads::*;
+}

@@ -1,0 +1,281 @@
+//! End-to-end integration tests: data flowing through every level of the
+//! FloDB hierarchy (Membuffer → Memtable → immutable Memtable → disk) and
+//! back out through gets and scans.
+
+use std::sync::Arc;
+
+use flodb::{FloDb, FloDbOptions, KvStore};
+
+fn key(n: u64) -> [u8; 8] {
+    n.to_be_bytes()
+}
+
+fn small_db() -> FloDb {
+    FloDb::open(FloDbOptions::small_for_tests()).unwrap()
+}
+
+#[test]
+fn thousand_entries_survive_flush_and_compaction() {
+    let db = small_db();
+    for i in 0..1000u64 {
+        db.put(&key(i), format!("value-{i}").as_bytes());
+    }
+    db.flush_all();
+    let disk = db.disk_stats();
+    assert!(disk.flushes >= 1, "small memory component must have flushed");
+    for i in 0..1000u64 {
+        assert_eq!(
+            db.get(&key(i)),
+            Some(format!("value-{i}").into_bytes()),
+            "key {i} lost"
+        );
+    }
+}
+
+#[test]
+fn freshest_value_wins_across_levels() {
+    let db = small_db();
+    // Generation 1 goes all the way to disk.
+    for i in 0..100u64 {
+        db.put(&key(i), b"gen1");
+    }
+    db.flush_all();
+    // Generation 2 rests in the Memtable (drained but not flushed).
+    for i in 0..50u64 {
+        db.put(&key(i), b"gen2");
+    }
+    db.quiesce();
+    // Generation 3 sits in the Membuffer for a subset.
+    for i in 0..10u64 {
+        db.put(&key(i), b"gen3");
+    }
+    for i in 0..100u64 {
+        let expect: &[u8] = if i < 10 {
+            b"gen3"
+        } else if i < 50 {
+            b"gen2"
+        } else {
+            b"gen1"
+        };
+        assert_eq!(db.get(&key(i)).as_deref(), Some(expect), "key {i}");
+    }
+    // A scan agrees with the gets.
+    let all = db.scan(&key(0), &key(99));
+    assert_eq!(all.len(), 100);
+    for (i, (k, v)) in all.iter().enumerate() {
+        assert_eq!(k.as_slice(), key(i as u64));
+        let expect: &[u8] = if i < 10 {
+            b"gen3"
+        } else if i < 50 {
+            b"gen2"
+        } else {
+            b"gen1"
+        };
+        assert_eq!(v.as_slice(), expect, "key {i}");
+    }
+}
+
+#[test]
+fn tombstones_shadow_every_level() {
+    let db = small_db();
+    for i in 0..200u64 {
+        db.put(&key(i), b"v");
+    }
+    db.flush_all();
+    // Delete every third key; leave the tombstones at different depths.
+    for i in (0..200u64).step_by(3) {
+        db.delete(&key(i));
+    }
+    // Some tombstones stay in memory, some go to disk.
+    db.quiesce();
+    for i in 0..200u64 {
+        let got = db.get(&key(i));
+        if i % 3 == 0 {
+            assert_eq!(got, None, "key {i} should be deleted");
+        } else {
+            assert_eq!(got.as_deref(), Some(b"v".as_slice()), "key {i}");
+        }
+    }
+    let survivors = db.scan(&key(0), &key(199));
+    assert_eq!(survivors.len(), 200 - 200usize.div_ceil(3));
+    // Compaction at the bottom drops the tombstones entirely; results must
+    // not change.
+    db.flush_all();
+    let survivors = db.scan(&key(0), &key(199));
+    assert_eq!(survivors.len(), 200 - 200usize.div_ceil(3));
+}
+
+#[test]
+fn reinsert_after_delete_resurrects_key() {
+    let db = small_db();
+    db.put(b"phoenix", b"v1");
+    db.flush_all();
+    db.delete(b"phoenix");
+    db.flush_all();
+    assert_eq!(db.get(b"phoenix"), None);
+    db.put(b"phoenix", b"v2");
+    assert_eq!(db.get(b"phoenix").as_deref(), Some(b"v2".as_slice()));
+    db.flush_all();
+    assert_eq!(db.get(b"phoenix").as_deref(), Some(b"v2".as_slice()));
+}
+
+#[test]
+fn scan_bounds_are_inclusive_and_precise() {
+    let db = small_db();
+    for i in [10u64, 20, 30, 40, 50] {
+        db.put(&key(i), &i.to_le_bytes());
+    }
+    db.flush_all();
+    // Exact hits on both bounds.
+    let out = db.scan(&key(20), &key(40));
+    let got: Vec<u64> = out
+        .iter()
+        .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+        .collect();
+    assert_eq!(got, vec![20, 30, 40]);
+    // Bounds between keys.
+    let out = db.scan(&key(11), &key(39));
+    assert_eq!(out.len(), 2);
+    // Degenerate range: low == high == existing key.
+    let out = db.scan(&key(30), &key(30));
+    assert_eq!(out.len(), 1);
+    // Empty range: low > high.
+    let out = db.scan(&key(40), &key(20));
+    assert!(out.is_empty());
+}
+
+#[test]
+fn values_of_many_sizes_round_trip() {
+    let db = small_db();
+    // Empty values, 1-byte, and values spanning block-size boundaries.
+    let sizes = [0usize, 1, 7, 255, 256, 257, 1024, 4096, 65536];
+    for (i, &sz) in sizes.iter().enumerate() {
+        let v: Vec<u8> = (0..sz).map(|b| (b % 251) as u8).collect();
+        db.put(&key(i as u64), &v);
+    }
+    db.flush_all();
+    for (i, &sz) in sizes.iter().enumerate() {
+        let v = db.get(&key(i as u64)).unwrap();
+        assert_eq!(v.len(), sz);
+        assert!(v.iter().enumerate().all(|(b, &x)| x == (b % 251) as u8));
+    }
+}
+
+#[test]
+fn binary_keys_with_zero_and_ff_bytes() {
+    let db = small_db();
+    let keys: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0x00],
+        vec![0x00, 0x00],
+        vec![0x00, 0x01],
+        vec![0x7F],
+        vec![0xFF],
+        vec![0xFF, 0xFF],
+    ];
+    for (i, k) in keys.iter().enumerate() {
+        db.put(k, &[i as u8]);
+    }
+    db.flush_all();
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(db.get(k).as_deref(), Some([i as u8].as_slice()), "key {k:?}");
+    }
+    // Scan over the whole byte-string space keeps lexicographic order.
+    let all = db.scan(&[], &[0xFFu8, 0xFF, 0xFF]);
+    assert_eq!(all.len(), keys.len());
+    for w in all.windows(2) {
+        assert!(w[0].0 < w[1].0, "lexicographic order violated");
+    }
+}
+
+#[test]
+fn memory_usage_falls_after_flush_all() {
+    let db = small_db();
+    for i in 0..2000u64 {
+        db.put(&key(i), &[0u8; 32]);
+    }
+    let before = db.memory_usage();
+    assert!(before > 0);
+    db.flush_all();
+    let after = db.memory_usage();
+    assert_eq!(after, 0, "flush_all must empty the memory component");
+}
+
+#[test]
+fn overwrite_heavy_workload_is_space_bounded() {
+    // In-place updates (§3.2): hammering one key must not fill the memory
+    // component or force flushes.
+    let db = small_db();
+    for round in 0..50_000u64 {
+        db.put(b"hot", &round.to_le_bytes());
+    }
+    db.quiesce();
+    assert_eq!(
+        db.get(b"hot").as_deref(),
+        Some(49_999u64.to_le_bytes().as_slice())
+    );
+    assert_eq!(
+        db.disk_stats().flushes,
+        0,
+        "in-place updates must not consume memory"
+    );
+}
+
+#[test]
+fn interleaved_put_delete_scan_cycles() {
+    let db = small_db();
+    for cycle in 0..10u64 {
+        for i in 0..100u64 {
+            if (i + cycle) % 2 == 0 {
+                db.put(&key(i), &cycle.to_le_bytes());
+            } else {
+                db.delete(&key(i));
+            }
+        }
+        let live = db.scan(&key(0), &key(99));
+        assert_eq!(live.len(), 50, "cycle {cycle}");
+        for (k, v) in live {
+            let i = u64::from_be_bytes(k.as_slice().try_into().unwrap());
+            assert_eq!((i + cycle) % 2, 0);
+            assert_eq!(v, cycle.to_le_bytes());
+        }
+    }
+}
+
+#[test]
+fn get_of_unwritten_keys_is_none_at_every_depth() {
+    let db = small_db();
+    assert_eq!(db.get(b"nothing"), None);
+    db.put(b"a", b"1");
+    assert_eq!(db.get(b"nothing"), None);
+    db.flush_all();
+    assert_eq!(db.get(b"nothing"), None, "bloom filter must not lie");
+}
+
+#[test]
+fn shared_reference_use_from_many_threads() {
+    // The store is Sync: hammer it through an Arc from many threads with
+    // disjoint key ranges and verify.
+    let db = Arc::new(small_db());
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let base = t * 10_000;
+            for i in 0..2000u64 {
+                db.put(&key(base + i), &(base + i).to_le_bytes());
+            }
+            for i in 0..2000u64 {
+                assert_eq!(
+                    db.get(&key(base + i)),
+                    Some((base + i).to_le_bytes().to_vec())
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = db.stats();
+    assert_eq!(stats.puts, 8 * 2000);
+}

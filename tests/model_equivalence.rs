@@ -1,0 +1,188 @@
+//! Property-based model equivalence: every system in the repository must
+//! behave exactly like a `BTreeMap` under arbitrary sequential operation
+//! sequences — gets, scans, overwrites, deletes, everything.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use flodb::baselines::{
+    BaselineOptions, HyperLevelDbStore, LevelDbStore, MemtableKind, RocksDbClsmStore,
+    RocksDbStore,
+};
+use flodb::{FloDb, FloDbOptions, KvStore};
+use proptest::prelude::*;
+
+/// One step of the random workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u8),
+    Delete(u8),
+    Get(u8),
+    Scan(u8, u8),
+    /// Force the memory component down to disk (FloDB only; baselines
+    /// quiesce instead).
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => any::<u8>().prop_map(Op::Delete),
+        3 => any::<u8>().prop_map(Op::Get),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Scan(a, b)),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn key(k: u8) -> [u8; 8] {
+    // Spread the key space so several Membuffer partitions participate.
+    (u64::from(k) << 56 | u64::from(k)).to_be_bytes()
+}
+
+fn apply_ops(store: &dyn KvStore, flush: impl Fn(), ops: &[Op]) {
+    let mut model: BTreeMap<[u8; 8], Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Put(k, v) => {
+                store.put(&key(k), &[v]);
+                model.insert(key(k), vec![v]);
+            }
+            Op::Delete(k) => {
+                store.delete(&key(k));
+                model.remove(&key(k));
+            }
+            Op::Get(k) => {
+                assert_eq!(
+                    store.get(&key(k)),
+                    model.get(&key(k)).cloned(),
+                    "get({k}) diverged on {}",
+                    store.name()
+                );
+            }
+            Op::Scan(a, b) => {
+                let (lo, hi) = (a.min(b), a.max(b));
+                let got = store.scan(&key(lo), &key(hi));
+                let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .range(key(lo)..=key(hi))
+                    .map(|(k, v)| (k.to_vec(), v.clone()))
+                    .collect();
+                assert_eq!(got, want, "scan({lo},{hi}) diverged on {}", store.name());
+            }
+            Op::Flush => flush(),
+        }
+    }
+    // Final full sweep: every key agrees.
+    for k in 0..=255u8 {
+        assert_eq!(
+            store.get(&key(k)),
+            model.get(&key(k)).cloned(),
+            "final get({k}) diverged on {}",
+            store.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // Each case replays ~120 ops on 5 stores.
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn flodb_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let db = FloDb::open(FloDbOptions::small_for_tests()).unwrap();
+        apply_ops(&db, || db.flush_all(), &ops);
+    }
+
+    #[test]
+    fn flodb_without_membuffer_matches_btreemap(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut opts = FloDbOptions::small_for_tests();
+        opts.membuffer_enabled = false;
+        opts.drain_threads = 0;
+        let db = FloDb::open(opts).unwrap();
+        apply_ops(&db, || db.flush_all(), &ops);
+    }
+
+    #[test]
+    fn leveldb_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let db = Arc::new(LevelDbStore::open(BaselineOptions::small_for_tests()));
+        let flush_ref = Arc::clone(&db);
+        apply_ops(&*db, move || flush_ref.quiesce(), &ops);
+    }
+
+    #[test]
+    fn hyperleveldb_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let db = Arc::new(HyperLevelDbStore::open(BaselineOptions::small_for_tests()));
+        let flush_ref = Arc::clone(&db);
+        apply_ops(&*db, move || flush_ref.quiesce(), &ops);
+    }
+
+    #[test]
+    fn rocksdb_skiplist_matches_btreemap(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let db = Arc::new(RocksDbStore::open(BaselineOptions::small_for_tests()));
+        let flush_ref = Arc::clone(&db);
+        apply_ops(&*db, move || flush_ref.quiesce(), &ops);
+    }
+
+    #[test]
+    fn rocksdb_hashtable_matches_btreemap(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut opts = BaselineOptions::small_for_tests();
+        opts.memtable = MemtableKind::HashTable;
+        let db = Arc::new(RocksDbStore::open(opts));
+        let flush_ref = Arc::clone(&db);
+        apply_ops(&*db, move || flush_ref.quiesce(), &ops);
+    }
+
+    #[test]
+    fn rocksdb_clsm_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let db = Arc::new(RocksDbClsmStore::open(BaselineOptions::small_for_tests()));
+        let flush_ref = Arc::clone(&db);
+        apply_ops(&*db, move || flush_ref.quiesce(), &ops);
+    }
+}
+
+/// All five systems replay the *same* seeded random workload and must end
+/// in identical states — the cross-system differential test.
+#[test]
+fn all_systems_agree_on_a_seeded_workload() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = SmallRng::seed_from_u64(0xF10D_B);
+    let ops: Vec<Op> = (0..2000)
+        .map(|_| match rng.gen_range(0..10) {
+            0..=4 => Op::Put(rng.gen(), rng.gen()),
+            5..=6 => Op::Delete(rng.gen()),
+            7..=8 => Op::Get(rng.gen()),
+            _ => Op::Scan(rng.gen(), rng.gen()),
+        })
+        .collect();
+
+    let flodb = Arc::new(FloDb::open(FloDbOptions::small_for_tests()).unwrap());
+    let stores: Vec<Arc<dyn KvStore>> = vec![
+        Arc::clone(&flodb) as Arc<dyn KvStore>,
+        Arc::new(LevelDbStore::open(BaselineOptions::small_for_tests())),
+        Arc::new(HyperLevelDbStore::open(BaselineOptions::small_for_tests())),
+        Arc::new(RocksDbStore::open(BaselineOptions::small_for_tests())),
+        Arc::new(RocksDbClsmStore::open(BaselineOptions::small_for_tests())),
+    ];
+    for store in &stores {
+        apply_ops(&**store, || {}, &ops);
+    }
+    // Pairwise-equal final scans.
+    let reference = stores[0].scan(&key(0), &key(255));
+    for store in &stores[1..] {
+        assert_eq!(
+            store.scan(&key(0), &key(255)),
+            reference,
+            "{} diverged from FloDB",
+            store.name()
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Integration tests of the measurement harness itself: the workload
+//! driver's reports must be internally consistent and its knobs must do
+//! what the evaluation section assumes they do.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use flodb::workloads::init::{fill_random, fill_sequential};
+use flodb::workloads::{run_workload, KeyDistribution, OperationMix, WorkloadConfig};
+use flodb::{FloDb, FloDbOptions, KvStore};
+
+fn store() -> Arc<dyn KvStore> {
+    Arc::new(FloDb::open(FloDbOptions::small_for_tests()).unwrap())
+}
+
+#[test]
+fn fixed_op_count_runs_exactly_that_many() {
+    let store = store();
+    let mut cfg = WorkloadConfig::new(
+        3,
+        OperationMix::mixed_balanced(),
+        KeyDistribution::Uniform { n: 10_000 },
+    );
+    cfg.ops_per_thread = Some(500);
+    let report = run_workload(&store, &cfg);
+    assert_eq!(report.total_ops, 3 * 500);
+    assert_eq!(report.total_ops, report.reads + report.writes + report.scans);
+}
+
+#[test]
+fn timed_run_reports_positive_throughput() {
+    let store = store();
+    let mut cfg = WorkloadConfig::new(
+        2,
+        OperationMix::write_only(),
+        KeyDistribution::Uniform { n: 10_000 },
+    );
+    cfg.duration = Duration::from_millis(300);
+    let report = run_workload(&store, &cfg);
+    assert!(report.total_ops > 0);
+    assert!(report.ops_per_sec() > 0.0);
+    assert!(report.elapsed >= Duration::from_millis(300));
+    // Write-only: no reads, no scans (§5.2 — 50% insert / 50% delete).
+    assert_eq!(report.reads, 0);
+    assert_eq!(report.scans, 0);
+    assert_eq!(report.writes, report.total_ops);
+}
+
+#[test]
+fn read_only_mix_never_writes() {
+    let store = store();
+    fill_random(&*store, 1000, 64);
+    let mut cfg = WorkloadConfig::new(
+        2,
+        OperationMix::read_only(),
+        KeyDistribution::Uniform { n: 1000 },
+    );
+    cfg.ops_per_thread = Some(300);
+    let report = run_workload(&store, &cfg);
+    assert_eq!(report.writes, 0);
+    assert_eq!(report.scans, 0);
+    let stats = store.stats();
+    // The fill covers half the dataset (§5.2); nothing else may write.
+    assert_eq!(stats.puts + stats.deletes, 500, "only the fill wrote");
+}
+
+#[test]
+fn single_writer_mode_isolates_writes_to_thread_zero() {
+    let store = store();
+    fill_random(&*store, 1000, 64);
+    let before = store.stats();
+    let mut cfg = WorkloadConfig::new(
+        4,
+        OperationMix::read_only(), // Overridden per-thread by single_writer.
+        KeyDistribution::Uniform { n: 1000 },
+    );
+    cfg.single_writer = true;
+    cfg.ops_per_thread = Some(200);
+    let report = run_workload(&store, &cfg);
+    assert_eq!(report.writes, 200, "exactly one writer thread");
+    assert_eq!(report.reads, 3 * 200);
+    let after = store.stats();
+    assert_eq!(after.puts - before.puts, 200);
+}
+
+#[test]
+fn scan_mix_counts_keys_not_ops() {
+    let store = store();
+    fill_sequential(&*store, 5_000, 64);
+    store.quiesce();
+    let mut cfg = WorkloadConfig::new(
+        2,
+        OperationMix::scan_write(0.5),
+        KeyDistribution::Uniform { n: 5_000 },
+    );
+    cfg.ops_per_thread = Some(200);
+    cfg.scan_len = 100;
+    let report = run_workload(&store, &cfg);
+    assert!(report.scans > 0);
+    // Key throughput counts every key a scan returned (§5.2), so it must
+    // exceed operation count substantially in a scan-heavy mix.
+    assert!(
+        report.keys_accessed > report.total_ops,
+        "keys {} vs ops {}",
+        report.keys_accessed,
+        report.total_ops
+    );
+}
+
+#[test]
+fn latency_histograms_populate_when_enabled() {
+    let store = store();
+    let mut cfg = WorkloadConfig::new(
+        2,
+        OperationMix::mixed_balanced(),
+        KeyDistribution::Uniform { n: 1000 },
+    );
+    cfg.ops_per_thread = Some(400);
+    cfg.measure_latency = true;
+    let report = run_workload(&store, &cfg);
+    assert!(report.read_latency.count() > 0);
+    assert!(report.write_latency.count() > 0);
+    let median = report.write_latency.percentile_ns(50.0);
+    let p99 = report.write_latency.percentile_ns(99.0);
+    assert!(median > 0, "median latency must be recorded");
+    assert!(p99 >= median, "p99 cannot undercut the median");
+}
+
+#[test]
+fn skewed_distribution_concentrates_accesses() {
+    // The paper's skew: 98% of operations target 2% of the keys (§5.4).
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let dist = KeyDistribution::paper_skew(100_000);
+    let mut rng = SmallRng::seed_from_u64(7);
+    // Hot keys are strided across the space: multiples of n / hot_n.
+    let stride = 100_000 / 2_000;
+    let mut hot = 0u64;
+    const SAMPLES: u64 = 100_000;
+    for _ in 0..SAMPLES {
+        if dist.sample(&mut rng) % stride == 0 {
+            hot += 1;
+        }
+    }
+    let ratio = hot as f64 / SAMPLES as f64;
+    assert!(
+        (0.96..=1.0).contains(&ratio),
+        "expected ~98% hot accesses, got {ratio:.3}"
+    );
+}
+
+#[test]
+fn deterministic_given_a_seed() {
+    // Two runs with the same seed and fixed op counts do identical work.
+    let run = |seed: u64| {
+        let store = store();
+        let mut cfg = WorkloadConfig::new(
+            2,
+            OperationMix::write_only(),
+            KeyDistribution::Uniform { n: 1000 },
+        );
+        cfg.seed = seed;
+        cfg.ops_per_thread = Some(300);
+        run_workload(&store, &cfg);
+        let s = store.stats();
+        (s.puts, s.deletes)
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(43), "different seeds must differ");
+}
+
+#[test]
+fn fill_helpers_report_entries_written() {
+    let store = store();
+    // The fill covers half the dataset (§5.2): even keys only.
+    let n = fill_sequential(&*store, 1234, 32);
+    assert_eq!(n, 617);
+    store.quiesce();
+    assert!(store.get(&KeyDistribution::encode(0)).is_some());
+    assert!(store.get(&KeyDistribution::encode(1232)).is_some());
+    assert!(store.get(&KeyDistribution::encode(1233)).is_none(), "odd keys unfilled");
+    assert!(store.get(&KeyDistribution::encode(1234)).is_none(), "out of range");
+}
