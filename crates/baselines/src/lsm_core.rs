@@ -239,8 +239,13 @@ impl LsmCore {
     /// Appends a version to the active memtable.
     pub fn write(&self, key: &[u8], seq: u64, value: Option<&[u8]>) {
         self.make_room();
-        let active = Arc::clone(&self.state.read().active);
-        active.insert(key, seq, value);
+        // Hold the state read-lock across the insert: the memtable switch
+        // takes the write lock, so it cannot retire `active` into `imm`
+        // (and flush + drop it) while an insert is still in flight. Without
+        // this, a concurrent switch + flush could collect the memtable's
+        // records before the insert lands, silently losing the write.
+        let st = self.state.read();
+        st.active.insert(key, seq, value);
     }
 
     /// Point lookup at "now".

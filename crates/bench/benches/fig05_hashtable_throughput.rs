@@ -41,7 +41,7 @@ fn run_cell(n: u64, threads: usize, scale: &Scale) -> f64 {
             while !stop.load(Ordering::Relaxed) {
                 for _ in 0..256 {
                     let key = (rng.gen_range(0..n) * spread).to_be_bytes();
-                    if ops % 2 == 0 {
+                    if ops.is_multiple_of(2) {
                         let _ = table.get(&key);
                     } else {
                         let _ = table.add(&key, Some(b"87654321"));

@@ -33,7 +33,7 @@ fn run_cell(n: u64, threads: usize, scale: &Scale) -> f64 {
             while !stop.load(Ordering::Relaxed) {
                 for _ in 0..64 {
                     let key = rng.gen_range(0..n).to_be_bytes();
-                    if ops % 2 == 0 {
+                    if ops.is_multiple_of(2) {
                         let _ = list.get(&key);
                     } else {
                         let s = seq.fetch_add(1, Ordering::Relaxed);

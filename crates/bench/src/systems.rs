@@ -51,7 +51,7 @@ impl SystemKind {
 /// Builds a fresh SimDisk env; `throttled` applies the scale's write
 /// bandwidth (the paper's persistence bottleneck).
 pub fn make_env(scale: &Scale, throttled: bool) -> Arc<dyn Env> {
-    let throttle = throttled.then(|| ThrottleConfig {
+    let throttle = throttled.then_some(ThrottleConfig {
         write_bytes_per_sec: scale.disk_bytes_per_sec,
         burst_bytes: scale.disk_bytes_per_sec / 8,
     });

@@ -248,17 +248,13 @@ impl SkipList {
             }
             // SAFETY: `pred` is head or a live node.
             let mut curr = unsafe { pred.deref() }.tower[level].load(Ordering::Acquire, guard);
-            loop {
-                // SAFETY: `curr` was read from a live tower pointer.
-                let Some(c) = (unsafe { curr.as_ref() }) else {
-                    break;
-                };
-                if c.key.as_ref() < key {
-                    pred = curr;
-                    curr = c.tower[level].load(Ordering::Acquire, guard);
-                } else {
+            // SAFETY: `curr` is always read from a live tower pointer.
+            while let Some(c) = unsafe { curr.as_ref() } {
+                if c.key.as_ref() >= key {
                     break;
                 }
+                pred = curr;
+                curr = c.tower[level].load(Ordering::Acquire, guard);
             }
             preds[level] = pred;
             succs[level] = curr;
@@ -386,7 +382,7 @@ impl SkipList {
 
     /// CAS loop replacing a node's value if the incoming one is as fresh or
     /// fresher (by sequence number).
-    fn update_in_place<'g>(&self, node: &Node, mut vv: Owned<VersionedValue>, guard: &'g Guard) {
+    fn update_in_place(&self, node: &Node, mut vv: Owned<VersionedValue>, guard: &Guard) {
         loop {
             let cur = node.value.load(Ordering::Acquire, guard);
             // SAFETY: Published nodes always hold a non-null value, and

@@ -33,7 +33,7 @@ impl BlockBuilder {
     /// Debug-asserts that keys arrive in non-decreasing order.
     pub fn add(&mut self, record: &Record) {
         debug_assert!(
-            self.last_key.as_deref().map_or(true, |k| k <= &*record.key),
+            self.last_key.as_deref().is_none_or(|k| k <= &*record.key),
             "records must be added in non-decreasing key order"
         );
         if self.first_key.is_none() {

@@ -28,7 +28,7 @@ impl Bloom {
         // k = bits_per_key * ln2 rounded, clamped to a sane range.
         let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
         let nbits = (n_keys * bits_per_key).max(64);
-        let nbytes = (nbits + 7) / 8;
+        let nbytes = nbits.div_ceil(8);
         let nbits = nbytes * 8;
         let mut bits = vec![0u8; nbytes];
         for key in keys {

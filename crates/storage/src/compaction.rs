@@ -76,10 +76,10 @@ impl CompactionJob {
         let mut lo: Option<&[u8]> = None;
         let mut hi: Option<&[u8]> = None;
         for f in self.inputs.iter().chain(&self.next_inputs) {
-            if lo.map_or(true, |l| f.smallest.as_ref() < l) {
+            if lo.is_none_or(|l| f.smallest.as_ref() < l) {
                 lo = Some(&f.smallest);
             }
-            if hi.map_or(true, |h| f.largest.as_ref() > h) {
+            if hi.is_none_or(|h| f.largest.as_ref() > h) {
                 hi = Some(&f.largest);
             }
         }
@@ -102,7 +102,7 @@ pub fn pick_compaction(version: &Version, cfg: &CompactionConfig) -> Option<Comp
     }
     for level in 1..NUM_LEVELS - 1 {
         let score = version.level_bytes(level) as f64 / cfg.level_max_bytes(level) as f64;
-        if score >= 1.0 && best.map_or(true, |(s, _)| score > s) {
+        if score >= 1.0 && best.is_none_or(|(s, _)| score > s) {
             best = Some((score, level));
         }
     }

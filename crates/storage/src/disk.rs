@@ -280,7 +280,7 @@ impl DiskComponent {
             if let Some(record) = table.get(key)? {
                 if level == 0 {
                     // L0 files overlap; keep searching L0 for a fresher seq.
-                    if best_l0.as_ref().map_or(true, |b| record.seq > b.seq) {
+                    if best_l0.as_ref().is_none_or(|b| record.seq > b.seq) {
                         best_l0 = Some(record);
                     }
                 } else {
@@ -625,7 +625,7 @@ mod tests {
                 while !stop.load(Ordering::Relaxed) {
                     for k in (0..500u64).step_by(61) {
                         let r = d.get(&k.to_be_bytes()).unwrap().unwrap();
-                        assert!(r.seq >= k + 1);
+                        assert!(r.seq > k);
                     }
                 }
             }));

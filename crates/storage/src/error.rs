@@ -54,7 +54,7 @@ mod tests {
         assert!(StorageError::Corruption("bad".into())
             .to_string()
             .contains("bad"));
-        let io: StorageError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let io: StorageError = std::io::Error::other("x").into();
         assert!(io.to_string().contains("io error"));
     }
 }

@@ -370,6 +370,10 @@ impl TableIterator {
     }
 
     /// Advances the cursor.
+    ///
+    /// Named after LevelDB's `Iterator::Next`; it is not `std::iter::
+    /// Iterator::next` because advancing can fail with an I/O error.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<()> {
         self.record_idx += 1;
         if let Some(b) = &self.block {

@@ -215,7 +215,7 @@ impl Default for RcuDomain {
 thread_local! {
     /// Keeps one retirer per (thread, domain); dropping them on thread exit
     /// marks the slots retired so `synchronize` can prune them.
-    static REAPERS: RefCell<Vec<SlotRetirer>> = RefCell::new(Vec::new());
+    static REAPERS: RefCell<Vec<SlotRetirer>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Guard for an RCU read-side critical section; ends the section on drop.

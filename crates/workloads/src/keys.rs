@@ -134,7 +134,7 @@ mod tests {
         let total = 100_000;
         for _ in 0..total {
             let k = d.sample(&mut rng);
-            if k % stride == 0 {
+            if k.is_multiple_of(stride) {
                 hot_hits += 1;
             }
         }

@@ -138,7 +138,7 @@ fn skewed_distribution_concentrates_accesses() {
     let mut hot = 0u64;
     const SAMPLES: u64 = 100_000;
     for _ in 0..SAMPLES {
-        if dist.sample(&mut rng) % stride == 0 {
+        if dist.sample(&mut rng).is_multiple_of(stride) {
             hot += 1;
         }
     }

@@ -1,0 +1,53 @@
+//! Workspace smoke test: guards the build system itself.
+//!
+//! If a future PR breaks a crate manifest, a re-export, or the
+//! `FloDb`/`KvStore` front-door API, this test fails before anything
+//! subtler does. It deliberately exercises only the public umbrella-crate
+//! surface: open, put/get/delete/scan, and the stats counters.
+
+use flodb::{FloDb, FloDbOptions, KvStore};
+
+#[test]
+fn open_crud_scan_and_stats_counters_move() {
+    let db = FloDb::open(FloDbOptions::small_for_tests()).unwrap();
+
+    // Put + get round-trip.
+    db.put(b"smoke:a", b"1");
+    db.put(b"smoke:b", b"2");
+    db.put(b"smoke:c", b"3");
+    assert_eq!(db.get(b"smoke:a"), Some(b"1".to_vec()));
+    assert_eq!(db.get(b"smoke:missing"), None);
+
+    // Overwrite keeps the latest value.
+    db.put(b"smoke:a", b"1'");
+    assert_eq!(db.get(b"smoke:a"), Some(b"1'".to_vec()));
+
+    // Range scan sees all live keys, sorted.
+    let entries = db.scan(b"smoke:", b"smoke:~");
+    assert_eq!(entries.len(), 3);
+    assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+
+    // Delete hides the key from both get and scan.
+    db.delete(b"smoke:b");
+    assert_eq!(db.get(b"smoke:b"), None);
+    assert_eq!(db.scan(b"smoke:", b"smoke:~").len(), 2);
+
+    // The uniform KvStore stats counters moved.
+    let s = db.stats();
+    assert_eq!(s.puts, 4, "puts counted");
+    assert_eq!(s.deletes, 1, "deletes counted");
+    assert_eq!(s.gets, 4, "gets counted");
+    assert_eq!(s.scans, 2, "scans counted");
+    assert_eq!(s.scanned_keys, 5, "scanned keys accumulated");
+
+    // The detailed FloDbStats view is reachable through the re-export and
+    // agrees that every write was absorbed by one of the two memory levels.
+    let detailed = db.flodb_stats();
+    let fast = detailed
+        .membuffer_writes
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let slow = detailed
+        .memtable_writes
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(fast + slow, 5, "all writes routed through a memory level");
+}

@@ -1,0 +1,317 @@
+//! Offline API-compatible mini `criterion`.
+//!
+//! The build container has no crates.io access, so this workspace ships a
+//! small wall-clock benchmark harness with criterion's calling convention:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. It warms up briefly, runs a fixed-duration
+//! measurement, and prints mean/min time per iteration — no statistics,
+//! plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (accepted for compatibility; the
+/// shim re-runs setup per batch regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measure_for: Duration,
+    /// (total time, iterations) of the measurement phase.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and calibration: find an iteration count lasting long
+        // enough for the clock to resolve.
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed > Duration::from_millis(1) || n >= 1 << 20 {
+                let per_iter = elapsed.max(Duration::from_nanos(1)) / n as u32;
+                let target = (self.measure_for.as_nanos() / per_iter.as_nanos().max(1))
+                    .clamp(1, 1 << 24) as u64;
+                let start = Instant::now();
+                for _ in 0..target {
+                    black_box(routine());
+                }
+                self.result = Some((start.elapsed(), target));
+                return;
+            }
+            n *= 2;
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup excluded
+    /// from the timing).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.measure_for;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while Instant::now() < deadline || iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+            if iters >= 1 << 20 {
+                break;
+            }
+        }
+        self.result = Some((total, iters));
+    }
+
+    /// Like `iter_batched`, timing the routine on references.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.iter_batched(setup, |mut input| routine(&mut input), _size);
+    }
+
+    /// Times with a caller-controlled loop: `routine(iters)` must return
+    /// the elapsed time of `iters` iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let iters = 10u64;
+        let elapsed = routine(iters);
+        self.result = Some((elapsed, iters));
+    }
+}
+
+fn report(name: &str, result: Option<(Duration, u64)>) {
+    match result {
+        Some((total, iters)) if iters > 0 => {
+            let per = total.as_nanos() as f64 / iters as f64;
+            println!("bench: {name:<50} {per:>14.1} ns/iter ({iters} iters)");
+        }
+        _ => println!("bench: {name:<50} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the sample count (accepted, ignored by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time for benchmarks in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measure_for = t;
+        self
+    }
+
+    /// Sets the warm-up time (accepted, ignored by the shim).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets throughput reporting (accepted, ignored by the shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            measure_for: self.criterion.measure_for,
+            result: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.result);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            measure_for: self.criterion.measure_for,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.result);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted, ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // Short by design: the shim is for smoke-level timing, and the
+            // ~20 bench targets must finish in CI-compatible time.
+            measure_for: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark measurement time.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measure_for = t;
+        self
+    }
+
+    /// Accepted for compatibility (the shim has no sampling).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; CLI args are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            measure_for: self.measure_for,
+            result: None,
+        };
+        f(&mut b);
+        report(&id.to_string(), b.result);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group.sample_size(10).bench_function("add", |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64))
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        tiny(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| black_box(3u32) * 7));
+    }
+}

@@ -1,0 +1,449 @@
+//! Offline API-compatible shim for the `crossbeam-epoch` crate.
+//!
+//! The build container has no crates.io access, so this workspace ships a
+//! minimal implementation of the `Atomic` / `Owned` / `Shared` / `Guard`
+//! surface the FloDB crates use.
+//!
+//! **Reclamation policy:** `Guard::defer_destroy` intentionally *leaks* the
+//! deferred object instead of freeing it after a grace period. Leaking is
+//! always sound (no use-after-free is possible), and the only values routed
+//! through `defer_destroy` in this workspace are small replaced versions on
+//! in-place updates. Structures still free their *current* contents in
+//! `Drop` via `unprotected()`. Replacing this shim with real epoch-based
+//! reclamation is tracked in ROADMAP.md.
+
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// A pointer type that can be stored into an [`Atomic`].
+///
+/// Implemented by [`Owned`] (transferring ownership) and [`Shared`]
+/// (copying a borrowed pointer).
+pub trait Pointer<T> {
+    /// Returns the raw pointer, consuming `self` without dropping.
+    fn into_ptr(self) -> *mut T;
+    /// Reconstitutes the pointer type from a raw pointer.
+    ///
+    /// # Safety
+    /// `raw` must have come from `into_ptr` of the same pointer type.
+    unsafe fn from_ptr(raw: *mut T) -> Self;
+}
+
+/// An owned heap allocation that can be published into an [`Atomic`].
+pub struct Owned<T> {
+    raw: *mut T,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    /// Allocates `value` on the heap.
+    pub fn new(value: T) -> Self {
+        Self {
+            raw: Box::into_raw(Box::new(value)),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Converts the owned pointer into a [`Shared`], leaking ownership to
+    /// the data structure it is about to be published into.
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            raw: self.into_ptr(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Converts into the inner box.
+    pub fn into_box(self) -> Box<T> {
+        // SAFETY: `raw` always points at a live Box allocation.
+        unsafe { Box::from_raw(self.into_ptr()) }
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_ptr(self) -> *mut T {
+        let raw = self.raw;
+        std::mem::forget(self);
+        raw
+    }
+
+    unsafe fn from_ptr(raw: *mut T) -> Self {
+        Self {
+            raw,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: `raw` points at a live Box allocation for the lifetime of
+        // the `Owned`.
+        unsafe { &*self.raw }
+    }
+}
+
+impl<T> std::ops::DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: As in `deref`; `&mut self` guarantees exclusivity.
+        unsafe { &mut *self.raw }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        // SAFETY: `raw` points at a live Box allocation we still own.
+        unsafe { drop(Box::from_raw(self.raw)) };
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Owned<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Owned").field(&**self).finish()
+    }
+}
+
+impl<T> From<T> for Owned<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+/// A pointer borrowed from an [`Atomic`] under the protection of a
+/// [`Guard`].
+pub struct Shared<'g, T> {
+    raw: *const T,
+    _marker: PhantomData<&'g T>,
+}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Self {
+            raw: ptr::null(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Returns the raw pointer.
+    pub fn as_raw(&self) -> *const T {
+        self.raw
+    }
+
+    /// Whether the pointer is null.
+    pub fn is_null(&self) -> bool {
+        self.raw.is_null()
+    }
+
+    /// Dereferences the pointer.
+    ///
+    /// # Safety
+    /// The pointee must be alive and no mutable reference to it may exist.
+    pub unsafe fn deref(&self) -> &'g T {
+        &*self.raw
+    }
+
+    /// Converts to a reference, `None` when null.
+    ///
+    /// # Safety
+    /// As for [`Shared::deref`].
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        self.raw.as_ref()
+    }
+
+    /// Takes ownership of the pointee.
+    ///
+    /// # Safety
+    /// The caller must hold the only remaining pointer to the allocation.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        Owned::from_ptr(self.raw as *mut T)
+    }
+}
+
+impl<'g, T> Pointer<T> for Shared<'g, T> {
+    fn into_ptr(self) -> *mut T {
+        self.raw as *mut T
+    }
+
+    unsafe fn from_ptr(raw: *mut T) -> Self {
+        Self {
+            raw,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'g, T> Clone for Shared<'g, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'g, T> Copy for Shared<'g, T> {}
+
+impl<'g, T> PartialEq for Shared<'g, T> {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.raw, other.raw)
+    }
+}
+
+impl<'g, T> Eq for Shared<'g, T> {}
+
+impl<'g, T> From<*const T> for Shared<'g, T> {
+    fn from(raw: *const T) -> Self {
+        Self {
+            raw,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'g, T> Default for Shared<'g, T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<'g, T> std::fmt::Debug for Shared<'g, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Shared").field(&self.raw).finish()
+    }
+}
+
+/// The error returned by a failed [`Atomic::compare_exchange`].
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the atomic actually held.
+    pub current: Shared<'g, T>,
+    /// The not-installed new value, handed back to the caller.
+    pub new: P,
+}
+
+/// An atomic pointer cell that epoch guards can safely load from.
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: `Atomic` is a plain atomic pointer; cross-thread transfer of the
+// pointee is governed by the same rules as crossbeam's `Atomic`.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: See above.
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Self {
+            ptr: AtomicPtr::new(ptr::null_mut()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocates `value` and stores a pointer to it.
+    pub fn new(value: T) -> Self {
+        Self::from(Owned::new(value))
+    }
+
+    /// Loads the pointer.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            raw: self.ptr.load(ord),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Stores `new`, dropping nothing (any displaced pointer is simply
+    /// overwritten, as in crossbeam).
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.ptr.store(new.into_ptr(), ord);
+    }
+
+    /// Swaps in `new`, returning the previous pointer.
+    pub fn swap<'g, P: Pointer<T>>(&self, new: P, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            raw: self.ptr.swap(new.into_ptr(), ord),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Compare-and-exchanges `current` for `new`.
+    ///
+    /// On success returns the now-installed pointer as a [`Shared`]; on
+    /// failure returns the observed pointer and hands `new` back.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'g, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_raw = new.into_ptr();
+        match self.ptr.compare_exchange(
+            current.raw as *mut T,
+            new_raw,
+            success,
+            failure,
+        ) {
+            Ok(_) => Ok(Shared {
+                raw: new_raw,
+                _marker: PhantomData,
+            }),
+            Err(observed) => Err(CompareExchangeError {
+                current: Shared {
+                    raw: observed,
+                    _marker: PhantomData,
+                },
+                // SAFETY: `new_raw` came from `new.into_ptr()` above.
+                new: unsafe { P::from_ptr(new_raw) },
+            }),
+        }
+    }
+
+    /// Takes ownership of the pointee.
+    ///
+    /// # Safety
+    /// The caller must have exclusive access and the pointer must be
+    /// non-null.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        Owned::from_ptr(self.ptr.into_inner())
+    }
+}
+
+impl<T> From<Owned<T>> for Atomic<T> {
+    fn from(owned: Owned<T>) -> Self {
+        Self {
+            ptr: AtomicPtr::new(owned.into_ptr()),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> std::fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Atomic")
+            .field(&self.ptr.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A pinned participant handle.
+///
+/// In this shim pinning is a no-op: deferred destructions leak (sound, see
+/// the crate docs), so no epoch tracking is required.
+pub struct Guard {
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl Guard {
+    /// Defers destruction of `ptr`.
+    ///
+    /// This shim leaks the allocation instead of freeing it after a grace
+    /// period — always sound, never a use-after-free.
+    ///
+    /// # Safety
+    /// `ptr` must be unreachable to new readers (same contract as
+    /// crossbeam).
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        let _ = ptr;
+    }
+
+    /// Runs `f` after a grace period in crossbeam; this shim never runs
+    /// it at all (matching `defer_destroy`'s leak policy). Running it
+    /// eagerly — or dropping it, which runs captured destructors — could
+    /// free memory that concurrently pinned readers still reference.
+    ///
+    /// # Safety
+    /// Same contract as crossbeam's `Guard::defer_unchecked`.
+    pub unsafe fn defer_unchecked<F: FnOnce()>(&self, f: F) {
+        std::mem::forget(f);
+    }
+
+    /// Flushes pending deferred functions (no-op here).
+    pub fn flush(&self) {}
+
+    /// Repins the guard (no-op here).
+    pub fn repin(&mut self) {}
+}
+
+/// Pins the current thread, returning a guard.
+pub fn pin() -> Guard {
+    Guard {
+        _not_send: PhantomData,
+    }
+}
+
+/// Returns a guard usable without pinning.
+///
+/// # Safety
+/// The caller must guarantee no concurrent access to the data structures
+/// traversed with this guard (typically because it holds `&mut self`).
+pub unsafe fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard {
+        _not_send: PhantomData,
+    };
+    &UNPROTECTED
+}
+
+// SAFETY: `Guard` carries no data; the `*mut ()` marker only suppresses
+// auto-Send/Sync the way crossbeam's Guard does. The static `unprotected`
+// guard needs Sync; a zero-sized immutable value is trivially shareable.
+unsafe impl Sync for Guard {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_load_roundtrip() {
+        let a = Atomic::new(41u64);
+        let guard = pin();
+        let s = a.load(Ordering::Acquire, &guard);
+        assert_eq!(unsafe { *s.deref() }, 41);
+        drop(unsafe { a.into_owned() });
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure() {
+        let a: Atomic<u64> = Atomic::null();
+        let guard = pin();
+        let null = a.load(Ordering::Acquire, &guard);
+        assert!(null.is_null());
+
+        let won =
+            a.compare_exchange(null, Owned::new(7), Ordering::SeqCst, Ordering::Acquire, &guard);
+        let installed = match won {
+            Ok(s) => s,
+            Err(_) => panic!("CAS from null must win"),
+        };
+        assert_eq!(unsafe { *installed.deref() }, 7);
+
+        let lost =
+            a.compare_exchange(null, Owned::new(8), Ordering::SeqCst, Ordering::Acquire, &guard);
+        let err = match lost {
+            Err(e) => e,
+            Ok(_) => panic!("CAS from stale expected must fail"),
+        };
+        assert_eq!(unsafe { *err.current.deref() }, 7);
+        assert_eq!(*err.new, 8); // ownership handed back
+        drop(unsafe { a.into_owned() });
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let a = Atomic::new(1u32);
+        let guard = pin();
+        let prev = a.swap(Owned::new(2), Ordering::AcqRel, &guard);
+        assert_eq!(unsafe { *prev.deref() }, 1);
+        drop(unsafe { prev.into_owned() });
+        drop(unsafe { a.into_owned() });
+    }
+}

@@ -1,0 +1,120 @@
+//! Offline API-compatible shim for the `crossbeam-utils` crate.
+//!
+//! Provides the subset used by this workspace: [`CachePadded`] and a
+//! minimal [`Backoff`].
+
+/// Pads and aligns a value to the length of a cache line to avoid false
+/// sharing. 128 bytes covers adjacent-line prefetchers on modern x86.
+#[derive(Clone, Copy, Default, Hash, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads `value` to a cache line.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+/// Exponential backoff for spin loops.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Creates a fresh backoff.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets to the initial state.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Spins for a bounded number of iterations.
+    pub fn spin(&self) {
+        let step = self.step.get().min(Self::SPIN_LIMIT);
+        for _ in 0..(1u32 << step) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= Self::SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Spins or yields to the OS scheduler depending on how long we have
+    /// been waiting.
+    pub fn snooze(&self) {
+        if self.step.get() <= Self::SPIN_LIMIT {
+            self.spin();
+        } else {
+            std::thread::yield_now();
+            if self.step.get() <= Self::YIELD_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+    }
+
+    /// Whether the caller should fall back to blocking.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > Self::YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_aligned() {
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(p.into_inner(), 7);
+    }
+
+    #[test]
+    fn backoff_completes() {
+        let b = Backoff::new();
+        while !b.is_completed() {
+            b.snooze();
+        }
+    }
+}

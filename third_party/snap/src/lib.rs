@@ -1,0 +1,110 @@
+//! Offline stand-in for the `snap` (Snappy) crate.
+//!
+//! No crate in the workspace calls Snappy yet, but the workspace manifest
+//! pins `snap` for future block compression work. This shim round-trips
+//! data in a *stored* format (varint length prefix + raw bytes). It is NOT
+//! wire-compatible with real Snappy; swap in the real crate before reading
+//! externally produced files.
+
+/// Errors produced by [`raw::Decoder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The input ended before the declared payload.
+    Truncated,
+    /// The length header was malformed.
+    Header,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "snap shim: truncated input"),
+            Error::Header => write!(f, "snap shim: malformed length header"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Raw (frameless) encoding, mirroring `snap::raw`.
+pub mod raw {
+    use super::Error;
+
+    fn put_uvarint(out: &mut Vec<u8>, mut n: u64) {
+        while n >= 0x80 {
+            out.push((n as u8 & 0x7F) | 0x80);
+            n >>= 7;
+        }
+        out.push(n as u8);
+    }
+
+    fn get_uvarint(input: &[u8]) -> Result<(u64, usize), Error> {
+        let mut n = 0u64;
+        for (i, &b) in input.iter().take(10).enumerate() {
+            n |= u64::from(b & 0x7F) << (7 * i);
+            if b < 0x80 {
+                return Ok((n, i + 1));
+            }
+        }
+        Err(Error::Header)
+    }
+
+    /// Stored-format encoder.
+    #[derive(Debug, Default, Clone)]
+    pub struct Encoder {}
+
+    impl Encoder {
+        /// Creates an encoder.
+        pub fn new() -> Self {
+            Self {}
+        }
+
+        /// "Compresses" `input` into the stored format.
+        pub fn compress_vec(&mut self, input: &[u8]) -> Result<Vec<u8>, Error> {
+            let mut out = Vec::with_capacity(input.len() + 10);
+            put_uvarint(&mut out, input.len() as u64);
+            out.extend_from_slice(input);
+            Ok(out)
+        }
+    }
+
+    /// Stored-format decoder.
+    #[derive(Debug, Default, Clone)]
+    pub struct Decoder {}
+
+    impl Decoder {
+        /// Creates a decoder.
+        pub fn new() -> Self {
+            Self {}
+        }
+
+        /// Decompresses stored-format `input`.
+        pub fn decompress_vec(&mut self, input: &[u8]) -> Result<Vec<u8>, Error> {
+            let (len, header) = get_uvarint(input)?;
+            let body = &input[header..];
+            if (body.len() as u64) < len {
+                return Err(Error::Truncated);
+            }
+            Ok(body[..len as usize].to_vec())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::raw::{Decoder, Encoder};
+
+    #[test]
+    fn round_trip() {
+        let data = b"the quick brown fox".repeat(20);
+        let enc = Encoder::new().compress_vec(&data).unwrap();
+        let dec = Decoder::new().decompress_vec(&enc).unwrap();
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let enc = Encoder::new().compress_vec(b"hello world").unwrap();
+        assert!(Decoder::new().decompress_vec(&enc[..enc.len() - 3]).is_err());
+    }
+}
