@@ -5,6 +5,12 @@
 //! skiplist — with one multi-insert per batch, exploiting the partition
 //! neighborhood (§4.3) — and finally removes them from the Membuffer,
 //! skipping any entry that was concurrently updated in place.
+//!
+//! Reclamation note: nothing in this pipeline holds an epoch-protected
+//! pointer across stages. [`DrainedEntry`] carries *owned clones* made
+//! under the claiming pin, so the hand-off Membuffer → skiplist is
+//! pointer-free; the retire of the removed `HtEntry` happens inside
+//! [`MemBuffer::remove_drained`] under that call's own pin.
 
 use flodb_membuffer::{DrainedEntry, MemBuffer, RemoveToken};
 use flodb_memtable::{BatchEntry, SkipList};

@@ -49,5 +49,5 @@ mod view;
 
 pub use api::{KvStore, ScanEntry, StoreStats};
 pub use options::{FloDbOptions, WalMode};
-pub use stats::FloDbStats;
+pub use stats::{FloDbStats, ReclamationStats};
 pub use store::FloDb;

@@ -636,7 +636,10 @@ fn drain_loop(inner: &Arc<Inner>, worker: usize) {
             moved
         });
         if moved == 0 {
-            // Nothing to drain: back off briefly.
+            // Nothing to drain: use the idle beat to walk the reclamation
+            // epoch forward (hot-path pins only attempt this sporadically),
+            // then back off briefly.
+            crossbeam_epoch::pin().flush();
             std::thread::sleep(Duration::from_micros(100));
         } else {
             FloDbStats::add(&inner.stats.drained_entries, moved as u64);
@@ -755,9 +758,16 @@ impl KvStore for FloDb {
                 )
             });
             if mbf_len == 0 && !imm_mbf && !imm_mtb && !self.inner.disk.needs_compaction() {
-                return;
+                break;
             }
             backoff.snooze();
+        }
+        // Background work has settled; also settle epoch reclamation. Each
+        // round can advance the epoch one step past this thread's own pin,
+        // so a handful of rounds lets sealed garbage finish its two-epoch
+        // grace period (other threads' open pins legitimately stop earlier).
+        for _ in 0..4 {
+            crossbeam_epoch::pin().flush();
         }
     }
 }

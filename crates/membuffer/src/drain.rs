@@ -5,6 +5,10 @@
 //! draining of the immutable Membuffer" (Algorithm 2, lines 12-16). The
 //! tracker hands out disjoint chunks of the bucket space and reports
 //! completion once every chunk has been both claimed *and* finished.
+//!
+//! The tracker itself is reclamation-neutral: it deals only in chunk
+//! indices, never in epoch-protected entry pointers, so helpers can hold a
+//! claim across arbitrarily long Memtable inserts without pinning.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

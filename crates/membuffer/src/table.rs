@@ -1,4 +1,16 @@
 //! The partitioned concurrent hash table.
+//!
+//! # Memory reclamation
+//!
+//! Slots hold `Atomic<HtEntry>` pointers that lock-free readers
+//! ([`MemBuffer::get`]) traverse without taking the bucket lock, so an
+//! entry displaced by an in-place update or removed after a drain cannot
+//! be freed immediately: it is retired with `Guard::defer_destroy` after
+//! being swapped out under the bucket lock, and the epoch collector frees
+//! it only once every thread pinned at retire time has unpinned. Every
+//! slot load in this module therefore happens under an epoch pin, and the
+//! drain path hands out *owned clones* (key/value boxes), never raw entry
+//! pointers — see `ARCHITECTURE.md` for the invariant list.
 
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 
@@ -226,8 +238,10 @@ impl MemBuffer {
                         let delta = new.charge_bytes() as isize - entry.charge_bytes() as isize;
                         let old = slot.swap(new, Ordering::AcqRel, &guard);
                         self.bytes.fetch_add(delta, Ordering::Relaxed);
-                        // SAFETY: `old` was unlinked under the bucket lock;
-                        // readers may still hold it, so defer reclamation.
+                        // SAFETY: `old` was unlinked under the bucket lock,
+                        // so no new reader can acquire it; lock-free readers
+                        // that already loaded it are pinned, and the
+                        // collector waits for them before freeing.
                         unsafe { guard.defer_destroy(old) };
                         return AddResult::Updated;
                     }

@@ -18,6 +18,12 @@ use crate::value::VersionedValue;
 /// algorithm (fresh concurrent inserts may or may not be seen, and their
 /// sequence numbers tell the scanner whether a restart is needed).
 ///
+/// The iterator owns an epoch pin for its whole lifetime, which is what
+/// keeps concurrently replaced values alive until [`SkipListIter::value`]
+/// has cloned them. The flip side is that a live iterator stalls epoch
+/// advancement, delaying (never preventing) reclamation of everything
+/// retired after it was created — drop iterators promptly.
+///
 /// # Examples
 ///
 /// ```

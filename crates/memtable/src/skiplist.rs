@@ -3,10 +3,24 @@
 //! The structure follows the lock-free skiplist of Herlihy & Shavit [29]
 //! as simplified by FloDB's "no concurrent removal" guarantee: towers are
 //! linked bottom-up with CAS, searches are wait-free, and no node is ever
-//! unlinked while the list is alive. Replaced values are reclaimed through
-//! `crossbeam-epoch`; nodes are reclaimed wholesale when the list drops
-//! (which in FloDB happens after the immutable Memtable is persisted and a
-//! grace period has elapsed).
+//! unlinked while the list is alive.
+//!
+//! # Memory reclamation
+//!
+//! Two object classes have different lifetimes here:
+//!
+//! - **Nodes** are never unlinked, so they live exactly as long as the
+//!   list and are freed wholesale in `Drop` (which in FloDB happens after
+//!   the immutable Memtable is persisted and its last scan snapshot is
+//!   released).
+//! - **Values** ([`VersionedValue`]) are replaced in place by concurrent
+//!   updates. The displaced value is retired through
+//!   `Guard::defer_destroy` *after* the successful CAS that unlinked it,
+//!   under the updater's pin, and the epoch collector frees it only once
+//!   every thread pinned at retire time has unpinned. Correspondingly,
+//!   every read of a node's value pointer (`get`, the iterator, the drain
+//!   path) happens under a pin and dereferences only while that guard is
+//!   alive — see `ARCHITECTURE.md` for the full invariant list.
 
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 
@@ -399,8 +413,10 @@ impl SkipList {
             {
                 Ok(_) => {
                     self.bytes.fetch_add(delta, Ordering::Relaxed);
-                    // SAFETY: `cur` has been unlinked by the successful CAS
-                    // and can be reclaimed after a grace period.
+                    // SAFETY: `cur` has been unlinked by the successful CAS,
+                    // so no new reader can acquire it; concurrent readers
+                    // that already loaded it are pinned, and the collector
+                    // waits for them before running the destructor.
                     unsafe { guard.defer_destroy(cur) };
                     return;
                 }

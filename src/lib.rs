@@ -52,7 +52,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub use flodb_core::{FloDb, FloDbOptions, FloDbStats, KvStore, ScanEntry, StoreStats, WalMode};
+pub use flodb_core::{
+    FloDb, FloDbOptions, FloDbStats, KvStore, ReclamationStats, ScanEntry, StoreStats, WalMode,
+};
 
 /// The FloDB store and the uniform `KvStore` interface (re-export of
 /// `flodb-core`).

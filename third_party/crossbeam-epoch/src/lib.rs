@@ -4,17 +4,55 @@
 //! minimal implementation of the `Atomic` / `Owned` / `Shared` / `Guard`
 //! surface the FloDB crates use.
 //!
-//! **Reclamation policy:** `Guard::defer_destroy` intentionally *leaks* the
-//! deferred object instead of freeing it after a grace period. Leaking is
-//! always sound (no use-after-free is possible), and the only values routed
-//! through `defer_destroy` in this workspace are small replaced versions on
-//! in-place updates. Structures still free their *current* contents in
-//! `Drop` via `unprotected()`. Replacing this shim with real epoch-based
-//! reclamation is tracked in ROADMAP.md.
+//! **Reclamation policy:** unlike the earlier revision of this shim (which
+//! leaked every deferred destruction), `defer_destroy` now feeds a real
+//! epoch-based reclamation scheme, the same three-epoch design the real
+//! crate uses:
+//!
+//! - A **global epoch** counter advances one step at a time.
+//! - Every thread that calls [`pin`] registers a **participant** whose
+//!   local epoch snapshot is published on each pin.
+//! - Deferred destructions accumulate in a **per-thread garbage bag**;
+//!   bags are *sealed* (stamped with the global epoch and pushed to a
+//!   global queue) when they grow large, when a guard is
+//!   [flushed](Guard::flush), or when the owning thread exits.
+//! - The global epoch **advances** only when every currently pinned
+//!   participant has observed the current epoch, and a sealed bag is
+//!   **collected** (its destructors run) once the global epoch is at least
+//!   **two** epochs past the bag's seal epoch.
+//!
+//! Why two epochs is enough: consider a reader holding a pointer that was
+//! retired into a bag stamped with epoch `g`. If the reader pinned at
+//! some epoch `e` *before* the unlink happened, then `e <= g` (the seal
+//! reads the global epoch after the unlink, and the epoch never moves
+//! backwards); while that reader stays pinned at `e`, the global epoch
+//! cannot advance past `e + 1` — advancing from `e + 1` would require the
+//! reader to have observed `e + 1` — and collection needs it to reach
+//! `g + 2 >= e + 2`, which is unreachable until the reader unpins. A
+//! reader that pins only *after* the seal cannot hold the pointer at all:
+//! its pin and the seal both perform `SeqCst` accesses of the global
+//! epoch, which order the unlinking swap before the late pinner's slot
+//! loads, so those loads observe the replacement pointer.
+//!
+//! Divergences from the real crate that remain: no `Collector` /
+//! `LocalHandle` API (everything goes through the default global
+//! collector), coarse `SeqCst` ordering on the pin/advance paths instead
+//! of the real crate's carefully minimized fences, and a mutex-protected
+//! participant registry and garbage queue. The common-case `pin` takes
+//! no lock, but a thread's *first* pin locks the registry to register,
+//! and every `PINS_BETWEEN_COLLECT`-th pin runs an advancement/collection
+//! attempt that locks both mutexes — so unlike the real crate, `pin` is
+//! not lock-free in the technical sense. The extra [`shim_stats`] module
+//! is a shim-only observability hook with no crossbeam equivalent.
 
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::rc::Rc;
+use std::sync::atomic::{fence, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A pointer type that can be stored into an [`Atomic`].
 ///
@@ -335,71 +373,466 @@ impl<T> std::fmt::Debug for Atomic<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Epoch-based reclamation internals.
+// ---------------------------------------------------------------------------
+
+/// Low bit of a participant's published state: set while pinned. The
+/// remaining bits hold the epoch the participant observed when it pinned.
+const PINNED: usize = 1;
+const EPOCH_SHIFT: u32 = 1;
+
+/// Seal a thread's local bag once it holds this many deferred items, even
+/// if the thread never flushes explicitly.
+const BAG_SEAL_THRESHOLD: usize = 64;
+
+/// Attempt epoch advancement + collection every this many pins (amortizes
+/// the registry scan over the hot path).
+const PINS_BETWEEN_COLLECT: usize = 64;
+
+/// A type-erased deferred destruction.
+///
+/// The closure typically captures a raw pointer and may run on whichever
+/// thread performs the collection, so it is force-marked `Send`; the
+/// `defer_*` safety contracts make the caller responsible for that being
+/// sound (as in the real crate, where collection also migrates garbage
+/// across threads).
+struct Deferred {
+    call: Box<dyn FnOnce()>,
+}
+
+// SAFETY: See the `Deferred` doc comment — soundness of cross-thread
+// execution is part of the `defer_unchecked`/`defer_destroy` contract.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    /// # Safety
+    /// The closure must remain sound to call until the end of the grace
+    /// period (the `defer_unchecked` contract); its captured borrows are
+    /// lifetime-erased here.
+    unsafe fn new<F: FnOnce()>(f: F) -> Self {
+        let boxed: Box<dyn FnOnce() + '_> = Box::new(f);
+        Self {
+            // SAFETY: Only the lifetime is transmuted; the caller vouches
+            // for the closure staying valid until it runs.
+            call: std::mem::transmute::<Box<dyn FnOnce() + '_>, Box<dyn FnOnce() + 'static>>(
+                boxed,
+            ),
+        }
+    }
+
+    fn run(self) {
+        (self.call)();
+    }
+}
+
+/// A bag of deferred destructions stamped with the global epoch at the
+/// moment it was sealed. Safe to collect once the global epoch has
+/// advanced two steps past `epoch`.
+struct SealedBag {
+    epoch: usize,
+    items: Vec<Deferred>,
+}
+
+/// A participant's shared slot in the global registry.
+///
+/// Only `state` is shared; everything else about a thread lives in its
+/// [`Local`]. `state` is `(epoch << 1) | PINNED` while the thread is
+/// pinned and `0` while it is not.
+struct Participant {
+    state: AtomicUsize,
+}
+
+/// The process-wide collector state.
+struct Global {
+    /// The global epoch. Monotonically increasing; bags are stamped with
+    /// it and participants publish it (shifted) into their `state`.
+    epoch: AtomicUsize,
+    /// Every registered participant. Mutated only on thread start/exit.
+    participants: Mutex<Vec<Arc<Participant>>>,
+    /// Sealed bags awaiting their grace period.
+    garbage: Mutex<Vec<SealedBag>>,
+    /// Total destructions handed to `defer_destroy`/`defer_unchecked`.
+    deferred: AtomicU64,
+    /// Total deferred destructions actually executed.
+    executed: AtomicU64,
+}
+
+static GLOBAL: Global = Global {
+    epoch: AtomicUsize::new(0),
+    participants: Mutex::new(Vec::new()),
+    garbage: Mutex::new(Vec::new()),
+    deferred: AtomicU64::new(0),
+    executed: AtomicU64::new(0),
+};
+
+impl Global {
+    /// Tries to advance the global epoch by one step.
+    ///
+    /// Succeeds only when every pinned participant has observed the
+    /// current epoch; a straggler pinned in an older epoch may still hold
+    /// pointers retired up to one epoch ago, so the epoch must wait for
+    /// it.
+    fn try_advance(&self) -> bool {
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        {
+            let participants = self.participants.lock().unwrap();
+            for p in participants.iter() {
+                let state = p.state.load(Ordering::SeqCst);
+                if state & PINNED == PINNED && state >> EPOCH_SHIFT != epoch {
+                    return false;
+                }
+            }
+        }
+        fence(Ordering::SeqCst);
+        self.epoch
+            .compare_exchange(
+                epoch,
+                epoch.wrapping_add(1),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+    }
+
+    /// Runs the destructors of every sealed bag whose grace period has
+    /// elapsed (global epoch at least two past the seal epoch).
+    ///
+    /// Destructors run *after* the garbage lock is released: they are
+    /// arbitrary user code (they may pin, or defer more garbage).
+    fn collect(&self) {
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let ready: Vec<SealedBag> = {
+            let mut garbage = self.garbage.lock().unwrap();
+            let mut ready = Vec::new();
+            let mut i = 0;
+            while i < garbage.len() {
+                if epoch.wrapping_sub(garbage[i].epoch) >= 2 {
+                    ready.push(garbage.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            ready
+        };
+        for bag in ready {
+            let n = bag.items.len() as u64;
+            for item in bag.items {
+                item.run();
+            }
+            self.executed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Seals `items` under the current global epoch.
+    fn push_bag(&self, items: Vec<Deferred>) {
+        if items.is_empty() {
+            return;
+        }
+        // The stamp is read *after* every unlink that produced these items
+        // (program order on the sealing thread), so it is an upper bound on
+        // the epoch any still-pinned reader of them observed. See the
+        // crate-level safety argument.
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        self.garbage.lock().unwrap().push(SealedBag { epoch, items });
+    }
+}
+
+/// Per-thread participant state, reached through a `thread_local` `Rc`.
+///
+/// Guards also hold the `Rc`, so a guard that outlives the thread-local
+/// slot (e.g. dropped late during thread teardown) keeps the `Local`
+/// alive; the `Local` unregisters itself only once the last reference is
+/// gone.
+struct Local {
+    participant: Arc<Participant>,
+    /// Nesting depth of live guards on this thread.
+    guard_count: Cell<usize>,
+    /// Total pins, used to amortize advancement attempts.
+    pin_count: Cell<usize>,
+    /// The open garbage bag for this thread.
+    bag: RefCell<Vec<Deferred>>,
+}
+
+impl Local {
+    /// Publishes the freshest global epoch into the participant state.
+    /// Must only be called when the thread holds no epoch-protected
+    /// pointers (on first pin, or on an explicit `repin`).
+    fn acquire_epoch(&self) {
+        let mut epoch = GLOBAL.epoch.load(Ordering::SeqCst);
+        loop {
+            self.participant
+                .state
+                .store((epoch << EPOCH_SHIFT) | PINNED, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            // If the global epoch moved between the load and the store we
+            // would be pinned in the past and needlessly stall advancement;
+            // chase it (we hold no protected pointers yet, so moving our
+            // snapshot forward is safe).
+            let current = GLOBAL.epoch.load(Ordering::SeqCst);
+            if current == epoch {
+                break;
+            }
+            epoch = current;
+        }
+    }
+
+    fn pin(&self) {
+        let count = self.guard_count.get();
+        self.guard_count.set(count + 1);
+        if count == 0 {
+            self.acquire_epoch();
+            let pins = self.pin_count.get().wrapping_add(1);
+            self.pin_count.set(pins);
+            if pins.is_multiple_of(PINS_BETWEEN_COLLECT) {
+                if self.bag.borrow().len() >= BAG_SEAL_THRESHOLD {
+                    self.seal_bag();
+                }
+                GLOBAL.try_advance();
+                GLOBAL.collect();
+            }
+        }
+    }
+
+    fn unpin(&self) {
+        let count = self.guard_count.get();
+        debug_assert!(count > 0, "unpin without matching pin");
+        self.guard_count.set(count - 1);
+        if count == 1 {
+            self.participant.state.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// Adds one deferred destruction to the open bag, sealing it when it
+    /// reaches the size threshold.
+    fn defer(&self, deferred: Deferred) {
+        GLOBAL.deferred.fetch_add(1, Ordering::Relaxed);
+        let len = {
+            let mut bag = self.bag.borrow_mut();
+            bag.push(deferred);
+            bag.len()
+        };
+        if len >= BAG_SEAL_THRESHOLD {
+            self.seal_bag();
+        }
+    }
+
+    /// Moves the open bag into the global garbage queue, stamped with the
+    /// current global epoch.
+    fn seal_bag(&self) {
+        let items = std::mem::take(&mut *self.bag.borrow_mut());
+        GLOBAL.push_bag(items);
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        // Thread exit: hand any remaining garbage to the global queue so
+        // it is eventually collected by surviving threads, and unregister
+        // so a dead thread can never stall epoch advancement.
+        self.seal_bag();
+        let mut participants = GLOBAL.participants.lock().unwrap();
+        participants.retain(|p| !Arc::ptr_eq(p, &self.participant));
+    }
+}
+
+thread_local! {
+    static LOCAL: Rc<Local> = {
+        let participant = Arc::new(Participant {
+            state: AtomicUsize::new(0),
+        });
+        GLOBAL
+            .participants
+            .lock()
+            .unwrap()
+            .push(Arc::clone(&participant));
+        Rc::new(Local {
+            participant,
+            guard_count: Cell::new(0),
+            pin_count: Cell::new(0),
+            bag: RefCell::new(Vec::new()),
+        })
+    };
+}
+
 /// A pinned participant handle.
 ///
-/// In this shim pinning is a no-op: deferred destructions leak (sound, see
-/// the crate docs), so no epoch tracking is required.
+/// While a `Guard` is alive its thread is *pinned*: the global epoch can
+/// advance at most one step, so every pointer loaded through this guard
+/// stays allocated even if it is concurrently unlinked and passed to
+/// [`Guard::defer_destroy`]. Dropping the last guard on a thread unpins
+/// it.
 pub struct Guard {
-    _not_send: PhantomData<*mut ()>,
+    /// `None` marks the [`unprotected`] guard, which defers nothing and
+    /// executes deferred destructions immediately.
+    local: Option<Rc<Local>>,
 }
 
 impl Guard {
-    /// Defers destruction of `ptr`.
-    ///
-    /// This shim leaks the allocation instead of freeing it after a grace
-    /// period — always sound, never a use-after-free.
+    /// Defers destruction of the heap allocation behind `ptr` until a
+    /// grace period has elapsed (no thread that was pinned at the time of
+    /// this call remains pinned).
     ///
     /// # Safety
-    /// `ptr` must be unreachable to new readers (same contract as
-    /// crossbeam).
+    /// `ptr` must have been unlinked from the data structure so that no
+    /// *new* reader can acquire it, it must not be passed to
+    /// `defer_destroy` twice, and it must point at a live `Box`-allocated
+    /// `T` (same contract as crossbeam).
+    ///
+    /// # Examples
+    ///
+    /// Correct retire-vs-read usage: readers hold a guard across load and
+    /// dereference; writers unlink with a CAS/swap *first* and only then
+    /// retire the displaced pointer through the same guard.
+    ///
+    /// ```
+    /// use std::sync::atomic::Ordering;
+    /// use crossbeam_epoch::{self as epoch, Atomic, Owned};
+    ///
+    /// let cell = Atomic::new(1u64);
+    ///
+    /// // Reader: pin, load, deref — all under one guard.
+    /// let guard = epoch::pin();
+    /// let snapshot = cell.load(Ordering::Acquire, &guard);
+    /// assert_eq!(unsafe { *snapshot.deref() }, 1);
+    ///
+    /// // Writer (possibly another thread): replace, then retire the old
+    /// // value. The reader above may still hold `snapshot`, so the old
+    /// // allocation must not be freed before a grace period passes.
+    /// let writer_guard = epoch::pin();
+    /// let old = cell.swap(Owned::new(2u64), Ordering::AcqRel, &writer_guard);
+    /// unsafe { writer_guard.defer_destroy(old) };
+    ///
+    /// // `snapshot` stays valid while `guard` lives, even though the
+    /// // pointer it came from has been replaced and retired.
+    /// assert_eq!(unsafe { *snapshot.deref() }, 1);
+    /// drop(guard);
+    /// drop(writer_guard);
+    ///
+    /// // Cleanup for the example: free the current cell contents.
+    /// drop(unsafe { cell.into_owned() });
+    /// ```
     pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
-        let _ = ptr;
+        let raw = ptr.as_raw() as *mut T;
+        if raw.is_null() {
+            return;
+        }
+        self.defer_unchecked(move || drop(Box::from_raw(raw)));
     }
 
-    /// Runs `f` after a grace period in crossbeam; this shim never runs
-    /// it at all (matching `defer_destroy`'s leak policy). Running it
-    /// eagerly — or dropping it, which runs captured destructors — could
-    /// free memory that concurrently pinned readers still reference.
+    /// Defers execution of `f` until a grace period has elapsed. On the
+    /// [`unprotected`] guard `f` runs immediately.
     ///
     /// # Safety
-    /// Same contract as crossbeam's `Guard::defer_unchecked`.
+    /// `f` must remain sound to call on any thread after every participant
+    /// pinned at the time of this call has unpinned (same contract as
+    /// crossbeam's `Guard::defer_unchecked`).
     pub unsafe fn defer_unchecked<F: FnOnce()>(&self, f: F) {
-        std::mem::forget(f);
+        match &self.local {
+            Some(local) => local.defer(Deferred::new(f)),
+            None => {
+                // Unprotected: by contract the caller has exclusive access,
+                // so there is no grace period to wait for.
+                GLOBAL.deferred.fetch_add(1, Ordering::Relaxed);
+                f();
+                GLOBAL.executed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
-    /// Flushes pending deferred functions (no-op here).
-    pub fn flush(&self) {}
+    /// Seals this thread's garbage bag and attempts one round of epoch
+    /// advancement and collection.
+    ///
+    /// One call does not guarantee the bag is freed: the calling thread's
+    /// own pin caps advancement, so full convergence at quiescence takes a
+    /// few `pin` + `flush` rounds (see [`shim_stats`]).
+    pub fn flush(&self) {
+        if let Some(local) = &self.local {
+            local.seal_bag();
+            GLOBAL.try_advance();
+            GLOBAL.collect();
+        }
+    }
 
-    /// Repins the guard (no-op here).
-    pub fn repin(&mut self) {}
+    /// Unpins and immediately repins the thread, letting the epoch
+    /// advance past it. Any `Shared` previously loaded through this guard
+    /// must not be used afterwards (enforced by `&mut self` borrowing the
+    /// guard's lifetime).
+    pub fn repin(&mut self) {
+        if let Some(local) = &self.local {
+            if local.guard_count.get() == 1 {
+                local.participant.state.store(0, Ordering::SeqCst);
+                local.acquire_epoch();
+            }
+        }
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if let Some(local) = &self.local {
+            local.unpin();
+        }
+    }
 }
 
 /// Pins the current thread, returning a guard.
+///
+/// See [`Guard::defer_destroy`] for a worked retire-vs-read example.
 pub fn pin() -> Guard {
-    Guard {
-        _not_send: PhantomData,
-    }
+    let local = LOCAL.with(Rc::clone);
+    local.pin();
+    Guard { local: Some(local) }
 }
 
 /// Returns a guard usable without pinning.
+///
+/// Deferred destructions through this guard run immediately instead of
+/// waiting for a grace period.
 ///
 /// # Safety
 /// The caller must guarantee no concurrent access to the data structures
 /// traversed with this guard (typically because it holds `&mut self`).
 pub unsafe fn unprotected() -> &'static Guard {
-    static UNPROTECTED: Guard = Guard {
-        _not_send: PhantomData,
-    };
-    &UNPROTECTED
+    // `Guard` itself is deliberately neither `Send` nor `Sync` (it wraps
+    // thread-local state); only this particular guard, whose `local` is
+    // `None` and which therefore touches no thread-local state, may be
+    // shared. Wrap it instead of weakening `Guard`, as the real crate does.
+    struct UnprotectedGuard(Guard);
+    // SAFETY: `local: None` means every method is a pure function or a
+    // no-op on shared state guarded by its own synchronization.
+    unsafe impl Sync for UnprotectedGuard {}
+    static UNPROTECTED: UnprotectedGuard = UnprotectedGuard(Guard { local: None });
+    &UNPROTECTED.0
 }
 
-// SAFETY: `Guard` carries no data; the `*mut ()` marker only suppresses
-// auto-Send/Sync the way crossbeam's Guard does. The static `unprotected`
-// guard needs Sync; a zero-sized immutable value is trivially shareable.
-unsafe impl Sync for Guard {}
+/// Shim-only observability counters (no crossbeam equivalent).
+///
+/// These are process-global, monotonically increasing totals across every
+/// thread and every epoch-managed structure. At quiescence — all guards
+/// dropped, bags flushed, and a few `pin()` + [`Guard::flush`] rounds to
+/// walk the epoch forward — `destructions_executed` converges to
+/// `destructions_deferred`.
+pub mod shim_stats {
+    use std::sync::atomic::Ordering;
+
+    /// Total destructions handed to `defer_destroy` / `defer_unchecked`.
+    pub fn destructions_deferred() -> u64 {
+        super::GLOBAL.deferred.load(Ordering::Relaxed)
+    }
+
+    /// Total deferred destructions whose destructor has run.
+    pub fn destructions_executed() -> u64 {
+        super::GLOBAL.executed.load(Ordering::Relaxed)
+    }
+}
 
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
     use super::*;
 
     #[test]
@@ -408,6 +841,7 @@ mod tests {
         let guard = pin();
         let s = a.load(Ordering::Acquire, &guard);
         assert_eq!(unsafe { *s.deref() }, 41);
+        drop(guard);
         drop(unsafe { a.into_owned() });
     }
 
@@ -434,6 +868,7 @@ mod tests {
         };
         assert_eq!(unsafe { *err.current.deref() }, 7);
         assert_eq!(*err.new, 8); // ownership handed back
+        drop(guard);
         drop(unsafe { a.into_owned() });
     }
 
@@ -443,7 +878,153 @@ mod tests {
         let guard = pin();
         let prev = a.swap(Owned::new(2), Ordering::AcqRel, &guard);
         assert_eq!(unsafe { *prev.deref() }, 1);
-        drop(unsafe { prev.into_owned() });
+        unsafe { guard.defer_destroy(prev) };
+        drop(guard);
         drop(unsafe { a.into_owned() });
+    }
+
+    /// A value whose drop is observable through a shared counter.
+    struct Sentinel(Arc<AtomicUsize>);
+
+    impl Drop for Sentinel {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Pumps pin+flush rounds until `drops` reaches `expect` (each round
+    /// can advance the epoch one step past the pumping thread's pin).
+    fn pump_until(drops: &AtomicUsize, expect: usize) {
+        for _ in 0..256 {
+            if drops.load(Ordering::SeqCst) >= expect {
+                break;
+            }
+            let guard = pin();
+            guard.flush();
+            drop(guard);
+            // Other tests in this process may briefly hold pins that stall
+            // advancement; give them time to unpin.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn deferred_destruction_actually_runs() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let guard = pin();
+        for _ in 0..10 {
+            let owned = Owned::new(Sentinel(Arc::clone(&drops)));
+            let shared = owned.into_shared(&guard);
+            // SAFETY: never published; we hold the only pointer.
+            unsafe { guard.defer_destroy(shared) };
+        }
+        // Still pinned: our own pin caps the epoch, nothing freed yet that
+        // could be in a bag sealed at the current epoch.
+        drop(guard);
+        pump_until(&drops, 10);
+        assert_eq!(drops.load(Ordering::SeqCst), 10, "retired values must be freed");
+    }
+
+    #[test]
+    fn destruction_waits_for_concurrent_reader() {
+        use std::sync::mpsc;
+
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = Arc::new(Atomic::new(Sentinel(Arc::clone(&drops))));
+
+        let (reader_ready_tx, reader_ready_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let reader = {
+            let cell = Arc::clone(&cell);
+            let drops = Arc::clone(&drops);
+            std::thread::spawn(move || {
+                let guard = pin();
+                let s = cell.load(Ordering::Acquire, &guard);
+                reader_ready_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                // The writer has retired this value and pumped the epoch,
+                // but our pin must have kept it alive.
+                assert_eq!(drops.load(Ordering::SeqCst), 0);
+                // SAFETY: protected by `guard` the whole time.
+                let _still_alive: &Sentinel = unsafe { s.deref() };
+                drop(guard);
+            })
+        };
+
+        reader_ready_rx.recv().unwrap();
+        // Replace and retire the value the reader is holding.
+        {
+            let guard = pin();
+            let old = cell.swap(
+                Owned::new(Sentinel(Arc::clone(&drops))),
+                Ordering::AcqRel,
+                &guard,
+            );
+            unsafe { guard.defer_destroy(old) };
+            guard.flush();
+            drop(guard);
+        }
+        // Pump hard: the pinned reader must hold the epoch back.
+        for _ in 0..16 {
+            let guard = pin();
+            guard.flush();
+            drop(guard);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "freed under a live reader pin");
+        release_tx.send(()).unwrap();
+        reader.join().unwrap();
+        pump_until(&drops, 1);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        drop(unsafe { Arc::try_unwrap(cell).ok().unwrap().into_owned() });
+    }
+
+    #[test]
+    fn thread_exit_hands_garbage_over() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let n = 25usize;
+        {
+            let drops = Arc::clone(&drops);
+            std::thread::spawn(move || {
+                let guard = pin();
+                for _ in 0..n {
+                    let shared = Owned::new(Sentinel(Arc::clone(&drops))).into_shared(&guard);
+                    // SAFETY: never published.
+                    unsafe { guard.defer_destroy(shared) };
+                }
+                drop(guard);
+                // No flush: the thread-local destructor must seal the bag.
+            })
+            .join()
+            .unwrap();
+        }
+        pump_until(&drops, n);
+        assert_eq!(drops.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn unprotected_defer_runs_immediately() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        // SAFETY: single-threaded test; exclusive access.
+        let guard = unsafe { unprotected() };
+        let shared = Owned::new(Sentinel(Arc::clone(&drops))).into_shared(guard);
+        // SAFETY: we hold the only pointer.
+        unsafe { guard.defer_destroy(shared) };
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn repin_lets_epoch_advance() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut guard = pin();
+        let shared = Owned::new(Sentinel(Arc::clone(&drops))).into_shared(&guard);
+        // SAFETY: never published.
+        unsafe { guard.defer_destroy(shared) };
+        guard.flush();
+        for _ in 0..8 {
+            guard.repin();
+            guard.flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "repin must release the epoch");
+        drop(guard);
     }
 }

@@ -1,0 +1,192 @@
+//! Cross-thread reclamation stress for the epoch shim.
+//!
+//! N writer threads churn replace + delete over a shared, overlapping set
+//! of atomic cells while reader threads hold guards across dereferences.
+//! Every allocation is a drop-counting sentinel carrying a magic payload,
+//! so the test detects three distinct failures:
+//!
+//! - **use-after-free**: a reader dereferencing a freed-and-poisoned
+//!   sentinel sees a clobbered magic word (definitive under miri/ASan,
+//!   best-effort otherwise);
+//! - **double-free**: executed destructions would exceed deferrals and the
+//!   poison check in `Drop` would trip;
+//! - **a leak** (the old shim's policy): after all threads unpin and a few
+//!   final `pin()` + `flush()` rounds, executed destructions must *equal*
+//!   deferred destructions and every sentinel must have dropped.
+//!
+//! This file deliberately contains a single `#[test]`: the shim's
+//! deferred/executed counters are process-global, and an integration test
+//! binary is its own process, so the equality assertion cannot race with
+//! unrelated tests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_epoch::{self as epoch, shim_stats, Atomic, Owned};
+
+const MAGIC: u64 = 0xF10D_B5_EE_C1A1_07;
+const POISON: u64 = 0xDEAD_DEAD_DEAD_DEAD;
+
+/// Iteration counts are scaled down under miri, which executes ~1000x
+/// slower; the interleavings it explores don't need bulk.
+const WRITER_ROUNDS: usize = if cfg!(miri) { 64 } else { 4096 };
+const CELLS: usize = if cfg!(miri) { 8 } else { 64 };
+const WRITERS: usize = 4;
+const READERS: usize = 2;
+
+struct Sentinel {
+    magic: AtomicU64,
+    drops: Arc<AtomicUsize>,
+}
+
+impl Sentinel {
+    fn new(drops: &Arc<AtomicUsize>, allocs: &AtomicUsize) -> Self {
+        allocs.fetch_add(1, Ordering::SeqCst);
+        Self {
+            magic: AtomicU64::new(MAGIC),
+            drops: Arc::clone(drops),
+        }
+    }
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        let prev = self.magic.swap(POISON, Ordering::SeqCst);
+        assert_eq!(prev, MAGIC, "sentinel dropped twice (double free)");
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Cheap deterministic per-thread RNG (xorshift) for cell selection.
+fn next_rand(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[test]
+fn churn_reclaims_everything_at_quiescence() {
+    let deferred_before = shim_stats::destructions_deferred();
+    let executed_before = shim_stats::destructions_executed();
+
+    let drops = Arc::new(AtomicUsize::new(0));
+    let allocs = Arc::new(AtomicUsize::new(0));
+    let cells: Arc<Vec<Atomic<Sentinel>>> = Arc::new(
+        (0..CELLS)
+            .map(|_| Atomic::new(Sentinel::new(&drops, &allocs)))
+            .collect(),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    // Writers: replace or delete (swap to null) cells, retiring whatever
+    // they displace; deletes are followed by a reinstall so readers keep
+    // finding live values.
+    for w in 0..WRITERS {
+        let cells = Arc::clone(&cells);
+        let drops = Arc::clone(&drops);
+        let allocs = Arc::clone(&allocs);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = 0x9E37_79B9_7F4A_7C15u64.wrapping_add(w as u64);
+            for round in 0..WRITER_ROUNDS {
+                let cell = &cells[(next_rand(&mut rng) as usize) % CELLS];
+                let guard = epoch::pin();
+                if round % 3 == 0 {
+                    // Delete: unlink, retire, then reinstall fresh.
+                    let old = cell.swap(
+                        crossbeam_epoch::Shared::null(),
+                        Ordering::AcqRel,
+                        &guard,
+                    );
+                    // SAFETY: unlinked by the swap; pinned readers are
+                    // protected by the grace period.
+                    unsafe { guard.defer_destroy(old) };
+                    let fresh = Owned::new(Sentinel::new(&drops, &allocs));
+                    let old = cell.swap(fresh, Ordering::AcqRel, &guard);
+                    // SAFETY: As above (another writer may have raced a
+                    // value in between our two swaps).
+                    unsafe { guard.defer_destroy(old) };
+                } else {
+                    // Replace in place.
+                    let fresh = Owned::new(Sentinel::new(&drops, &allocs));
+                    let old = cell.swap(fresh, Ordering::AcqRel, &guard);
+                    // SAFETY: As above.
+                    unsafe { guard.defer_destroy(old) };
+                }
+                drop(guard);
+            }
+        }));
+    }
+    // Readers: hold a guard across a sweep of dereferences; a freed
+    // sentinel would be poisoned.
+    for r in 0..READERS {
+        let cells = Arc::clone(&cells);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = 0xDEAD_BEEF_u64.wrapping_add(r as u64);
+            while !stop.load(Ordering::Relaxed) {
+                let guard = epoch::pin();
+                for _ in 0..8 {
+                    let cell = &cells[(next_rand(&mut rng) as usize) % CELLS];
+                    let shared = cell.load(Ordering::Acquire, &guard);
+                    // SAFETY: loaded under `guard`; the collector must not
+                    // free it while we are pinned.
+                    if let Some(s) = unsafe { shared.as_ref() } {
+                        assert_eq!(
+                            s.magic.load(Ordering::SeqCst),
+                            MAGIC,
+                            "reader saw a freed sentinel (use-after-free)"
+                        );
+                    }
+                }
+                drop(guard);
+            }
+        }));
+    }
+
+    for handle in handles.drain(..WRITERS) {
+        handle.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    // Retire the survivors still installed in the cells.
+    {
+        let guard = epoch::pin();
+        for cell in cells.iter() {
+            let old = cell.swap(crossbeam_epoch::Shared::null(), Ordering::AcqRel, &guard);
+            // SAFETY: all writers have joined; the swap unlinked the value.
+            unsafe { guard.defer_destroy(old) };
+        }
+        drop(guard);
+    }
+
+    // Quiescence: every thread has unpinned. A final pin() + flush() per
+    // round seals this thread's bag and walks the epoch one step; a
+    // handful of rounds completes every bag's two-epoch grace period.
+    let expected = allocs.load(Ordering::SeqCst);
+    for _ in 0..64 {
+        if drops.load(Ordering::SeqCst) == expected {
+            break;
+        }
+        let guard = epoch::pin();
+        guard.flush();
+        drop(guard);
+    }
+
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        expected,
+        "every retired sentinel must be freed at quiescence (the old shim leaked all of them)"
+    );
+    let deferred = shim_stats::destructions_deferred() - deferred_before;
+    let executed = shim_stats::destructions_executed() - executed_before;
+    assert_eq!(deferred, expected as u64, "every allocation was retired exactly once");
+    assert_eq!(
+        executed, deferred,
+        "executed destructions must converge to deferred destructions at quiescence"
+    );
+}

@@ -5,8 +5,8 @@
 //! use: the [`proptest!`] / [`prop_oneof!`] / `prop_assert*` macros, the
 //! [`Strategy`](strategy::Strategy) trait with `prop_map`, `any::<T>()`,
 //! integer-range strategies, tuple strategies, `collection::{vec,
-//! hash_set}`, `option::of`, `Just` and [`ProptestConfig`]
-//! (`test_runner::ProptestConfig`).
+//! hash_set}`, `option::of`, `Just` and
+//! [`ProptestConfig`](test_runner::ProptestConfig).
 //!
 //! Differences from real proptest, deliberately accepted for a test-only
 //! shim: no shrinking (a failing case panics with the generated inputs via
