@@ -60,6 +60,13 @@ pub trait KvStore: Send + Sync {
 
     /// Blocks until queued background work (drains, flushes, compactions)
     /// has settled; used by tests and between benchmark phases.
+    ///
+    /// Epoch reclamation is settled on a best-effort basis: implementations
+    /// pump the collector until its counters converge, but give up after a
+    /// bounded wait (other threads — or other stores in the same process —
+    /// holding guards can legitimately stall reclamation indefinitely).
+    /// Callers needing exact convergence should re-invoke until the
+    /// reclamation counters agree.
     fn quiesce(&self) {}
 }
 

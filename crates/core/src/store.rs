@@ -604,6 +604,7 @@ impl FloDb {
 fn drain_loop(inner: &Arc<Inner>, worker: usize) {
     let workers = inner.opts.drain_threads.max(1);
     let mut cursor = 0usize;
+    let mut idle_beats = 0usize;
     let batch = inner.opts.drain_batch_entries.max(1);
     while !inner.stop.load(Ordering::Acquire) {
         if inner.pause_draining.is_paused() {
@@ -637,9 +638,28 @@ fn drain_loop(inner: &Arc<Inner>, worker: usize) {
         });
         if moved == 0 {
             // Nothing to drain: use the idle beat to walk the reclamation
-            // epoch forward (hot-path pins only attempt this sporadically),
-            // then back off briefly.
-            crossbeam_epoch::pin().flush();
+            // epoch forward (hot-path pins only attempt this sporadically).
+            // `flush` takes the global participant/garbage mutexes, so an
+            // idle store must not hammer them every 100us from every
+            // worker: throttle to every 8th beat — the bound that matters
+            // when a live guard elsewhere holds the counter gap open
+            // indefinitely — and with the shim counters also skip entirely
+            // while no garbage is outstanding (two relaxed loads).
+            idle_beats = idle_beats.wrapping_add(1);
+            let flush = idle_beats.is_multiple_of(8) && {
+                #[cfg(feature = "epoch-shim-stats")]
+                {
+                    crossbeam_epoch::shim_stats::destructions_executed()
+                        != crossbeam_epoch::shim_stats::destructions_deferred()
+                }
+                #[cfg(not(feature = "epoch-shim-stats"))]
+                {
+                    true
+                }
+            };
+            if flush {
+                crossbeam_epoch::pin().flush();
+            }
             std::thread::sleep(Duration::from_micros(100));
         } else {
             FloDbStats::add(&inner.stats.drained_entries, moved as u64);
@@ -764,8 +784,62 @@ impl KvStore for FloDb {
         }
         // Background work has settled; also settle epoch reclamation. Each
         // round can advance the epoch one step past this thread's own pin,
-        // so a handful of rounds lets sealed garbage finish its two-epoch
-        // grace period (other threads' open pins legitimately stop earlier).
+        // so repeated rounds walk sealed garbage through its two-epoch
+        // grace period. The background drain threads keep pinning on their
+        // idle beat, which can make any individual advancement attempt
+        // fail, so with the shim's counters available we retry until
+        // executed catches up to deferred — bounded, because a thread
+        // holding a guard open (legitimately) stalls reclamation forever.
+        #[cfg(feature = "epoch-shim-stats")]
+        {
+            // Garbage can also sit in a drain thread's *unsealed* local
+            // bag, which only that thread's own idle-beat flush (100us
+            // cadence, see drain_loop) can seal — so once backoff stops
+            // spinning, block in real sleeps long enough for every drain
+            // thread to take an idle beat; pure yields could burn the whole
+            // budget before they are scheduled. The budget is a wall-clock
+            // deadline (not an iteration count) so a briefly-descheduled
+            // drain thread cannot exhaust it, yet a guard held open across
+            // quiesce (which legitimately stalls reclamation forever)
+            // still cannot hang us.
+            // The counters are process-global, so another epoch user in
+            // this process (a second store, a raw skiplist) can hold the
+            // gap open forever; once pumping stops shrinking it, further
+            // rounds are wasted — bail after a stretch of no progress
+            // (~6ms of sleeps, dozens of drain idle beats) rather than
+            // burning the whole deadline.
+            let deadline = std::time::Instant::now() + Duration::from_secs(1);
+            let backoff = Backoff::new();
+            let mut best_gap = u64::MAX;
+            let mut stalled_rounds = 0u32;
+            loop {
+                let executed = crossbeam_epoch::shim_stats::destructions_executed();
+                let deferred = crossbeam_epoch::shim_stats::destructions_deferred();
+                if executed == deferred {
+                    break;
+                }
+                let gap = deferred - executed;
+                if gap < best_gap {
+                    best_gap = gap;
+                    stalled_rounds = 0;
+                } else {
+                    stalled_rounds += 1;
+                    if stalled_rounds >= 64 {
+                        break;
+                    }
+                }
+                if std::time::Instant::now() >= deadline {
+                    break;
+                }
+                crossbeam_epoch::pin().flush();
+                if backoff.is_completed() {
+                    std::thread::sleep(Duration::from_micros(100));
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+        #[cfg(not(feature = "epoch-shim-stats"))]
         for _ in 0..4 {
             crossbeam_epoch::pin().flush();
         }

@@ -502,13 +502,23 @@ impl Global {
     /// Destructors run *after* the garbage lock is released: they are
     /// arbitrary user code (they may pin, or defer more garbage).
     fn collect(&self) {
-        let epoch = self.epoch.load(Ordering::SeqCst);
         let ready: Vec<SealedBag> = {
             let mut garbage = self.garbage.lock().unwrap();
+            // The epoch snapshot must be taken *after* acquiring the
+            // garbage lock. Every queued bag loaded its stamp before it was
+            // pushed (and thus before we got the lock), and the epoch is
+            // monotonic, so `bag.epoch <= epoch` holds for everything we
+            // examine and the unsigned age below cannot underflow. Loading
+            // the epoch first would race a concurrent advance + seal: a bag
+            // stamped `snapshot + 1` would wrap to an age of `usize::MAX`
+            // and be collected with zero grace period.
+            let epoch = self.epoch.load(Ordering::SeqCst);
             let mut ready = Vec::new();
             let mut i = 0;
             while i < garbage.len() {
-                if epoch.wrapping_sub(garbage[i].epoch) >= 2 {
+                let age = epoch.wrapping_sub(garbage[i].epoch);
+                debug_assert!(age < usize::MAX / 2, "bag stamped ahead of the epoch");
+                if age >= 2 {
                     ready.push(garbage.swap_remove(i));
                 } else {
                     i += 1;
@@ -586,7 +596,11 @@ impl Local {
             let pins = self.pin_count.get().wrapping_add(1);
             self.pin_count.set(pins);
             if pins.is_multiple_of(PINS_BETWEEN_COLLECT) {
-                if self.bag.borrow().len() >= BAG_SEAL_THRESHOLD {
+                // Seal even a partial bag: a thread that keeps pinning but
+                // never defers again (e.g. switched to read-only traffic)
+                // would otherwise hold its garbage un-collectable forever —
+                // only the owning thread can seal its bag.
+                if !self.bag.borrow().is_empty() {
                     self.seal_bag();
                 }
                 GLOBAL.try_advance();
@@ -1020,9 +1034,15 @@ mod tests {
         // SAFETY: never published.
         unsafe { guard.defer_destroy(shared) };
         guard.flush();
-        for _ in 0..8 {
+        // Retry with sleeps, as in `pump_until`: sibling tests in this
+        // binary may briefly hold pins that stall epoch advancement.
+        for _ in 0..256 {
+            if drops.load(Ordering::SeqCst) >= 1 {
+                break;
+            }
             guard.repin();
             guard.flush();
+            std::thread::sleep(std::time::Duration::from_millis(1));
         }
         assert_eq!(drops.load(Ordering::SeqCst), 1, "repin must release the epoch");
         drop(guard);
