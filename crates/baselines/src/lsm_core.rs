@@ -401,8 +401,7 @@ impl LsmCore {
             scanned_keys: self.stats.scanned_keys.load(Ordering::Relaxed),
             persists: self.stats.persists.load(Ordering::Relaxed),
             fast_level_writes,
-            scan_restarts: 0,
-            fallback_scans: 0,
+            ..flodb_core::StoreStats::default()
         }
     }
 }

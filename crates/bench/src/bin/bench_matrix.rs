@@ -1,0 +1,82 @@
+//! Emits the fixed write/read/scan × threads × WAL-mode matrix as a
+//! `flodb-bench-matrix/v1` JSON document (the repo's perf trajectory).
+//!
+//! ```text
+//! bench_matrix [--smoke] [--repeat N] [--out PATH] [--check PATH] [--note TEXT]
+//! ```
+//!
+//! - default: run the full matrix and write `BENCH.json` (override with
+//!   `--out`); cell duration honors `FLODB_BENCH_MS`.
+//! - `--smoke`: a seconds-long tiny matrix (CI sanity).
+//! - `--repeat N`: run the matrix N times and keep each cell's best run
+//!   (noise suppression on shared hosts; use for committed trajectories).
+//! - `--check PATH`: validate an existing document against the schema and
+//!   exit non-zero on violation (no benchmarks run).
+
+use flodb_bench::report::{run_matrix_best_of, to_json, validate_matrix_json, MatrixConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH.json");
+    let mut check: Option<String> = None;
+    let mut note = String::new();
+    let mut repeat = 1usize;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().expect("--out needs a path"),
+            "--check" => check = Some(it.next().expect("--check needs a path")),
+            "--note" => note = it.next().expect("--note needs text"),
+            "--repeat" => {
+                repeat = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeat needs a count")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match validate_matrix_json(&text) {
+            Ok(()) => {
+                println!("{path}: valid flodb-bench-matrix/v1 document");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let cfg = if smoke {
+        MatrixConfig::smoke()
+    } else {
+        MatrixConfig::full()
+    };
+    eprintln!(
+        "running {} matrix ({} thread sweeps, {:?} per cell, best of {repeat})...",
+        if smoke { "smoke" } else { "full" },
+        cfg.threads.len(),
+        cfg.cell_time
+    );
+    let cells = run_matrix_best_of(&cfg, repeat);
+    for c in &cells {
+        eprintln!(
+            "  {:<12} {:<14} env={:<3} t={} {:>12.0} ops/s (recs/group {:.1})",
+            c.bench, c.wal, c.env, c.threads, c.ops_per_sec, c.recs_per_group
+        );
+    }
+    let doc = to_json(&cells, &note);
+    validate_matrix_json(&doc).expect("emitted document failed self-validation");
+    std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out} ({} cells)", cells.len());
+}

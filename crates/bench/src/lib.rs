@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod systems;

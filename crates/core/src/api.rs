@@ -1,7 +1,49 @@
 //! The store-facing API shared by FloDB and every baseline.
 
+use std::sync::Arc;
+
+use flodb_storage::StorageError;
+
 /// One entry returned by a scan.
 pub type ScanEntry = (Vec<u8>, Vec<u8>);
+
+/// Why a write could not be durably acknowledged.
+///
+/// Produced by [`crate::FloDb::try_put`] / [`crate::FloDb::try_delete`]
+/// when the write-ahead log is enabled and its append (or fsync) fails.
+/// The error is shared: every member of a failed commit group receives the
+/// same underlying [`StorageError`], and none of the group's writes are
+/// acknowledged or applied to the memory component.
+#[derive(Debug, Clone)]
+pub enum WriteError {
+    /// This write's log append failed. The store is now *poisoned*: reads
+    /// and scans keep working, but subsequent writes are rejected with
+    /// [`WriteError::Poisoned`] — after a lost append, later writes could
+    /// otherwise be acknowledged yet replay without their predecessors.
+    Wal(Arc<StorageError>),
+    /// An earlier log failure poisoned the store (the original failure is
+    /// attached); this write was rejected without touching the log.
+    Poisoned(Arc<StorageError>),
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Wal(e) => write!(f, "write-ahead log append failed: {e}"),
+            Self::Poisoned(e) => {
+                write!(f, "store poisoned by an earlier WAL failure: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Wal(e) | Self::Poisoned(e) => Some(e.as_ref()),
+        }
+    }
+}
 
 /// Aggregate operation counters common to all stores, used by the
 /// benchmark harness.
@@ -26,6 +68,11 @@ pub struct StoreStats {
     pub scan_restarts: u64,
     /// Fallback (writer-blocking) scans (FloDB only).
     pub fallback_scans: u64,
+    /// WAL commit groups written (FloDB only; zero with the WAL off).
+    pub wal_groups: u64,
+    /// Records across all WAL commit groups (FloDB only); divide by
+    /// `wal_groups` for the mean records per group.
+    pub wal_group_records: u64,
 }
 
 /// The uniform key-value store interface (§2.1 of the paper).

@@ -47,7 +47,7 @@ mod stats;
 mod store;
 mod view;
 
-pub use api::{KvStore, ScanEntry, StoreStats};
+pub use api::{KvStore, ScanEntry, StoreStats, WriteError};
 pub use options::{FloDbOptions, WalMode};
 pub use stats::{FloDbStats, ReclamationStats};
 pub use store::FloDb;

@@ -65,6 +65,21 @@ pub struct FloDbOptions {
     pub memtable_flush_trigger_fraction: f64,
     /// Commit-log mode.
     pub wal: WalMode,
+    /// Commit the log through the leader/follower group-commit pipeline
+    /// (one frame, one write, at most one fsync per *group*). `false`
+    /// falls back to the pre-group-commit design — every put appends its
+    /// own frame under a global mutex — kept as an ablation and as the
+    /// bench baseline. Ignored when `wal` is [`WalMode::Disabled`].
+    pub wal_group_commit: bool,
+    /// Soft cap on the encoded bytes of one WAL commit group: writers that
+    /// would grow the open group past this wait for the next group
+    /// (backpressure). A single oversized record still commits alone.
+    pub wal_group_max_bytes: usize,
+    /// Extra time a group-commit leader lingers for its group to fill
+    /// before committing. Zero (the default) adds no artificial latency:
+    /// groups then form only from writers that arrived while the previous
+    /// group was committing.
+    pub wal_group_max_wait: std::time::Duration,
     /// Disk component tuning.
     pub disk: DiskOptions,
     /// Storage environment (simulated or real disk).
@@ -107,6 +122,9 @@ impl FloDbOptions {
             persist_enabled: true,
             memtable_flush_trigger_fraction: 1.0,
             wal: WalMode::Disabled,
+            wal_group_commit: true,
+            wal_group_max_bytes: 1024 * 1024,
+            wal_group_max_wait: std::time::Duration::ZERO,
             disk: DiskOptions::default(),
             env: Arc::new(MemEnv::new(None)),
             compact_after_flush: true,
@@ -166,6 +184,9 @@ impl FloDbOptions {
         if self.memory_bytes < 64 * 1024 {
             return Err("memory_bytes must be at least 64 KiB".into());
         }
+        if self.wal_group_max_bytes == 0 {
+            return Err("wal_group_max_bytes must be positive".into());
+        }
         Ok(())
     }
 }
@@ -199,6 +220,10 @@ mod tests {
 
         let mut o = FloDbOptions::small_for_tests();
         o.memory_bytes = 1;
+        assert!(o.validate().is_err());
+
+        let mut o = FloDbOptions::small_for_tests();
+        o.wal_group_max_bytes = 0;
         assert!(o.validate().is_err());
     }
 }

@@ -43,6 +43,17 @@ pub struct FloDbStats {
     pub writer_drain_helps: AtomicU64,
     /// Times a writer stalled waiting for Memtable room.
     pub write_stalls: AtomicU64,
+    /// WAL commit groups written (each is one frame, one write, at most
+    /// one fsync). In the legacy per-put pipeline every record is its own
+    /// group.
+    pub wal_groups: AtomicU64,
+    /// Records across all WAL commit groups; divide by [`Self::wal_groups`]
+    /// for the mean group size.
+    pub wal_group_records: AtomicU64,
+    /// Writes acknowledged as group-commit followers (their record rode in
+    /// a group another thread committed). The leader split is
+    /// [`Self::wal_groups`].
+    pub wal_follower_writes: AtomicU64,
 }
 
 /// A snapshot of epoch-based memory reclamation activity (see
@@ -105,6 +116,8 @@ impl FloDbStats {
             fast_level_writes: self.membuffer_writes.load(Ordering::Relaxed),
             scan_restarts: self.scan_restarts.load(Ordering::Relaxed),
             fallback_scans: self.fallback_scans.load(Ordering::Relaxed),
+            wal_groups: self.wal_groups.load(Ordering::Relaxed),
+            wal_group_records: self.wal_group_records.load(Ordering::Relaxed),
         }
     }
 }

@@ -23,12 +23,15 @@ use std::time::Duration;
 
 use flodb_membuffer::{AddResult, MemBuffer, MemBufferConfig};
 use flodb_memtable::SkipList;
+use flodb_storage::record::encode_record_parts;
 use flodb_storage::wal::{self, WalWriter};
-use flodb_storage::{DiskComponent, Record};
-use flodb_sync::{Backoff, PauseFlag, SequenceGenerator};
+use flodb_storage::{DiskComponent, Record, StorageError};
+use flodb_sync::{
+    Backoff, CommitRole, GroupCommitConfig, GroupCommitter, PauseFlag, SequenceGenerator,
+};
 use parking_lot::{Condvar, Mutex};
 
-use crate::api::{KvStore, ScanEntry, StoreStats};
+use crate::api::{KvStore, ScanEntry, StoreStats, WriteError};
 use crate::drain::{self, DrainStyle};
 use crate::options::{FloDbOptions, WalMode};
 use crate::scan::{ScanCoordinator, ScanRole};
@@ -37,6 +40,60 @@ use crate::view::{ImmMembuffer, MemView, ViewCell};
 
 /// Scan outcome signalling that a concurrent update invalidated the scan.
 struct Restart;
+
+/// The durability half of the write path: the log writer plus the
+/// group-commit pipeline in front of it, and the poison latch that makes
+/// log failures deterministic.
+struct WalState {
+    /// Leader/follower batching; `None` runs the legacy per-put pipeline
+    /// (every put appends its own frame under `writer`'s mutex).
+    committer: Option<GroupCommitter<StorageError>>,
+    /// The log itself. With group commit only one leader at a time touches
+    /// it, so this mutex is uncontended; in legacy mode it is the global
+    /// per-put bottleneck the group-commit pipeline exists to remove.
+    writer: Mutex<WalWriter>,
+    /// Latched on the first append failure; checked (relaxed-fast) by
+    /// every write.
+    poisoned: AtomicBool,
+    /// The failure that latched `poisoned`.
+    poison: Mutex<Option<Arc<StorageError>>>,
+}
+
+impl WalState {
+    /// Appends through `op` with the poison latch held closed around it:
+    /// refuses if already poisoned, and latches *before releasing the
+    /// writer mutex* on failure. The latch must close inside this
+    /// critical section — a failed append can leave a torn frame, and a
+    /// commit racing in after it would append (and acknowledge) records
+    /// that replay, which stops at the tear, can never recover.
+    fn append_checked(
+        &self,
+        op: impl FnOnce(&mut WalWriter) -> Result<(), StorageError>,
+    ) -> Result<(), StorageError> {
+        let mut writer = self.writer.lock();
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(StorageError::Io(std::io::Error::other(
+                "write-ahead log poisoned by an earlier append failure",
+            )));
+        }
+        let result = op(&mut writer);
+        if let Err(e) = &result {
+            let mut slot = self.poison.lock();
+            if slot.is_none() {
+                *slot = Some(Arc::new(StorageError::Io(std::io::Error::other(
+                    e.to_string(),
+                ))));
+            }
+            self.poisoned.store(true, Ordering::Release);
+        }
+        result
+    }
+
+    /// The failure that poisoned this log, if any.
+    fn poison_err(&self) -> Option<Arc<StorageError>> {
+        self.poison.lock().clone()
+    }
+}
 
 struct Inner {
     opts: FloDbOptions,
@@ -63,7 +120,7 @@ struct Inner {
     /// The persist thread parks here between checks.
     persist_park: Mutex<()>,
     persist_cv: Condvar,
-    wal: Option<Mutex<WalWriter>>,
+    wal: Option<WalState>,
 }
 
 /// The FloDB key-value store.
@@ -164,7 +221,23 @@ impl FloDb {
                     .env
                     .new_writable(&wal::wal_file_name(max_seq + 1))
                     .map_err(|e| e.to_string())?;
-                Some(Mutex::new(WalWriter::new(file, sync)))
+                Some(WalState {
+                    committer: opts.wal_group_commit.then(|| {
+                        GroupCommitter::new(GroupCommitConfig {
+                            max_group_bytes: opts.wal_group_max_bytes,
+                            // Groups are framed in place: the leader
+                            // patches the WAL header into this reserved
+                            // prefix and appends with one write, no
+                            // payload re-copy.
+                            frame_prefix: wal::FRAME_HEADER_BYTES,
+                            max_group_wait: opts.wal_group_max_wait,
+                            ..GroupCommitConfig::default()
+                        })
+                    }),
+                    writer: Mutex::new(WalWriter::new(file, sync)),
+                    poisoned: AtomicBool::new(false),
+                    poison: Mutex::new(None),
+                })
             }
         };
 
@@ -281,18 +354,53 @@ impl FloDb {
         self.inner.persist_cv.notify_all();
     }
 
-    fn put_impl(&self, key: &[u8], value: Option<&[u8]>) {
+    /// Appends a write to the commit log (when enabled), then applies it to
+    /// the memory component. `Err` means the write was *not* acknowledged:
+    /// its log group failed (or the store was already poisoned) and nothing
+    /// was applied.
+    fn put_impl(&self, key: &[u8], value: Option<&[u8]>) -> Result<(), WriteError> {
         let inner = &*self.inner;
         if let Some(wal) = &inner.wal {
-            let seq = inner.seq.next();
-            let record = Record {
-                key: Box::from(key),
-                seq,
-                value: value.map(Box::from),
+            if wal.poisoned.load(Ordering::Acquire) {
+                return Err(WriteError::Poisoned(
+                    wal.poison_err().expect("poisoned implies an error"),
+                ));
+            }
+            let outcome = match &wal.committer {
+                Some(committer) => committer.submit(
+                    // Encoding runs inside the committer's critical
+                    // section, so sampling the sequence number here makes
+                    // log order match sequence order exactly.
+                    |buf| encode_record_parts(buf, key, inner.seq.next(), value),
+                    |frame| wal.append_checked(|w| w.append_group_frame(frame)),
+                ),
+                None => {
+                    // Legacy pipeline: one record, one frame, one append,
+                    // all under a global mutex (the pre-group-commit
+                    // design, kept as an ablation and bench baseline).
+                    let record = Record {
+                        key: Box::from(key),
+                        seq: inner.seq.next(),
+                        value: value.map(Box::from),
+                    };
+                    wal.append_checked(|w| w.append_batch(std::slice::from_ref(&record)))
+                        .map(|()| CommitRole::Leader {
+                            records: 1,
+                            bytes: 0,
+                        })
+                        .map_err(Arc::new)
+                }
             };
-            wal.lock()
-                .append_batch(std::slice::from_ref(&record))
-                .expect("wal append failed");
+            match outcome {
+                Ok(CommitRole::Leader { records, .. }) => {
+                    FloDbStats::bump(&inner.stats.wal_groups);
+                    FloDbStats::add(&inner.stats.wal_group_records, records);
+                }
+                Ok(CommitRole::Follower) => {
+                    FloDbStats::bump(&inner.stats.wal_follower_writes);
+                }
+                Err(e) => return Err(WriteError::Wal(e)),
+            }
         }
 
         // Fast path: complete in the Membuffer (Algorithm 2, lines 10-11).
@@ -305,7 +413,7 @@ impl FloDb {
             });
             if !matches!(fast, AddResult::BucketFull) {
                 FloDbStats::bump(&inner.stats.membuffer_writes);
-                return;
+                return Ok(());
             }
         }
 
@@ -362,9 +470,35 @@ impl FloDb {
             });
             if inserted {
                 FloDbStats::bump(&inner.stats.memtable_writes);
-                return;
+                return Ok(());
             }
         }
+    }
+
+    /// Like [`KvStore::put`], but surfaces commit-log failures instead of
+    /// panicking. See [`WriteError`] for the poisoned-store semantics.
+    pub fn try_put(&self, key: &[u8], value: &[u8]) -> Result<(), WriteError> {
+        self.put_impl(key, Some(value))?;
+        FloDbStats::bump(&self.inner.stats.puts);
+        Ok(())
+    }
+
+    /// Like [`KvStore::delete`], but surfaces commit-log failures instead
+    /// of panicking. See [`WriteError`] for the poisoned-store semantics.
+    pub fn try_delete(&self, key: &[u8]) -> Result<(), WriteError> {
+        self.put_impl(key, None)?;
+        FloDbStats::bump(&self.inner.stats.deletes);
+        Ok(())
+    }
+
+    /// The commit-log failure that poisoned this store, if any.
+    ///
+    /// While poisoned, reads and scans keep serving the already-applied
+    /// state but every write is rejected (or panics, through the
+    /// infallible [`KvStore`] methods). Reopening the store recovers the
+    /// log's acknowledged prefix.
+    pub fn wal_poison(&self) -> Option<Arc<StorageError>> {
+        self.inner.wal.as_ref().and_then(WalState::poison_err)
     }
 
     fn get_impl(&self, key: &[u8]) -> Option<Vec<u8>> {
@@ -734,15 +868,22 @@ fn persist_once(inner: &Arc<Inner>) -> bool {
     true
 }
 
+/// The infallible [`KvStore`] write methods panic if the write-ahead log
+/// fails (a lost append must never be silently acknowledged); use
+/// [`FloDb::try_put`] / [`FloDb::try_delete`] to handle [`WriteError`]
+/// instead. The panic is deterministic: the store poisons itself on the
+/// first failure, so concurrent and subsequent writes all report it.
 impl KvStore for FloDb {
     fn put(&self, key: &[u8], value: &[u8]) {
-        self.put_impl(key, Some(value));
-        FloDbStats::bump(&self.inner.stats.puts);
+        if let Err(e) = self.try_put(key, value) {
+            panic!("flodb: write not acknowledged: {e}");
+        }
     }
 
     fn delete(&self, key: &[u8]) {
-        self.put_impl(key, None);
-        FloDbStats::bump(&self.inner.stats.deletes);
+        if let Err(e) = self.try_delete(key) {
+            panic!("flodb: delete not acknowledged: {e}");
+        }
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {

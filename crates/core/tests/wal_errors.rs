@@ -1,0 +1,157 @@
+//! WAL failure propagation: a failed append must reject the write (and
+//! every write after it) instead of panicking mid-pipeline or — worse —
+//! acknowledging a write the log lost.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use flodb_core::{FloDb, FloDbOptions, KvStore, WalMode, WriteError};
+use flodb_storage::env::{Env, MemEnv, RandomAccessFile, WritableFile};
+use flodb_storage::{Result, StorageError};
+
+/// An env whose writable files start failing once a shared append budget
+/// is exhausted (negative budget = unlimited). Reads always work.
+struct FailEnv {
+    inner: MemEnv,
+    appends_left: Arc<AtomicI64>,
+}
+
+impl FailEnv {
+    fn new() -> (Arc<Self>, Arc<AtomicI64>) {
+        let budget = Arc::new(AtomicI64::new(-1));
+        let env = Arc::new(Self {
+            inner: MemEnv::new(None),
+            appends_left: Arc::clone(&budget),
+        });
+        (env, budget)
+    }
+}
+
+struct FailingFile {
+    inner: Box<dyn WritableFile>,
+    appends_left: Arc<AtomicI64>,
+}
+
+impl WritableFile for FailingFile {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        let left = self.appends_left.load(Ordering::Acquire);
+        if left >= 0 && self.appends_left.fetch_sub(1, Ordering::AcqRel) <= 0 {
+            self.appends_left.store(0, Ordering::Release);
+            return Err(StorageError::Io(std::io::Error::other("injected failure")));
+        }
+        self.inner.append(data)
+    }
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
+    }
+    fn finish(&mut self) -> Result<()> {
+        self.inner.finish()
+    }
+}
+
+impl Env for FailEnv {
+    fn new_writable(&self, name: &str) -> Result<Box<dyn WritableFile>> {
+        Ok(Box::new(FailingFile {
+            inner: self.inner.new_writable(name)?,
+            appends_left: Arc::clone(&self.appends_left),
+        }))
+    }
+    fn open_random(&self, name: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        self.inner.open_random(name)
+    }
+    fn delete(&self, name: &str) -> Result<()> {
+        self.inner.delete(name)
+    }
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+    fn list(&self) -> Result<Vec<String>> {
+        self.inner.list()
+    }
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+}
+
+fn opts(env: Arc<dyn Env>, group_commit: bool) -> FloDbOptions {
+    let mut opts = FloDbOptions::small_for_tests();
+    opts.env = env;
+    opts.wal = WalMode::Enabled { sync: false };
+    opts.wal_group_commit = group_commit;
+    // Keep the disk component off the failing env's append path as long
+    // as possible: no eager flush happens in these short tests.
+    opts.persist_enabled = false;
+    opts
+}
+
+#[test]
+fn wal_failure_rejects_write_and_poisons_store() {
+    for group_commit in [true, false] {
+        let (env, budget) = FailEnv::new();
+        let db = FloDb::open(opts(env, group_commit)).unwrap();
+        db.try_put(b"good", b"1").unwrap();
+
+        budget.store(0, Ordering::Release); // Log dies now.
+        let err = db.try_put(b"lost", b"2").unwrap_err();
+        assert!(
+            matches!(err, WriteError::Wal(_)),
+            "first failure must surface as Wal, got {err:?} (group={group_commit})"
+        );
+        // The failed write was never applied — acknowledged state only.
+        assert_eq!(db.get(b"lost"), None);
+
+        // Poisoned: later writes are rejected without touching the log,
+        // carrying the original failure.
+        let err = db.try_put(b"after", b"3").unwrap_err();
+        assert!(matches!(err, WriteError::Poisoned(_)), "got {err:?}");
+        let err = db.try_delete(b"good").unwrap_err();
+        assert!(matches!(err, WriteError::Poisoned(_)), "got {err:?}");
+        assert!(db.wal_poison().is_some());
+        assert!(db.wal_poison().unwrap().to_string().contains("injected"));
+
+        // Reads and scans keep serving the acknowledged prefix.
+        assert_eq!(db.get(b"good"), Some(b"1".to_vec()));
+        assert_eq!(db.scan(b"a", b"z").len(), 1);
+    }
+}
+
+#[test]
+fn infallible_put_panics_on_poisoned_store() {
+    let (env, budget) = FailEnv::new();
+    let db = Arc::new(FloDb::open(opts(env, true)).unwrap());
+    db.put(b"k", b"v");
+    budget.store(0, Ordering::Release);
+    let db2 = Arc::clone(&db);
+    let result = std::thread::spawn(move || db2.put(b"k2", b"v2")).join();
+    let panic = result.unwrap_err();
+    let msg = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.contains("write not acknowledged"),
+        "panic must name the failure, got: {msg}"
+    );
+    assert!(db.wal_poison().is_some());
+}
+
+#[test]
+fn acknowledged_prefix_survives_recovery_after_failure() {
+    let (env, budget) = FailEnv::new();
+    let env_dyn: Arc<dyn Env> = Arc::clone(&env) as Arc<dyn Env>;
+    {
+        let db = FloDb::open(opts(Arc::clone(&env_dyn), true)).unwrap();
+        for i in 0..50u64 {
+            db.try_put(&i.to_be_bytes(), b"acked").unwrap();
+        }
+        budget.store(0, Ordering::Release);
+        assert!(db.try_put(b"never", b"acked").is_err());
+        // Crash while poisoned.
+    }
+    budget.store(-1, Ordering::Release); // The disk heals on restart.
+    let db = FloDb::open(opts(env_dyn, true)).unwrap();
+    for i in 0..50u64 {
+        assert_eq!(db.get(&i.to_be_bytes()), Some(b"acked".to_vec()), "key {i}");
+    }
+    assert_eq!(db.get(b"never"), None, "unacknowledged write must not replay");
+}

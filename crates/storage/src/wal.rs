@@ -16,11 +16,19 @@ pub fn wal_file_name(number: u64) -> String {
     format!("{number:06}.log")
 }
 
+/// Bytes of the per-frame header (`len u32` + `crc u32`). Group-commit
+/// callers reserve this much at the start of their batch buffer so
+/// [`WalWriter::append_group_frame`] can patch the header in place.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
 /// Appends record batches to a log file.
 pub struct WalWriter {
     file: Box<dyn WritableFile>,
     sync_on_write: bool,
     bytes: u64,
+    /// Reusable frame scratch: cleared (capacity retained) across appends
+    /// so steady-state appends allocate nothing.
+    scratch: Vec<u8>,
 }
 
 impl WalWriter {
@@ -31,20 +39,79 @@ impl WalWriter {
             file,
             sync_on_write,
             bytes: 0,
+            scratch: Vec::new(),
         }
     }
 
     /// Appends one batch of records as a single frame.
     pub fn append_batch(&mut self, records: &[Record]) -> Result<()> {
-        let mut payload = Vec::with_capacity(64 * records.len());
+        let mut frame = std::mem::take(&mut self.scratch);
+        frame.clear();
+        frame.extend_from_slice(&[0u8; 8]); // Header space, patched below.
         for r in records {
-            r.encode_into(&mut payload);
+            r.encode_into(&mut frame);
         }
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.append(&frame)?;
+        let len = (frame.len() - 8) as u32;
+        let crc = crc32(&frame[8..]);
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        frame[4..8].copy_from_slice(&crc.to_le_bytes());
+        let result = self.append_raw(&frame);
+        self.scratch = frame;
+        result
+    }
+
+    /// Appends an already-encoded multi-record payload as one frame.
+    ///
+    /// `payload` must be a concatenation of records serialized with
+    /// [`crate::record::encode_record_parts`] (or `Record::encode_into`) —
+    /// exactly what [`replay`] decodes. This is the group-commit entry
+    /// point: writers encode into a shared batch buffer and the group
+    /// leader hands the finished payload here, so the frame header is the
+    /// only per-group overhead and the payload bytes are never re-copied.
+    pub fn append_payload(&mut self, payload: &[u8]) -> Result<()> {
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+        // Small frames: assemble in the scratch and issue one append (one
+        // write syscall / one env lock). Large frames: two appends beat
+        // re-copying the whole group payload.
+        if payload.len() <= 4096 {
+            let mut frame = std::mem::take(&mut self.scratch);
+            frame.clear();
+            frame.extend_from_slice(&header);
+            frame.extend_from_slice(payload);
+            let result = self.append_raw(&frame);
+            self.scratch = frame;
+            return result;
+        }
+        self.file.append(&header)?;
+        self.file.append(payload)?;
+        if self.sync_on_write {
+            self.file.sync()?;
+        }
+        self.bytes += 8 + payload.len() as u64;
+        Ok(())
+    }
+
+    /// Appends a group frame assembled in place, with one write.
+    ///
+    /// `frame` must start with [`FRAME_HEADER_BYTES`] of reserved space
+    /// (see `GroupCommitConfig::frame_prefix`) followed by encoded
+    /// records; the length and CRC are patched into the reserved space
+    /// here, so the batch payload is never re-copied on its way to the
+    /// log. Replays exactly like [`Self::append_batch`] frames.
+    pub fn append_group_frame(&mut self, frame: &mut [u8]) -> Result<()> {
+        debug_assert!(frame.len() >= FRAME_HEADER_BYTES);
+        let len = (frame.len() - FRAME_HEADER_BYTES) as u32;
+        let crc = crc32(&frame[FRAME_HEADER_BYTES..]);
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        frame[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.append_raw(frame)
+    }
+
+    /// Appends one fully-framed chunk (header already in place).
+    fn append_raw(&mut self, frame: &[u8]) -> Result<()> {
+        self.file.append(frame)?;
         if self.sync_on_write {
             self.file.sync()?;
         }
@@ -180,6 +247,101 @@ mod tests {
         let (recovered, max_seq) = replay(&env, "e.log").unwrap();
         assert!(recovered.is_empty());
         assert_eq!(max_seq, 0);
+    }
+
+    #[test]
+    fn group_frame_replays_identically_to_singles() {
+        // A group of N records committed as one frame must recover the
+        // exact same state as N single-record frames: recovery equivalence
+        // is what lets group commit replace the per-put pipeline without
+        // touching replay.
+        let env = MemEnv::new(None);
+        let batch = {
+            let mut records = records(0..25);
+            records[7].value = None; // A tombstone inside the group.
+            records
+        };
+
+        let mut grouped = WalWriter::new(env.new_writable("group.log").unwrap(), false);
+        let mut payload = Vec::new();
+        for r in &batch {
+            crate::record::encode_record_parts(&mut payload, &r.key, r.seq, r.value.as_deref());
+        }
+        grouped.append_payload(&payload).unwrap();
+        grouped.finish().unwrap();
+
+        // The in-place framing entry point produces byte-identical frames.
+        let mut inplace = WalWriter::new(env.new_writable("inplace.log").unwrap(), false);
+        let mut frame = vec![0u8; FRAME_HEADER_BYTES];
+        frame.extend_from_slice(&payload);
+        inplace.append_group_frame(&mut frame).unwrap();
+        inplace.finish().unwrap();
+
+        let mut singles = WalWriter::new(env.new_writable("singles.log").unwrap(), false);
+        for r in &batch {
+            singles.append_batch(std::slice::from_ref(r)).unwrap();
+        }
+        singles.finish().unwrap();
+
+        let (from_group, group_seq) = replay(&env, "group.log").unwrap();
+        let (from_singles, singles_seq) = replay(&env, "singles.log").unwrap();
+        assert_eq!(from_group, from_singles);
+        assert_eq!(group_seq, singles_seq);
+        assert_eq!(from_group, batch);
+        let (from_inplace, _) = replay(&env, "inplace.log").unwrap();
+        assert_eq!(from_inplace, batch);
+    }
+
+    #[test]
+    fn torn_group_frame_truncates_cleanly() {
+        // Crash mid-way through a group frame: every earlier frame
+        // replays, the torn group is dropped whole (LevelDB semantics) —
+        // no partial group, no error.
+        let env = MemEnv::new(None);
+        let mut w = WalWriter::new(env.new_writable("001.log").unwrap(), false);
+        w.append_batch(&records(0..10)).unwrap();
+        let good_len = w.bytes_written();
+        let mut payload = Vec::new();
+        for r in records(10..30) {
+            r.encode_into(&mut payload);
+        }
+        w.append_payload(&payload).unwrap();
+        w.finish().unwrap();
+
+        let full_len = env.open_random("001.log").unwrap().len();
+        // Tear the group frame at every prefix length: header-only, header
+        // plus part of the payload, all the way to one byte short.
+        for cut in good_len..full_len {
+            let torn = env
+                .open_random("001.log")
+                .unwrap()
+                .read_at(0, cut as usize)
+                .unwrap();
+            let name = format!("torn-{cut}.log");
+            let mut f = env.new_writable(&name).unwrap();
+            f.append(&torn).unwrap();
+            let (recovered, max_seq) = replay(&env, &name).unwrap();
+            assert_eq!(recovered.len(), 10, "cut at {cut}");
+            assert_eq!(max_seq, 9, "cut at {cut}");
+        }
+        // The intact file still replays everything.
+        let (recovered, _) = replay(&env, "001.log").unwrap();
+        assert_eq!(recovered.len(), 30);
+    }
+
+    #[test]
+    fn append_scratch_is_reused() {
+        let env = MemEnv::new(None);
+        let mut w = WalWriter::new(env.new_writable("s.log").unwrap(), false);
+        w.append_batch(&records(0..10)).unwrap();
+        let cap = w.scratch.capacity();
+        assert!(cap > 0, "scratch must be retained after an append");
+        for _ in 0..5 {
+            w.append_batch(&records(0..10)).unwrap();
+        }
+        assert_eq!(w.scratch.capacity(), cap, "same-size batches must not realloc");
+        let (recovered, _) = replay(&env, "s.log").unwrap();
+        assert_eq!(recovered.len(), 60);
     }
 
     #[test]

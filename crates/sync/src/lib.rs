@@ -15,6 +15,9 @@
 //!   protocol flags from Algorithms 2 and 3.
 //! - [`flat_combining::WriteQueue`] — a flat-combining write queue modeling
 //!   LevelDB's single-writer leader (§2.2), used by the baselines.
+//! - [`group_commit::GroupCommitter`] — the leader/follower group-commit
+//!   pipeline FloDB's write-ahead log uses so that durability batching
+//!   never re-serializes the lock-free write fast path.
 //! - [`kv`] — the common key/value byte-string representation shared by all
 //!   layers.
 
@@ -23,6 +26,7 @@
 
 pub mod backoff;
 pub mod flat_combining;
+pub mod group_commit;
 pub mod kv;
 pub mod pause;
 pub mod rcu;
@@ -30,6 +34,7 @@ pub mod seq;
 
 pub use backoff::Backoff;
 pub use flat_combining::WriteQueue;
+pub use group_commit::{CommitRole, GroupCommitConfig, GroupCommitter};
 pub use pause::PauseFlag;
 pub use rcu::RcuDomain;
 pub use seq::SequenceGenerator;

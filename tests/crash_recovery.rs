@@ -233,6 +233,37 @@ fn repeated_restarts_accumulate_nothing() {
 }
 
 #[test]
+fn legacy_per_put_pipeline_recovers_identically() {
+    // The pre-group-commit pipeline (`wal_group_commit: false`) stays a
+    // supported ablation; its recovery semantics must be unchanged, and
+    // the two pipelines' logs must be mutually readable (a store written
+    // under one mode reopens under the other).
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+    {
+        let mut opts = wal_opts(Arc::clone(&env), false);
+        opts.wal_group_commit = false;
+        let db = FloDb::open(opts).unwrap();
+        for i in 0..100u64 {
+            db.put(&key(i), b"legacy");
+        }
+        db.delete(&key(3));
+    }
+    // Reopen under group commit: the log replays regardless of the
+    // pipeline that wrote it.
+    let db = FloDb::open(wal_opts(Arc::clone(&env), false)).unwrap();
+    assert_eq!(db.get(&key(3)), None);
+    assert_eq!(db.get(&key(42)).as_deref(), Some(b"legacy".as_slice()));
+    db.put(&key(200), b"group");
+    drop(db);
+    // And back again under the legacy pipeline.
+    let mut opts = wal_opts(env, false);
+    opts.wal_group_commit = false;
+    let db = FloDb::open(opts).unwrap();
+    assert_eq!(db.get(&key(42)).as_deref(), Some(b"legacy".as_slice()));
+    assert_eq!(db.get(&key(200)).as_deref(), Some(b"group".as_slice()));
+}
+
+#[test]
 fn wal_disabled_loses_the_memory_component() {
     // Without a WAL (the benchmark configuration, matching the paper's
     // setup), a crash loses whatever was still in memory.
