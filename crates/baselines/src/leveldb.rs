@@ -12,20 +12,16 @@
 //! updates in parallel... However, writers still need to acquire a global
 //! mutex lock at the start and end of each operation."
 
+use std::ops::ControlFlow;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use flodb_core::{KvStore, ScanEntry, StoreStats};
+use flodb_core::{KvStore, StoreStats, WriteBatch, WriteError};
 use flodb_sync::WriteQueue;
 use parking_lot::Mutex;
 
-use crate::lsm_core::{spawn_thread, BaselineOptions, LsmCore};
-
-struct WriteOp {
-    key: Box<[u8]>,
-    value: Option<Box<[u8]>>,
-}
+use crate::lsm_core::{spawn_thread, BaselineOptions, LsmCore, WriteOp};
 
 /// The LevelDB design: single write leader + global mutex on reads.
 pub struct LevelDbStore {
@@ -57,33 +53,51 @@ impl LevelDbStore {
     }
 
     fn write(&self, key: &[u8], value: Option<&[u8]>) {
-        let op = WriteOp {
+        let op = WriteOp::One {
             key: Box::from(key),
             value: value.map(Box::from),
         };
+        self.submit(op);
+    }
+
+    /// Deposits one queue entry; the leader applies everyone's deposits
+    /// sequentially under the global mutex (flat combining).
+    fn submit(&self, op: WriteOp) {
         let core = &self.core;
         let global = &self.global;
-        // Writers deposit into the queue; the leader applies the whole
-        // batch sequentially under the global mutex (flat combining).
         self.writers.submit(op, |batch| {
             let _g = global.lock();
             for op in batch {
-                let seq = core.seq.next();
-                core.write(&op.key, seq, op.value.as_deref());
+                op.apply(core);
             }
         });
     }
 }
 
 impl KvStore for LevelDbStore {
-    fn put(&self, key: &[u8], value: &[u8]) {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), WriteError> {
         self.write(key, Some(value));
         self.core.stats.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
-    fn delete(&self, key: &[u8]) {
+    fn delete(&self, key: &[u8]) -> Result<(), WriteError> {
         self.write(key, None);
         self.core.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write(&self, batch: &WriteBatch) -> Result<(), WriteError> {
+        // The whole batch rides the writer queue as one deposit, applied
+        // contiguously by whichever thread leads — the same single-writer
+        // path every put takes.
+        self.submit(WriteOp::from_batch(batch));
+        self.core.stats.puts.fetch_add(batch.puts(), Ordering::Relaxed);
+        self.core
+            .stats
+            .deletes
+            .fetch_add(batch.deletes(), Ordering::Relaxed);
+        Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
@@ -96,16 +110,20 @@ impl KvStore for LevelDbStore {
         result
     }
 
-    fn scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+    fn scan_with(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        visitor: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+    ) {
         drop(self.global.lock());
-        let out = self.core.scan_snapshot(low, high);
+        let emitted = self.core.scan_snapshot_with(low, high, visitor);
         drop(self.global.lock());
         self.core.stats.scans.fetch_add(1, Ordering::Relaxed);
         self.core
             .stats
             .scanned_keys
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
-        out
+            .fetch_add(emitted, Ordering::Relaxed);
     }
 
     fn name(&self) -> &'static str {
@@ -177,14 +195,37 @@ impl HyperLevelDbStore {
 }
 
 impl KvStore for HyperLevelDbStore {
-    fn put(&self, key: &[u8], value: &[u8]) {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), WriteError> {
         self.write(key, Some(value));
         self.core.stats.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
-    fn delete(&self, key: &[u8]) {
+    fn delete(&self, key: &[u8]) -> Result<(), WriteError> {
         self.write(key, None);
         self.core.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write(&self, batch: &WriteBatch) -> Result<(), WriteError> {
+        // Existing write discipline, batch-shaped: one contiguous block
+        // of sequence numbers is reserved under one acquisition of the
+        // global mutex, the inserts proceed concurrently, and the mutex
+        // is taken again at the end of the operation (§2.2).
+        let first = {
+            let _g = self.global.lock();
+            self.core.seq.next_block(batch.len() as u64)
+        };
+        for ((key, value), seq) in batch.iter().zip(first..) {
+            self.core.write(key, seq, value);
+        }
+        drop(self.global.lock());
+        self.core.stats.puts.fetch_add(batch.puts(), Ordering::Relaxed);
+        self.core
+            .stats
+            .deletes
+            .fetch_add(batch.deletes(), Ordering::Relaxed);
+        Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
@@ -195,16 +236,20 @@ impl KvStore for HyperLevelDbStore {
         result
     }
 
-    fn scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+    fn scan_with(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        visitor: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+    ) {
         drop(self.global.lock());
-        let out = self.core.scan_snapshot(low, high);
+        let emitted = self.core.scan_snapshot_with(low, high, visitor);
         drop(self.global.lock());
         self.core.stats.scans.fetch_add(1, Ordering::Relaxed);
         self.core
             .stats
             .scanned_keys
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
-        out
+            .fetch_add(emitted, Ordering::Relaxed);
     }
 
     fn name(&self) -> &'static str {
@@ -235,12 +280,18 @@ mod tests {
     use super::*;
 
     fn exercise(store: &dyn KvStore) {
-        store.put(b"a", b"1");
-        store.put(b"b", b"2");
-        store.put(b"a", b"3");
+        store.put(b"a", b"1").unwrap();
+        store.put(b"b", b"2").unwrap();
+        store.put(b"a", b"3").unwrap();
         assert_eq!(store.get(b"a"), Some(b"3".to_vec()));
-        store.delete(b"b");
+        store.delete(b"b").unwrap();
         assert_eq!(store.get(b"b"), None);
+        // A batch commits through the store's write serialization.
+        let mut batch = WriteBatch::new();
+        batch.put(b"c", b"4").delete(b"c").put(b"d", b"5").delete(b"d");
+        store.write(&batch).unwrap();
+        assert_eq!(store.get(b"c"), None);
+        assert_eq!(store.get(b"d"), None);
         let out = store.scan(b"a", b"z");
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1, b"3".to_vec());
@@ -253,7 +304,8 @@ mod tests {
         let store = LevelDbStore::open(BaselineOptions::small_for_tests());
         exercise(&store);
         assert_eq!(store.name(), "LevelDB");
-        assert_eq!(store.stats().puts, 3);
+        assert_eq!(store.stats().puts, 5, "3 singles + 2 batch puts");
+        assert_eq!(store.stats().deletes, 3, "1 single + 2 batch deletes");
     }
 
     #[test]
@@ -272,7 +324,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..250u64 {
                     let key = (t * 1000 + i).to_be_bytes();
-                    store.put(&key, &key);
+                    store.put(&key, &key).unwrap();
                 }
             }));
         }
@@ -295,7 +347,7 @@ mod tests {
             let store = Arc::clone(&store);
             handles.push(std::thread::spawn(move || {
                 for i in 0..200u64 {
-                    store.put(b"hot", &i.to_be_bytes());
+                    store.put(b"hot", &i.to_be_bytes()).unwrap();
                 }
             }));
         }

@@ -7,7 +7,7 @@
 //! discipline (global mutex, write leader, …), which is where the systems
 //! differ (§2.2).
 
-use std::collections::BTreeMap;
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -97,6 +97,49 @@ impl BaselineMemtable {
         match self {
             Self::Skip(m) => m.collect_records(),
             Self::Hash(m) => m.collect_records(),
+        }
+    }
+}
+
+/// One deposit in a baseline's write queue: a single operation on the
+/// hot path, or a whole `WriteBatch`'s operations applied as one unit (a
+/// put is just a 1-op batch as far as the queue is concerned).
+pub(crate) enum WriteOp {
+    /// One put/delete.
+    One {
+        /// The user key.
+        key: Box<[u8]>,
+        /// `None` is a delete (tombstone insert).
+        value: Option<Box<[u8]>>,
+    },
+    /// A batch's operations, applied contiguously.
+    Batch(Vec<(Box<[u8]>, Option<Box<[u8]>>)>),
+}
+
+impl WriteOp {
+    /// Copies a `WriteBatch` into an owned queue deposit.
+    pub(crate) fn from_batch(batch: &flodb_core::WriteBatch) -> Self {
+        Self::Batch(
+            batch
+                .iter()
+                .map(|(key, value)| (Box::from(key), value.map(Box::from)))
+                .collect(),
+        )
+    }
+
+    /// Applies the deposit to `core`, one fresh sequence number per op.
+    pub(crate) fn apply(self, core: &LsmCore) {
+        match self {
+            Self::One { key, value } => {
+                let seq = core.seq.next();
+                core.write(&key, seq, value.as_deref());
+            }
+            Self::Batch(ops) => {
+                for (key, value) in ops {
+                    let seq = core.seq.next();
+                    core.write(&key, seq, value.as_deref());
+                }
+            }
         }
     }
 }
@@ -269,43 +312,85 @@ impl LsmCore {
             .and_then(|r| r.value.map(Vec::from))
     }
 
-    /// Serializable snapshot scan (multi-versioned: no restarts needed).
-    pub fn scan_snapshot(&self, low: &[u8], high: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    /// Serializable snapshot scan, streamed (multi-versioned: no restarts
+    /// needed). Returns the number of live entries emitted.
+    ///
+    /// The three sources — active memtable, immutable memtable, disk —
+    /// each yield a sorted run with one (freshest ≤ snapshot) version per
+    /// key; the runs are merged by streaming cursors rather than into an
+    /// intermediate map, so a visitor that returns
+    /// [`ControlFlow::Break`] prunes all remaining merge work.
+    pub fn scan_snapshot_with(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        visitor: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+    ) -> u64 {
         let snapshot = self.seq.current();
         let (active, imm) = {
             let st = self.state.read();
             (Arc::clone(&st.active), st.imm.clone())
         };
-        let mut merged: BTreeMap<Vec<u8>, (u64, Option<Box<[u8]>>)> = BTreeMap::new();
-        let mut absorb = |key: Vec<u8>, seq: u64, value: Option<Box<[u8]>>| {
-            match merged.entry(key) {
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    e.insert((seq, value));
+        let a = active.snapshot_range(low, high, snapshot);
+        let b = imm.map_or_else(Vec::new, |m| m.snapshot_range(low, high, snapshot));
+        let d = self.disk.scan(low, high).expect("disk scan failed");
+        let (mut ai, mut bi, mut di) = (0usize, 0usize, 0usize);
+        let mut emitted = 0u64;
+        loop {
+            // Disk records fresher than the snapshot are invisible to it
+            // (their key has no older on-disk version: disk merge keeps
+            // one record per key).
+            while d.get(di).is_some_and(|r| r.seq > snapshot) {
+                di += 1;
+            }
+            let ak = a.get(ai).map(|(k, _, _)| k.as_slice());
+            let bk = b.get(bi).map(|(k, _, _)| k.as_slice());
+            let dk = d.get(di).map(|r| r.key.as_ref());
+            let Some(key) = [ak, bk, dk].into_iter().flatten().min() else {
+                break;
+            };
+            // Freshest version among the cursors positioned on `key`;
+            // every matching cursor advances past it.
+            let mut best: (u64, Option<&[u8]>) = (0, None);
+            if ak == Some(key) {
+                let (_, seq, value) = &a[ai];
+                best = (*seq, value.as_deref());
+                ai += 1;
+            }
+            if bk == Some(key) {
+                let (_, seq, value) = &b[bi];
+                if *seq > best.0 {
+                    best = (*seq, value.as_deref());
                 }
-                std::collections::btree_map::Entry::Occupied(mut e) => {
-                    if seq > e.get().0 {
-                        e.insert((seq, value));
-                    }
+                bi += 1;
+            }
+            if dk == Some(key) {
+                let record = &d[di];
+                if record.seq > best.0 {
+                    best = (record.seq, record.value.as_deref());
+                }
+                di += 1;
+            }
+            if let (_, Some(value)) = best {
+                emitted += 1;
+                if visitor(key, value).is_break() {
+                    break;
                 }
             }
-        };
-        for (key, seq, value) in active.snapshot_range(low, high, snapshot) {
-            absorb(key, seq, value);
         }
-        if let Some(imm) = imm {
-            for (key, seq, value) in imm.snapshot_range(low, high, snapshot) {
-                absorb(key, seq, value);
-            }
-        }
-        for record in self.disk.scan(low, high).expect("disk scan failed") {
-            if record.seq <= snapshot {
-                absorb(record.key.to_vec(), record.seq, record.value);
-            }
-        }
-        merged
-            .into_iter()
-            .filter_map(|(key, (_, value))| Some((key, Vec::from(value?))))
-            .collect()
+        emitted
+    }
+
+    /// Collecting convenience over [`Self::scan_snapshot_with`] (the
+    /// stores stream through `scan_with`; tests want the whole range).
+    #[cfg(test)]
+    pub fn scan_snapshot(&self, low: &[u8], high: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        self.scan_snapshot_with(low, high, &mut |key, value| {
+            out.push((key.to_vec(), value.to_vec()));
+            ControlFlow::Continue(())
+        });
+        out
     }
 
     pub fn wake_flush(&self) {

@@ -11,20 +11,16 @@
 //! **RocksDB/cLSM** (§5.1): the cLSM ideas merged into RocksDB, enabled
 //! via parameters — chiefly concurrent memtable writes (no leader).
 
+use std::ops::ControlFlow;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use flodb_core::{KvStore, ScanEntry, StoreStats};
+use flodb_core::{KvStore, StoreStats, WriteBatch, WriteError};
 use flodb_sync::WriteQueue;
 use parking_lot::Mutex;
 
-use crate::lsm_core::{spawn_thread, BaselineOptions, LsmCore};
-
-struct WriteOp {
-    key: Box<[u8]>,
-    value: Option<Box<[u8]>>,
-}
+use crate::lsm_core::{spawn_thread, BaselineOptions, LsmCore, WriteOp};
 
 fn spawn_background(core: &Arc<LsmCore>, label: &str) -> Vec<JoinHandle<()>> {
     vec![
@@ -64,30 +60,48 @@ impl RocksDbStore {
     }
 
     fn write(&self, key: &[u8], value: Option<&[u8]>) {
-        let op = WriteOp {
+        let op = WriteOp::One {
             key: Box::from(key),
             value: value.map(Box::from),
         };
+        self.submit(op);
+    }
+
+    /// Deposits one queue entry; the leader applies everyone's deposits
+    /// (§5.2: single-writer design).
+    fn submit(&self, op: WriteOp) {
         let core = &self.core;
-        // Single-writer: the leader applies everyone's batch (§5.2).
         self.writers.submit(op, |batch| {
             for op in batch {
-                let seq = core.seq.next();
-                core.write(&op.key, seq, op.value.as_deref());
+                op.apply(core);
             }
         });
     }
 }
 
 impl KvStore for RocksDbStore {
-    fn put(&self, key: &[u8], value: &[u8]) {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), WriteError> {
         self.write(key, Some(value));
         self.core.stats.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
-    fn delete(&self, key: &[u8]) {
+    fn delete(&self, key: &[u8]) -> Result<(), WriteError> {
         self.write(key, None);
         self.core.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write(&self, batch: &WriteBatch) -> Result<(), WriteError> {
+        // The whole batch rides the write-leader queue as one deposit, so
+        // it is applied contiguously by whichever thread leads.
+        self.submit(WriteOp::from_batch(batch));
+        self.core.stats.puts.fetch_add(batch.puts(), Ordering::Relaxed);
+        self.core
+            .stats
+            .deletes
+            .fetch_add(batch.deletes(), Ordering::Relaxed);
+        Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
@@ -97,14 +111,18 @@ impl KvStore for RocksDbStore {
         result
     }
 
-    fn scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
-        let out = self.core.scan_snapshot(low, high);
+    fn scan_with(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        visitor: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+    ) {
+        let emitted = self.core.scan_snapshot_with(low, high, visitor);
         self.core.stats.scans.fetch_add(1, Ordering::Relaxed);
         self.core
             .stats
             .scanned_keys
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
-        out
+            .fetch_add(emitted, Ordering::Relaxed);
     }
 
     fn name(&self) -> &'static str {
@@ -150,17 +168,34 @@ impl RocksDbClsmStore {
 }
 
 impl KvStore for RocksDbClsmStore {
-    fn put(&self, key: &[u8], value: &[u8]) {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), WriteError> {
         // Concurrent memtable insert: no write leader.
         let seq = self.core.seq.next();
         self.core.write(key, seq, Some(value));
         self.core.stats.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
-    fn delete(&self, key: &[u8]) {
+    fn delete(&self, key: &[u8]) -> Result<(), WriteError> {
         let seq = self.core.seq.next();
         self.core.write(key, seq, None);
         self.core.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write(&self, batch: &WriteBatch) -> Result<(), WriteError> {
+        // No write leader to serialize behind: the batch applies as a run
+        // of concurrent memtable inserts from the calling thread.
+        for (key, value) in batch.iter() {
+            let seq = self.core.seq.next();
+            self.core.write(key, seq, value);
+        }
+        self.core.stats.puts.fetch_add(batch.puts(), Ordering::Relaxed);
+        self.core
+            .stats
+            .deletes
+            .fetch_add(batch.deletes(), Ordering::Relaxed);
+        Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
@@ -169,14 +204,18 @@ impl KvStore for RocksDbClsmStore {
         result
     }
 
-    fn scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
-        let out = self.core.scan_snapshot(low, high);
+    fn scan_with(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        visitor: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+    ) {
+        let emitted = self.core.scan_snapshot_with(low, high, visitor);
         self.core.stats.scans.fetch_add(1, Ordering::Relaxed);
         self.core
             .stats
             .scanned_keys
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
-        out
+            .fetch_add(emitted, Ordering::Relaxed);
     }
 
     fn name(&self) -> &'static str {
@@ -209,12 +248,18 @@ mod tests {
     use super::*;
 
     fn exercise(store: &dyn KvStore) {
-        store.put(b"a", b"1");
-        store.put(b"b", b"2");
-        store.put(b"a", b"3");
+        store.put(b"a", b"1").unwrap();
+        store.put(b"b", b"2").unwrap();
+        store.put(b"a", b"3").unwrap();
         assert_eq!(store.get(b"a"), Some(b"3".to_vec()));
-        store.delete(b"b");
+        store.delete(b"b").unwrap();
         assert_eq!(store.get(b"b"), None);
+        // A batch commits through the store's write serialization.
+        let mut batch = WriteBatch::new();
+        batch.put(b"c", b"4").delete(b"c").put(b"d", b"5").delete(b"d");
+        store.write(&batch).unwrap();
+        assert_eq!(store.get(b"c"), None);
+        assert_eq!(store.get(b"d"), None);
         let out = store.scan(b"a", b"z");
         assert_eq!(out, vec![(b"a".to_vec(), b"3".to_vec())]);
         store.quiesce();
@@ -252,7 +297,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..250u64 {
                     let key = (t * 1000 + i).to_be_bytes();
-                    store.put(&key, &key);
+                    store.put(&key, &key).unwrap();
                 }
             }));
         }
@@ -273,7 +318,7 @@ mod tests {
         opts.memory_bytes = 8 * 1024;
         let store = RocksDbStore::open(opts);
         for i in 0..2000u64 {
-            store.put(&i.to_be_bytes(), &[0u8; 32]);
+            store.put(&i.to_be_bytes(), &[0u8; 32]).unwrap();
         }
         store.quiesce();
         assert!(store.stats().persists > 0, "small memtable must flush");

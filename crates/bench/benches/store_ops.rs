@@ -12,13 +12,13 @@ fn store_put_get(c: &mut Criterion) {
         group.sample_size(20);
         let store = make_store(kind, 8 * 1024 * 1024, make_env(&scale, false));
         for i in 0..10_000u64 {
-            store.put(&i.to_be_bytes(), &[0x42; 64]);
+            store.put(&i.to_be_bytes(), &[0x42; 64]).unwrap();
         }
         let mut i = 0u64;
         group.bench_function("put", |b| {
             b.iter(|| {
                 i = (i + 1) % 10_000;
-                store.put(&i.to_be_bytes(), &[0x43; 64]);
+                store.put(&i.to_be_bytes(), &[0x43; 64]).unwrap();
             })
         });
         let mut j = 0u64;

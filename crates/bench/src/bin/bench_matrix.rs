@@ -71,8 +71,9 @@ fn main() {
     let cells = run_matrix_best_of(&cfg, repeat);
     for c in &cells {
         eprintln!(
-            "  {:<12} {:<14} env={:<3} t={} {:>12.0} ops/s (recs/group {:.1})",
-            c.bench, c.wal, c.env, c.threads, c.ops_per_sec, c.recs_per_group
+            "  {:<12} {:<14} env={:<3} t={} {:>12.0} ops/s (recs/group {:.1}, followers {})",
+            c.bench, c.wal, c.env, c.threads, c.ops_per_sec, c.recs_per_group,
+            c.wal_follower_writes
         );
     }
     let doc = to_json(&cells, &note);

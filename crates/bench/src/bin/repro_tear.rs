@@ -40,7 +40,7 @@ fn main() {
 
     let db = Arc::new(FloDb::open(opts).unwrap());
     for i in 0..KEYS {
-        db.put(&key(i), &0u64.to_le_bytes());
+        db.put(&key(i), &0u64.to_le_bytes()).unwrap();
     }
     let stop = Arc::new(AtomicBool::new(false));
     let writer = {
@@ -50,7 +50,7 @@ fn main() {
             let mut round = 1u64;
             while !stop.load(Ordering::Relaxed) {
                 for i in 0..KEYS {
-                    db.put(&key(i), &round.to_le_bytes());
+                    db.put(&key(i), &round.to_le_bytes()).unwrap();
                 }
                 round += 1;
             }

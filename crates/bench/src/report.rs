@@ -56,6 +56,9 @@ pub struct Cell {
     /// Mean records per commit group (1.0 in per-put modes, 0 when the
     /// WAL is off).
     pub recs_per_group: f64,
+    /// Writes acknowledged as group-commit followers (their record rode in
+    /// a group another thread committed); 0 in per-put modes or WAL-off.
+    pub wal_follower_writes: u64,
 }
 
 /// Matrix dimensions; see [`MatrixConfig::full`] and [`MatrixConfig::smoke`].
@@ -205,6 +208,12 @@ fn wal_pipeline_cell(
         total_ops: ops,
         elapsed_s: elapsed,
         recs_per_group: ops as f64 / committed_groups as f64,
+        // Every submission either led its group or rode one.
+        wal_follower_writes: if group {
+            ops.saturating_sub(committed_groups)
+        } else {
+            0
+        },
     }
 }
 
@@ -258,6 +267,7 @@ fn store_cell(
         total_ops: report.total_ops,
         elapsed_s: report.elapsed.as_secs_f64(),
         recs_per_group,
+        wal_follower_writes: stats.wal_follower_writes,
     }
 }
 
@@ -392,7 +402,7 @@ pub fn to_json(cells: &[Cell], note: &str) -> String {
         out.push_str(&format!(
             "    {{\"bench\": \"{}\", \"wal\": \"{}\", \"env\": \"{}\", \"threads\": {}, \
              \"ops_per_sec\": {:.0}, \"total_ops\": {}, \"elapsed_s\": {:.3}, \
-             \"recs_per_group\": {:.2}}}{}\n",
+             \"recs_per_group\": {:.2}, \"wal_follower_writes\": {}}}{}\n",
             c.bench,
             c.wal,
             c.env,
@@ -401,6 +411,7 @@ pub fn to_json(cells: &[Cell], note: &str) -> String {
             c.total_ops,
             c.elapsed_s,
             c.recs_per_group,
+            c.wal_follower_writes,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }

@@ -118,7 +118,7 @@ mod tests {
         let scale = Scale::from_env();
         for kind in ALL_SYSTEMS {
             let store = make_store(kind, 1024 * 1024, make_env(&scale, false));
-            store.put(b"k", b"v");
+            store.put(b"k", b"v").unwrap();
             assert_eq!(store.get(b"k"), Some(b"v".to_vec()), "{}", kind.name());
             assert_eq!(store.name(), kind.name());
         }

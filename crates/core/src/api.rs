@@ -1,47 +1,125 @@
-//! The store-facing API shared by FloDB and every baseline.
+//! The store-facing API shared by FloDB and every baseline (v2).
+//!
+//! The paper's §2.1 interface (put/get/delete/scan) is reproduced as the
+//! [`KvStore`] trait, redesigned around three production realities:
+//!
+//! - **Fallibility.** `put`/`delete`/`write` return
+//!   `Result<(), `[`WriteError`]`>`: a store with a commit log can fail to
+//!   acknowledge a write, and the caller — not a panic inside the store —
+//!   decides what to do about it. See [`WriteError`] for the poisoning
+//!   contract.
+//! - **Batches.** [`WriteBatch`] buffers several put/delete operations and
+//!   [`KvStore::write`] commits them as one unit. On FloDB the whole batch
+//!   is encoded into a single group-commit submission, so it lands in one
+//!   WAL frame and crash recovery replays it all-or-nothing.
+//! - **Streaming scans.** [`KvStore::scan_with`] visits entries in key
+//!   order through a callback that can terminate early
+//!   ([`ControlFlow::Break`]); [`KvStore::scan`] is the collecting
+//!   convenience built on top of it.
 
-use std::sync::Arc;
+use std::ops::ControlFlow;
 
-use flodb_storage::StorageError;
+pub use crate::error::WriteError;
 
 /// One entry returned by a scan.
 pub type ScanEntry = (Vec<u8>, Vec<u8>);
 
-/// Why a write could not be durably acknowledged.
-///
-/// Produced by [`crate::FloDb::try_put`] / [`crate::FloDb::try_delete`]
-/// when the write-ahead log is enabled and its append (or fsync) fails.
-/// The error is shared: every member of a failed commit group receives the
-/// same underlying [`StorageError`], and none of the group's writes are
-/// acknowledged or applied to the memory component.
+/// One buffered operation of a [`WriteBatch`].
 #[derive(Debug, Clone)]
-pub enum WriteError {
-    /// This write's log append failed. The store is now *poisoned*: reads
-    /// and scans keep working, but subsequent writes are rejected with
-    /// [`WriteError::Poisoned`] — after a lost append, later writes could
-    /// otherwise be acknowledged yet replay without their predecessors.
-    Wal(Arc<StorageError>),
-    /// An earlier log failure poisoned the store (the original failure is
-    /// attached); this write was rejected without touching the log.
-    Poisoned(Arc<StorageError>),
+struct BatchOp {
+    key: Box<[u8]>,
+    /// `None` is a delete (tombstone insert).
+    value: Option<Box<[u8]>>,
 }
 
-impl std::fmt::Display for WriteError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::Wal(e) => write!(f, "write-ahead log append failed: {e}"),
-            Self::Poisoned(e) => {
-                write!(f, "store poisoned by an earlier WAL failure: {e}")
-            }
-        }
+/// A reusable buffer of put/delete operations, committed atomically by
+/// [`KvStore::write`].
+///
+/// Operations are applied in insertion order, so a later op on the same
+/// key wins. The batch is plain data — building one touches no store —
+/// and [`clear`](Self::clear) retains the op buffer's capacity, so a
+/// loader can fill/commit/clear the same batch in a loop.
+///
+/// # Examples
+///
+/// ```
+/// use flodb_core::WriteBatch;
+///
+/// let mut batch = WriteBatch::new();
+/// batch.put(b"user:1", b"alice");
+/// batch.put(b"user:2", b"bob");
+/// batch.delete(b"user:0");
+/// assert_eq!(batch.len(), 3);
+/// assert_eq!((batch.puts(), batch.deletes()), (2, 1));
+/// batch.clear();
+/// assert!(batch.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteBatch {
+    ops: Vec<BatchOp>,
+    puts: u64,
+    deletes: u64,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
     }
-}
 
-impl std::error::Error for WriteError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            Self::Wal(e) | Self::Poisoned(e) => Some(e.as_ref()),
-        }
+    /// Buffers an insert/overwrite of `key`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> &mut Self {
+        self.ops.push(BatchOp {
+            key: Box::from(key),
+            value: Some(Box::from(value)),
+        });
+        self.puts += 1;
+        self
+    }
+
+    /// Buffers a logical removal of `key` (tombstone insert).
+    pub fn delete(&mut self, key: &[u8]) -> &mut Self {
+        self.ops.push(BatchOp {
+            key: Box::from(key),
+            value: None,
+        });
+        self.deletes += 1;
+        self
+    }
+
+    /// Number of buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Buffered put operations.
+    pub fn puts(&self) -> u64 {
+        self.puts
+    }
+
+    /// Buffered delete operations.
+    pub fn deletes(&self) -> u64 {
+        self.deletes
+    }
+
+    /// Empties the batch, retaining the op buffer's capacity for reuse.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.puts = 0;
+        self.deletes = 0;
+    }
+
+    /// Iterates the buffered operations in insertion order; a `None`
+    /// value is a delete.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], Option<&[u8]>)> {
+        self.ops
+            .iter()
+            .map(|op| (op.key.as_ref(), op.value.as_deref()))
     }
 }
 
@@ -49,9 +127,9 @@ impl std::error::Error for WriteError {
 /// benchmark harness.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Completed put operations.
+    /// Completed put operations (batch puts included).
     pub puts: u64,
-    /// Completed delete operations.
+    /// Completed delete operations (batch deletes included).
     pub deletes: u64,
     /// Completed get operations.
     pub gets: u64,
@@ -73,29 +151,100 @@ pub struct StoreStats {
     /// Records across all WAL commit groups (FloDB only); divide by
     /// `wal_groups` for the mean records per group.
     pub wal_group_records: u64,
+    /// Writes acknowledged as group-commit followers — their record rode
+    /// in a group another thread committed (FloDB only). The leader split
+    /// is `wal_groups`.
+    pub wal_follower_writes: u64,
 }
 
-/// The uniform key-value store interface (§2.1 of the paper).
+/// The uniform key-value store interface (§2.1 of the paper, v2 surface).
 ///
 /// All five systems in this repository — FloDB and the LevelDB,
 /// HyperLevelDB, RocksDB and RocksDB/cLSM baselines — implement this trait
 /// so workloads and benchmarks treat them interchangeably.
+///
+/// # Fallibility and poisoning
+///
+/// The write methods return `Err(`[`WriteError`]`)` when a write could not
+/// be durably acknowledged; `Err` means the operation was **not** applied.
+/// Stores without a commit log (the baselines, or FloDB with
+/// `WalMode::Disabled`) never fail structurally and always return `Ok`.
+/// After a WAL failure the store is *poisoned*: reads and scans keep
+/// serving the acknowledged state, but every subsequent write is rejected
+/// with [`WriteError::Poisoned`] carrying the original failure. Reopening
+/// the store recovers the acknowledged prefix from the log.
 pub trait KvStore: Send + Sync {
     /// Inserts or overwrites `key`.
-    fn put(&self, key: &[u8], value: &[u8]);
+    ///
+    /// # Errors
+    ///
+    /// [`WriteError`] if the commit log rejected the write; the write was
+    /// not applied.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), WriteError>;
 
     /// Logically removes `key` (tombstone insert).
-    fn delete(&self, key: &[u8]);
+    ///
+    /// # Errors
+    ///
+    /// [`WriteError`] if the commit log rejected the write; the delete was
+    /// not applied.
+    fn delete(&self, key: &[u8]) -> Result<(), WriteError>;
+
+    /// Commits every operation in `batch` as one unit.
+    ///
+    /// Crash atomicity: on stores with a commit log, the whole batch is
+    /// logged as a single frame, so recovery replays it all-or-nothing —
+    /// a crash can never resurrect half a batch. Visibility is *not*
+    /// transactional: a concurrent reader may observe a prefix of the
+    /// batch while it is being applied to the memory component.
+    ///
+    /// The default implementation applies the operations one by one (no
+    /// crash atomicity); every real store in this repository overrides it
+    /// to apply the batch under its write serialization.
+    ///
+    /// # Errors
+    ///
+    /// [`WriteError`] if the commit log rejected the batch; none of its
+    /// operations were applied.
+    fn write(&self, batch: &WriteBatch) -> Result<(), WriteError> {
+        for (key, value) in batch.iter() {
+            match value {
+                Some(value) => self.put(key, value)?,
+                None => self.delete(key)?,
+            }
+        }
+        Ok(())
+    }
 
     /// Returns the current value of `key`, or `None` if absent or deleted.
     fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
 
-    /// Returns all live entries with `low <= key <= high`, in key order.
+    /// Streams all live entries with `low <= key <= high`, in key order,
+    /// into `visitor`; returning [`ControlFlow::Break`] stops the scan.
     ///
-    /// Scans are serializable: the result is a consistent snapshot of the
-    /// store at some point between invocation and return (point-in-time
-    /// semantics, §2.1).
-    fn scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry>;
+    /// Scans are serializable: the visited sequence is a consistent
+    /// snapshot of the store at some point between invocation and return
+    /// (point-in-time semantics, §2.1). Implementations with optimistic
+    /// concurrency (FloDB's restart protocol) may defer emission until an
+    /// attempt validates; multi-versioned stores stream straight off the
+    /// merge, so an early `Break` also prunes the remaining merge work.
+    fn scan_with(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        visitor: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+    );
+
+    /// Returns all live entries with `low <= key <= high`, in key order —
+    /// the collecting convenience over [`scan_with`](Self::scan_with).
+    fn scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+        let mut out = Vec::new();
+        self.scan_with(low, high, &mut |key, value| {
+            out.push((key.to_vec(), value.to_vec()));
+            ControlFlow::Continue(())
+        });
+        out
+    }
 
     /// Human-readable system name (for benchmark tables).
     fn name(&self) -> &'static str;
@@ -124,13 +273,21 @@ mod tests {
     struct Null;
 
     impl KvStore for Null {
-        fn put(&self, _: &[u8], _: &[u8]) {}
-        fn delete(&self, _: &[u8]) {}
+        fn put(&self, _: &[u8], _: &[u8]) -> Result<(), WriteError> {
+            Ok(())
+        }
+        fn delete(&self, _: &[u8]) -> Result<(), WriteError> {
+            Ok(())
+        }
         fn get(&self, _: &[u8]) -> Option<Vec<u8>> {
             None
         }
-        fn scan(&self, _: &[u8], _: &[u8]) -> Vec<ScanEntry> {
-            Vec::new()
+        fn scan_with(
+            &self,
+            _: &[u8],
+            _: &[u8],
+            _: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+        ) {
         }
         fn name(&self) -> &'static str {
             "null"
@@ -143,5 +300,89 @@ mod tests {
         assert_eq!(s.stats(), StoreStats::default());
         s.quiesce();
         assert_eq!(s.name(), "null");
+        assert!(s.scan(b"a", b"z").is_empty());
+        // The default batch write routes through put/delete.
+        let mut batch = WriteBatch::new();
+        batch.put(b"k", b"v").delete(b"k");
+        s.write(&batch).unwrap();
+    }
+
+    #[test]
+    fn write_batch_builder_and_reuse() {
+        let mut batch = WriteBatch::new();
+        batch.put(b"a", b"1");
+        batch.delete(b"b");
+        batch.put(b"a", b"2");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.puts(), 2);
+        assert_eq!(batch.deletes(), 1);
+        let ops: Vec<(Vec<u8>, Option<Vec<u8>>)> = batch
+            .iter()
+            .map(|(k, v)| (k.to_vec(), v.map(<[u8]>::to_vec)))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                (b"a".to_vec(), Some(b"1".to_vec())),
+                (b"b".to_vec(), None),
+                (b"a".to_vec(), Some(b"2".to_vec())),
+            ]
+        );
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!((batch.puts(), batch.deletes()), (0, 0));
+    }
+
+    /// A tiny sorted store to exercise the provided `scan` + early break.
+    struct Sorted(Vec<(Vec<u8>, Vec<u8>)>);
+
+    impl KvStore for Sorted {
+        fn put(&self, _: &[u8], _: &[u8]) -> Result<(), WriteError> {
+            Ok(())
+        }
+        fn delete(&self, _: &[u8]) -> Result<(), WriteError> {
+            Ok(())
+        }
+        fn get(&self, _: &[u8]) -> Option<Vec<u8>> {
+            None
+        }
+        fn scan_with(
+            &self,
+            low: &[u8],
+            high: &[u8],
+            visitor: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+        ) {
+            for (k, v) in &self.0 {
+                if k.as_slice() >= low
+                    && k.as_slice() <= high
+                    && visitor(k, v).is_break()
+                {
+                    return;
+                }
+            }
+        }
+        fn name(&self) -> &'static str {
+            "sorted"
+        }
+    }
+
+    #[test]
+    fn provided_scan_collects_and_break_terminates() {
+        let store = Sorted(vec![
+            (b"a".to_vec(), b"1".to_vec()),
+            (b"b".to_vec(), b"2".to_vec()),
+            (b"c".to_vec(), b"3".to_vec()),
+        ]);
+        assert_eq!(store.scan(b"a", b"c").len(), 3);
+        let mut seen = 0;
+        store.scan_with(b"a", b"c", &mut |_, _| {
+            seen += 1;
+            if seen == 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(seen, 2, "Break must stop the scan");
     }
 }

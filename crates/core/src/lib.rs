@@ -41,13 +41,15 @@
 
 mod api;
 mod drain;
+mod error;
 mod options;
 mod scan;
 mod stats;
 mod store;
 mod view;
 
-pub use api::{KvStore, ScanEntry, StoreStats, WriteError};
+pub use api::{KvStore, ScanEntry, StoreStats, WriteBatch};
+pub use error::{Error, OpenError, OptionsError, WriteError};
 pub use options::{FloDbOptions, WalMode};
 pub use stats::{FloDbStats, ReclamationStats};
 pub use store::FloDb;

@@ -4,6 +4,8 @@ use std::sync::Arc;
 
 use flodb_storage::{DiskOptions, Env, MemEnv, ThrottleConfig};
 
+use crate::error::OptionsError;
+
 /// Write-ahead-log durability mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WalMode {
@@ -170,22 +172,29 @@ impl FloDbOptions {
         (self.memtable_bytes() as f64 * self.memtable_flush_trigger_fraction) as usize
     }
 
-    /// Validates option consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates option consistency, reporting the first violation as a
+    /// structured, matchable [`OptionsError`].
+    pub fn validate(&self) -> Result<(), OptionsError> {
         if !(0.0..1.0).contains(&self.membuffer_fraction) {
-            return Err("membuffer_fraction must be in [0, 1)".into());
+            return Err(OptionsError::MembufferFraction {
+                got: self.membuffer_fraction,
+            });
         }
         if self.partition_bits > 16 {
-            return Err("partition_bits must be <= 16".into());
+            return Err(OptionsError::PartitionBits {
+                got: self.partition_bits,
+            });
         }
         if self.membuffer_enabled && self.drain_threads == 0 {
-            return Err("drain_threads must be >= 1 when the Membuffer is enabled".into());
+            return Err(OptionsError::NoDrainThreads);
         }
         if self.memory_bytes < 64 * 1024 {
-            return Err("memory_bytes must be at least 64 KiB".into());
+            return Err(OptionsError::MemoryBytes {
+                got: self.memory_bytes,
+            });
         }
         if self.wal_group_max_bytes == 0 {
-            return Err("wal_group_max_bytes must be positive".into());
+            return Err(OptionsError::ZeroWalGroupBytes);
         }
         Ok(())
     }
@@ -207,11 +216,14 @@ mod tests {
     fn validation_catches_bad_configs() {
         let mut o = FloDbOptions::small_for_tests();
         o.membuffer_fraction = 1.5;
-        assert!(o.validate().is_err());
+        assert!(matches!(
+            o.validate(),
+            Err(OptionsError::MembufferFraction { got }) if got == 1.5
+        ));
 
         let mut o = FloDbOptions::small_for_tests();
         o.drain_threads = 0;
-        assert!(o.validate().is_err());
+        assert_eq!(o.validate(), Err(OptionsError::NoDrainThreads));
 
         let mut o = FloDbOptions::small_for_tests();
         o.membuffer_enabled = false;
@@ -220,10 +232,14 @@ mod tests {
 
         let mut o = FloDbOptions::small_for_tests();
         o.memory_bytes = 1;
-        assert!(o.validate().is_err());
+        assert_eq!(o.validate(), Err(OptionsError::MemoryBytes { got: 1 }));
 
         let mut o = FloDbOptions::small_for_tests();
         o.wal_group_max_bytes = 0;
-        assert!(o.validate().is_err());
+        assert_eq!(o.validate(), Err(OptionsError::ZeroWalGroupBytes));
+
+        let mut o = FloDbOptions::small_for_tests();
+        o.partition_bits = 17;
+        assert_eq!(o.validate(), Err(OptionsError::PartitionBits { got: 17 }));
     }
 }

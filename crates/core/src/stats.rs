@@ -118,6 +118,7 @@ impl FloDbStats {
             fallback_scans: self.fallback_scans.load(Ordering::Relaxed),
             wal_groups: self.wal_groups.load(Ordering::Relaxed),
             wal_group_records: self.wal_group_records.load(Ordering::Relaxed),
+            wal_follower_writes: self.wal_follower_writes.load(Ordering::Relaxed),
         }
     }
 }

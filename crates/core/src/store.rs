@@ -16,6 +16,7 @@
 //! - **Draining** (Figure 6) and **persisting** run on background threads;
 //!   component switches use RCU and never block readers or writers.
 
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -31,8 +32,9 @@ use flodb_sync::{
 };
 use parking_lot::{Condvar, Mutex};
 
-use crate::api::{KvStore, ScanEntry, StoreStats, WriteError};
+use crate::api::{KvStore, StoreStats, WriteBatch};
 use crate::drain::{self, DrainStyle};
+use crate::error::{OpenError, WriteError};
 use crate::options::{FloDbOptions, WalMode};
 use crate::scan::{ScanCoordinator, ScanRole};
 use crate::stats::FloDbStats;
@@ -40,6 +42,10 @@ use crate::view::{ImmMembuffer, MemView, ViewCell};
 
 /// Scan outcome signalling that a concurrent update invalidated the scan.
 struct Restart;
+
+/// A validated scan snapshot: key → (seq, value), tombstones included so
+/// the merge can shadow older versions; the emission loop filters them.
+type MergedRange = std::collections::BTreeMap<Box<[u8]>, (u64, Option<Box<[u8]>>)>;
 
 /// The durability half of the write path: the log writer plus the
 /// group-commit pipeline in front of it, and the poison latch that makes
@@ -92,6 +98,19 @@ impl WalState {
     /// The failure that poisoned this log, if any.
     fn poison_err(&self) -> Option<Arc<StorageError>> {
         self.poison.lock().clone()
+    }
+
+    /// The [`WriteError`] a write on a poisoned log reports. The latch is
+    /// published after the error slot is filled, so a populated slot is
+    /// the expected case; the fallback only covers a racing reader that
+    /// observes the latch between the two stores.
+    fn poison_error(&self) -> WriteError {
+        let err = self.poison.lock().clone().unwrap_or_else(|| {
+            Arc::new(StorageError::Io(std::io::Error::other(
+                "write-ahead log poisoned by an earlier append failure",
+            )))
+        });
+        WriteError::Poisoned(err)
     }
 }
 
@@ -154,10 +173,16 @@ impl FloDb {
     /// log files exist in the environment, their intact frames are
     /// replayed, flushed to the recovered disk component, and the consumed
     /// logs deleted; sequence numbering resumes past them.
-    pub fn open(opts: FloDbOptions) -> Result<Self, String> {
+    ///
+    /// # Errors
+    ///
+    /// [`OpenError::Options`] if `opts` fails validation,
+    /// [`OpenError::Storage`] if manifest recovery, log replay or log
+    /// creation fails, and [`OpenError::Spawn`] if a background thread
+    /// cannot be started.
+    pub fn open(opts: FloDbOptions) -> Result<Self, OpenError> {
         opts.validate()?;
-        let disk =
-            DiskComponent::open(Arc::clone(&opts.env), opts.disk).map_err(|e| e.to_string())?;
+        let disk = DiskComponent::open(Arc::clone(&opts.env), opts.disk)?;
 
         // Recover WAL contents, if any. The sequence counter must resume
         // past everything already persisted: disk records keep their
@@ -169,15 +194,13 @@ impl FloDb {
         if !matches!(opts.wal, WalMode::Disabled) {
             let mut logs: Vec<String> = opts
                 .env
-                .list()
-                .map_err(|e| e.to_string())?
+                .list()?
                 .into_iter()
                 .filter(|n| n.ends_with(".log"))
                 .collect();
             logs.sort();
             for log in &logs {
-                let (records, seen) =
-                    wal::replay(opts.env.as_ref(), log).map_err(|e| e.to_string())?;
+                let (records, seen) = wal::replay(opts.env.as_ref(), log)?;
                 for r in records {
                     mtb.insert(&r.key, r.value.as_deref(), r.seq);
                 }
@@ -201,10 +224,10 @@ impl FloDb {
                             value: vv.value,
                         })
                         .collect();
-                    disk.flush_records(records).map_err(|e| e.to_string())?;
+                    disk.flush_records(records)?;
                 }
                 for log in &logs {
-                    opts.env.delete(log).map_err(|e| e.to_string())?;
+                    opts.env.delete(log)?;
                 }
             }
         }
@@ -217,10 +240,7 @@ impl FloDb {
         let wal = match opts.wal {
             WalMode::Disabled => None,
             WalMode::Enabled { sync } => {
-                let file = opts
-                    .env
-                    .new_writable(&wal::wal_file_name(max_seq + 1))
-                    .map_err(|e| e.to_string())?;
+                let file = opts.env.new_writable(&wal::wal_file_name(max_seq + 1))?;
                 Some(WalState {
                     committer: opts.wal_group_commit.then(|| {
                         GroupCommitter::new(GroupCommitConfig {
@@ -286,7 +306,7 @@ impl FloDb {
                     std::thread::Builder::new()
                         .name(format!("flodb-drain-{i}"))
                         .spawn(move || drain_loop(&inner, i))
-                        .map_err(|e| e.to_string())?,
+                        .map_err(OpenError::Spawn)?,
                 );
             }
         }
@@ -296,7 +316,7 @@ impl FloDb {
                 std::thread::Builder::new()
                     .name("flodb-persist".into())
                     .spawn(move || persist_loop(&inner))
-                    .map_err(|e| e.to_string())?,
+                    .map_err(OpenError::Spawn)?,
             );
         }
 
@@ -354,55 +374,109 @@ impl FloDb {
         self.inner.persist_cv.notify_all();
     }
 
-    /// Appends a write to the commit log (when enabled), then applies it to
-    /// the memory component. `Err` means the write was *not* acknowledged:
-    /// its log group failed (or the store was already poisoned) and nothing
-    /// was applied.
+    /// Appends one write to the commit log (when enabled), then applies it
+    /// to the memory component. `Err` means the write was *not*
+    /// acknowledged: its log group failed (or the store was already
+    /// poisoned) and nothing was applied.
     fn put_impl(&self, key: &[u8], value: Option<&[u8]>) -> Result<(), WriteError> {
-        let inner = &*self.inner;
-        if let Some(wal) = &inner.wal {
-            if wal.poisoned.load(Ordering::Acquire) {
-                return Err(WriteError::Poisoned(
-                    wal.poison_err().expect("poisoned implies an error"),
-                ));
-            }
-            let outcome = match &wal.committer {
-                Some(committer) => committer.submit(
-                    // Encoding runs inside the committer's critical
-                    // section, so sampling the sequence number here makes
-                    // log order match sequence order exactly.
-                    |buf| encode_record_parts(buf, key, inner.seq.next(), value),
-                    |frame| wal.append_checked(|w| w.append_group_frame(frame)),
-                ),
-                None => {
-                    // Legacy pipeline: one record, one frame, one append,
-                    // all under a global mutex (the pre-group-commit
-                    // design, kept as an ablation and bench baseline).
-                    let record = Record {
-                        key: Box::from(key),
-                        seq: inner.seq.next(),
-                        value: value.map(Box::from),
-                    };
-                    wal.append_checked(|w| w.append_batch(std::slice::from_ref(&record)))
-                        .map(|()| CommitRole::Leader {
-                            records: 1,
-                            bytes: 0,
-                        })
-                        .map_err(Arc::new)
-                }
-            };
-            match outcome {
-                Ok(CommitRole::Leader { records, .. }) => {
-                    FloDbStats::bump(&inner.stats.wal_groups);
-                    FloDbStats::add(&inner.stats.wal_group_records, records);
-                }
-                Ok(CommitRole::Follower) => {
-                    FloDbStats::bump(&inner.stats.wal_follower_writes);
-                }
-                Err(e) => return Err(WriteError::Wal(e)),
-            }
-        }
+        self.wal_append(|inner, buf| encode_record_parts(buf, key, inner.seq.next(), value), 1)?;
+        self.apply_to_memory(key, value);
+        Ok(())
+    }
 
+    /// Appends every operation of `batch` to the commit log as **one**
+    /// submission, then applies the operations to the memory component in
+    /// insertion order. One submission means the whole batch lands inside
+    /// a single group — and therefore a single WAL frame — so crash
+    /// recovery (which truncates at frame granularity) replays it
+    /// all-or-nothing.
+    fn write_impl(&self, batch: &WriteBatch) -> Result<(), WriteError> {
+        if batch.is_empty() {
+            // Even an empty commit observes the poison latch — the
+            // contract is that *every* write on a poisoned store reports
+            // it, so an empty batch cannot read as a healthy write path.
+            if let Some(wal) = &self.inner.wal {
+                if wal.poisoned.load(Ordering::Acquire) {
+                    return Err(wal.poison_error());
+                }
+            }
+            return Ok(());
+        }
+        self.wal_append(
+            |inner, buf| {
+                for (key, value) in batch.iter() {
+                    encode_record_parts(buf, key, inner.seq.next(), value);
+                }
+            },
+            batch.len() as u64,
+        )?;
+        for (key, value) in batch.iter() {
+            self.apply_to_memory(key, value);
+        }
+        Ok(())
+    }
+
+    /// Commits one submission — `encode` writes its record(s), `records`
+    /// many — through the log pipeline. Infallibly a no-op when the WAL is
+    /// disabled.
+    fn wal_append(
+        &self,
+        encode: impl FnOnce(&Inner, &mut Vec<u8>),
+        records: u64,
+    ) -> Result<(), WriteError> {
+        let inner = &*self.inner;
+        let Some(wal) = &inner.wal else {
+            return Ok(());
+        };
+        if wal.poisoned.load(Ordering::Acquire) {
+            return Err(wal.poison_error());
+        }
+        let outcome = match &wal.committer {
+            Some(committer) => committer.submit(
+                // Encoding runs inside the committer's critical section,
+                // so sampling sequence numbers there makes log order match
+                // sequence order exactly — and keeps a multi-record
+                // submission's records contiguous in the group.
+                |buf| encode(inner, buf),
+                |frame| wal.append_checked(|w| w.append_group_frame(frame)),
+            ),
+            None => {
+                // Legacy pipeline: one submission, one frame, one append,
+                // all under a global mutex (the pre-group-commit design,
+                // kept as an ablation and bench baseline). A multi-record
+                // submission still forms a single frame.
+                let mut frame = vec![0u8; wal::FRAME_HEADER_BYTES];
+                encode(inner, &mut frame);
+                wal.append_checked(|w| w.append_group_frame(&mut frame))
+                    .map(|()| CommitRole::Leader {
+                        records: 1,
+                        bytes: 0,
+                    })
+                    .map_err(Arc::new)
+            }
+        };
+        // `CommitRole::Leader::records` counts *submissions*; a
+        // multi-record submission tops the record counter up by the
+        // records beyond the one its submission already contributed.
+        match outcome {
+            Ok(CommitRole::Leader { records: subs, .. }) => {
+                FloDbStats::bump(&inner.stats.wal_groups);
+                FloDbStats::add(&inner.stats.wal_group_records, subs + records - 1);
+            }
+            Ok(CommitRole::Follower) => {
+                FloDbStats::bump(&inner.stats.wal_follower_writes);
+                FloDbStats::add(&inner.stats.wal_group_records, records - 1);
+            }
+            Err(e) => return Err(WriteError::Wal(e)),
+        }
+        Ok(())
+    }
+
+    /// Applies one acknowledged write to the memory component (Algorithm
+    /// 2); infallible — by the time a write reaches here it is durable (or
+    /// durability is off).
+    fn apply_to_memory(&self, key: &[u8], value: Option<&[u8]>) {
+        let inner = &*self.inner;
         // Fast path: complete in the Membuffer (Algorithm 2, lines 10-11).
         if inner.opts.membuffer_enabled {
             let fast = inner.view.read(|v| {
@@ -413,7 +487,7 @@ impl FloDb {
             });
             if !matches!(fast, AddResult::BucketFull) {
                 FloDbStats::bump(&inner.stats.membuffer_writes);
-                return Ok(());
+                return;
             }
         }
 
@@ -470,33 +544,16 @@ impl FloDb {
             });
             if inserted {
                 FloDbStats::bump(&inner.stats.memtable_writes);
-                return Ok(());
+                return;
             }
         }
-    }
-
-    /// Like [`KvStore::put`], but surfaces commit-log failures instead of
-    /// panicking. See [`WriteError`] for the poisoned-store semantics.
-    pub fn try_put(&self, key: &[u8], value: &[u8]) -> Result<(), WriteError> {
-        self.put_impl(key, Some(value))?;
-        FloDbStats::bump(&self.inner.stats.puts);
-        Ok(())
-    }
-
-    /// Like [`KvStore::delete`], but surfaces commit-log failures instead
-    /// of panicking. See [`WriteError`] for the poisoned-store semantics.
-    pub fn try_delete(&self, key: &[u8]) -> Result<(), WriteError> {
-        self.put_impl(key, None)?;
-        FloDbStats::bump(&self.inner.stats.deletes);
-        Ok(())
     }
 
     /// The commit-log failure that poisoned this store, if any.
     ///
     /// While poisoned, reads and scans keep serving the already-applied
-    /// state but every write is rejected (or panics, through the
-    /// infallible [`KvStore`] methods). Reopening the store recovers the
-    /// log's acknowledged prefix.
+    /// state but every write is rejected with [`WriteError::Poisoned`].
+    /// Reopening the store recovers the log's acknowledged prefix.
     pub fn wal_poison(&self) -> Option<Arc<StorageError>> {
         self.inner.wal.as_ref().and_then(WalState::poison_err)
     }
@@ -535,7 +592,12 @@ impl FloDb {
         }
     }
 
-    fn scan_impl(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+    /// Runs the restart protocol to a validated snapshot of the range.
+    ///
+    /// The merged map is only handed out once an attempt validates (no
+    /// entry fresher than the scan stamp was seen), so callers can stream
+    /// it to a visitor without ever re-emitting across restarts.
+    fn scan_impl(&self, low: &[u8], high: &[u8]) -> MergedRange {
         let inner = &*self.inner;
         let mut restarts = 0u32;
         loop {
@@ -644,12 +706,11 @@ impl FloDb {
         low: &[u8],
         high: &[u8],
         scan_seq: u64,
-    ) -> Result<Vec<ScanEntry>, Restart> {
+    ) -> Result<MergedRange, Restart> {
         let inner = &*self.inner;
         let view = inner.view.snapshot();
         // key -> (seq, value); freshest wins among seqs <= scan_seq.
-        let mut merged: std::collections::BTreeMap<Box<[u8]>, (u64, Option<Box<[u8]>>)> =
-            std::collections::BTreeMap::new();
+        let mut merged: MergedRange = std::collections::BTreeMap::new();
 
         let mut absorb = |key: &[u8], seq: u64, value: Option<Box<[u8]>>| {
             match merged.entry(Box::from(key)) {
@@ -685,10 +746,7 @@ impl FloDb {
             absorb(&record.key, record.seq, record.value);
         }
 
-        Ok(merged
-            .into_iter()
-            .filter_map(|(key, (_, value))| Some((key.into_vec(), Vec::from(value?))))
-            .collect())
+        Ok(merged)
     }
 
     /// The writer-blocking fallback guaranteeing scan liveness (§4.4).
@@ -699,7 +757,7 @@ impl FloDb {
     /// The Membuffer must still be frozen and drained first — fast-path
     /// writes are never blocked, and a fallback reading only the Memtable
     /// and disk would miss every update still resident in the Membuffer.
-    fn fallback_scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+    fn fallback_scan(&self, low: &[u8], high: &[u8]) -> MergedRange {
         let inner = &*self.inner;
         FloDbStats::bump(&inner.stats.fallback_scans);
         inner.pause_draining.pause();
@@ -868,22 +926,28 @@ fn persist_once(inner: &Arc<Inner>) -> bool {
     true
 }
 
-/// The infallible [`KvStore`] write methods panic if the write-ahead log
-/// fails (a lost append must never be silently acknowledged); use
-/// [`FloDb::try_put`] / [`FloDb::try_delete`] to handle [`WriteError`]
-/// instead. The panic is deterministic: the store poisons itself on the
-/// first failure, so concurrent and subsequent writes all report it.
+/// The write methods return `Err(`[`WriteError`]`)` when the write-ahead
+/// log could not acknowledge the write; nothing is applied in that case
+/// and the store is poisoned (see [`WriteError`] for the contract). A lost
+/// append is therefore never silently acknowledged, and never a panic.
 impl KvStore for FloDb {
-    fn put(&self, key: &[u8], value: &[u8]) {
-        if let Err(e) = self.try_put(key, value) {
-            panic!("flodb: write not acknowledged: {e}");
-        }
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), WriteError> {
+        self.put_impl(key, Some(value))?;
+        FloDbStats::bump(&self.inner.stats.puts);
+        Ok(())
     }
 
-    fn delete(&self, key: &[u8]) {
-        if let Err(e) = self.try_delete(key) {
-            panic!("flodb: delete not acknowledged: {e}");
-        }
+    fn delete(&self, key: &[u8]) -> Result<(), WriteError> {
+        self.put_impl(key, None)?;
+        FloDbStats::bump(&self.inner.stats.deletes);
+        Ok(())
+    }
+
+    fn write(&self, batch: &WriteBatch) -> Result<(), WriteError> {
+        self.write_impl(batch)?;
+        FloDbStats::add(&self.inner.stats.puts, batch.puts());
+        FloDbStats::add(&self.inner.stats.deletes, batch.deletes());
+        Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
@@ -892,11 +956,23 @@ impl KvStore for FloDb {
         r
     }
 
-    fn scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
-        let entries = self.scan_impl(low, high);
+    fn scan_with(
+        &self,
+        low: &[u8],
+        high: &[u8],
+        visitor: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+    ) {
+        let merged = self.scan_impl(low, high);
         FloDbStats::bump(&self.inner.stats.scans);
-        FloDbStats::add(&self.inner.stats.scanned_keys, entries.len() as u64);
-        entries
+        let mut emitted = 0u64;
+        for (key, (_, value)) in &merged {
+            let Some(value) = value else { continue };
+            emitted += 1;
+            if visitor(key, value).is_break() {
+                break;
+            }
+        }
+        FloDbStats::add(&self.inner.stats.scanned_keys, emitted);
     }
 
     fn name(&self) -> &'static str {
@@ -1020,7 +1096,7 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let db = db();
-        db.put(b"hello", b"world");
+        db.put(b"hello", b"world").unwrap();
         assert_eq!(db.get(b"hello"), Some(b"world".to_vec()));
         assert_eq!(db.get(b"missing"), None);
     }
@@ -1028,19 +1104,19 @@ mod tests {
     #[test]
     fn overwrite_returns_latest() {
         let db = db();
-        db.put(b"k", b"v1");
-        db.put(b"k", b"v2");
+        db.put(b"k", b"v1").unwrap();
+        db.put(b"k", b"v2").unwrap();
         assert_eq!(db.get(b"k"), Some(b"v2".to_vec()));
     }
 
     #[test]
     fn delete_hides_key() {
         let db = db();
-        db.put(b"k", b"v");
-        db.delete(b"k");
+        db.put(b"k", b"v").unwrap();
+        db.delete(b"k").unwrap();
         assert_eq!(db.get(b"k"), None);
         // Deleting a missing key is fine.
-        db.delete(b"never-existed");
+        db.delete(b"never-existed").unwrap();
         assert_eq!(db.get(b"never-existed"), None);
     }
 
@@ -1048,7 +1124,7 @@ mod tests {
     fn get_falls_through_to_disk() {
         let db = db();
         for i in 0..500u64 {
-            db.put(&k(i), &i.to_le_bytes());
+            db.put(&k(i), &i.to_le_bytes()).unwrap();
         }
         db.flush_all();
         // Everything is on disk now; memory is empty.
@@ -1061,9 +1137,9 @@ mod tests {
     #[test]
     fn delete_shadows_disk_resident_value() {
         let db = db();
-        db.put(b"k", b"old");
+        db.put(b"k", b"old").unwrap();
         db.flush_all();
-        db.delete(b"k");
+        db.delete(b"k").unwrap();
         assert_eq!(db.get(b"k"), None);
         db.flush_all();
         assert_eq!(db.get(b"k"), None);
@@ -1073,7 +1149,7 @@ mod tests {
     fn scan_returns_sorted_range() {
         let db = db();
         for i in [5u64, 1, 9, 3, 7] {
-            db.put(&k(i), &i.to_le_bytes());
+            db.put(&k(i), &i.to_le_bytes()).unwrap();
         }
         let out = db.scan(&k(2), &k(8));
         let keys: Vec<u64> = out
@@ -1088,8 +1164,8 @@ mod tests {
         // Entries that only ever lived in the Membuffer must still appear:
         // the master scan drains them first.
         let db = db();
-        db.put(&k(1), b"one");
-        db.put(&k(2), b"two");
+        db.put(&k(1), b"one").unwrap();
+        db.put(&k(2), b"two").unwrap();
         let out = db.scan(&k(0), &k(10));
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].1, b"one".to_vec());
@@ -1099,11 +1175,11 @@ mod tests {
     fn scan_merges_memory_and_disk() {
         let db = db();
         for i in 0..20u64 {
-            db.put(&k(i), b"disk");
+            db.put(&k(i), b"disk").unwrap();
         }
         db.flush_all();
-        db.put(&k(5), b"fresh");
-        db.delete(&k(6));
+        db.put(&k(5), b"fresh").unwrap();
+        db.delete(&k(6)).unwrap();
         let out = db.scan(&k(0), &k(19));
         assert_eq!(out.len(), 19, "deleted key must vanish");
         let five = out
@@ -1123,7 +1199,7 @@ mod tests {
     fn stats_track_fast_path() {
         let db = db();
         for i in 0..50u64 {
-            db.put(&k(i), b"v");
+            db.put(&k(i), b"v").unwrap();
         }
         let stats = db.stats();
         assert_eq!(stats.puts, 50);
@@ -1137,7 +1213,7 @@ mod tests {
     fn quiesce_drains_membuffer() {
         let db = db();
         for i in 0..100u64 {
-            db.put(&k(i), b"v");
+            db.put(&k(i), b"v").unwrap();
         }
         db.quiesce();
         let mbf_len = db.inner.view.read(|v| v.mbf.as_ref().unwrap().len());
@@ -1150,7 +1226,7 @@ mod tests {
         opts.membuffer_enabled = false;
         opts.drain_threads = 0;
         let db = FloDb::open(opts).unwrap();
-        db.put(b"a", b"1");
+        db.put(b"a", b"1").unwrap();
         assert_eq!(db.get(b"a"), Some(b"1".to_vec()));
         let out = db.scan(b"a", b"z");
         assert_eq!(out.len(), 1);
@@ -1162,7 +1238,7 @@ mod tests {
         opts.use_multi_insert = false;
         let db = FloDb::open(opts).unwrap();
         for i in 0..100u64 {
-            db.put(&k(i), b"v");
+            db.put(&k(i), b"v").unwrap();
         }
         db.quiesce();
         assert_eq!(db.get(&k(42)), Some(b"v".to_vec()));
@@ -1174,10 +1250,72 @@ mod tests {
         opts.persist_enabled = false;
         let db = FloDb::open(opts).unwrap();
         for i in 0..5000u64 {
-            db.put(&k(i), &[0u8; 64]);
+            db.put(&k(i), &[0u8; 64]).unwrap();
         }
         db.quiesce();
         assert_eq!(db.disk_stats().flushes, 0, "nothing may reach disk");
+    }
+
+    #[test]
+    fn write_batch_applies_all_ops_in_order() {
+        let db = db();
+        db.put(b"gone", b"x").unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(b"a", b"1").put(b"b", b"2").delete(b"gone");
+        batch.put(b"a", b"overwritten");
+        db.write(&batch).unwrap();
+        assert_eq!(db.get(b"a"), Some(b"overwritten".to_vec()));
+        assert_eq!(db.get(b"b"), Some(b"2".to_vec()));
+        assert_eq!(db.get(b"gone"), None);
+        let stats = db.stats();
+        assert_eq!(stats.puts, 1 + 3);
+        assert_eq!(stats.deletes, 1);
+        // An empty batch is a no-op.
+        db.write(&WriteBatch::new()).unwrap();
+    }
+
+    #[test]
+    fn write_batch_survives_crash_as_a_unit() {
+        let env: Arc<dyn flodb_storage::Env> = Arc::new(flodb_storage::MemEnv::new(None));
+        let mut opts = FloDbOptions::small_for_tests();
+        opts.env = Arc::clone(&env);
+        opts.wal = WalMode::Enabled { sync: false };
+        {
+            let db = FloDb::open(opts.clone()).unwrap();
+            let mut batch = WriteBatch::new();
+            for i in 0..10u64 {
+                batch.put(&k(i), &i.to_le_bytes());
+            }
+            batch.delete(&k(3));
+            db.write(&batch).unwrap();
+            // Simulated crash: drop without flushing.
+        }
+        let db = FloDb::open(opts).unwrap();
+        for i in 0..10u64 {
+            let expect = (i != 3).then(|| i.to_le_bytes().to_vec());
+            assert_eq!(db.get(&k(i)), expect, "key {i}");
+        }
+    }
+
+    #[test]
+    fn scan_with_early_break_stops_emission() {
+        let db = db();
+        for i in 0..20u64 {
+            db.put(&k(i), b"v").unwrap();
+        }
+        let mut seen = Vec::new();
+        db.scan_with(&k(0), &k(19), &mut |key, _| {
+            seen.push(key.to_vec());
+            if seen.len() == 5 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[4], k(4).to_vec());
+        // The counter reflects emitted keys, not the full range.
+        assert_eq!(db.stats().scanned_keys, 5);
     }
 
     #[test]
@@ -1188,9 +1326,9 @@ mod tests {
         opts.wal = WalMode::Enabled { sync: false };
         {
             let db = FloDb::open(opts.clone()).unwrap();
-            db.put(b"alpha", b"1");
-            db.put(b"beta", b"2");
-            db.delete(b"alpha");
+            db.put(b"alpha", b"1").unwrap();
+            db.put(b"beta", b"2").unwrap();
+            db.delete(b"alpha").unwrap();
             // Simulated crash: drop without flushing.
         }
         let db = FloDb::open(opts).unwrap();
@@ -1207,7 +1345,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..500u64 {
                     let key = t * 1000 + i;
-                    db.put(&k(key), &key.to_le_bytes());
+                    db.put(&k(key), &key.to_le_bytes()).unwrap();
                     if i % 7 == 0 {
                         let _ = db.get(&k(t * 1000 + i / 2));
                     }
@@ -1229,7 +1367,7 @@ mod tests {
     fn concurrent_scans_and_writes_are_consistent() {
         let db = Arc::new(db());
         for i in 0..100u64 {
-            db.put(&k(i), &0u64.to_le_bytes());
+            db.put(&k(i), &0u64.to_le_bytes()).unwrap();
         }
         let stop = Arc::new(AtomicBool::new(false));
         let writer = {
@@ -1239,7 +1377,7 @@ mod tests {
                 let mut round = 1u64;
                 while !stop.load(Ordering::Relaxed) {
                     for i in 0..100u64 {
-                        db.put(&k(i), &round.to_le_bytes());
+                        db.put(&k(i), &round.to_le_bytes()).unwrap();
                     }
                     round += 1;
                 }
@@ -1265,7 +1403,7 @@ mod tests {
         opts.master_reuse_limit = 4;
         let db = FloDb::open(opts).unwrap();
         for i in 0..50u64 {
-            db.put(&k(i), b"v");
+            db.put(&k(i), b"v").unwrap();
         }
         // Back-to-back scans of a quiet store: the first drains, the rest
         // reuse its stamp (and stay correct).
@@ -1279,7 +1417,7 @@ mod tests {
         // Membuffer is not re-drained), but the reuse budget bounds the
         // staleness: within `master_reuse_limit + 1` scans a fresh master
         // drains and surfaces the write.
-        db.put(&k(25), b"w");
+        db.put(&k(25), b"w").unwrap();
         let mut saw_fresh = false;
         for _ in 0..=5 {
             let out = db.scan(&k(0), &k(49));
@@ -1299,11 +1437,11 @@ mod tests {
         let mut opts = FloDbOptions::small_for_tests();
         opts.linearizable_scans = true;
         let db = FloDb::open(opts).unwrap();
-        db.put(b"x", b"1");
+        db.put(b"x", b"1").unwrap();
         let out = db.scan(b"a", b"z");
         assert_eq!(out.len(), 1);
         // A linearizable scan must reflect every prior put.
-        db.put(b"y", b"2");
+        db.put(b"y", b"2").unwrap();
         let out = db.scan(b"a", b"z");
         assert_eq!(out.len(), 2);
     }

@@ -27,9 +27,9 @@ fn reclamation_converges_right_after_quiesce() {
             for i in 0..5_000u64 {
                 let key = (i % 512).to_be_bytes();
                 if (i + t) % 7 == 0 {
-                    db.delete(&key);
+                    db.delete(&key).unwrap();
                 } else {
-                    db.put(&key, &i.to_be_bytes());
+                    db.put(&key, &i.to_be_bytes()).unwrap();
                 }
                 if i % 97 == 0 {
                     let _ = db.get(&key);

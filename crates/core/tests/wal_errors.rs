@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use flodb_core::{FloDb, FloDbOptions, KvStore, WalMode, WriteError};
+use flodb_core::{FloDb, FloDbOptions, KvStore, WalMode, WriteBatch, WriteError};
 use flodb_storage::env::{Env, MemEnv, RandomAccessFile, WritableFile};
 use flodb_storage::{Result, StorageError};
 
@@ -89,10 +89,10 @@ fn wal_failure_rejects_write_and_poisons_store() {
     for group_commit in [true, false] {
         let (env, budget) = FailEnv::new();
         let db = FloDb::open(opts(env, group_commit)).unwrap();
-        db.try_put(b"good", b"1").unwrap();
+        db.put(b"good", b"1").unwrap();
 
         budget.store(0, Ordering::Release); // Log dies now.
-        let err = db.try_put(b"lost", b"2").unwrap_err();
+        let err = db.put(b"lost", b"2").unwrap_err();
         assert!(
             matches!(err, WriteError::Wal(_)),
             "first failure must surface as Wal, got {err:?} (group={group_commit})"
@@ -102,9 +102,9 @@ fn wal_failure_rejects_write_and_poisons_store() {
 
         // Poisoned: later writes are rejected without touching the log,
         // carrying the original failure.
-        let err = db.try_put(b"after", b"3").unwrap_err();
+        let err = db.put(b"after", b"3").unwrap_err();
         assert!(matches!(err, WriteError::Poisoned(_)), "got {err:?}");
-        let err = db.try_delete(b"good").unwrap_err();
+        let err = db.delete(b"good").unwrap_err();
         assert!(matches!(err, WriteError::Poisoned(_)), "got {err:?}");
         assert!(db.wal_poison().is_some());
         assert!(db.wal_poison().unwrap().to_string().contains("injected"));
@@ -116,23 +116,33 @@ fn wal_failure_rejects_write_and_poisons_store() {
 }
 
 #[test]
-fn infallible_put_panics_on_poisoned_store() {
-    let (env, budget) = FailEnv::new();
-    let db = Arc::new(FloDb::open(opts(env, true)).unwrap());
-    db.put(b"k", b"v");
-    budget.store(0, Ordering::Release);
-    let db2 = Arc::clone(&db);
-    let result = std::thread::spawn(move || db2.put(b"k2", b"v2")).join();
-    let panic = result.unwrap_err();
-    let msg = panic
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
-    assert!(
-        msg.contains("write not acknowledged"),
-        "panic must name the failure, got: {msg}"
-    );
-    assert!(db.wal_poison().is_some());
+fn failed_batch_applies_none_of_its_operations() {
+    for group_commit in [true, false] {
+        let (env, budget) = FailEnv::new();
+        let db = FloDb::open(opts(env, group_commit)).unwrap();
+        db.put(b"keep", b"1").unwrap();
+
+        budget.store(0, Ordering::Release); // Log dies now.
+        let mut batch = WriteBatch::new();
+        batch.put(b"a", b"1").put(b"b", b"2").delete(b"keep");
+        let err = db.write(&batch).unwrap_err();
+        assert!(
+            matches!(err, WriteError::Wal(_)),
+            "batch failure must surface as Wal, got {err:?} (group={group_commit})"
+        );
+        // None of the batch's operations were applied: `Err` means the
+        // whole batch was rejected, not a prefix of it.
+        assert_eq!(db.get(b"a"), None);
+        assert_eq!(db.get(b"b"), None);
+        assert_eq!(db.get(b"keep"), Some(b"1".to_vec()));
+        // And the store is poisoned for subsequent batches too — even an
+        // empty one must not read as a healthy write path.
+        let err = db.write(&batch).unwrap_err();
+        assert!(matches!(err, WriteError::Poisoned(_)), "got {err:?}");
+        let err = db.write(&WriteBatch::new()).unwrap_err();
+        assert!(matches!(err, WriteError::Poisoned(_)), "empty batch: {err:?}");
+        assert_eq!(db.stats().puts, 1, "failed batch must not count");
+    }
 }
 
 #[test]
@@ -142,10 +152,10 @@ fn acknowledged_prefix_survives_recovery_after_failure() {
     {
         let db = FloDb::open(opts(Arc::clone(&env_dyn), true)).unwrap();
         for i in 0..50u64 {
-            db.try_put(&i.to_be_bytes(), b"acked").unwrap();
+            db.put(&i.to_be_bytes(), b"acked").unwrap();
         }
         budget.store(0, Ordering::Release);
-        assert!(db.try_put(b"never", b"acked").is_err());
+        assert!(db.put(b"never", b"acked").is_err());
         // Crash while poisoned.
     }
     budget.store(-1, Ordering::Release); // The disk heals on restart.

@@ -7,6 +7,7 @@
 //! on a key drawn uniformly at random" (§5.2). Scans count toward key
 //! throughput with their full range length, as in Golan-Gueta et al.
 
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -199,7 +200,7 @@ fn worker(
                 }
             }
             OpKind::Insert => {
-                store.put(&key, &value);
+                store.put(&key, &value).expect("write not acknowledged");
                 result.writes += 1;
                 result.keys_accessed += 1;
                 if let Some(t0) = t0 {
@@ -207,7 +208,7 @@ fn worker(
                 }
             }
             OpKind::Delete => {
-                store.delete(&key);
+                store.delete(&key).expect("delete not acknowledged");
                 result.writes += 1;
                 result.keys_accessed += 1;
                 if let Some(t0) = t0 {
@@ -217,12 +218,19 @@ fn worker(
             OpKind::Scan => {
                 let low = key_idx.min(n.saturating_sub(cfg.scan_len));
                 let high = (low + cfg.scan_len).min(n) - 1;
-                let out = store.scan(
+                // Stream the range: the driver only counts keys, so the
+                // visitor form avoids materializing every hit.
+                let mut returned = 0u64;
+                store.scan_with(
                     &KeyDistribution::encode(low),
                     &KeyDistribution::encode(high),
+                    &mut |_, _| {
+                        returned += 1;
+                        ControlFlow::Continue(())
+                    },
                 );
                 result.scans += 1;
-                result.keys_accessed += out.len() as u64;
+                result.keys_accessed += returned;
                 if let Some(t0) = t0 {
                     result.scan_latency.record(t0.elapsed().as_nanos() as u64);
                 }
@@ -238,7 +246,7 @@ mod tests {
     use std::collections::HashMap;
     use std::sync::Mutex;
 
-    use flodb_core::ScanEntry;
+    use flodb_core::WriteError;
 
     use super::*;
 
@@ -249,27 +257,38 @@ mod tests {
     }
 
     impl KvStore for MapStore {
-        fn put(&self, key: &[u8], value: &[u8]) {
+        fn put(&self, key: &[u8], value: &[u8]) -> Result<(), WriteError> {
             self.map
                 .lock()
                 .unwrap()
                 .insert(key.to_vec(), value.to_vec());
+            Ok(())
         }
-        fn delete(&self, key: &[u8]) {
+        fn delete(&self, key: &[u8]) -> Result<(), WriteError> {
             self.map.lock().unwrap().remove(key);
+            Ok(())
         }
         fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
             self.map.lock().unwrap().get(key).cloned()
         }
-        fn scan(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+        fn scan_with(
+            &self,
+            low: &[u8],
+            high: &[u8],
+            visitor: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+        ) {
             let map = self.map.lock().unwrap();
-            let mut out: Vec<ScanEntry> = map
+            let mut out: Vec<(Vec<u8>, Vec<u8>)> = map
                 .iter()
                 .filter(|(k, _)| k.as_slice() >= low && k.as_slice() <= high)
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect();
             out.sort();
-            out
+            for (key, value) in &out {
+                if visitor(key, value).is_break() {
+                    break;
+                }
+            }
         }
         fn name(&self) -> &'static str {
             "map"
@@ -326,7 +345,7 @@ mod tests {
         let store: Arc<dyn KvStore> = Arc::new(MapStore::default());
         // Preload every key so scans return full ranges.
         for i in 0..200u64 {
-            store.put(&i.to_be_bytes(), b"v");
+            store.put(&i.to_be_bytes(), b"v").unwrap();
         }
         let mut cfg = WorkloadConfig::new(
             1,

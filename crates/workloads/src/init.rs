@@ -25,7 +25,9 @@ pub fn fill_random(store: &dyn KvStore, n: u64, value_bytes: usize) -> u64 {
     let target = n / 2;
     for i in 0..target {
         let key = permuted(i, n);
-        store.put(&key.to_be_bytes(), &value);
+        store
+            .put(&key.to_be_bytes(), &value)
+            .expect("init write not acknowledged");
     }
     target
 }
@@ -37,7 +39,9 @@ pub fn fill_sequential(store: &dyn KvStore, n: u64, value_bytes: usize) -> u64 {
     let mut inserted = 0;
     let mut key = 0;
     while key < n {
-        store.put(&key.to_be_bytes(), &value);
+        store
+            .put(&key.to_be_bytes(), &value)
+            .expect("init write not acknowledged");
         key += 2;
         inserted += 1;
     }
@@ -48,7 +52,9 @@ pub fn fill_sequential(store: &dyn KvStore, n: u64, value_bytes: usize) -> u64 {
 mod tests {
     use std::sync::Mutex;
 
-    use flodb_core::{KvStore, ScanEntry};
+    use std::ops::ControlFlow;
+
+    use flodb_core::{KvStore, WriteError};
 
     use super::*;
 
@@ -58,18 +64,25 @@ mod tests {
     }
 
     impl KvStore for RecordingStore {
-        fn put(&self, key: &[u8], _value: &[u8]) {
+        fn put(&self, key: &[u8], _value: &[u8]) -> Result<(), WriteError> {
             self.keys
                 .lock()
                 .unwrap()
                 .push(u64::from_be_bytes(key.try_into().unwrap()));
+            Ok(())
         }
-        fn delete(&self, _: &[u8]) {}
+        fn delete(&self, _: &[u8]) -> Result<(), WriteError> {
+            Ok(())
+        }
         fn get(&self, _: &[u8]) -> Option<Vec<u8>> {
             None
         }
-        fn scan(&self, _: &[u8], _: &[u8]) -> Vec<ScanEntry> {
-            Vec::new()
+        fn scan_with(
+            &self,
+            _: &[u8],
+            _: &[u8],
+            _: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+        ) {
         }
         fn name(&self) -> &'static str {
             "recording"

@@ -30,7 +30,7 @@ fn main() {
     {
         let db = open(&dir);
         for i in 0..10_000u64 {
-            db.put(format!("account:{i:06}").as_bytes(), &(i * 100).to_le_bytes());
+            db.put(format!("account:{i:06}").as_bytes(), &(i * 100).to_le_bytes()).expect("write acknowledged");
         }
         db.flush_all(); // Everything on disk; manifest records the layout.
         // A late burst that only reaches the WAL and memory component:
@@ -38,9 +38,10 @@ fn main() {
             db.put(
                 format!("account:{i:06}").as_bytes(),
                 &(999_999u64).to_le_bytes(),
-            );
+            )
+            .expect("write acknowledged");
         }
-        db.delete(b"account:000042");
+        db.delete(b"account:000042").expect("write acknowledged");
         println!("generation 1: 10k accounts flushed, 100 updates + 1 delete unflushed");
         // Simulated crash: drop without flushing the tail.
     }
@@ -59,7 +60,7 @@ fn main() {
             "generation 2: recovered {} accounts; WAL tail and tombstone intact",
             survivors.len()
         );
-        db.put(b"account:new", b"post-recovery write");
+        db.put(b"account:new", b"post-recovery write").expect("write acknowledged");
     }
 
     // --- Generation 3: recovery is idempotent across restarts --------------

@@ -69,7 +69,7 @@ fn main() {
                     let seqno = cursors[topic as usize].fetch_add(1, Ordering::Relaxed);
                     body[..8].copy_from_slice(&seqno.to_be_bytes());
                     body[8..16].copy_from_slice(&p.to_be_bytes());
-                    db.put(&message_key(topic, seqno), &body);
+                    db.put(&message_key(topic, seqno), &body).expect("write acknowledged");
                     produced.fetch_add(1, Ordering::Relaxed);
                 }
             }));
@@ -102,7 +102,7 @@ fn main() {
                         assert!(key > prev, "queue order violated");
                     }
                     last_seen = Some(key.clone());
-                    db.delete(key);
+                    db.delete(key).expect("write acknowledged");
                     consumed.fetch_add(1, Ordering::Relaxed);
                 }
             }

@@ -14,9 +14,10 @@ fn main() {
     let db = FloDb::open(opts).expect("open FloDB");
 
     // --- Point operations -------------------------------------------------
-    db.put(b"city:paris", b"2161000");
-    db.put(b"city:belgrade", b"1197000"); // EuroSys '17 host city.
-    db.put(b"city:lausanne", b"140000");
+    db.put(b"city:paris", b"2161000").expect("write acknowledged");
+    db.put(b"city:belgrade", b"1197000") // EuroSys '17 host city.
+        .expect("write acknowledged");
+    db.put(b"city:lausanne", b"140000").expect("write acknowledged");
     println!(
         "get city:belgrade -> {}",
         String::from_utf8_lossy(&db.get(b"city:belgrade").unwrap())
@@ -26,7 +27,7 @@ fn main() {
     // memory-component space, which is what lets FloDB capture skewed
     // workloads entirely in memory (Figure 16).
     for population in [140001u64, 140002, 140003] {
-        db.put(b"city:lausanne", population.to_string().as_bytes());
+        db.put(b"city:lausanne", population.to_string().as_bytes()).expect("write acknowledged");
     }
     println!(
         "get city:lausanne -> {} (after 3 in-place updates)",
@@ -34,7 +35,7 @@ fn main() {
     );
 
     // Deletes insert a tombstone that shadows every older level.
-    db.delete(b"city:paris");
+    db.delete(b"city:paris").expect("write acknowledged");
     assert_eq!(db.get(b"city:paris"), None);
     println!("city:paris deleted");
 
@@ -43,7 +44,7 @@ fn main() {
     // Membuffer into the sorted Memtable first, so even entries that only
     // ever lived in the hash table appear, in key order.
     for i in 0..10u32 {
-        db.put(format!("sensor:{i:04}").as_bytes(), b"ok");
+        db.put(format!("sensor:{i:04}").as_bytes(), b"ok").expect("write acknowledged");
     }
     let readings = db.scan(b"sensor:", b"sensor:~");
     println!("scan sensor:* -> {} entries, sorted:", readings.len());
@@ -61,7 +62,7 @@ fn main() {
     // multi-inserts; the persist thread flushes full Memtables to disk.
     for i in 0..50_000u64 {
         let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_be_bytes();
-        db.put(&key, &i.to_le_bytes());
+        db.put(&key, &i.to_le_bytes()).expect("write acknowledged");
     }
     db.quiesce(); // Wait for drains / flushes / compactions to settle.
 

@@ -58,7 +58,7 @@ fn main() {
                 let mut v = [0u8; 16];
                 v[..8].copy_from_slice(&reading.to_be_bytes());
                 v[8..].copy_from_slice(&tick.to_be_bytes());
-                db.put(&sample_key(series, tick), &v);
+                db.put(&sample_key(series, tick), &v).expect("write acknowledged");
                 n += 1;
             }
         }));

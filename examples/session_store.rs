@@ -66,7 +66,7 @@ fn churn(store: Arc<dyn KvStore>, label: &str) -> (f64, u64) {
                 } else {
                     hot + r % (SESSIONS - hot)
                 };
-                store.put(&session_key(id), &session_value(id, i));
+                store.put(&session_key(id), &session_value(id, i)).expect("write acknowledged");
             }
         }));
     }

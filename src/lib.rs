@@ -23,21 +23,38 @@
 //!
 //! # Quickstart
 //!
+//! Writes are fallible (a store with a commit log can fail to acknowledge
+//! one) and every error unifies under [`Error`], so `?` works end to end:
+//!
 //! ```
-//! use flodb::{FloDb, FloDbOptions, KvStore};
+//! use std::ops::ControlFlow;
+//! use flodb::{Error, FloDb, FloDbOptions, KvStore, WriteBatch};
 //!
-//! let db = FloDb::open(FloDbOptions::small_for_tests()).unwrap();
-//! db.put(b"user:1", b"alice");
-//! db.put(b"user:2", b"bob");
-//! assert_eq!(db.get(b"user:1"), Some(b"alice".to_vec()));
+//! fn main() -> Result<(), Error> {
+//!     let db = FloDb::open(FloDbOptions::small_for_tests())?;
+//!     db.put(b"user:1", b"alice")?;
+//!     db.put(b"user:2", b"bob")?;
+//!     assert_eq!(db.get(b"user:1"), Some(b"alice".to_vec()));
 //!
-//! // Serializable range scan across all levels (Membuffer included —
-//! // the master scan drains it first).
-//! let users = db.scan(b"user:", b"user:~");
-//! assert_eq!(users.len(), 2);
+//!     // A batch commits atomically: one WAL frame, replayed
+//!     // all-or-nothing on crash recovery.
+//!     let mut batch = WriteBatch::new();
+//!     batch.put(b"user:3", b"carol").delete(b"user:2");
+//!     db.write(&batch)?;
 //!
-//! db.delete(b"user:2");
-//! assert_eq!(db.get(b"user:2"), None);
+//!     // Serializable range scan across all levels (Membuffer included —
+//!     // the master scan drains it first); `scan` collects, `scan_with`
+//!     // streams and can stop early.
+//!     let users = db.scan(b"user:", b"user:~");
+//!     assert_eq!(users.len(), 2);
+//!     let mut first = None;
+//!     db.scan_with(b"user:", b"user:~", &mut |key, _value| {
+//!         first = Some(key.to_vec());
+//!         ControlFlow::Break(())
+//!     });
+//!     assert_eq!(first.as_deref(), Some(&b"user:1"[..]));
+//!     Ok(())
+//! }
 //! ```
 //!
 //! # Picking a configuration
@@ -53,7 +70,8 @@
 #![warn(rust_2018_idioms)]
 
 pub use flodb_core::{
-    FloDb, FloDbOptions, FloDbStats, KvStore, ReclamationStats, ScanEntry, StoreStats, WalMode,
+    Error, FloDb, FloDbOptions, FloDbStats, KvStore, OpenError, OptionsError, ReclamationStats,
+    ScanEntry, StoreStats, WalMode, WriteBatch, WriteError,
 };
 
 /// The FloDB store and the uniform `KvStore` interface (re-export of

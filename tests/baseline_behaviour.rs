@@ -21,7 +21,7 @@ fn key(n: u64) -> [u8; 8] {
 fn multi_versioning_fills_memory_in_place_updates_do_not() {
     let hammer = |store: &dyn KvStore| {
         for round in 0..200_000u64 {
-            store.put(b"hot-key", &round.to_le_bytes());
+            store.put(b"hot-key", &round.to_le_bytes()).unwrap();
         }
         store.quiesce();
         store.stats().persists
@@ -52,7 +52,7 @@ fn baselines_keep_latest_version_across_flushes() {
     for store in stores {
         // Enough distinct versions to force several flushes.
         for round in 0..5000u64 {
-            store.put(&key(round % 16), &round.to_le_bytes());
+            store.put(&key(round % 16), &round.to_le_bytes()).unwrap();
         }
         store.quiesce();
         for k in 0..16u64 {
@@ -78,7 +78,7 @@ fn rocksdb_hash_memtable_scans_are_sorted() {
     let store = RocksDbStore::open(opts);
     // Insert in adversarial (descending) order.
     for i in (0..500u64).rev() {
-        store.put(&key(i), &i.to_le_bytes());
+        store.put(&key(i), &i.to_le_bytes()).unwrap();
     }
     let out = store.scan(&key(100), &key(199));
     assert_eq!(out.len(), 100);
@@ -107,10 +107,10 @@ fn baseline_tombstones_shadow_older_versions() {
         Arc::new(RocksDbClsmStore::open(BaselineOptions::small_for_tests())),
     ];
     for store in stores {
-        store.put(b"k", b"v1");
+        store.put(b"k", b"v1").unwrap();
         store.quiesce(); // v1 on disk.
-        store.put(b"k", b"v2");
-        store.delete(b"k");
+        store.put(b"k", b"v2").unwrap();
+        store.delete(b"k").unwrap();
         assert_eq!(store.get(b"k"), None, "{}", store.name());
         store.quiesce();
         assert_eq!(store.get(b"k"), None, "{} after flush", store.name());
@@ -141,7 +141,7 @@ fn baseline_concurrent_writers_do_not_lose_writes() {
             handles.push(std::thread::spawn(move || {
                 for i in 0..1000u64 {
                     let k = t * 100_000 + i;
-                    store.put(&key(k), &k.to_le_bytes());
+                    store.put(&key(k), &k.to_le_bytes()).unwrap();
                 }
             }));
         }
@@ -171,7 +171,7 @@ fn fast_level_counter_distinguishes_flodb() {
     let flodb = FloDb::open(FloDbOptions::small_for_tests()).unwrap();
     for i in 0..5000u64 {
         // Scattered keys spread across partitions.
-        flodb.put(&key(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)), b"v");
+        flodb.put(&key(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)), b"v").unwrap();
     }
     let s = flodb.stats();
     // The test Membuffer is tiny (~64 KiB) and the writer outruns the
@@ -186,7 +186,7 @@ fn fast_level_counter_distinguishes_flodb() {
 
     let rocks = RocksDbStore::open(BaselineOptions::small_for_tests());
     for i in 0..1000u64 {
-        rocks.put(&key(i), b"v");
+        rocks.put(&key(i), b"v").unwrap();
     }
     assert_eq!(rocks.stats().fast_level_writes, 0);
 }

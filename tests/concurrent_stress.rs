@@ -25,7 +25,7 @@ fn scans_see_prefix_consistent_snapshots() {
     const KEYS: u64 = 64;
     let db = db();
     for i in 0..KEYS {
-        db.put(&key(i), &0u64.to_le_bytes());
+        db.put(&key(i), &0u64.to_le_bytes()).unwrap();
     }
     let stop = Arc::new(AtomicBool::new(false));
     let writer = {
@@ -35,7 +35,7 @@ fn scans_see_prefix_consistent_snapshots() {
             let mut round = 1u64;
             while !stop.load(Ordering::Relaxed) {
                 for i in 0..KEYS {
-                    db.put(&key(i), &round.to_le_bytes());
+                    db.put(&key(i), &round.to_le_bytes()).unwrap();
                 }
                 round += 1;
             }
@@ -99,7 +99,7 @@ fn racing_writers_never_corrupt_values() {
             let tag = [w as u8; 16];
             for _ in 0..2000 {
                 for i in 0..KEYS {
-                    db.put(&key(i), &tag);
+                    db.put(&key(i), &tag).unwrap();
                 }
             }
         }));
@@ -133,12 +133,12 @@ fn deletes_racing_with_scans_keep_snapshots_sane() {
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 for i in 0..PAIRS {
-                    db.put(&key(2 * i), b"pair");
-                    db.put(&key(2 * i + 1), b"pair");
+                    db.put(&key(2 * i), b"pair").unwrap();
+                    db.put(&key(2 * i + 1), b"pair").unwrap();
                 }
                 for i in 0..PAIRS {
-                    db.delete(&key(2 * i));
-                    db.delete(&key(2 * i + 1));
+                    db.delete(&key(2 * i)).unwrap();
+                    db.delete(&key(2 * i + 1)).unwrap();
                 }
             }
         })
@@ -162,7 +162,7 @@ fn deletes_racing_with_scans_keep_snapshots_sane() {
 #[test]
 fn gets_racing_with_overwrites_see_old_or_new() {
     let db = db();
-    db.put(b"k", &0u64.to_le_bytes());
+    db.put(b"k", &0u64.to_le_bytes()).unwrap();
     let stop = Arc::new(AtomicBool::new(false));
     let latest = Arc::new(AtomicU64::new(0));
     let writer = {
@@ -173,7 +173,7 @@ fn gets_racing_with_overwrites_see_old_or_new() {
             let mut v = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 v += 1;
-                db.put(b"k", &v.to_le_bytes());
+                db.put(b"k", &v.to_le_bytes()).unwrap();
                 latest.store(v, Ordering::Release);
             }
         })
@@ -232,11 +232,11 @@ fn mixed_chaos_on_all_five_systems() {
                 while !stop.load(Ordering::Relaxed) {
                     let k = key((t * 7919 + i) % 512);
                     match i % 5 {
-                        0 | 1 => store.put(&k, &i.to_le_bytes()),
+                        0 | 1 => store.put(&k, &i.to_le_bytes()).unwrap(),
                         2 => {
                             let _ = store.get(&k);
                         }
-                        3 => store.delete(&k),
+                        3 => store.delete(&k).unwrap(),
                         _ => {
                             let out = store.scan(&key(0), &key(64));
                             for w in out.windows(2) {
@@ -264,7 +264,7 @@ fn mixed_chaos_on_all_five_systems() {
 fn scan_liveness_under_heavy_contention() {
     let db = db();
     for i in 0..128u64 {
-        db.put(&key(i), b"x");
+        db.put(&key(i), b"x").unwrap();
     }
     let stop = Arc::new(AtomicBool::new(false));
     let mut writers = Vec::new();
@@ -274,7 +274,7 @@ fn scan_liveness_under_heavy_contention() {
         writers.push(std::thread::spawn(move || {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                db.put(&key(i % 128), &i.to_le_bytes());
+                db.put(&key(i % 128), &i.to_le_bytes()).unwrap();
                 i += 1;
             }
         }));
@@ -306,7 +306,7 @@ fn writers_help_drain_during_scans() {
     let db = Arc::new(FloDb::open(opts).unwrap());
     // Seed enough data that master drains are non-trivial.
     for i in 0..512u64 {
-        db.put(&key(i), b"seed");
+        db.put(&key(i), b"seed").unwrap();
     }
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
@@ -316,7 +316,7 @@ fn writers_help_drain_during_scans() {
         handles.push(std::thread::spawn(move || {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                db.put(&key(1000 + t * 100_000 + i), b"w");
+                db.put(&key(1000 + t * 100_000 + i), b"w").unwrap();
                 i += 1;
             }
         }));

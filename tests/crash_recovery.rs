@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use flodb::storage::{Env, FsEnv, MemEnv};
-use flodb::{FloDb, FloDbOptions, KvStore, WalMode};
+use flodb::{FloDb, FloDbOptions, KvStore, WalMode, WriteBatch};
 
 fn key(n: u64) -> [u8; 8] {
     n.to_be_bytes()
@@ -24,10 +24,10 @@ fn recovery_restores_puts_and_tombstones() {
     {
         let db = FloDb::open(wal_opts(Arc::clone(&env), false)).unwrap();
         for i in 0..500u64 {
-            db.put(&key(i), &i.to_le_bytes());
+            db.put(&key(i), &i.to_le_bytes()).unwrap();
         }
         for i in (0..500u64).step_by(5) {
-            db.delete(&key(i));
+            db.delete(&key(i)).unwrap();
         }
         // Crash: drop without quiescing or flushing.
     }
@@ -49,7 +49,7 @@ fn recovery_preserves_overwrite_order() {
         let db = FloDb::open(wal_opts(Arc::clone(&env), false)).unwrap();
         for round in 0..20u64 {
             for i in 0..50u64 {
-                db.put(&key(i), &(round * 100 + i).to_le_bytes());
+                db.put(&key(i), &(round * 100 + i).to_le_bytes()).unwrap();
             }
         }
     }
@@ -70,10 +70,10 @@ fn sequence_numbers_resume_past_recovered_log() {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
     {
         let db = FloDb::open(wal_opts(Arc::clone(&env), false)).unwrap();
-        db.put(b"k", b"before-crash");
+        db.put(b"k", b"before-crash").unwrap();
     }
     let db = FloDb::open(wal_opts(Arc::clone(&env), false)).unwrap();
-    db.put(b"k", b"after-crash");
+    db.put(b"k", b"after-crash").unwrap();
     assert_eq!(db.get(b"k").as_deref(), Some(b"after-crash".as_slice()));
     // Survives draining and flushing (ordering is by sequence number once
     // both versions meet in the same level).
@@ -88,13 +88,13 @@ fn double_crash_replays_multiple_logs() {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
     {
         let db = FloDb::open(wal_opts(Arc::clone(&env), false)).unwrap();
-        db.put(b"a", b"1");
-        db.put(b"b", b"1");
+        db.put(b"a", b"1").unwrap();
+        db.put(b"b", b"1").unwrap();
     }
     {
         let db = FloDb::open(wal_opts(Arc::clone(&env), false)).unwrap();
-        db.put(b"b", b"2"); // Overwrites generation-1 value.
-        db.put(b"c", b"2");
+        db.put(b"b", b"2").unwrap(); // Overwrites generation-1 value.
+        db.put(b"c", b"2").unwrap();
     }
     let db = FloDb::open(wal_opts(env, false)).unwrap();
     assert_eq!(db.get(b"a").as_deref(), Some(b"1".as_slice()));
@@ -115,9 +115,9 @@ fn synced_wal_round_trips_on_real_files() {
     {
         let db = FloDb::open(wal_opts(Arc::clone(&env), true)).unwrap();
         for i in 0..100u64 {
-            db.put(&key(i), b"durable");
+            db.put(&key(i), b"durable").unwrap();
         }
-        db.delete(&key(7));
+        db.delete(&key(7)).unwrap();
     }
     let db = FloDb::open(wal_opts(env, true)).unwrap();
     assert_eq!(db.get(&key(7)), None);
@@ -136,7 +136,7 @@ fn recovered_entries_are_scannable() {
     {
         let db = FloDb::open(wal_opts(Arc::clone(&env), false)).unwrap();
         for i in [3u64, 1, 4, 1, 5, 9, 2, 6] {
-            db.put(&key(i), &i.to_le_bytes());
+            db.put(&key(i), &i.to_le_bytes()).unwrap();
         }
     }
     let db = FloDb::open(wal_opts(env, false)).unwrap();
@@ -158,10 +158,10 @@ fn manifest_recovers_flushed_data_without_wal() {
     {
         let db = FloDb::open(opts.clone()).unwrap();
         for i in 0..300u64 {
-            db.put(&key(i), b"flushed");
+            db.put(&key(i), b"flushed").unwrap();
         }
         db.flush_all();
-        db.put(b"memory-only", b"gone");
+        db.put(b"memory-only", b"gone").unwrap();
     }
     let db = FloDb::open(opts).unwrap();
     for i in 0..300u64 {
@@ -183,13 +183,13 @@ fn wal_plus_manifest_restores_everything() {
     {
         let db = FloDb::open(wal_opts(Arc::clone(&env), false)).unwrap();
         for i in 0..200u64 {
-            db.put(&key(i), b"old");
+            db.put(&key(i), b"old").unwrap();
         }
         db.flush_all();
         for i in 100..250u64 {
-            db.put(&key(i), b"new"); // Tail only in WAL + memory.
+            db.put(&key(i), b"new").unwrap(); // Tail only in WAL + memory.
         }
-        db.delete(&key(0));
+        db.delete(&key(0)).unwrap();
     }
     let db = FloDb::open(wal_opts(Arc::clone(&env), false)).unwrap();
     assert_eq!(db.get(&key(0)), None);
@@ -214,7 +214,7 @@ fn repeated_restarts_accumulate_nothing() {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
     for round in 0..10u64 {
         let db = FloDb::open(wal_opts(Arc::clone(&env), false)).unwrap();
-        db.put(&key(round), &round.to_le_bytes());
+        db.put(&key(round), &round.to_le_bytes()).unwrap();
         for prev in 0..=round {
             assert_eq!(
                 db.get(&key(prev)),
@@ -244,16 +244,16 @@ fn legacy_per_put_pipeline_recovers_identically() {
         opts.wal_group_commit = false;
         let db = FloDb::open(opts).unwrap();
         for i in 0..100u64 {
-            db.put(&key(i), b"legacy");
+            db.put(&key(i), b"legacy").unwrap();
         }
-        db.delete(&key(3));
+        db.delete(&key(3)).unwrap();
     }
     // Reopen under group commit: the log replays regardless of the
     // pipeline that wrote it.
     let db = FloDb::open(wal_opts(Arc::clone(&env), false)).unwrap();
     assert_eq!(db.get(&key(3)), None);
     assert_eq!(db.get(&key(42)).as_deref(), Some(b"legacy".as_slice()));
-    db.put(&key(200), b"group");
+    db.put(&key(200), b"group").unwrap();
     drop(db);
     // And back again under the legacy pipeline.
     let mut opts = wal_opts(env, false);
@@ -261,6 +261,103 @@ fn legacy_per_put_pipeline_recovers_identically() {
     let db = FloDb::open(opts).unwrap();
     assert_eq!(db.get(&key(42)).as_deref(), Some(b"legacy".as_slice()));
     assert_eq!(db.get(&key(200)).as_deref(), Some(b"group".as_slice()));
+}
+
+#[test]
+fn kill_mid_batch_recovers_batches_all_or_nothing() {
+    // Concurrent threads commit multi-op batches, then the store is killed
+    // at *every sampled byte offset* of the log (a crash can tear the file
+    // anywhere). Recovery must never resurrect part of a batch: for every
+    // (thread, batch), either all of its operations are visible or none —
+    // and each thread's surviving batches form a prefix of its
+    // acknowledged sequence.
+    const THREADS: u64 = 3;
+    const BATCHES: u64 = 40;
+    const OPS_PER_BATCH: u64 = 5;
+    fn bkey(t: u64, b: u64, j: u64) -> [u8; 24] {
+        let mut k = [0u8; 24];
+        k[..8].copy_from_slice(&t.to_be_bytes());
+        k[8..16].copy_from_slice(&b.to_be_bytes());
+        k[16..].copy_from_slice(&j.to_be_bytes());
+        k
+    }
+    fn batch_opts(env: Arc<dyn Env>) -> FloDbOptions {
+        let mut opts = wal_opts(env, false);
+        opts.wal_group_commit = true;
+        // No background flushes: the log stays the only durable state, so
+        // the cut sweep below only has to replicate the log file.
+        opts.persist_enabled = false;
+        opts
+    }
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+    {
+        let db = Arc::new(FloDb::open(batch_opts(Arc::clone(&env))).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                let mut batch = WriteBatch::new();
+                for b in 0..BATCHES {
+                    for j in 0..OPS_PER_BATCH {
+                        batch.put(&bkey(t, b, j), &b.to_le_bytes());
+                    }
+                    db.write(&batch).unwrap();
+                    batch.clear();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Crash without flushing.
+    }
+
+    let log_name = env
+        .list()
+        .unwrap()
+        .into_iter()
+        .find(|n| n.ends_with(".log"))
+        .expect("the workload must leave a log");
+    let file = env.open_random(&log_name).unwrap();
+    let bytes = file.read_at(0, file.len() as usize).unwrap();
+
+    let mut cuts: Vec<usize> = (0..bytes.len()).step_by(257).collect();
+    cuts.push(bytes.len()); // The clean-shutdown case: everything survives.
+    for cut in cuts {
+        let torn: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+        let mut f = torn.new_writable(&log_name).unwrap();
+        f.append(&bytes[..cut]).unwrap();
+        f.finish().unwrap();
+        let db = FloDb::open(batch_opts(Arc::clone(&torn))).unwrap();
+        for t in 0..THREADS {
+            let mut lost_from = None;
+            for b in 0..BATCHES {
+                let present = (0..OPS_PER_BATCH)
+                    .filter(|&j| db.get(&bkey(t, b, j)).is_some())
+                    .count() as u64;
+                assert!(
+                    present == 0 || present == OPS_PER_BATCH,
+                    "cut {cut}: thread {t} batch {b} recovered \
+                     {present}/{OPS_PER_BATCH} ops — a torn batch"
+                );
+                if present == 0 {
+                    lost_from.get_or_insert(b);
+                } else {
+                    assert_eq!(
+                        lost_from, None,
+                        "cut {cut}: thread {t} batch {b} survived although \
+                         an earlier acknowledged batch was lost"
+                    );
+                }
+            }
+            if cut == bytes.len() {
+                assert_eq!(
+                    lost_from, None,
+                    "untruncated log must recover every batch (thread {t})"
+                );
+            }
+        }
+    }
 }
 
 #[test]
@@ -272,7 +369,7 @@ fn wal_disabled_loses_the_memory_component() {
     opts.env = Arc::clone(&env);
     {
         let db = FloDb::open(opts.clone()).unwrap();
-        db.put(b"only-in-memory", b"gone");
+        db.put(b"only-in-memory", b"gone").unwrap();
     }
     let db = FloDb::open(opts).unwrap();
     assert_eq!(db.get(b"only-in-memory"), None, "unlogged write must vanish");

@@ -18,7 +18,7 @@ fn small_db() -> FloDb {
 fn thousand_entries_survive_flush_and_compaction() {
     let db = small_db();
     for i in 0..1000u64 {
-        db.put(&key(i), format!("value-{i}").as_bytes());
+        db.put(&key(i), format!("value-{i}").as_bytes()).unwrap();
     }
     db.flush_all();
     let disk = db.disk_stats();
@@ -37,17 +37,17 @@ fn freshest_value_wins_across_levels() {
     let db = small_db();
     // Generation 1 goes all the way to disk.
     for i in 0..100u64 {
-        db.put(&key(i), b"gen1");
+        db.put(&key(i), b"gen1").unwrap();
     }
     db.flush_all();
     // Generation 2 rests in the Memtable (drained but not flushed).
     for i in 0..50u64 {
-        db.put(&key(i), b"gen2");
+        db.put(&key(i), b"gen2").unwrap();
     }
     db.quiesce();
     // Generation 3 sits in the Membuffer for a subset.
     for i in 0..10u64 {
-        db.put(&key(i), b"gen3");
+        db.put(&key(i), b"gen3").unwrap();
     }
     for i in 0..100u64 {
         let expect: &[u8] = if i < 10 {
@@ -79,12 +79,12 @@ fn freshest_value_wins_across_levels() {
 fn tombstones_shadow_every_level() {
     let db = small_db();
     for i in 0..200u64 {
-        db.put(&key(i), b"v");
+        db.put(&key(i), b"v").unwrap();
     }
     db.flush_all();
     // Delete every third key; leave the tombstones at different depths.
     for i in (0..200u64).step_by(3) {
-        db.delete(&key(i));
+        db.delete(&key(i)).unwrap();
     }
     // Some tombstones stay in memory, some go to disk.
     db.quiesce();
@@ -108,12 +108,12 @@ fn tombstones_shadow_every_level() {
 #[test]
 fn reinsert_after_delete_resurrects_key() {
     let db = small_db();
-    db.put(b"phoenix", b"v1");
+    db.put(b"phoenix", b"v1").unwrap();
     db.flush_all();
-    db.delete(b"phoenix");
+    db.delete(b"phoenix").unwrap();
     db.flush_all();
     assert_eq!(db.get(b"phoenix"), None);
-    db.put(b"phoenix", b"v2");
+    db.put(b"phoenix", b"v2").unwrap();
     assert_eq!(db.get(b"phoenix").as_deref(), Some(b"v2".as_slice()));
     db.flush_all();
     assert_eq!(db.get(b"phoenix").as_deref(), Some(b"v2".as_slice()));
@@ -123,7 +123,7 @@ fn reinsert_after_delete_resurrects_key() {
 fn scan_bounds_are_inclusive_and_precise() {
     let db = small_db();
     for i in [10u64, 20, 30, 40, 50] {
-        db.put(&key(i), &i.to_le_bytes());
+        db.put(&key(i), &i.to_le_bytes()).unwrap();
     }
     db.flush_all();
     // Exact hits on both bounds.
@@ -151,7 +151,7 @@ fn values_of_many_sizes_round_trip() {
     let sizes = [0usize, 1, 7, 255, 256, 257, 1024, 4096, 65536];
     for (i, &sz) in sizes.iter().enumerate() {
         let v: Vec<u8> = (0..sz).map(|b| (b % 251) as u8).collect();
-        db.put(&key(i as u64), &v);
+        db.put(&key(i as u64), &v).unwrap();
     }
     db.flush_all();
     for (i, &sz) in sizes.iter().enumerate() {
@@ -174,7 +174,7 @@ fn binary_keys_with_zero_and_ff_bytes() {
         vec![0xFF, 0xFF],
     ];
     for (i, k) in keys.iter().enumerate() {
-        db.put(k, &[i as u8]);
+        db.put(k, &[i as u8]).unwrap();
     }
     db.flush_all();
     for (i, k) in keys.iter().enumerate() {
@@ -192,7 +192,7 @@ fn binary_keys_with_zero_and_ff_bytes() {
 fn memory_usage_falls_after_flush_all() {
     let db = small_db();
     for i in 0..2000u64 {
-        db.put(&key(i), &[0u8; 32]);
+        db.put(&key(i), &[0u8; 32]).unwrap();
     }
     let before = db.memory_usage();
     assert!(before > 0);
@@ -207,7 +207,7 @@ fn overwrite_heavy_workload_is_space_bounded() {
     // component or force flushes.
     let db = small_db();
     for round in 0..50_000u64 {
-        db.put(b"hot", &round.to_le_bytes());
+        db.put(b"hot", &round.to_le_bytes()).unwrap();
     }
     db.quiesce();
     assert_eq!(
@@ -227,9 +227,9 @@ fn interleaved_put_delete_scan_cycles() {
     for cycle in 0..10u64 {
         for i in 0..100u64 {
             if (i + cycle) % 2 == 0 {
-                db.put(&key(i), &cycle.to_le_bytes());
+                db.put(&key(i), &cycle.to_le_bytes()).unwrap();
             } else {
-                db.delete(&key(i));
+                db.delete(&key(i)).unwrap();
             }
         }
         let live = db.scan(&key(0), &key(99));
@@ -246,7 +246,7 @@ fn interleaved_put_delete_scan_cycles() {
 fn get_of_unwritten_keys_is_none_at_every_depth() {
     let db = small_db();
     assert_eq!(db.get(b"nothing"), None);
-    db.put(b"a", b"1");
+    db.put(b"a", b"1").unwrap();
     assert_eq!(db.get(b"nothing"), None);
     db.flush_all();
     assert_eq!(db.get(b"nothing"), None, "bloom filter must not lie");
@@ -263,7 +263,7 @@ fn shared_reference_use_from_many_threads() {
         handles.push(std::thread::spawn(move || {
             let base = t * 10_000;
             for i in 0..2000u64 {
-                db.put(&key(base + i), &(base + i).to_le_bytes());
+                db.put(&key(base + i), &(base + i).to_le_bytes()).unwrap();
             }
             for i in 0..2000u64 {
                 assert_eq!(

@@ -44,11 +44,11 @@ fn apply_ops(store: &dyn KvStore, flush: impl Fn(), ops: &[Op]) {
     for op in ops {
         match *op {
             Op::Put(k, v) => {
-                store.put(&key(k), &[v]);
+                store.put(&key(k), &[v]).unwrap();
                 model.insert(key(k), vec![v]);
             }
             Op::Delete(k) => {
-                store.delete(&key(k));
+                store.delete(&key(k)).unwrap();
                 model.remove(&key(k));
             }
             Op::Get(k) => {

@@ -54,11 +54,11 @@ proptest! {
         for step in &steps {
             match *step {
                 Step::Put(k, v) => {
-                    db.as_ref().unwrap().put(&key(k), &[v]);
+                    db.as_ref().unwrap().put(&key(k), &[v]).unwrap();
                     model.insert(key(k), vec![v]);
                 }
                 Step::Delete(k) => {
-                    db.as_ref().unwrap().delete(&key(k));
+                    db.as_ref().unwrap().delete(&key(k)).unwrap();
                     model.remove(&key(k));
                 }
                 Step::Flush => db.as_ref().unwrap().flush_all(),

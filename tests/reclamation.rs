@@ -162,9 +162,9 @@ fn churn_flodb() {
                 for round in 0..1500u64 {
                     let key = (w * 389 + round) % 64;
                     if round % 11 == 0 {
-                        db.delete(&k(key));
+                        db.delete(&k(key)).unwrap();
                     } else {
-                        db.put(&k(key), &round.to_le_bytes());
+                        db.put(&k(key), &round.to_le_bytes()).unwrap();
                     }
                     if round % 5 == 0 {
                         let _ = db.get(&k((key + 1) % 64));

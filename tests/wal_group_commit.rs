@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use flodb::storage::{wal, Env, MemEnv, Record};
-use flodb::{FloDb, FloDbOptions, KvStore, WalMode};
+use flodb::{FloDb, FloDbOptions, KvStore, WalMode, WriteBatch};
 
 fn wal_opts(env: Arc<dyn Env>, group_commit: bool) -> FloDbOptions {
     let mut opts = FloDbOptions::small_for_tests();
@@ -40,6 +40,68 @@ fn key(thread: u64, i: u64) -> [u8; 16] {
     k
 }
 
+/// Walks the raw bytes of every log in `env` and returns the number of
+/// records inside each intact frame, in log order.
+fn records_per_frame(env: &dyn Env) -> Vec<usize> {
+    let mut logs: Vec<String> = env
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.ends_with(".log"))
+        .collect();
+    logs.sort();
+    let mut frames = Vec::new();
+    for log in logs {
+        let file = env.open_random(&log).unwrap();
+        let data = file.read_at(0, file.len() as usize).unwrap();
+        let mut pos = 0usize;
+        while pos + 8 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            assert!(pos + 8 + len <= data.len(), "torn frame in a clean log");
+            let payload = &data[pos + 8..pos + 8 + len];
+            let mut p = 0usize;
+            let mut records = 0usize;
+            while p < payload.len() {
+                Record::decode_from(payload, &mut p).unwrap();
+                records += 1;
+            }
+            frames.push(records);
+            pos += 8 + len;
+        }
+    }
+    frames
+}
+
+#[test]
+fn write_batch_emits_exactly_one_group_frame() {
+    // The atomicity contract rests on this: recovery truncates at frame
+    // granularity, so an N-op batch is all-or-nothing exactly when it
+    // occupies one frame — under both WAL pipelines.
+    const OPS: usize = 23;
+    for group_commit in [true, false] {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+        {
+            let db = FloDb::open(wal_opts(Arc::clone(&env), group_commit)).unwrap();
+            let mut batch = WriteBatch::new();
+            for i in 0..OPS as u64 - 1 {
+                batch.put(&key(0, i), &i.to_le_bytes());
+            }
+            batch.delete(&key(0, 0));
+            db.write(&batch).unwrap();
+            let stats = db.stats();
+            assert_eq!(stats.wal_groups, 1, "group={group_commit}");
+            assert_eq!(stats.wal_group_records, OPS as u64, "group={group_commit}");
+            // Crash without flushing so the log survives inspection.
+        }
+        assert_eq!(
+            records_per_frame(env.as_ref()),
+            vec![OPS],
+            "an {OPS}-op batch must land as one frame holding all its \
+             records (group={group_commit})"
+        );
+    }
+}
+
 #[test]
 fn concurrent_group_commit_loses_and_reorders_nothing() {
     const THREADS: u64 = 8;
@@ -51,7 +113,7 @@ fn concurrent_group_commit_loses_and_reorders_nothing() {
         let db = Arc::clone(&db);
         handles.push(std::thread::spawn(move || {
             for i in 0..OPS {
-                db.put(&key(t, i), &i.to_le_bytes());
+                db.put(&key(t, i), &i.to_le_bytes()).unwrap();
             }
         }));
     }
@@ -119,9 +181,9 @@ fn group_commit_recovers_identically_to_legacy_pipeline() {
                 handles.push(std::thread::spawn(move || {
                     for i in 0..OPS {
                         // Writes, overwrites and tombstones, all replayed.
-                        db.put(&key(t, i % 64), &(t * OPS + i).to_le_bytes());
+                        db.put(&key(t, i % 64), &(t * OPS + i).to_le_bytes()).unwrap();
                         if i % 5 == 0 {
-                            db.delete(&key(t, (i + 1) % 64));
+                            db.delete(&key(t, (i + 1) % 64)).unwrap();
                         }
                     }
                 }));
@@ -161,7 +223,7 @@ fn killed_mid_workload_recovers_every_acknowledged_write() {
                 let mut acked = Vec::new();
                 let mut i = 0u64;
                 while !stop.load(Ordering::Acquire) {
-                    db.put(&key(t, i), &i.to_le_bytes());
+                    db.put(&key(t, i), &i.to_le_bytes()).unwrap();
                     acked.push(i);
                     i += 1;
                 }

@@ -5,21 +5,23 @@
 //! subtler does. It deliberately exercises only the public umbrella-crate
 //! surface: open, put/get/delete/scan, and the stats counters.
 
-use flodb::{FloDb, FloDbOptions, KvStore};
+use std::ops::ControlFlow;
+
+use flodb::{Error, FloDb, FloDbOptions, KvStore, WriteBatch};
 
 #[test]
 fn open_crud_scan_and_stats_counters_move() {
     let db = FloDb::open(FloDbOptions::small_for_tests()).unwrap();
 
     // Put + get round-trip.
-    db.put(b"smoke:a", b"1");
-    db.put(b"smoke:b", b"2");
-    db.put(b"smoke:c", b"3");
+    db.put(b"smoke:a", b"1").unwrap();
+    db.put(b"smoke:b", b"2").unwrap();
+    db.put(b"smoke:c", b"3").unwrap();
     assert_eq!(db.get(b"smoke:a"), Some(b"1".to_vec()));
     assert_eq!(db.get(b"smoke:missing"), None);
 
     // Overwrite keeps the latest value.
-    db.put(b"smoke:a", b"1'");
+    db.put(b"smoke:a", b"1'").unwrap();
     assert_eq!(db.get(b"smoke:a"), Some(b"1'".to_vec()));
 
     // Range scan sees all live keys, sorted.
@@ -28,7 +30,7 @@ fn open_crud_scan_and_stats_counters_move() {
     assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
 
     // Delete hides the key from both get and scan.
-    db.delete(b"smoke:b");
+    db.delete(b"smoke:b").unwrap();
     assert_eq!(db.get(b"smoke:b"), None);
     assert_eq!(db.scan(b"smoke:", b"smoke:~").len(), 2);
 
@@ -50,4 +52,31 @@ fn open_crud_scan_and_stats_counters_move() {
         .memtable_writes
         .load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(fast + slow, 5, "all writes routed through a memory level");
+}
+
+#[test]
+fn batch_and_streaming_scan_front_door() {
+    // The v2 surface through the umbrella re-exports: `WriteBatch`,
+    // `KvStore::write`, `scan_with` with early termination, and `?` over
+    // the unified `Error`.
+    fn run() -> Result<(), Error> {
+        let db = FloDb::open(FloDbOptions::small_for_tests())?;
+        let mut batch = WriteBatch::new();
+        batch.put(b"smoke:a", b"1").put(b"smoke:b", b"2");
+        batch.delete(b"smoke:a");
+        db.write(&batch)?;
+        assert_eq!(db.get(b"smoke:a"), None);
+        assert_eq!(db.get(b"smoke:b"), Some(b"2".to_vec()));
+
+        let mut visited = 0;
+        db.scan_with(b"smoke:", b"smoke:~", &mut |key, value| {
+            assert_eq!(key, b"smoke:b");
+            assert_eq!(value, b"2");
+            visited += 1;
+            ControlFlow::Break(())
+        });
+        assert_eq!(visited, 1);
+        Ok(())
+    }
+    run().unwrap();
 }
