@@ -71,9 +71,10 @@ fn main() {
     let cells = run_matrix_best_of(&cfg, repeat);
     for c in &cells {
         eprintln!(
-            "  {:<12} {:<14} env={:<3} t={} {:>12.0} ops/s (recs/group {:.1}, followers {})",
+            "  {:<12} {:<14} env={:<3} t={} {:>12.0} ops/s (recs/group {:.1}, followers {}, \
+             rotations {}, retired {} B)",
             c.bench, c.wal, c.env, c.threads, c.ops_per_sec, c.recs_per_group,
-            c.wal_follower_writes
+            c.wal_follower_writes, c.wal_rotations, c.wal_retired_bytes
         );
     }
     let doc = to_json(&cells, &note);

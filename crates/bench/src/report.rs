@@ -59,6 +59,12 @@ pub struct Cell {
     /// Writes acknowledged as group-commit followers (their record rode in
     /// a group another thread committed); 0 in per-put modes or WAL-off.
     pub wal_follower_writes: u64,
+    /// WAL segment rotations during the cell (store families only; the
+    /// raw `wal_pipeline` family appends to a bare log with no lifecycle).
+    pub wal_rotations: u64,
+    /// Bytes of WAL segments retired during the cell (store families
+    /// only).
+    pub wal_retired_bytes: u64,
 }
 
 /// Matrix dimensions; see [`MatrixConfig::full`] and [`MatrixConfig::smoke`].
@@ -214,6 +220,8 @@ fn wal_pipeline_cell(
         } else {
             0
         },
+        wal_rotations: 0,
+        wal_retired_bytes: 0,
     }
 }
 
@@ -268,6 +276,8 @@ fn store_cell(
         elapsed_s: report.elapsed.as_secs_f64(),
         recs_per_group,
         wal_follower_writes: stats.wal_follower_writes,
+        wal_rotations: stats.wal_rotations,
+        wal_retired_bytes: stats.wal_retired_bytes,
     }
 }
 
@@ -402,7 +412,8 @@ pub fn to_json(cells: &[Cell], note: &str) -> String {
         out.push_str(&format!(
             "    {{\"bench\": \"{}\", \"wal\": \"{}\", \"env\": \"{}\", \"threads\": {}, \
              \"ops_per_sec\": {:.0}, \"total_ops\": {}, \"elapsed_s\": {:.3}, \
-             \"recs_per_group\": {:.2}, \"wal_follower_writes\": {}}}{}\n",
+             \"recs_per_group\": {:.2}, \"wal_follower_writes\": {}, \
+             \"wal_rotations\": {}, \"wal_retired_bytes\": {}}}{}\n",
             c.bench,
             c.wal,
             c.env,
@@ -412,6 +423,8 @@ pub fn to_json(cells: &[Cell], note: &str) -> String {
             c.elapsed_s,
             c.recs_per_group,
             c.wal_follower_writes,
+            c.wal_rotations,
+            c.wal_retired_bytes,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
@@ -646,6 +659,10 @@ mod tests {
         assert!(cells.iter().all(|c| c.total_ops > 0));
         let doc = to_json(&cells, "unit-test run");
         validate_matrix_json(&doc).expect("emitted document must validate");
+        // The WAL-lifecycle counters ride along in every cell (the
+        // validator keeps them optional so pre-PR5 documents stay valid).
+        assert!(doc.contains("\"wal_rotations\""));
+        assert!(doc.contains("\"wal_retired_bytes\""));
     }
 
     #[test]

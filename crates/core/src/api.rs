@@ -155,6 +155,18 @@ pub struct StoreStats {
     /// in a group another thread committed (FloDB only). The leader split
     /// is `wal_groups`.
     pub wal_follower_writes: u64,
+    /// WAL segment rotations — the active segment was sealed at a group
+    /// boundary and a fresh generation opened (FloDB only).
+    pub wal_rotations: u64,
+    /// Total bytes of WAL segments retired after a persisted checkpoint
+    /// covered their records (FloDB only).
+    pub wal_retired_bytes: u64,
+    /// Gauge: live WAL generations on disk — sealed awaiting retirement
+    /// plus the active one (FloDB only; 0 with the WAL off).
+    pub wal_generations: u64,
+    /// Gauge: bytes in the active WAL segment, header included (FloDB
+    /// only; 0 with the WAL off).
+    pub wal_active_bytes: u64,
 }
 
 /// The uniform key-value store interface (§2.1 of the paper, v2 surface).

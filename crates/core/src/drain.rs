@@ -16,7 +16,7 @@ use flodb_membuffer::{DrainedEntry, MemBuffer, RemoveToken};
 use flodb_memtable::{BatchEntry, SkipList};
 use flodb_sync::SequenceGenerator;
 
-use crate::view::ImmMembuffer;
+use crate::view::{ImmMembuffer, ViewCell};
 
 /// How a batch of drained entries is applied to the skiplist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,20 +109,33 @@ pub fn drain_sweep(
 }
 
 /// Participates in the cooperative full drain of a frozen Membuffer
-/// (master scans and helping writers, Algorithm 2 lines 12-16).
+/// (master scans, helping writers and the WAL-retirement checkpoint,
+/// Algorithm 2 lines 12-16), resolving the target Memtable *inside each
+/// chunk's RCU read-side critical section* of `view`.
 ///
 /// Claims chunks from the shared tracker until none remain; returns the
 /// number of entries this participant moved.
-pub fn help_drain_imm(
+///
+/// The per-chunk view coupling is what makes the help race-safe against
+/// the persist thread: resolving the Memtable once up front (an `Arc`
+/// clone) and inserting outside any critical section would let a persist
+/// switch land between the lookup and the insert — the batch would then
+/// go into the *immutable* Memtable after its flush already collected
+/// entries, and be dropped with it: acknowledged writes silently lost.
+/// Inside the read-side section the switch's grace period waits for the
+/// in-flight chunk instead, so every drained entry lands either in the
+/// snapshot the flush collects or in the fresh Memtable — never in the
+/// gap. A switch mid-drain simply routes later chunks to the new table.
+pub fn help_drain_imm_via(
     imm: &ImmMembuffer,
-    mtb: &SkipList,
+    view: &ViewCell,
     seq: &SequenceGenerator,
     style: DrainStyle,
 ) -> usize {
     let mut moved = 0;
     while let Some(chunk) = imm.tracker.claim() {
         let drained = imm.buffer.claim_bucket(chunk);
-        moved += apply_batch(&imm.buffer, mtb, seq, drained, style);
+        moved += view.read(|v| apply_batch(&imm.buffer, &v.mtb, seq, drained, style));
         imm.tracker.finish();
     }
     moved
@@ -234,14 +247,20 @@ mod tests {
         assert!(accepted > 0);
         let imm = Arc::new(ImmMembuffer::new(Arc::clone(&mbf)));
         let mtb = Arc::new(SkipList::new());
+        let view = Arc::new(ViewCell::new(crate::view::MemView {
+            mbf: None,
+            imm_mbf: Some(Arc::clone(&imm)),
+            mtb: Arc::clone(&mtb),
+            imm_mtb: None,
+        }));
         let seq = Arc::new(SequenceGenerator::new());
         let mut handles = Vec::new();
         for _ in 0..4 {
             let imm = Arc::clone(&imm);
-            let mtb = Arc::clone(&mtb);
+            let view = Arc::clone(&view);
             let seq = Arc::clone(&seq);
             handles.push(std::thread::spawn(move || {
-                help_drain_imm(&imm, &mtb, &seq, DrainStyle::MultiInsert)
+                help_drain_imm_via(&imm, &view, &seq, DrainStyle::MultiInsert)
             }));
         }
         let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
@@ -249,5 +268,50 @@ mod tests {
         assert!(imm.tracker.is_complete());
         assert_eq!(mtb.len(), accepted);
         assert_eq!(mbf.len(), 0);
+    }
+
+    #[test]
+    fn view_coupled_help_routes_late_chunks_to_a_switched_memtable() {
+        // A persist switch mid-drain must not lose entries: chunks drained
+        // before the switch land in the old table, chunks after in the new
+        // one — and the two tables together hold everything.
+        let mbf = Arc::new(small_mbf());
+        let mut accepted = 0;
+        for i in 0..100u64 {
+            if mbf.add(&i.to_be_bytes(), Some(b"v")) == flodb_membuffer::AddResult::Added {
+                accepted += 1;
+            }
+        }
+        let imm = Arc::new(ImmMembuffer::new(Arc::clone(&mbf)));
+        let old_mtb = Arc::new(SkipList::new());
+        let view = ViewCell::new(crate::view::MemView {
+            mbf: None,
+            imm_mbf: Some(Arc::clone(&imm)),
+            mtb: Arc::clone(&old_mtb),
+            imm_mtb: None,
+        });
+        let seq = SequenceGenerator::new();
+        // Drain a few chunks into the current table...
+        let mut moved = 0;
+        for _ in 0..3 {
+            if let Some(chunk) = imm.tracker.claim() {
+                let drained = imm.buffer.claim_bucket(chunk);
+                moved += view.read(|v| {
+                    apply_batch(&imm.buffer, &v.mtb, &seq, drained, DrainStyle::MultiInsert)
+                });
+                imm.tracker.finish();
+            }
+        }
+        // ...then a persist-style switch...
+        let new_mtb = Arc::new(SkipList::new());
+        view.update(|old| crate::view::MemView {
+            mtb: Arc::clone(&new_mtb),
+            imm_mtb: Some(Arc::clone(&old.mtb)),
+            ..old.clone()
+        });
+        // ...and the rest of the cooperative drain follows the view.
+        moved += help_drain_imm_via(&imm, &view, &seq, DrainStyle::MultiInsert);
+        assert_eq!(moved, accepted);
+        assert_eq!(old_mtb.len() + new_mtb.len(), accepted, "no entry lost");
     }
 }

@@ -79,6 +79,9 @@ pub enum OptionsError {
     /// `wal_group_max_bytes` is zero, which would stall every commit
     /// group behind the backpressure gate.
     ZeroWalGroupBytes,
+    /// `wal_segment_max_bytes` is zero, which would seal a fresh segment
+    /// after every single commit group.
+    ZeroWalSegmentBytes,
 }
 
 impl std::fmt::Display for OptionsError {
@@ -97,6 +100,9 @@ impl std::fmt::Display for OptionsError {
                 write!(f, "memory_bytes must be at least 64 KiB, got {got}")
             }
             Self::ZeroWalGroupBytes => write!(f, "wal_group_max_bytes must be positive"),
+            Self::ZeroWalSegmentBytes => {
+                write!(f, "wal_segment_max_bytes must be positive")
+            }
         }
     }
 }

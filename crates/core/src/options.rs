@@ -82,6 +82,26 @@ pub struct FloDbOptions {
     /// groups then form only from writers that arrived while the previous
     /// group was committing.
     pub wal_group_max_wait: std::time::Duration,
+    /// Active WAL segment size (bytes, header included) that makes the
+    /// group-commit leader roll to a fresh generation at the next group
+    /// boundary. Sealed generations are retired (deleted) once a persisted
+    /// checkpoint covers their records, so with the manifest enabled the
+    /// on-disk log stays bounded by roughly one segment under indefinite
+    /// write traffic, and recovery replays only the live generations.
+    pub wal_segment_max_bytes: usize,
+    /// How many yield iterations a group-commit follower spins on the
+    /// committed counter before parking on a futex
+    /// (`GroupCommitConfig::follower_spin`).
+    ///
+    /// The default of 64 was tuned on a 1-CPU container, where the yields
+    /// are what hand the core back to the leader; on real multi-core
+    /// hardware the budget should track the leader's commit latency
+    /// instead — raise it (hundreds) for microsecond buffered appends,
+    /// lower it toward 0 (park immediately) when commits fsync a slow
+    /// device. The default constructors read the
+    /// `FLODB_WAL_FOLLOWER_SPIN` environment variable so the retune needs
+    /// no rebuild.
+    pub wal_follower_spin: u32,
     /// Disk component tuning.
     pub disk: DiskOptions,
     /// Storage environment (simulated or real disk).
@@ -127,6 +147,8 @@ impl FloDbOptions {
             wal_group_commit: true,
             wal_group_max_bytes: 1024 * 1024,
             wal_group_max_wait: std::time::Duration::ZERO,
+            wal_segment_max_bytes: 64 * 1024 * 1024,
+            wal_follower_spin: follower_spin_from_env(),
             disk: DiskOptions::default(),
             env: Arc::new(MemEnv::new(None)),
             compact_after_flush: true,
@@ -152,6 +174,9 @@ impl FloDbOptions {
         Self {
             memory_bytes: 256 * 1024,
             avg_entry_bytes: 64,
+            // Big enough that short tests stay in one generation; rotation
+            // tests shrink it explicitly.
+            wal_segment_max_bytes: 256 * 1024,
             disk,
             ..Self::default_in_memory()
         }
@@ -196,8 +221,21 @@ impl FloDbOptions {
         if self.wal_group_max_bytes == 0 {
             return Err(OptionsError::ZeroWalGroupBytes);
         }
+        if self.wal_segment_max_bytes == 0 {
+            return Err(OptionsError::ZeroWalSegmentBytes);
+        }
         Ok(())
     }
+}
+
+/// Reads the `FLODB_WAL_FOLLOWER_SPIN` override (see
+/// [`FloDbOptions::wal_follower_spin`]), falling back to the 1-CPU-tuned
+/// default of 64.
+fn follower_spin_from_env() -> u32 {
+    std::env::var("FLODB_WAL_FOLLOWER_SPIN")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(64)
 }
 
 #[cfg(test)]
@@ -241,5 +279,9 @@ mod tests {
         let mut o = FloDbOptions::small_for_tests();
         o.partition_bits = 17;
         assert_eq!(o.validate(), Err(OptionsError::PartitionBits { got: 17 }));
+
+        let mut o = FloDbOptions::small_for_tests();
+        o.wal_segment_max_bytes = 0;
+        assert_eq!(o.validate(), Err(OptionsError::ZeroWalSegmentBytes));
     }
 }

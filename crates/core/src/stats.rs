@@ -54,6 +54,18 @@ pub struct FloDbStats {
     /// a group another thread committed). The leader split is
     /// [`Self::wal_groups`].
     pub wal_follower_writes: AtomicU64,
+    /// WAL segment rotations: the leader sealed the active segment at a
+    /// group boundary and rolled to a fresh generation.
+    pub wal_rotations: AtomicU64,
+    /// Total bytes of sealed WAL segments retired (deleted) after a
+    /// persisted checkpoint covered their records.
+    pub wal_retired_bytes: AtomicU64,
+    /// Gauge: live WAL generations on disk, sealed-awaiting-retirement
+    /// plus the active one (0 with the WAL disabled).
+    pub wal_generations: AtomicU64,
+    /// Gauge: bytes in the active WAL segment, header included (0 with
+    /// the WAL disabled).
+    pub wal_active_bytes: AtomicU64,
 }
 
 /// A snapshot of epoch-based memory reclamation activity (see
@@ -119,6 +131,10 @@ impl FloDbStats {
             wal_groups: self.wal_groups.load(Ordering::Relaxed),
             wal_group_records: self.wal_group_records.load(Ordering::Relaxed),
             wal_follower_writes: self.wal_follower_writes.load(Ordering::Relaxed),
+            wal_rotations: self.wal_rotations.load(Ordering::Relaxed),
+            wal_retired_bytes: self.wal_retired_bytes.load(Ordering::Relaxed),
+            wal_generations: self.wal_generations.load(Ordering::Relaxed),
+            wal_active_bytes: self.wal_active_bytes.load(Ordering::Relaxed),
         }
     }
 }

@@ -24,11 +24,13 @@ use std::time::Duration;
 
 use flodb_membuffer::{AddResult, MemBuffer, MemBufferConfig};
 use flodb_memtable::SkipList;
+use flodb_storage::log_manager::{self, LogConfig, LogManager};
 use flodb_storage::record::encode_record_parts;
-use flodb_storage::wal::{self, WalWriter};
+use flodb_storage::wal;
 use flodb_storage::{DiskComponent, Record, StorageError};
 use flodb_sync::{
-    Backoff, CommitRole, GroupCommitConfig, GroupCommitter, PauseFlag, SequenceGenerator,
+    Backoff, CommitRole, GroupCommitConfig, GroupCommitter, PauseFlag, PhasedInflight,
+    SequenceGenerator,
 };
 use parking_lot::{Condvar, Mutex};
 
@@ -52,12 +54,18 @@ type MergedRange = std::collections::BTreeMap<Box<[u8]>, (u64, Option<Box<[u8]>>
 /// log failures deterministic.
 struct WalState {
     /// Leader/follower batching; `None` runs the legacy per-put pipeline
-    /// (every put appends its own frame under `writer`'s mutex).
+    /// (every put appends its own frame under the log mutex).
     committer: Option<GroupCommitter<StorageError>>,
-    /// The log itself. With group commit only one leader at a time touches
-    /// it, so this mutex is uncontended; in legacy mode it is the global
-    /// per-put bottleneck the group-commit pipeline exists to remove.
-    writer: Mutex<WalWriter>,
+    /// The segmented log (active writer + sealed backlog). With group
+    /// commit only one leader at a time touches it, so this mutex is
+    /// uncontended; in legacy mode it is the global per-put bottleneck
+    /// the group-commit pipeline exists to remove.
+    log: Mutex<LogManager>,
+    /// Tracks each write's logged→applied window so segment retirement
+    /// can wait until everything logged into a sealed segment has reached
+    /// the memory component (and is therefore covered by the next
+    /// checkpoint's flush). See [`PhasedInflight`].
+    inflight: PhasedInflight,
     /// Latched on the first append failure; checked (relaxed-fast) by
     /// every write.
     poisoned: AtomicBool,
@@ -68,21 +76,21 @@ struct WalState {
 impl WalState {
     /// Appends through `op` with the poison latch held closed around it:
     /// refuses if already poisoned, and latches *before releasing the
-    /// writer mutex* on failure. The latch must close inside this
+    /// log mutex* on failure. The latch must close inside this
     /// critical section — a failed append can leave a torn frame, and a
     /// commit racing in after it would append (and acknowledge) records
     /// that replay, which stops at the tear, can never recover.
-    fn append_checked(
+    fn append_checked<T>(
         &self,
-        op: impl FnOnce(&mut WalWriter) -> Result<(), StorageError>,
-    ) -> Result<(), StorageError> {
-        let mut writer = self.writer.lock();
+        op: impl FnOnce(&mut LogManager) -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        let mut log = self.log.lock();
         if self.poisoned.load(Ordering::Acquire) {
             return Err(StorageError::Io(std::io::Error::other(
                 "write-ahead log poisoned by an earlier append failure",
             )));
         }
-        let result = op(&mut writer);
+        let result = op(&mut log);
         if let Err(e) = &result {
             let mut slot = self.poison.lock();
             if slot.is_none() {
@@ -191,21 +199,19 @@ impl FloDb {
         // disk values).
         let mtb = Arc::new(SkipList::new());
         let mut max_seq = disk.max_persisted_seq();
+        let mut next_generation = 1u64;
         if !matches!(opts.wal, WalMode::Disabled) {
-            let mut logs: Vec<String> = opts
-                .env
-                .list()?
-                .into_iter()
-                .filter(|n| n.ends_with(".log"))
-                .collect();
-            logs.sort();
-            for log in &logs {
-                let (records, seen) = wal::replay(opts.env.as_ref(), log)?;
-                for r in records {
-                    mtb.insert(&r.key, r.value.as_deref(), r.seq);
-                }
-                max_seq = max_seq.max(seen);
+            // Replay only the live generations: segments below the
+            // manifest's oldest-live mark were retired (their contents
+            // persisted) — any still on disk are leftovers of a crash
+            // between the mark and the deletions.
+            let recovered =
+                log_manager::recover_segments(opts.env.as_ref(), disk.wal_oldest_live())?;
+            for r in recovered.records {
+                mtb.insert(&r.key, r.value.as_deref(), r.seq);
             }
+            max_seq = max_seq.max(recovered.max_seq);
+            next_generation = recovered.max_generation + 1;
             // With a manifest, settle the recovered state onto disk so the
             // replayed logs can be pruned; log growth is thereby bounded
             // across restarts. A crash in here simply replays the same
@@ -226,9 +232,15 @@ impl FloDb {
                         .collect();
                     disk.flush_records(records)?;
                 }
-                for log in &logs {
+                // Advance the oldest-live mark durably *before* deleting
+                // the consumed segments (crash in between leaves stale
+                // files below the mark, which recovery ignores and the
+                // next open prunes right here).
+                disk.record_wal_oldest_live(next_generation)?;
+                for log in &recovered.segment_names {
                     opts.env.delete(log)?;
                 }
+                opts.env.sync_dir()?;
             }
         }
         let mtb = if opts.disk.manifest && !matches!(opts.wal, WalMode::Disabled) {
@@ -240,7 +252,14 @@ impl FloDb {
         let wal = match opts.wal {
             WalMode::Disabled => None,
             WalMode::Enabled { sync } => {
-                let file = opts.env.new_writable(&wal::wal_file_name(max_seq + 1))?;
+                let log = LogManager::create(
+                    Arc::clone(&opts.env),
+                    LogConfig {
+                        segment_max_bytes: opts.wal_segment_max_bytes as u64,
+                        sync_on_write: sync,
+                    },
+                    next_generation,
+                )?;
                 Some(WalState {
                     committer: opts.wal_group_commit.then(|| {
                         GroupCommitter::new(GroupCommitConfig {
@@ -251,10 +270,11 @@ impl FloDb {
                             // payload re-copy.
                             frame_prefix: wal::FRAME_HEADER_BYTES,
                             max_group_wait: opts.wal_group_max_wait,
-                            ..GroupCommitConfig::default()
+                            follower_spin: opts.wal_follower_spin,
                         })
                     }),
-                    writer: Mutex::new(WalWriter::new(file, sync)),
+                    log: Mutex::new(log),
+                    inflight: PhasedInflight::new(),
                     poisoned: AtomicBool::new(false),
                     poison: Mutex::new(None),
                 })
@@ -297,6 +317,17 @@ impl FloDb {
             wal,
             opts,
         });
+        if let Some(wal) = &inner.wal {
+            let log = wal.log.lock();
+            inner
+                .stats
+                .wal_generations
+                .store(log.live_generations(), Ordering::Relaxed);
+            inner
+                .stats
+                .wal_active_bytes
+                .store(log.active_bytes(), Ordering::Relaxed);
+        }
 
         let mut threads = Vec::new();
         if membuffer_enabled {
@@ -378,7 +409,14 @@ impl FloDb {
     /// to the memory component. `Err` means the write was *not*
     /// acknowledged: its log group failed (or the store was already
     /// poisoned) and nothing was applied.
+    ///
+    /// The in-flight window spans log append through memory apply: WAL
+    /// segment retirement flips this tracker and waits, so a segment is
+    /// never retired while a write logged into it has yet to reach the
+    /// memory component (where the retirement checkpoint's flush covers
+    /// it).
     fn put_impl(&self, key: &[u8], value: Option<&[u8]>) -> Result<(), WriteError> {
+        let _inflight = self.inner.wal.as_ref().map(|w| w.inflight.enter());
         self.wal_append(|inner, buf| encode_record_parts(buf, key, inner.seq.next(), value), 1)?;
         self.apply_to_memory(key, value);
         Ok(())
@@ -402,6 +440,8 @@ impl FloDb {
             }
             return Ok(());
         }
+        // Logged→applied window; see `put_impl`.
+        let _inflight = self.inner.wal.as_ref().map(|w| w.inflight.enter());
         self.wal_append(
             |inner, buf| {
                 for (key, value) in batch.iter() {
@@ -438,7 +478,7 @@ impl FloDb {
                 // sequence order exactly — and keeps a multi-record
                 // submission's records contiguous in the group.
                 |buf| encode(inner, buf),
-                |frame| wal.append_checked(|w| w.append_group_frame(frame)),
+                |frame| self.commit_group_frame(wal, frame),
             ),
             None => {
                 // Legacy pipeline: one submission, one frame, one append,
@@ -447,7 +487,7 @@ impl FloDb {
                 // submission still forms a single frame.
                 let mut frame = vec![0u8; wal::FRAME_HEADER_BYTES];
                 encode(inner, &mut frame);
-                wal.append_checked(|w| w.append_group_frame(&mut frame))
+                self.commit_group_frame(wal, &mut frame)
                     .map(|()| CommitRole::Leader {
                         records: 1,
                         bytes: 0,
@@ -468,6 +508,33 @@ impl FloDb {
                 FloDbStats::add(&inner.stats.wal_group_records, records - 1);
             }
             Err(e) => return Err(WriteError::Wal(e)),
+        }
+        Ok(())
+    }
+
+    /// Commits one group frame through the segmented log: append, then
+    /// (inside the same poison-checked critical section) roll to a fresh
+    /// segment if the active one crossed its size threshold. Appends are
+    /// whole groups, so the roll is exactly at a group boundary. Rotation
+    /// seals a segment for retirement, so the persist thread is notified.
+    fn commit_group_frame(&self, wal: &WalState, frame: &mut [u8]) -> Result<(), StorageError> {
+        let inner = &*self.inner;
+        let outcome = wal.append_checked(|log| log.append_group_frame(frame))?;
+        inner
+            .stats
+            .wal_active_bytes
+            .store(outcome.active_bytes, Ordering::Relaxed);
+        inner
+            .stats
+            .wal_generations
+            .store(outcome.live_generations, Ordering::Relaxed);
+        if outcome.rotated {
+            FloDbStats::bump(&inner.stats.wal_rotations);
+            // Checkpoint notification: a sealed generation now awaits
+            // retirement; wake the persist thread so the on-disk log
+            // stays bounded instead of waiting for the next size-triggered
+            // flush.
+            self.wake_persist();
         }
         Ok(())
     }
@@ -493,16 +560,29 @@ impl FloDb {
 
         // Slow path (Algorithm 2, lines 12-20).
         loop {
-            // Honor pauseWriters: help drain or wait (lines 12-16).
+            // Honor pauseWriters: help drain or wait (lines 12-16). A
+            // frozen Membuffer only becomes claimable once the freeze's
+            // grace period has elapsed (`drain_ready`); helping before
+            // that could claim a bucket a straggling writer is still
+            // adding to, and the straggler's entry would be dropped with
+            // the buffer. The short timed wait re-checks readiness so
+            // writers still join the drain once it opens.
             while inner.pause_writers.is_paused() {
                 let imm = inner.view.read(|v| v.imm_mbf.clone());
                 match imm {
-                    Some(imm) if !imm.tracker.is_complete() => {
+                    Some(imm) if imm.drain_ready() && !imm.tracker.is_complete() => {
                         FloDbStats::bump(&inner.stats.writer_drain_helps);
-                        let mtb = inner.view.read(|v| Arc::clone(&v.mtb));
-                        drain::help_drain_imm(&imm, &mtb, &inner.seq, inner.drain_style);
+                        // The view-coupled variant: a persist switch
+                        // racing this help must not strand the batch in a
+                        // Memtable whose flush already collected entries.
+                        drain::help_drain_imm_via(&imm, &inner.view, &inner.seq, inner.drain_style);
                     }
-                    _ => inner.pause_writers.wait_until_resumed(),
+                    Some(_) => {
+                        inner
+                            .pause_writers
+                            .wait_until_resumed_timeout(Duration::from_micros(50));
+                    }
+                    None => inner.pause_writers.wait_until_resumed(),
                 }
             }
             // Wait for Memtable room (lines 17-18).
@@ -649,7 +729,7 @@ impl FloDb {
         inner.pause_writers.pause();
         let seq = {
             let _freezing = inner.freeze_lock.lock();
-            self.freeze_and_drain_membuffer();
+            freeze_and_drain_membuffer(inner);
             // Line 12: the scan's linearization stamp.
             inner.seq.next()
         };
@@ -657,46 +737,6 @@ impl FloDb {
         inner.pause_writers.resume();
         inner.pause_draining.resume();
         seq
-    }
-
-    /// Lines 6-11 of Algorithm 3: install a fresh Membuffer, freeze the
-    /// old one, and fully drain it into the Memtable (cooperating with
-    /// helping writers). Callers must hold `pause_draining` and
-    /// `pause_writers`.
-    fn freeze_and_drain_membuffer(&self) {
-        let inner = &*self.inner;
-        if inner.opts.membuffer_enabled {
-            // Install a fresh Membuffer; freeze the old one (lines 6-7).
-            // `update` waits a grace period, subsuming MemBufferRCUWait and
-            // MemTableRCUWait (lines 8-9).
-            inner.view.update(|old| MemView {
-                mbf: Some(inner.new_membuffer()),
-                imm_mbf: old
-                    .mbf
-                    .as_ref()
-                    .map(|m| Arc::new(ImmMembuffer::new(Arc::clone(m)))),
-                ..old.clone()
-            });
-            // Drain the frozen buffer, cooperating with helping writers
-            // (lines 10-11).
-            let view = inner.view.snapshot();
-            if let Some(imm) = &view.imm_mbf {
-                let moved =
-                    drain::help_drain_imm(imm, &view.mtb, &inner.seq, inner.drain_style);
-                FloDbStats::add(&inner.stats.drained_entries, moved as u64);
-                let backoff = Backoff::new();
-                while !imm.tracker.is_complete() {
-                    backoff.snooze();
-                }
-            }
-            inner.view.update(|old| MemView {
-                imm_mbf: None,
-                ..old.clone()
-            });
-        } else {
-            // No Membuffer: a pure grace period quiesces in-flight writes.
-            inner.view.update(MemView::clone);
-        }
     }
 
     /// Algorithm 3, lines 15-30: iterate MTB, IMM_MTB and disk, restarting
@@ -768,7 +808,7 @@ impl FloDb {
         // once the bounded population of racing writers has quiesced.
         let _freezing = inner.freeze_lock.lock();
         let result = loop {
-            self.freeze_and_drain_membuffer();
+            freeze_and_drain_membuffer(inner);
             let seq = inner.seq.next();
             match self.collect_range(low, high, seq) {
                 Ok(entries) => break entries,
@@ -860,11 +900,71 @@ fn drain_loop(inner: &Arc<Inner>, worker: usize) {
     }
 }
 
+/// Lines 6-11 of Algorithm 3: install a fresh Membuffer, freeze the
+/// old one, and fully drain it into the Memtable (cooperating with
+/// helping writers). Callers must hold `pause_draining` and
+/// `pause_writers` (via the freeze lock protocol); both master scans and
+/// the WAL-retirement checkpoint come through here.
+fn freeze_and_drain_membuffer(inner: &Inner) {
+    if inner.opts.membuffer_enabled {
+        // Install a fresh Membuffer; freeze the old one (lines 6-7).
+        // `update` waits a grace period, subsuming MemBufferRCUWait and
+        // MemTableRCUWait (lines 8-9).
+        inner.view.update(|old| MemView {
+            mbf: Some(inner.new_membuffer()),
+            imm_mbf: old
+                .mbf
+                .as_ref()
+                .map(|m| Arc::new(ImmMembuffer::new(Arc::clone(m)))),
+            ..old.clone()
+        });
+        // Drain the frozen buffer, cooperating with helping writers
+        // (lines 10-11). The drain opens only now — after `update`'s
+        // grace period — because the frozen view was visible to paused
+        // writers *during* the grace, while straggling writers could
+        // still be adding to the frozen buffer; a bucket claimed that
+        // early would miss a straggler's entry and drop it with the
+        // buffer (an acknowledged write lost — the root cause of the
+        // long-standing message_queue backlog flake). The view-coupled
+        // drain variant resolves the Memtable per chunk, inside a
+        // read-side critical section: a concurrent persist switch would
+        // otherwise race the drain into a Memtable whose flush already
+        // collected its entries, dropping them when the immutable table
+        // is released.
+        let imm = inner.view.read(|v| v.imm_mbf.clone());
+        if let Some(imm) = &imm {
+            imm.open_for_drain();
+            let moved = drain::help_drain_imm_via(imm, &inner.view, &inner.seq, inner.drain_style);
+            FloDbStats::add(&inner.stats.drained_entries, moved as u64);
+            let backoff = Backoff::new();
+            while !imm.tracker.is_complete() {
+                backoff.snooze();
+            }
+            debug_assert_eq!(
+                imm.buffer.len(),
+                0,
+                "a fully drained frozen Membuffer must be empty — anything \
+                 left here is an acknowledged write about to be dropped"
+            );
+        }
+        inner.view.update(|old| MemView {
+            imm_mbf: None,
+            ..old.clone()
+        });
+    } else {
+        // No Membuffer: a pure grace period quiesces in-flight writes.
+        inner.view.update(MemView::clone);
+    }
+}
+
 /// Background persisting: switch a full Memtable out (RCU), flush it to
-/// the disk component, then release it.
+/// the disk component, then release it — and, when sealed WAL segments
+/// await, run a retirement checkpoint so the on-disk log stays bounded.
 fn persist_loop(inner: &Arc<Inner>) {
     while !inner.stop.load(Ordering::Acquire) {
-        if !persist_once(inner) {
+        let persisted = persist_once(inner);
+        let retired = maybe_retire_wal(inner);
+        if !persisted && !retired {
             let mut g = inner.persist_park.lock();
             inner
                 .persist_cv
@@ -898,6 +998,12 @@ fn persist_once(inner: &Arc<Inner>) -> bool {
     let Some(imm) = view.imm_mtb.clone() else {
         return should_switch;
     };
+    flush_imm(inner, &imm);
+    true
+}
+
+/// Flushes one immutable Memtable to the disk component and releases it.
+fn flush_imm(inner: &Arc<Inner>, imm: &Arc<SkipList>) {
     if inner.opts.persist_enabled && !imm.is_empty() {
         let records: Vec<Record> = imm
             .collect_entries()
@@ -923,7 +1029,149 @@ fn persist_once(inner: &Arc<Inner>) -> bool {
     FloDbStats::bump(&inner.stats.persists);
     let _g = inner.room.lock();
     inner.room_cv.notify_all();
-    true
+}
+
+/// Pushes the current Memtable contents down to the disk component,
+/// regardless of the size trigger: flush any pending immutable table,
+/// then switch the live one out **once** and flush it. One switch is
+/// exactly what the retirement checkpoint needs — everything it must
+/// cover is already in the Memtable when this runs, and writes landing
+/// after the switch belong to the next checkpoint. Looping until the
+/// table observes empty would instead chase resumed writers forever
+/// under sustained traffic, churning out tiny SSTs. Only the persist
+/// thread calls this, so no other thread can be mid-switch.
+fn flush_memtable_now(inner: &Arc<Inner>) {
+    let view = inner.view.snapshot();
+    if let Some(imm) = view.imm_mtb.clone() {
+        flush_imm(inner, &imm);
+    }
+    let view = inner.view.snapshot();
+    if view.mtb.is_empty() {
+        return;
+    }
+    inner.view.update(|old| MemView {
+        mtb: Arc::new(SkipList::new()),
+        imm_mtb: Some(Arc::clone(&old.mtb)),
+        ..old.clone()
+    });
+    {
+        let _g = inner.room.lock();
+        inner.room_cv.notify_all();
+    }
+    let view = inner.view.snapshot();
+    if let Some(imm) = view.imm_mtb.clone() {
+        flush_imm(inner, &imm);
+    }
+}
+
+/// Retires sealed WAL segments once a persisted checkpoint covers them.
+/// Returns whether anything was retired. Runs on the persist thread.
+///
+/// The protocol, in order — each step is what makes the next one sound:
+///
+/// 1. **Capture** the sealed backlog (generations `<= horizon`). Segments
+///    sealed *during* the checkpoint keep their files and wait for the
+///    next pass.
+/// 2. **Grace period**: flip the [`PhasedInflight`] tracker and wait for
+///    every write in its logged→applied window to finish. A record logged
+///    into a sealed segment was logged before its seal, so its writer is
+///    in the old phase; after the grace it has reached the memory
+///    component. The wait loop *services* `persist_once`, because a
+///    room-stalled writer needs this very thread to flush before it can
+///    finish.
+/// 3. **Checkpoint**: freeze-and-drain the Membuffer (same machinery as a
+///    master scan), then flush the Memtable unconditionally. Every record
+///    from step 2 is in the Membuffer or Memtable (or already flushed /
+///    superseded by a later logged write), so afterwards the disk
+///    component covers everything the captured segments hold.
+/// 4. **Record** the new oldest-live generation durably in the manifest,
+///    **then** delete the segment files and sync the directory. A crash
+///    between the two leaves stale files below the mark — ignored by
+///    recovery, pruned at the next open. The reverse order could delete
+///    segments a pre-mark recovery still needs.
+///
+/// Requires the manifest (without it the flushed layout would not survive
+/// a restart, so segments must never be deleted) and an enabled persist
+/// path (with persisting off, flushes drop data and the log is the only
+/// durable state).
+fn maybe_retire_wal(inner: &Arc<Inner>) -> bool {
+    let Some(wal) = &inner.wal else { return false };
+    if !inner.opts.disk.manifest || !inner.opts.persist_enabled {
+        return false;
+    }
+    let horizon = {
+        let log = wal.log.lock();
+        match log.sealed().last() {
+            Some(seg) => seg.generation,
+            None => return false,
+        }
+    };
+
+    // Step 2: grace over logged→applied windows, servicing flushes so
+    // room-stalled writers can make progress (the wait is bounded: each
+    // window is one write operation, and nothing new extends it).
+    wal.inflight.quiesce_with(|| {
+        if !persist_once(inner) {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    });
+
+    // Step 3: checkpoint. Freeze protocol identical to a master scan's
+    // (the pause flags are counting, so overlapping a concurrent scan's
+    // freeze is fine; the freeze lock serializes the swaps).
+    inner.pause_draining.pause();
+    inner.pause_writers.pause();
+    {
+        let _freezing = inner.freeze_lock.lock();
+        freeze_and_drain_membuffer(inner);
+    }
+    inner.pause_writers.resume();
+    inner.pause_draining.resume();
+    flush_memtable_now(inner);
+
+    // Step 4: durable mark, then deletion. Errors here must not panic
+    // the persist thread (writers would then stall on Memtable room
+    // forever) and must not leave the sealed backlog re-attempted every
+    // pass (quiesce would never settle): on failure the segments are
+    // untracked anyway — their files stay on disk relative to whatever
+    // mark was recorded, recovery handles both cases (live files replay,
+    // stale files are ignored), and the next open prunes them; only
+    // disk-footprint boundedness degrades.
+    if inner.disk.record_wal_oldest_live(new_oldest(wal, horizon)).is_err() {
+        wal.log.lock().take_sealed_up_to(horizon);
+        return false;
+    }
+    // Untrack under the log lock (cheap), but run the deletions and the
+    // directory fsync outside it: every committing writer serializes on
+    // that lock, and sealed files need no coordination with appends.
+    let taken = {
+        let mut log = wal.log.lock();
+        let taken = log.take_sealed_up_to(horizon);
+        inner
+            .stats
+            .wal_generations
+            .store(log.live_generations(), Ordering::Relaxed);
+        taken
+    };
+    match log_manager::delete_segments(inner.opts.env.as_ref(), &taken) {
+        Ok(retired) => {
+            FloDbStats::add(&inner.stats.wal_retired_bytes, retired.bytes);
+            retired.segments > 0
+        }
+        Err(_) => false,
+    }
+}
+
+/// The oldest generation that must stay live once everything up to
+/// `horizon` retires: the oldest still-sealed segment above it, or the
+/// active segment.
+fn new_oldest(wal: &WalState, horizon: u64) -> u64 {
+    let log = wal.log.lock();
+    log.sealed()
+        .iter()
+        .map(|seg| seg.generation)
+        .find(|&generation| generation > horizon)
+        .unwrap_or_else(|| log.active_generation())
 }
 
 /// The write methods return `Err(`[`WriteError`]`)` when the write-ahead
@@ -987,14 +1235,40 @@ impl KvStore for FloDb {
         let backoff = Backoff::new();
         loop {
             self.wake_persist();
-            let (mbf_len, imm_mbf, imm_mtb) = self.inner.view.read(|v| {
+            let (mbf_len, imm_mbf, mtb_bytes, imm_mtb) = self.inner.view.read(|v| {
                 (
                     v.mbf.as_ref().map_or(0, |m| m.len()),
                     v.imm_mbf.is_some(),
+                    v.mtb.approximate_bytes(),
                     v.imm_mtb.is_some(),
                 )
             });
-            if mbf_len == 0 && !imm_mbf && !imm_mtb && !self.inner.disk.needs_compaction() {
+            // An over-trigger Memtable means a persist switch is pending
+            // (or already in flight between its trigger check and the
+            // swap): quiesce must wait it out, or a caller's first
+            // post-quiesce scan races the switch/flush/release sequence —
+            // the pre-existing message_queue flake. Below the trigger,
+            // with no force-flush set, the persist thread provably leaves
+            // the view alone until the next write.
+            let switch_pending = mtb_bytes >= self.inner.memtable_trigger;
+            // Sealed WAL segments awaiting retirement: the retirement
+            // checkpoint flushes and rewrites the manifest; let it finish
+            // so "quiesced" also means the on-disk log is back to one
+            // active segment (the bounded-log invariant tests rely on).
+            let retire_pending = self.inner.opts.disk.manifest
+                && self.inner.opts.persist_enabled
+                && self
+                    .inner
+                    .wal
+                    .as_ref()
+                    .is_some_and(|w| !w.log.lock().sealed().is_empty());
+            if mbf_len == 0
+                && !imm_mbf
+                && !imm_mtb
+                && !switch_pending
+                && !retire_pending
+                && !self.inner.disk.needs_compaction()
+            {
                 break;
             }
             backoff.snooze();

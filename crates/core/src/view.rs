@@ -10,7 +10,7 @@
 //! in-flight operations against the old snapshot have completed when
 //! `update` returns).
 
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
 
 use flodb_membuffer::{DrainTracker, MemBuffer};
@@ -26,13 +26,39 @@ pub struct ImmMembuffer {
     pub buffer: Arc<MemBuffer>,
     /// Chunk tracker shared by all draining participants.
     pub tracker: DrainTracker,
+    /// Set by the freezer once the freeze's grace period has elapsed —
+    /// i.e. every in-flight write against the frozen buffer has landed.
+    ///
+    /// The frozen view (this struct included) is published *before* the
+    /// grace period runs, so paused writers can see it while stragglers
+    /// are still adding to the frozen buffer. A helper claiming buckets
+    /// in that window would miss a straggler's entry landing in an
+    /// already-claimed bucket — the entry would then be dropped with the
+    /// buffer: a lost acknowledged write. Helpers must hold off until
+    /// [`Self::drain_ready`].
+    ready: AtomicBool,
 }
 
 impl ImmMembuffer {
-    /// Freezes `buffer` for draining.
+    /// Freezes `buffer` for draining (not yet claimable, see
+    /// [`Self::open_for_drain`]).
     pub fn new(buffer: Arc<MemBuffer>) -> Self {
         let tracker = buffer.drain_tracker();
-        Self { buffer, tracker }
+        Self {
+            buffer,
+            tracker,
+            ready: AtomicBool::new(false),
+        }
+    }
+
+    /// Declares the freeze's grace period over: bucket claims may begin.
+    pub fn open_for_drain(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// Whether draining may begin (the grace period has elapsed).
+    pub fn drain_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
     }
 }
 

@@ -1,0 +1,83 @@
+//! Regression test for the quiesce/persist-switch race (pre-existing
+//! `examples/message_queue.rs` flake): `quiesce()` used to return while a
+//! Memtable sitting above the flush trigger still had its persist switch
+//! ahead of it, so the caller's first post-quiesce scans raced the
+//! switch/flush/release sequence. Quiesce must wait the pending switch
+//! out: afterwards the persist thread provably leaves the view alone
+//! until the next write, and the first scan's snapshot is stable.
+
+use flodb_core::{FloDb, FloDbOptions, KvStore};
+
+fn key(n: u64) -> [u8; 8] {
+    n.to_be_bytes()
+}
+
+/// Options whose Memtable trigger a short burst of writes can exceed
+/// deterministically: no Membuffer (writes land straight in the
+/// Memtable), 256 KiB memory (⇒ 192 KiB trigger at the default split).
+fn over_trigger_opts() -> FloDbOptions {
+    let mut opts = FloDbOptions::small_for_tests();
+    opts.membuffer_enabled = false;
+    opts.drain_threads = 0;
+    opts
+}
+
+#[test]
+fn quiesce_waits_out_a_pending_persist_switch() {
+    // Amplified: each round builds the racy state fresh — a Memtable above
+    // the trigger the instant quiesce is called. Pre-fix, quiesce could
+    // observe "no immutable components" before the persist thread reacted
+    // and return with the switch still pending; these assertions then
+    // failed on whichever round lost the race.
+    for round in 0..10 {
+        let db = FloDb::open(over_trigger_opts()).unwrap();
+        const KEYS: u64 = 300;
+        for n in 0..KEYS {
+            db.put(&key(n), &[n as u8; 1024]).unwrap(); // ~300 KiB > trigger
+        }
+        db.quiesce();
+
+        // The contract the message_queue example relies on: after
+        // quiesce, nothing is left for the persist thread to switch...
+        let persists_after_quiesce = db.stats().persists;
+        assert!(
+            persists_after_quiesce >= 1,
+            "round {round}: an over-trigger Memtable must have been flushed"
+        );
+        assert!(
+            db.memory_usage() < 192 * 1024,
+            "round {round}: quiesce returned with the Memtable still over \
+             the flush trigger ({} bytes)",
+            db.memory_usage()
+        );
+        // ...so the first post-quiesce scans see every live key and no
+        // component switch happens underneath them.
+        for _ in 0..3 {
+            let scanned = db.scan(&key(0), &key(KEYS)).len() as u64;
+            assert_eq!(scanned, KEYS, "round {round}: scan missed live keys");
+        }
+        assert_eq!(
+            db.stats().persists,
+            persists_after_quiesce,
+            "round {round}: a persist switch ran during post-quiesce scans"
+        );
+    }
+}
+
+#[test]
+fn quiesce_settles_membuffer_stores_too() {
+    // Same contract with the full two-level memory component: drains,
+    // pending switch and flush all settle before quiesce returns.
+    let mut opts = FloDbOptions::small_for_tests();
+    opts.memory_bytes = 128 * 1024;
+    let db = FloDb::open(opts).unwrap();
+    const KEYS: u64 = 400;
+    for n in 0..KEYS {
+        db.put(&key(n), &[n as u8; 512]).unwrap();
+    }
+    db.quiesce();
+    let persists = db.stats().persists;
+    assert_eq!(db.scan(&key(0), &key(KEYS)).len() as u64, KEYS);
+    assert_eq!(db.get(&key(123)).as_deref(), Some(&[123u8; 512][..]));
+    assert_eq!(db.stats().persists, persists, "switch ran after quiesce");
+}

@@ -81,6 +81,9 @@ pub struct DiskComponent {
     compaction_lock: Mutex<()>,
     /// Orders manifest appends with their version-set application.
     manifest: Option<Mutex<manifest::ManifestWriter>>,
+    /// Oldest-live WAL generation (0 = unrecorded), mirrored from the
+    /// manifest so the store reads it without taking the writer lock.
+    wal_oldest_live: AtomicU64,
     flushes: AtomicU64,
     compactions: AtomicU64,
 }
@@ -101,17 +104,22 @@ impl DiskComponent {
         let recovered = manifest::recover(env.as_ref())?;
         let component = Self::build(Arc::clone(&env), opts, None);
         let mut generation = 0;
+        let mut wal_oldest = 0;
         if let Some(r) = recovered {
             for edit in &r.edits {
                 component.versions.apply(edit)?;
             }
             component.versions.bump_file_number(r.next_file);
             generation = r.generation;
+            wal_oldest = r.wal_oldest_live;
         }
+        component.wal_oldest_live.store(wal_oldest, Ordering::Relaxed);
         let component = if opts.manifest {
             // Start a fresh generation seeded with a snapshot of the live
-            // layout, so older generations become redundant.
+            // layout, so older generations become redundant. The recovered
+            // oldest-live WAL mark is re-stamped into the snapshot record.
             let mut writer = manifest::ManifestWriter::create(env.as_ref(), generation + 1)?;
+            writer.set_wal_oldest_live(wal_oldest);
             let version = component.versions.current();
             let mut snapshot = VersionEdit::default();
             for (level, files) in version.levels.iter().enumerate() {
@@ -152,6 +160,7 @@ impl DiskComponent {
             opts,
             compaction_lock: Mutex::new(()),
             manifest,
+            wal_oldest_live: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
         }
@@ -182,12 +191,22 @@ impl DiskComponent {
 
     /// Applies `edit` to the version set and, when a manifest is active,
     /// logs it in the same order.
+    ///
+    /// When the edit *adds* tables, the directory is synced first:
+    /// fsyncing a new table's contents does not persist its directory
+    /// entry, and an fsynced manifest record referencing a file that
+    /// vanishes with the directory would lose the flushed data — fatally
+    /// so once WAL retirement advances the oldest-live mark on the
+    /// strength of that record.
     fn apply_edit(
         &self,
         edit: &VersionEdit,
     ) -> Result<(Arc<Version>, Vec<Arc<crate::version::FileHandle>>)> {
         match &self.manifest {
             Some(writer) => {
+                if !edit.added.is_empty() {
+                    self.env.sync_dir()?;
+                }
                 let mut writer = writer.lock();
                 let applied = self.versions.apply(edit)?;
                 writer.append(edit, self.versions.peek_file_number())?;
@@ -221,6 +240,31 @@ impl DiskComponent {
     /// Returns the environment (shared with WALs and tests).
     pub fn env(&self) -> &Arc<dyn Env> {
         &self.env
+    }
+
+    /// Oldest-live WAL generation recovered from (or recorded into) the
+    /// manifest; 0 means unrecorded — recovery must scan every log
+    /// generation.
+    pub fn wal_oldest_live(&self) -> u64 {
+        self.wal_oldest_live.load(Ordering::Acquire)
+    }
+
+    /// Durably records `generation` as the oldest WAL generation recovery
+    /// must scan (an fsynced manifest append). Must be called **before**
+    /// older segments are deleted: a crash after the record but before the
+    /// deletions leaves only stale files recovery ignores, whereas the
+    /// reverse order could delete segments recovery still needs.
+    ///
+    /// Without an active manifest the mark is process-local only (and
+    /// retirement must not run — nothing would survive a restart).
+    pub fn record_wal_oldest_live(&self, generation: u64) -> Result<()> {
+        if let Some(writer) = &self.manifest {
+            let mut writer = writer.lock();
+            writer.set_wal_oldest_live(generation);
+            writer.append(&VersionEdit::default(), self.versions.peek_file_number())?;
+        }
+        self.wal_oldest_live.store(generation, Ordering::Release);
+        Ok(())
     }
 
     /// Flushes a run of records into one or more L0 tables.
@@ -595,6 +639,26 @@ mod tests {
         assert_eq!(manifests.len(), 1, "only the live generation remains");
         // And the data is intact.
         assert!(d.get(&25u64.to_be_bytes()).unwrap().is_some());
+    }
+
+    #[test]
+    fn wal_oldest_live_survives_reopen() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+        {
+            let d = DiskComponent::open(Arc::clone(&env), disk_opts()).unwrap();
+            assert_eq!(d.wal_oldest_live(), 0);
+            d.record_wal_oldest_live(4).unwrap();
+            d.flush_records(vec![put(1, 1)]).unwrap();
+            d.record_wal_oldest_live(9).unwrap();
+        }
+        let d = DiskComponent::open(Arc::clone(&env), disk_opts()).unwrap();
+        assert_eq!(d.wal_oldest_live(), 9, "mark must survive the restart");
+        // And the next manifest generation re-stamps it, so a second
+        // restart (whose recovery reads only the newest generation) still
+        // sees it.
+        drop(d);
+        let d = DiskComponent::open(env, disk_opts()).unwrap();
+        assert_eq!(d.wal_oldest_live(), 9);
     }
 
     #[test]

@@ -55,6 +55,13 @@ pub trait Env: Send + Sync + 'static {
     /// Total bytes written through this env (for write-amplification
     /// accounting in the benchmarks).
     fn bytes_written(&self) -> u64;
+    /// Forces directory metadata (file creations and deletions) to stable
+    /// storage. Deleting a retired WAL segment is only durable once the
+    /// directory entry's removal is synced; environments without that
+    /// failure mode (the in-memory SimDisk) use this default no-op.
+    fn sync_dir(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -370,6 +377,11 @@ impl Env for FsEnv {
     fn bytes_written(&self) -> u64 {
         self.bytes_written
             .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn sync_dir(&self) -> Result<()> {
+        std::fs::File::open(&self.root)?.sync_all()?;
+        Ok(())
     }
 }
 

@@ -26,6 +26,7 @@ pub mod compaction;
 pub mod disk;
 pub mod env;
 pub mod error;
+pub mod log_manager;
 pub mod manifest;
 pub mod record;
 pub mod sstable;
@@ -36,4 +37,5 @@ pub mod wal;
 pub use disk::{DiskComponent, DiskOptions, DiskStats};
 pub use env::{Env, FsEnv, MemEnv, ThrottleConfig};
 pub use error::{Result, StorageError};
+pub use log_manager::{LogConfig, LogManager, RecoveredWal};
 pub use record::Record;

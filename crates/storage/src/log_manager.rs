@@ -1,0 +1,475 @@
+//! WAL lifecycle management: segment rotation, retirement, recovery.
+//!
+//! A single log generation grows without bound under sustained write
+//! traffic, so the commit log is split into **generation-numbered
+//! segments** (`000001.log`, `000002.log`, ...), each opened by a
+//! checksummed header ([`crate::wal::segment_header`]). The
+//! [`LogManager`] owns the set:
+//!
+//! - **active → sealed**: every append lands in the *active* segment;
+//!   once it crosses `segment_max_bytes` the manager *seals* it and rolls
+//!   to a fresh generation. Appends are whole commit groups (one frame
+//!   per call), so rotation always happens at a group boundary and a
+//!   multi-record batch frame is never split across segments.
+//! - **sealed → retired**: when the store has persisted a checkpoint
+//!   covering a sealed segment's records, [`LogManager::retire_up_to`]
+//!   deletes the segment files and syncs the directory. The caller must
+//!   first durably record the new oldest-live generation (FloDB puts it
+//!   in the MANIFEST, see `manifest::ManifestWriter::set_wal_oldest_live`)
+//!   so a crash between the record and the deletion leaves only ignorable
+//!   stale files, never a recovery that replays retired data under live
+//!   data.
+//!
+//! Recovery ([`recover_segments`]) scans only generations at or above the
+//! recorded oldest-live mark, in generation order, truncating each
+//! segment at its own first torn or corrupt frame. Per-segment
+//! truncation is sound because a process crash can only tear the frame
+//! being written — always in the newest write region — and a sealed
+//! segment is fully written (and, under sync-on-write, fully fsynced)
+//! before the next generation accepts its first frame; a tear sitting in
+//! a *middle* generation is therefore an old crash point that some
+//! earlier open already accepted as truncation, and the later
+//! generations were written on top of that accepted state (forfeiting
+//! them — as a global stop-at-first-tear rule would — loses their
+//! acknowledged writes, which matters in manifest-less mode where old
+//! segments survive across runs). Recovery time stays proportional to
+//! the live window, not the store's lifetime.
+
+use std::mem;
+use std::sync::Arc;
+
+use crate::env::Env;
+use crate::error::Result;
+use crate::record::Record;
+use crate::wal::{parse_wal_name, wal_file_name, WalWriter};
+
+/// Tuning for a [`LogManager`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogConfig {
+    /// Active-segment size (header included) that triggers a roll to a
+    /// fresh generation at the next group boundary. The active segment can
+    /// exceed this by at most one commit group, so live log bytes stay
+    /// bounded by `segment_max_bytes + max group size` once sealed
+    /// segments retire.
+    pub segment_max_bytes: u64,
+    /// Fsync every appended frame (durability over latency).
+    pub sync_on_write: bool,
+}
+
+/// A sealed (rotated-out, not yet retired) segment.
+#[derive(Debug, Clone, Copy)]
+pub struct SealedSegment {
+    /// The segment's generation number.
+    pub generation: u64,
+    /// Total file bytes, header included.
+    pub bytes: u64,
+}
+
+/// What one append did to the segment set.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendOutcome {
+    /// Whether this append sealed the active segment and rolled to a
+    /// fresh generation.
+    pub rotated: bool,
+    /// Bytes now in the active segment (header included).
+    pub active_bytes: u64,
+    /// Live generations on disk: sealed-but-unretired plus the active one.
+    pub live_generations: u64,
+}
+
+/// What a retirement pass deleted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Retired {
+    /// Segments deleted.
+    pub segments: u64,
+    /// Their total file bytes.
+    pub bytes: u64,
+}
+
+/// Owns the WAL's generation-numbered segment set: the active writer, the
+/// sealed backlog awaiting retirement, and the rotation counters.
+///
+/// The manager itself is not thread-safe; the store serializes access the
+/// same way it serialized the single `WalWriter` before (one leader at a
+/// time commits a group).
+pub struct LogManager {
+    env: Arc<dyn Env>,
+    cfg: LogConfig,
+    active_generation: u64,
+    writer: WalWriter,
+    /// Sealed segments in generation order (oldest first).
+    sealed: Vec<SealedSegment>,
+    rotations: u64,
+}
+
+impl LogManager {
+    /// Creates a manager whose active segment is `first_generation`
+    /// (header written and synced).
+    pub fn create(env: Arc<dyn Env>, cfg: LogConfig, first_generation: u64) -> Result<Self> {
+        let writer = WalWriter::create_segment(env.as_ref(), first_generation, cfg.sync_on_write)?;
+        Ok(Self {
+            env,
+            cfg,
+            active_generation: first_generation,
+            writer,
+            sealed: Vec::new(),
+            rotations: 0,
+        })
+    }
+
+    /// Appends one commit-group frame (header patched in place, see
+    /// [`WalWriter::append_group_frame`]) to the active segment, then
+    /// rolls to a fresh generation if the segment crossed its size
+    /// threshold. Appends are whole groups, so the roll is always at a
+    /// group boundary and no frame straddles two segments.
+    pub fn append_group_frame(&mut self, frame: &mut [u8]) -> Result<AppendOutcome> {
+        self.writer.append_group_frame(frame)?;
+        let rotated = self.maybe_rotate();
+        Ok(AppendOutcome {
+            rotated,
+            active_bytes: self.writer.bytes_written(),
+            live_generations: self.live_generations(),
+        })
+    }
+
+    /// Seals the active segment and opens the next generation when the
+    /// size threshold is crossed. The fresh segment is created (header
+    /// synced) *before* the old writer is finished, so a creation failure
+    /// leaves the current segment fully usable — the roll is simply
+    /// retried at the next group boundary, and the log grows past its
+    /// threshold instead of losing durability.
+    fn maybe_rotate(&mut self) -> bool {
+        if self.writer.bytes_written() < self.cfg.segment_max_bytes {
+            return false;
+        }
+        let next = self.active_generation + 1;
+        let Ok(fresh) = WalWriter::create_segment(self.env.as_ref(), next, self.cfg.sync_on_write)
+        else {
+            return false;
+        };
+        let sealed = mem::replace(&mut self.writer, fresh);
+        let bytes = sealed.bytes_written();
+        // Redundant under sync-on-write; best effort otherwise (a failed
+        // final sync only matters under power loss, where an unsynced
+        // log makes no promises anyway).
+        let _ = sealed.finish();
+        self.sealed.push(SealedSegment {
+            generation: self.active_generation,
+            bytes,
+        });
+        self.active_generation = next;
+        self.rotations += 1;
+        true
+    }
+
+    /// Deletes every sealed segment with `generation <= up_to`, then syncs
+    /// the directory so the deletions are durable.
+    ///
+    /// The caller must already have durably recorded an oldest-live
+    /// generation above `up_to`: retirement only ever *narrows* what
+    /// recovery would scan, and a crash mid-deletion leaves stale
+    /// segments below the recorded mark, which recovery ignores and the
+    /// next open prunes. Callers on a write hot path should instead use
+    /// [`Self::take_sealed_up_to`] + [`delete_segments`] so the file I/O
+    /// runs outside whatever lock guards this manager.
+    pub fn retire_up_to(&mut self, up_to: u64) -> Result<Retired> {
+        let taken = self.take_sealed_up_to(up_to);
+        delete_segments(self.env.as_ref(), &taken)
+    }
+
+    /// Removes sealed segments with `generation <= up_to` from tracking
+    /// and returns them — without touching their files.
+    ///
+    /// Two uses: handing the (slow) deletions to [`delete_segments`]
+    /// outside the log lock, and giving up on a failed retirement — the
+    /// files then stay on disk, recovery still sees them relative to the
+    /// recorded oldest-live mark, and the next open prunes them; a
+    /// persistently failing environment degrades to leftover files
+    /// instead of wedging the persist thread or `quiesce`.
+    pub fn take_sealed_up_to(&mut self, up_to: u64) -> Vec<SealedSegment> {
+        let mut taken = Vec::new();
+        self.sealed.retain(|seg| {
+            if seg.generation <= up_to {
+                taken.push(*seg);
+                false
+            } else {
+                true
+            }
+        });
+        taken
+    }
+
+    /// The sealed (rotated-out, unretired) segments, oldest first.
+    pub fn sealed(&self) -> &[SealedSegment] {
+        &self.sealed
+    }
+
+    /// The active segment's generation number.
+    pub fn active_generation(&self) -> u64 {
+        self.active_generation
+    }
+
+    /// Bytes in the active segment, header included.
+    pub fn active_bytes(&self) -> u64 {
+        self.writer.bytes_written()
+    }
+
+    /// Live generations on disk (sealed + active).
+    pub fn live_generations(&self) -> u64 {
+        self.sealed.len() as u64 + 1
+    }
+
+    /// Total rotations performed by this manager.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// The oldest generation recovery would need: the oldest sealed
+    /// segment, or the active one when nothing is sealed.
+    pub fn oldest_live(&self) -> u64 {
+        self.sealed
+            .first()
+            .map_or(self.active_generation, |s| s.generation)
+    }
+}
+
+/// Deletes the given (already untracked) segments' files and syncs the
+/// directory. Runs no manager lock — sealed segments are immutable, so
+/// deleting them needs no coordination with appends.
+///
+/// On error, already-deleted files are gone and the rest remain as stale
+/// leftovers below the caller's recorded oldest-live mark (recovery
+/// ignores them; the next open prunes them).
+pub fn delete_segments(env: &dyn Env, segments: &[SealedSegment]) -> Result<Retired> {
+    let mut retired = Retired::default();
+    for seg in segments {
+        env.delete(&wal_file_name(seg.generation))?;
+        retired.segments += 1;
+        retired.bytes += seg.bytes;
+    }
+    if retired.segments > 0 {
+        env.sync_dir()?;
+    }
+    Ok(retired)
+}
+
+/// The result of replaying a store's live segment set.
+#[derive(Debug)]
+pub struct RecoveredWal {
+    /// Every recovered record across all replayed segments, in log order.
+    pub records: Vec<Record>,
+    /// Largest sequence number seen (0 when nothing was recovered).
+    pub max_seq: u64,
+    /// Highest generation present on disk (0 when no segments exist); the
+    /// reopened store's active segment must use a strictly higher one.
+    pub max_generation: u64,
+    /// Every generation-named segment file found, stale ones included —
+    /// the set the caller deletes once the recovered state is flushed.
+    pub segment_names: Vec<String>,
+}
+
+/// Replays the live WAL segments on `env`, in generation order.
+///
+/// Segments below `oldest_live` (the mark recorded in the manifest at the
+/// last retirement) are stale — their contents were persisted before they
+/// were deleted, so a crash mid-deletion may have left the files behind —
+/// and are listed but not replayed. Each segment truncates at its own
+/// first torn or corrupt frame (see the module docs for why per-segment
+/// truncation is the sound rule). Files ending in `.log` whose stem is
+/// not a generation number are ignored entirely.
+pub fn recover_segments(env: &dyn Env, oldest_live: u64) -> Result<RecoveredWal> {
+    let mut segments: Vec<(u64, String)> = env
+        .list()?
+        .into_iter()
+        .filter_map(|n| parse_wal_name(&n).map(|generation| (generation, n)))
+        .collect();
+    segments.sort_unstable_by_key(|(generation, _)| *generation);
+
+    let mut out = RecoveredWal {
+        records: Vec::new(),
+        max_seq: 0,
+        max_generation: segments.last().map_or(0, |(generation, _)| *generation),
+        segment_names: segments.iter().map(|(_, n)| n.clone()).collect(),
+    };
+    for (generation, name) in &segments {
+        if *generation < oldest_live {
+            continue;
+        }
+        let replay = crate::wal::replay_segment(env, name, *generation)?;
+        out.records.extend(replay.records);
+        out.max_seq = out.max_seq.max(replay.max_seq);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MemEnv;
+    use crate::record::encode_record_parts;
+    use crate::wal::{FRAME_HEADER_BYTES, SEGMENT_HEADER_BYTES};
+
+    fn env() -> Arc<MemEnv> {
+        Arc::new(MemEnv::new(None))
+    }
+
+    fn cfg(max: u64) -> LogConfig {
+        LogConfig {
+            segment_max_bytes: max,
+            sync_on_write: false,
+        }
+    }
+
+    /// Appends one single-record group frame for (`key`, `seq`).
+    fn append_one(lm: &mut LogManager, key: u64, seq: u64) -> AppendOutcome {
+        let mut frame = vec![0u8; FRAME_HEADER_BYTES];
+        encode_record_parts(&mut frame, &key.to_be_bytes(), seq, Some(&[7u8; 32]));
+        lm.append_group_frame(&mut frame).unwrap()
+    }
+
+    #[test]
+    fn rotation_happens_at_group_boundaries() {
+        let env = env();
+        let mut lm = LogManager::create(Arc::clone(&env) as Arc<dyn Env>, cfg(256), 1).unwrap();
+        let mut rotations = 0;
+        for i in 0..40u64 {
+            if append_one(&mut lm, i, i + 1).rotated {
+                rotations += 1;
+            }
+        }
+        assert!(rotations >= 2, "40 records over 256-byte segments must roll");
+        assert_eq!(lm.rotations(), rotations);
+        assert_eq!(lm.sealed().len() as u64, rotations);
+        assert_eq!(lm.active_generation(), 1 + rotations);
+        assert_eq!(lm.live_generations(), rotations + 1);
+        // Every sealed segment crossed the threshold, and none grew much
+        // past it (one record, here).
+        for seg in lm.sealed() {
+            assert!(seg.bytes >= 256, "sealed below threshold: {seg:?}");
+        }
+        // Everything replays, in order, across the generation boundaries.
+        let r = recover_segments(env.as_ref(), 0).unwrap();
+        assert_eq!(r.records.len(), 40);
+        assert_eq!(r.max_seq, 40);
+        assert_eq!(r.max_generation, lm.active_generation());
+        for pair in r.records.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "replay out of order");
+        }
+    }
+
+    #[test]
+    fn retirement_deletes_files_and_recovery_skips_stale() {
+        let env = env();
+        let mut lm = LogManager::create(Arc::clone(&env) as Arc<dyn Env>, cfg(256), 1).unwrap();
+        for i in 0..40u64 {
+            append_one(&mut lm, i, i + 1);
+        }
+        let sealed: Vec<u64> = lm.sealed().iter().map(|s| s.generation).collect();
+        assert!(sealed.len() >= 2);
+        let horizon = sealed[sealed.len() - 1];
+        let retired = lm.retire_up_to(horizon).unwrap();
+        assert_eq!(retired.segments, sealed.len() as u64);
+        assert!(retired.bytes >= 256 * retired.segments);
+        assert!(lm.sealed().is_empty());
+        assert_eq!(lm.oldest_live(), lm.active_generation());
+        for generation in sealed {
+            assert!(!env.exists(&wal_file_name(generation)), "gen {generation}");
+        }
+        // Recovery from the new oldest-live mark sees only the active tail.
+        let r = recover_segments(env.as_ref(), lm.active_generation()).unwrap();
+        let replayed = r.records.len() as u64;
+        assert!(replayed < 40);
+        assert!(r.records.iter().all(|rec| rec.seq > 40 - replayed));
+    }
+
+    #[test]
+    fn recovery_ignores_stale_segments_below_oldest_live() {
+        // A crash between the manifest's oldest-live record and the file
+        // deletions leaves stale segments; they must be listed (for
+        // pruning) but never replayed.
+        let env = env();
+        let mut lm = LogManager::create(Arc::clone(&env) as Arc<dyn Env>, cfg(128), 1).unwrap();
+        for i in 0..30u64 {
+            append_one(&mut lm, i, i + 1);
+        }
+        assert!(!lm.sealed().is_empty());
+        let first_live = lm.sealed()[1].generation;
+        let all_files = env.list().unwrap().len();
+        let r = recover_segments(env.as_ref(), first_live).unwrap();
+        assert_eq!(r.segment_names.len(), all_files, "stale names listed");
+        assert!(
+            r.records.iter().all(|rec| rec.seq > 1),
+            "generation 1's records must not replay below the mark"
+        );
+    }
+
+    #[test]
+    fn old_middle_tear_truncates_only_its_own_segment() {
+        // A tear in a non-newest generation is an old, already-accepted
+        // crash point (manifest-less stores keep such segments across
+        // runs): its own tail is dropped, but the later generations —
+        // written on top of the accepted truncation — must replay.
+        let env = env();
+        let mut lm = LogManager::create(Arc::clone(&env) as Arc<dyn Env>, cfg(128), 1).unwrap();
+        for i in 0..30u64 {
+            append_one(&mut lm, i, i + 1);
+        }
+        assert!(lm.sealed().len() >= 2);
+        let victim = lm.sealed()[0].generation;
+        let victim_records = {
+            let full = recover_segments(env.as_ref(), 0).unwrap();
+            let after = recover_segments(env.as_ref(), victim + 1).unwrap();
+            full.records.len() - after.records.len()
+        };
+        assert!(victim_records >= 1);
+
+        // Tear the oldest sealed segment just past its header.
+        let name = wal_file_name(victim);
+        let data = env
+            .open_random(&name)
+            .unwrap()
+            .read_at(0, SEGMENT_HEADER_BYTES + 5)
+            .unwrap();
+        let mut f = env.new_writable(&name).unwrap();
+        f.append(&data).unwrap();
+
+        let r = recover_segments(env.as_ref(), 0).unwrap();
+        assert_eq!(
+            r.records.len(),
+            30 - victim_records,
+            "only the torn generation's own records drop; later ones replay"
+        );
+        assert!(
+            r.records.iter().all(|rec| rec.seq > victim_records as u64),
+            "the surviving records are exactly the later generations'"
+        );
+    }
+
+    #[test]
+    fn non_generation_log_names_are_ignored() {
+        let env = env();
+        let mut f = env.new_writable("matrix.log").unwrap();
+        f.append(b"not a segment").unwrap();
+        let r = recover_segments(env.as_ref(), 0).unwrap();
+        assert!(r.records.is_empty());
+        assert!(r.segment_names.is_empty());
+        assert_eq!(r.max_generation, 0);
+    }
+
+    #[test]
+    fn oversized_group_still_lands_in_one_segment() {
+        // A frame larger than the whole segment budget commits intact and
+        // the roll happens after it: frames never straddle segments.
+        let env = env();
+        let mut lm = LogManager::create(Arc::clone(&env) as Arc<dyn Env>, cfg(64), 1).unwrap();
+        let mut frame = vec![0u8; FRAME_HEADER_BYTES];
+        for i in 0..10u64 {
+            encode_record_parts(&mut frame, &i.to_be_bytes(), i + 1, Some(&[1u8; 64]));
+        }
+        let out = lm.append_group_frame(&mut frame).unwrap();
+        assert!(out.rotated);
+        assert_eq!(lm.sealed().len(), 1);
+        let r = recover_segments(env.as_ref(), 0).unwrap();
+        assert_eq!(r.records.len(), 10);
+    }
+}

@@ -90,8 +90,10 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Encodes one manifest record: the edit plus the post-edit file counter.
-fn encode_record(edit: &VersionEdit, next_file: u64) -> Vec<u8> {
+/// Encodes one manifest record: the edit, the post-edit file counter, and
+/// the oldest-live WAL generation (0 = unrecorded; see
+/// [`ManifestWriter::set_wal_oldest_live`]).
+fn encode_record(edit: &VersionEdit, next_file: u64, wal_oldest_live: u64) -> Vec<u8> {
     let mut payload = Vec::with_capacity(64);
     payload.extend_from_slice(&next_file.to_le_bytes());
     payload.extend_from_slice(&(edit.added.len() as u32).to_le_bytes());
@@ -104,11 +106,16 @@ fn encode_record(edit: &VersionEdit, next_file: u64) -> Vec<u8> {
         payload.push(*level as u8);
         payload.extend_from_slice(&number.to_le_bytes());
     }
+    payload.extend_from_slice(&wal_oldest_live.to_le_bytes());
     payload
 }
 
 /// Decodes one manifest record payload.
-fn decode_record(payload: &[u8]) -> Result<(VersionEdit, u64)> {
+///
+/// The trailing oldest-live WAL generation is optional so manifests
+/// written before the WAL lifecycle subsystem still decode (they report
+/// 0, i.e. "scan every log generation").
+fn decode_record(payload: &[u8]) -> Result<(VersionEdit, u64, u64)> {
     let mut c = Cursor {
         data: payload,
         pos: 0,
@@ -125,20 +132,32 @@ fn decode_record(payload: &[u8]) -> Result<(VersionEdit, u64)> {
         let level = c.u8()? as usize;
         edit.deleted.push((level, c.u64()?));
     }
-    Ok((edit, next_file))
+    let wal_oldest_live = if c.pos + 8 <= c.data.len() {
+        c.u64()?
+    } else {
+        0
+    };
+    Ok((edit, next_file, wal_oldest_live))
 }
 
 /// Appends version edits to one manifest generation.
 pub struct ManifestWriter {
     file: Box<dyn WritableFile>,
     generation: u64,
+    /// Oldest-live WAL generation, carried by every appended record so the
+    /// latest intact record always holds the current mark (sticky).
+    wal_oldest_live: u64,
 }
 
 impl ManifestWriter {
     /// Creates generation `generation` on `env`.
     pub fn create(env: &dyn Env, generation: u64) -> Result<Self> {
         let file = env.new_writable(&manifest_file_name(generation))?;
-        Ok(Self { file, generation })
+        Ok(Self {
+            file,
+            generation,
+            wal_oldest_live: 0,
+        })
     }
 
     /// Returns this writer's generation number.
@@ -146,9 +165,17 @@ impl ManifestWriter {
         self.generation
     }
 
+    /// Sets the oldest-live WAL generation stamped into every record from
+    /// now on. Recovery scans only log generations at or above the last
+    /// intact record's mark, so this must be advanced *before* the
+    /// superseded segments are deleted (append a record to persist it).
+    pub fn set_wal_oldest_live(&mut self, generation: u64) {
+        self.wal_oldest_live = generation;
+    }
+
     /// Appends one framed, checksummed edit record and syncs it.
     pub fn append(&mut self, edit: &VersionEdit, next_file: u64) -> Result<()> {
-        let payload = encode_record(edit, next_file);
+        let payload = encode_record(edit, next_file, self.wal_oldest_live);
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -167,6 +194,9 @@ pub struct RecoveredManifest {
     pub edits: Vec<VersionEdit>,
     /// File counter recorded by the last intact record.
     pub next_file: u64,
+    /// Oldest-live WAL generation recorded by the last intact record
+    /// (0 when never recorded: scan every log generation).
+    pub wal_oldest_live: u64,
 }
 
 /// Finds and replays the newest manifest generation on `env`.
@@ -189,6 +219,7 @@ pub fn recover(env: &dyn Env) -> Result<Option<RecoveredManifest>> {
     let data = file.read_at(0, file.len() as usize)?;
     let mut edits = Vec::new();
     let mut next_file = 1u64;
+    let mut wal_oldest_live = 0u64;
     let mut pos = 0usize;
     loop {
         if pos + 8 > data.len() {
@@ -203,15 +234,17 @@ pub fn recover(env: &dyn Env) -> Result<Option<RecoveredManifest>> {
         if crc32(payload) != crc {
             break; // Corrupt tail.
         }
-        let (edit, nf) = decode_record(payload)?;
+        let (edit, nf, oldest) = decode_record(payload)?;
         edits.push(edit);
         next_file = nf;
+        wal_oldest_live = oldest;
         pos += 8 + len;
     }
     Ok(Some(RecoveredManifest {
         generation,
         edits,
         next_file,
+        wal_oldest_live,
     }))
 }
 
@@ -249,9 +282,10 @@ mod tests {
         edit.add(0, meta(7, 10, 20));
         edit.add(3, meta(8, 0, 5));
         edit.delete(1, 2);
-        let payload = encode_record(&edit, 42);
-        let (decoded, next_file) = decode_record(&payload).unwrap();
+        let payload = encode_record(&edit, 42, 7);
+        let (decoded, next_file, oldest) = decode_record(&payload).unwrap();
         assert_eq!(next_file, 42);
+        assert_eq!(oldest, 7);
         assert_eq!(decoded.added.len(), 2);
         assert_eq!(decoded.added[0].0, 0);
         assert_eq!(decoded.added[0].1, meta(7, 10, 20));
@@ -318,7 +352,7 @@ mod tests {
             // with an intact record then garbage.
             env.new_writable(&manifest_file_name(2)).unwrap()
         };
-        let payload = encode_record(&e, 5);
+        let payload = encode_record(&e, 5, 0);
         let mut frame = Vec::new();
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -336,7 +370,7 @@ mod tests {
     #[test]
     fn corrupt_crc_stops_replay() {
         let env = MemEnv::new(None);
-        let payload = encode_record(&VersionEdit::default(), 9);
+        let payload = encode_record(&VersionEdit::default(), 9, 0);
         let mut frame = Vec::new();
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&(crc32(&payload) ^ 0xDEAD).to_le_bytes());
@@ -360,6 +394,28 @@ mod tests {
         assert!(names.contains(&manifest_file_name(3)));
         assert!(!names.contains(&manifest_file_name(1)));
         assert!(!names.contains(&manifest_file_name(2)));
+    }
+
+    #[test]
+    fn wal_oldest_live_is_sticky_and_backward_compatible() {
+        let env = MemEnv::new(None);
+        let mut w = ManifestWriter::create(&env, 1).unwrap();
+        w.append(&VersionEdit::default(), 2).unwrap();
+        w.set_wal_oldest_live(5);
+        w.append(&VersionEdit::default(), 3).unwrap();
+        // A later record without a new mark still carries the sticky one.
+        w.append(&VersionEdit::default(), 4).unwrap();
+        let r = recover(&env).unwrap().unwrap();
+        assert_eq!(r.wal_oldest_live, 5);
+        assert_eq!(r.next_file, 4);
+
+        // Records from before the WAL-lifecycle subsystem (no trailing
+        // field) decode with mark 0.
+        let mut legacy = encode_record(&VersionEdit::default(), 9, 5);
+        legacy.truncate(legacy.len() - 8);
+        let (_, next_file, oldest) = decode_record(&legacy).unwrap();
+        assert_eq!(next_file, 9);
+        assert_eq!(oldest, 0);
     }
 
     #[test]

@@ -16,10 +16,32 @@ pub fn wal_file_name(number: u64) -> String {
     format!("{number:06}.log")
 }
 
+/// Parses a WAL segment file name back into its generation number.
+pub fn parse_wal_name(name: &str) -> Option<u64> {
+    name.strip_suffix(".log")?.parse().ok()
+}
+
 /// Bytes of the per-frame header (`len u32` + `crc u32`). Group-commit
 /// callers reserve this much at the start of their batch buffer so
 /// [`WalWriter::append_group_frame`] can patch the header in place.
 pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Magic bytes opening every generation-numbered WAL segment.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"FLODBSEG";
+
+/// Bytes of the segment header: magic, generation (`u64`), and a CRC of
+/// the generation so a damaged header is distinguishable from a torn one.
+pub const SEGMENT_HEADER_BYTES: usize = 20;
+
+/// Encodes the segment header for `generation`.
+pub fn segment_header(generation: u64) -> [u8; SEGMENT_HEADER_BYTES] {
+    let mut h = [0u8; SEGMENT_HEADER_BYTES];
+    h[..8].copy_from_slice(SEGMENT_MAGIC);
+    h[8..16].copy_from_slice(&generation.to_le_bytes());
+    let crc = crc32(&h[8..16]);
+    h[16..].copy_from_slice(&crc.to_le_bytes());
+    h
+}
 
 /// Appends record batches to a log file.
 pub struct WalWriter {
@@ -41,6 +63,34 @@ impl WalWriter {
             bytes: 0,
             scratch: Vec::new(),
         }
+    }
+
+    /// Creates the segment file for `generation` and writes (and syncs)
+    /// its header, then syncs the directory: fsyncing a new file's
+    /// contents does not persist its directory entry, and a segment that
+    /// vanishes with the directory after a crash would silently drop
+    /// every fsync-acknowledged write it held. The returned writer's
+    /// [`Self::bytes_written`] counts the header, so rotation thresholds
+    /// compare against total file size.
+    ///
+    /// A crash before the header reaches disk leaves a short file, which
+    /// [`replay_segment`] treats as an empty (torn) segment — never as
+    /// recovered frames.
+    pub fn create_segment(
+        env: &dyn Env,
+        generation: u64,
+        sync_on_write: bool,
+    ) -> Result<Self> {
+        let mut file = env.new_writable(&wal_file_name(generation))?;
+        file.append(&segment_header(generation))?;
+        file.sync()?;
+        env.sync_dir()?;
+        Ok(Self {
+            file,
+            sync_on_write,
+            bytes: SEGMENT_HEADER_BYTES as u64,
+            scratch: Vec::new(),
+        })
     }
 
     /// Appends one batch of records as a single frame.
@@ -134,14 +184,106 @@ impl WalWriter {
 /// Replays every intact frame of a log file, in order.
 ///
 /// Returns the recovered records and the largest sequence number seen
-/// (useful for resuming the global sequence counter).
+/// (useful for resuming the global sequence counter). This is the raw,
+/// headerless entry point; generation-numbered segments replay through
+/// [`replay_segment`], which verifies the segment header first.
 pub fn replay(env: &dyn Env, name: &str) -> Result<(Vec<Record>, u64)> {
     let file: std::sync::Arc<dyn RandomAccessFile> = env.open_random(name)?;
     let size = file.len();
     let data = file.read_at(0, size as usize)?;
+    let (records, max_seq, _) = replay_frames(&data, 0)?;
+    Ok((records, max_seq))
+}
+
+/// The result of replaying one generation-numbered segment.
+#[derive(Debug)]
+pub struct SegmentReplay {
+    /// Every record of every intact frame, in append order.
+    pub records: Vec<Record>,
+    /// Largest sequence number seen (0 when empty).
+    pub max_seq: u64,
+    /// Whether the segment ended cleanly at a frame boundary; a torn or
+    /// corrupt tail (including a torn header) marks a crash point whose
+    /// remainder was truncated. Diagnostic — sealed segments are
+    /// expected clean, the newest one may not be.
+    pub clean: bool,
+}
+
+/// Replays a generation-numbered segment created by
+/// [`WalWriter::create_segment`], verifying its header.
+///
+/// A file opening with [`SEGMENT_MAGIC`] but shorter than the full
+/// header is a segment torn at creation: empty, not clean. A complete
+/// header with a CRC mismatch or a generation that does not match
+/// `expected_generation` is corruption — an error, because no crash
+/// interleaving produces it. A file *not* opening with the magic is
+/// treated as a **legacy headerless log** (written before segment
+/// headers existed) and replayed from offset 0, so pre-upgrade stores
+/// stay openable; real corruption of the first frame then simply ends
+/// replay at byte 0, exactly as it always did.
+pub fn replay_segment(
+    env: &dyn Env,
+    name: &str,
+    expected_generation: u64,
+) -> Result<SegmentReplay> {
+    let file: std::sync::Arc<dyn RandomAccessFile> = env.open_random(name)?;
+    let data = file.read_at(0, file.len() as usize)?;
+    if data.len() >= SEGMENT_MAGIC.len() && &data[..8] != SEGMENT_MAGIC.as_slice() {
+        // Legacy headerless log: frames from byte 0. A non-empty file
+        // yielding *no* intact frame is indistinguishable from a headered
+        // segment whose magic was corrupted away — and silently reporting
+        // an empty segment would vaporize that segment's fsynced frames —
+        // so it is reported as corruption rather than success.
+        let (records, max_seq, clean) = replay_frames(&data, 0)?;
+        if records.is_empty() {
+            return Err(StorageError::Corruption(format!(
+                "{name}: neither a headered WAL segment nor a replayable \
+                 legacy log"
+            )));
+        }
+        return Ok(SegmentReplay {
+            records,
+            max_seq,
+            clean,
+        });
+    }
+    if data.len() < SEGMENT_HEADER_BYTES {
+        // Torn at creation (magic prefix or shorter than one frame
+        // header): nothing to recover either way.
+        return Ok(SegmentReplay {
+            records: Vec::new(),
+            max_seq: 0,
+            clean: false,
+        });
+    }
+    let generation = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
+    let crc = u32::from_le_bytes(data[16..20].try_into().expect("4 bytes"));
+    if crc32(&data[8..16]) != crc {
+        return Err(StorageError::Corruption(format!(
+            "{name}: WAL segment header checksum mismatch"
+        )));
+    }
+    if generation != expected_generation {
+        return Err(StorageError::Corruption(format!(
+            "{name}: segment header claims generation {generation}, \
+             file name says {expected_generation}"
+        )));
+    }
+    let (records, max_seq, clean) = replay_frames(&data, SEGMENT_HEADER_BYTES)?;
+    Ok(SegmentReplay {
+        records,
+        max_seq,
+        clean,
+    })
+}
+
+/// Walks `[len][crc][payload]` frames from `start`, stopping at the first
+/// torn or corrupt one. Returns the records, the max sequence number, and
+/// whether the walk consumed the data exactly to its end.
+fn replay_frames(data: &[u8], start: usize) -> Result<(Vec<Record>, u64, bool)> {
     let mut records = Vec::new();
     let mut max_seq = 0u64;
-    let mut pos = 0usize;
+    let mut pos = start;
     loop {
         if pos + 8 > data.len() {
             break; // Clean end or torn frame header: stop.
@@ -165,7 +307,7 @@ pub fn replay(env: &dyn Env, name: &str) -> Result<(Vec<Record>, u64)> {
         }
         pos += 8 + len;
     }
-    Ok((records, max_seq))
+    Ok((records, max_seq, pos == data.len()))
 }
 
 #[cfg(test)]
@@ -342,6 +484,90 @@ mod tests {
         assert_eq!(w.scratch.capacity(), cap, "same-size batches must not realloc");
         let (recovered, _) = replay(&env, "s.log").unwrap();
         assert_eq!(recovered.len(), 60);
+    }
+
+    #[test]
+    fn segment_roundtrip_and_name_parsing() {
+        assert_eq!(parse_wal_name("000007.log"), Some(7));
+        assert_eq!(parse_wal_name("MANIFEST-000007"), None);
+        assert_eq!(parse_wal_name("matrix.sst"), None);
+
+        let env = MemEnv::new(None);
+        let mut w = WalWriter::create_segment(&env, 3, false).unwrap();
+        assert_eq!(w.bytes_written(), SEGMENT_HEADER_BYTES as u64);
+        w.append_batch(&records(0..10)).unwrap();
+        w.finish().unwrap();
+
+        let r = replay_segment(&env, &wal_file_name(3), 3).unwrap();
+        assert_eq!(r.records.len(), 10);
+        assert_eq!(r.max_seq, 9);
+        assert!(r.clean);
+
+        // A header/name generation mismatch is corruption, not a tear.
+        assert!(replay_segment(&env, &wal_file_name(3), 4).is_err());
+    }
+
+    #[test]
+    fn legacy_headerless_log_replays_as_a_segment() {
+        // Logs written before segment headers existed (no magic) must
+        // stay recoverable after an upgrade: frames replay from byte 0.
+        let env = MemEnv::new(None);
+        let mut w = WalWriter::new(env.new_writable("000117.log").unwrap(), false);
+        w.append_batch(&records(0..10)).unwrap();
+        let good = w.bytes_written();
+        w.append_batch(&records(10..20)).unwrap();
+        w.finish().unwrap();
+
+        let r = replay_segment(&env, "000117.log", 117).unwrap();
+        assert_eq!(r.records.len(), 20);
+        assert!(r.clean);
+
+        // A torn legacy tail truncates exactly like it always did.
+        let torn = env
+            .open_random("000117.log")
+            .unwrap()
+            .read_at(0, (good + 3) as usize)
+            .unwrap();
+        let mut f = env.new_writable("000117.log").unwrap();
+        f.append(&torn).unwrap();
+        let r = replay_segment(&env, "000117.log", 117).unwrap();
+        assert_eq!(r.records.len(), 10);
+        assert!(!r.clean);
+    }
+
+    #[test]
+    fn torn_segment_header_is_an_empty_segment() {
+        let env = MemEnv::new(None);
+        let header = segment_header(9);
+        for cut in 0..SEGMENT_HEADER_BYTES {
+            let mut f = env.new_writable("torn.log").unwrap();
+            f.append(&header[..cut]).unwrap();
+            let r = replay_segment(&env, "torn.log", 9).unwrap();
+            assert!(r.records.is_empty(), "cut at {cut}");
+            assert!(!r.clean, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn segment_with_torn_tail_is_not_clean() {
+        let env = MemEnv::new(None);
+        let mut w = WalWriter::create_segment(&env, 1, false).unwrap();
+        w.append_batch(&records(0..5)).unwrap();
+        let good = w.bytes_written();
+        w.append_batch(&records(5..10)).unwrap();
+        w.finish().unwrap();
+
+        let full = env
+            .open_random(&wal_file_name(1))
+            .unwrap()
+            .read_at(0, (good + 3) as usize)
+            .unwrap();
+        let mut f = env.new_writable(&wal_file_name(1)).unwrap();
+        f.append(&full).unwrap();
+
+        let r = replay_segment(&env, &wal_file_name(1), 1).unwrap();
+        assert_eq!(r.records.len(), 5, "intact prefix replays");
+        assert!(!r.clean, "a torn tail must be reported");
     }
 
     #[test]

@@ -53,6 +53,21 @@ pub struct GroupCommitConfig {
     /// windows, and a park/unpark round-trip per record would dominate the
     /// batching win; slow commits (real fsync) blow through the budget and
     /// park, so nothing spins against a millisecond-scale flush.
+    ///
+    /// **Retuning guidance.** The default of 64 was chosen on a 1-CPU
+    /// container, where the spin's yields are what hand the core back to
+    /// the leader and batching only forms around *blocking* commits. On
+    /// real multi-core hardware followers spin on their own cores while
+    /// the leader runs, so the right budget tracks the leader's commit
+    /// latency instead of the scheduler: raise it (hundreds of yields)
+    /// for buffered appends on fast devices where commits finish in a few
+    /// microseconds and parking would dominate, and lower it toward zero
+    /// when commits fsync a slow device, where every spin cycle is wasted
+    /// against a millisecond-scale wait. `0` parks immediately and is
+    /// always correct. FloDB exposes this as
+    /// `FloDbOptions::wal_follower_spin`, overridable at process start
+    /// via the `FLODB_WAL_FOLLOWER_SPIN` environment variable, so the
+    /// retune needs no rebuild.
     pub follower_spin: u32,
 }
 
@@ -530,6 +545,39 @@ mod tests {
         let role = gc.submit(|buf| buf.push(9), |_| Ok(())).unwrap();
         assert_eq!(role, CommitRole::Leader { records: 1, bytes: 1 });
         assert!(t0.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn zero_follower_spin_parks_immediately_and_loses_nothing() {
+        // The park path must be correct on its own: with the spin budget
+        // at zero every follower goes straight to the condvar, and the
+        // outcome protocol still delivers each record exactly once.
+        let gc: Arc<Committer> = Arc::new(GroupCommitter::new(GroupCommitConfig {
+            follower_spin: 0,
+            ..GroupCommitConfig::default()
+        }));
+        let total = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let gc = Arc::clone(&gc);
+            let total = Arc::clone(&total);
+            handles.push(thread::spawn(move || {
+                for _ in 0..200 {
+                    gc.submit(
+                        |buf| buf.push(1),
+                        |payload| {
+                            total.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                            Ok(())
+                        },
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 200);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! - [`group_commit::GroupCommitter`] — the leader/follower group-commit
 //!   pipeline FloDB's write-ahead log uses so that durability batching
 //!   never re-serializes the lock-free write fast path.
+//! - [`inflight::PhasedInflight`] — a two-phase in-flight counter giving
+//!   WAL segment retirement a grace period over the logged→applied window
+//!   of each write.
 //! - [`kv`] — the common key/value byte-string representation shared by all
 //!   layers.
 
@@ -27,6 +30,7 @@
 pub mod backoff;
 pub mod flat_combining;
 pub mod group_commit;
+pub mod inflight;
 pub mod kv;
 pub mod pause;
 pub mod rcu;
@@ -35,6 +39,7 @@ pub mod seq;
 pub use backoff::Backoff;
 pub use flat_combining::WriteQueue;
 pub use group_commit::{CommitRole, GroupCommitConfig, GroupCommitter};
+pub use inflight::{InflightGuard, PhasedInflight};
 pub use pause::PauseFlag;
 pub use rcu::RcuDomain;
 pub use seq::SequenceGenerator;

@@ -343,3 +343,69 @@ fn writers_help_drain_during_scans() {
         "scan admission accounting broke"
     );
 }
+
+/// Regression: master-scan freezes must never lose concurrent writes.
+///
+/// The frozen-view race this guards against: a freeze publishes the new
+/// view (fresh Membuffer + frozen one) *before* its RCU grace period
+/// elapses, so paused writers could start claiming drain buckets while
+/// straggling writers — still inside pre-swap read sections — were adding
+/// to the frozen buffer. A straggler's entry landing in an
+/// already-claimed bucket was silently dropped with the buffer: an
+/// acknowledged write lost forever (the long-standing message_queue
+/// backlog flake). The drain now opens only after the grace period
+/// (`ImmMembuffer::open_for_drain`); this test hammers exactly that
+/// window with unique-key writers against back-to-back linearizable
+/// scans (every scan a fresh freeze) and then audits every acknowledged
+/// key.
+#[test]
+fn freezing_scans_never_lose_acknowledged_writes() {
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 30_000;
+    let mut opts = FloDbOptions::small_for_tests();
+    opts.memory_bytes = 8 * 1024 * 1024; // Keep the flush path quiet-ish.
+    opts.linearizable_scans = true; // Every scan freezes and drains.
+    let db = Arc::new(FloDb::open(opts).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let scanner = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // Narrow scans: cheap to collect, so freezes come rapid-fire.
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let lo = (n * 37) % (WRITERS * PER_WRITER);
+                let _ = db.scan(&key(lo), &key(lo + 8));
+                n += 1;
+            }
+            n
+        })
+    };
+
+    let mut writers = Vec::new();
+    for w in 0..WRITERS {
+        let db = Arc::clone(&db);
+        writers.push(std::thread::spawn(move || {
+            for i in 0..PER_WRITER {
+                let k = w * PER_WRITER + i;
+                db.put(&key(k), &k.to_le_bytes()).unwrap();
+            }
+        }));
+    }
+    for h in writers {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let scans = scanner.join().unwrap();
+    assert!(scans > 0, "the scanner must have exercised freezes");
+
+    db.quiesce();
+    for k_idx in 0..WRITERS * PER_WRITER {
+        assert_eq!(
+            db.get(&key(k_idx)),
+            Some(k_idx.to_le_bytes().to_vec()),
+            "acknowledged write {k_idx} was lost (after {scans} freezing scans)"
+        );
+    }
+}

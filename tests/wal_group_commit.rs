@@ -17,18 +17,18 @@ fn wal_opts(env: Arc<dyn Env>, group_commit: bool) -> FloDbOptions {
     opts
 }
 
-/// Replays every log file in `env`, in generation order.
+/// Replays every log segment in `env`, in generation order.
 fn replay_all(env: &dyn Env) -> Vec<Record> {
-    let mut logs: Vec<String> = env
+    let mut logs: Vec<(u64, String)> = env
         .list()
         .unwrap()
         .into_iter()
-        .filter(|n| n.ends_with(".log"))
+        .filter_map(|n| wal::parse_wal_name(&n).map(|generation| (generation, n)))
         .collect();
     logs.sort();
     let mut records = Vec::new();
-    for log in logs {
-        records.extend(wal::replay(env, &log).unwrap().0);
+    for (generation, log) in logs {
+        records.extend(wal::replay_segment(env, &log, generation).unwrap().records);
     }
     records
 }
@@ -54,7 +54,8 @@ fn records_per_frame(env: &dyn Env) -> Vec<usize> {
     for log in logs {
         let file = env.open_random(&log).unwrap();
         let data = file.read_at(0, file.len() as usize).unwrap();
-        let mut pos = 0usize;
+        // Frames start after the generation-numbered segment header.
+        let mut pos = wal::SEGMENT_HEADER_BYTES;
         while pos + 8 <= data.len() {
             let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
             assert!(pos + 8 + len <= data.len(), "torn frame in a clean log");
