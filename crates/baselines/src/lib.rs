@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 mod hash_memtable;
 mod internal_key;

@@ -133,9 +133,23 @@ pub fn help_drain_imm_via(
     style: DrainStyle,
 ) -> usize {
     let mut moved = 0;
+    // Mutation hook for the model-checker regression suite
+    // (tests/model_mutation.rs): resolve the Memtable once, outside any
+    // critical section — re-introducing the pre-PR-5 race this function's
+    // docs describe, where a persist switch lands between lookup and
+    // insert. Never set outside that suite.
+    #[cfg(flodb_model_mutation)]
+    let mtb = view.read(|v| std::sync::Arc::clone(&v.mtb));
     while let Some(chunk) = imm.tracker.claim() {
         let drained = imm.buffer.claim_bucket(chunk);
-        moved += view.read(|v| apply_batch(&imm.buffer, &v.mtb, seq, drained, style));
+        #[cfg(flodb_model_mutation)]
+        {
+            moved += apply_batch(&imm.buffer, &mtb, seq, drained, style);
+        }
+        #[cfg(not(flodb_model_mutation))]
+        {
+            moved += view.read(|v| apply_batch(&imm.buffer, &v.mtb, seq, drained, style));
+        }
         imm.tracker.finish();
     }
     moved

@@ -38,14 +38,26 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod api;
-mod drain;
 mod error;
 mod options;
 mod scan;
 mod stats;
 mod store;
+
+// Model-checker builds (`RUSTFLAGS="--cfg flodb_model"`) expose the drain
+// pipeline and the RCU view cell so tests/model*.rs in the umbrella crate
+// can drive the freeze/drain machinery under the flodb-check scheduler
+// (the loom convention). Normal builds keep them private.
+#[cfg(flodb_model)]
+pub mod drain;
+#[cfg(flodb_model)]
+pub mod view;
+#[cfg(not(flodb_model))]
+mod drain;
+#[cfg(not(flodb_model))]
 mod view;
 
 pub use api::{KvStore, ScanEntry, StoreStats, WriteBatch};

@@ -397,6 +397,8 @@ impl FloDb {
             backoff.snooze();
         }
         self.inner.force_flush.store(false, Ordering::SeqCst);
+        // PANIC-OK: explicit maintenance entry point, not the write path;
+        // a broken disk here has no caller-visible state to corrupt.
         self.inner.disk.compact_all().expect("compaction failed");
     }
 
@@ -667,6 +669,9 @@ impl FloDb {
             None => inner
                 .disk
                 .get(key)
+                // PANIC-OK: the read path has no error channel by design
+                // (ROADMAP: fallible reads ride with the async-API item);
+                // an I/O error on an in-memory env is a test-harness bug.
                 .expect("disk read failed")
                 .and_then(|r| r.value.map(Vec::from)),
         }
@@ -779,6 +784,8 @@ impl FloDb {
             }
         }
 
+        // PANIC-OK: same contract as `get` — the scan path is infallible
+        // until fallible reads land (see ROADMAP), so a disk error aborts.
         for record in inner.disk.scan(low, high).expect("disk scan failed") {
             if record.seq > scan_seq {
                 return Err(Restart);
@@ -1014,8 +1021,12 @@ fn flush_imm(inner: &Arc<Inner>, imm: &Arc<SkipList>) {
                 value: vv.value,
             })
             .collect();
+        // PANIC-OK: background flush thread, not the write path; writers
+        // were acked when their WAL frame went durable, and aborting here
+        // leaves the log intact for recovery rather than dropping data.
         inner.disk.flush_records(records).expect("flush failed");
         if inner.opts.compact_after_flush {
+            // PANIC-OK: same background thread, same recovery story.
             inner.disk.compact_all().expect("compaction failed");
         }
     }

@@ -10,13 +10,11 @@
 //! in-flight operations against the old snapshot have completed when
 //! `update` returns).
 
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
-use std::sync::Arc;
-
 use flodb_membuffer::{DrainTracker, MemBuffer};
 use flodb_memtable::SkipList;
+use flodb_sync::shim::atomic::{AtomicBool, AtomicPtr, Ordering};
+use flodb_sync::shim::{Arc, Mutex};
 use flodb_sync::RcuDomain;
-use parking_lot::Mutex;
 
 /// An immutable Membuffer being fully drained before a scan, plus the
 /// work-sharing tracker used by the master scanner and helping writers.
@@ -58,6 +56,16 @@ impl ImmMembuffer {
 
     /// Whether draining may begin (the grace period has elapsed).
     pub fn drain_ready(&self) -> bool {
+        // Mutation hook for the model-checker regression suite
+        // (tests/model_mutation.rs): pretend the gate is always open,
+        // re-introducing the pre-PR-5 lost-acked-write race where helpers
+        // claim buckets while straggler writes are still landing. Never
+        // set outside that suite.
+        #[cfg(flodb_model_mutation)]
+        {
+            return true;
+        }
+        #[cfg(not(flodb_model_mutation))]
         self.ready.load(Ordering::Acquire)
     }
 }
@@ -128,9 +136,9 @@ impl ViewCell {
     /// serialized among themselves but never block readers or writers.
     pub fn update(&self, make: impl FnOnce(&MemView) -> MemView) {
         let _switch = self.switch_lock.lock();
+        let old_ptr = self.ptr.load(Ordering::Acquire);
         // SAFETY: Only `update` (serialized by `switch_lock`) replaces the
         // pointer, and frees strictly after a grace period.
-        let old_ptr = self.ptr.load(Ordering::Acquire);
         let old = unsafe { &*old_ptr };
         let new = Box::into_raw(Box::new(make(old)));
         self.ptr.store(new, Ordering::Release);

@@ -1,8 +1,7 @@
 //! Cache-line buckets with fixed slots and a per-bucket spinlock.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-
 use crossbeam_epoch::Atomic;
+use flodb_sync::shim::atomic::{AtomicBool, AtomicU64, Ordering};
 use flodb_sync::Backoff;
 
 /// Number of entry slots per bucket.

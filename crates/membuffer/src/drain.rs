@@ -10,7 +10,7 @@
 //! indices, never in epoch-protected entry pointers, so helpers can hold a
 //! claim across arbitrarily long Memtable inserts without pinning.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use flodb_sync::shim::atomic::{AtomicUsize, Ordering};
 
 /// Divides `total` chunks of work among any number of cooperating threads.
 ///

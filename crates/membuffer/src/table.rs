@@ -12,11 +12,10 @@
 //! drain path hands out *owned clones* (key/value boxes), never raw entry
 //! pointers — see `ARCHITECTURE.md` for the invariant list.
 
-use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
-
 use crossbeam_epoch::{self as epoch, Owned};
 use crossbeam_utils::CachePadded;
 use flodb_sync::kv::key_partition;
+use flodb_sync::shim::atomic::{AtomicIsize, AtomicUsize, Ordering};
 
 use crate::bucket::{Bucket, HtEntry, SLOTS};
 use crate::drain::DrainTracker;
@@ -226,9 +225,9 @@ impl MemBuffer {
         let mut free_slot = None;
         for (i, slot) in bucket.slots.iter().enumerate() {
             let cur = slot.load(Ordering::Acquire, &guard);
+            // SAFETY: Non-null slots point to live entries; the bucket
+            // lock excludes removal while we hold it.
             match unsafe { cur.as_ref() } {
-                // SAFETY: Non-null slots point to live entries; the bucket
-                // lock excludes removal while we hold it.
                 Some(entry) => {
                     if entry.key.as_ref() == key {
                         // In-place update: replace the slot pointer with a
@@ -349,10 +348,15 @@ impl MemBuffer {
                 // still live; swap it out under the bucket lock and defer
                 // its reclamation past concurrent lock-free readers.
                 let old = slot.swap(crossbeam_epoch::Shared::null(), Ordering::AcqRel, &guard);
+                // SAFETY: `old` was just verified live under the bucket
+                // lock; the swap only unpublished it, nothing freed it.
                 let entry = unsafe { old.deref() };
                 self.bytes
                     .fetch_sub(entry.charge_bytes() as isize, Ordering::Relaxed);
                 self.entries.fetch_sub(1, Ordering::Relaxed);
+                // SAFETY: `old` is unpublished (swapped to null above), so
+                // no new reader can reach it; deferring past the current
+                // epoch covers the lock-free readers that already did.
                 unsafe { guard.defer_destroy(old) };
             }
         }

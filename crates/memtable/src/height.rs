@@ -5,7 +5,7 @@
 //! probability 1/4.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use flodb_sync::shim::atomic::{AtomicU64, Ordering};
 
 use crate::skiplist::MAX_HEIGHT;
 

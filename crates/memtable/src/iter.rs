@@ -1,6 +1,6 @@
 //! Ordered iteration over the skiplist (used by scans and by persisting).
 
-use std::sync::atomic::Ordering;
+use flodb_sync::shim::atomic::Ordering;
 
 use crossbeam_epoch::{self as epoch, Guard, Shared};
 

@@ -22,7 +22,7 @@
 //!   path) happens under a pin and dereferences only while that guard is
 //!   alive — see `ARCHITECTURE.md` for the full invariant list.
 
-use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use flodb_sync::shim::atomic::{AtomicIsize, AtomicUsize, Ordering};
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 

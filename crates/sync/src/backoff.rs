@@ -1,7 +1,6 @@
 //! Bounded exponential backoff for contended atomic loops.
 
-use std::hint;
-use std::thread;
+use crate::shim::{hint, thread};
 
 /// Number of doubling steps spent spinning before yielding to the scheduler.
 const SPIN_LIMIT: u32 = 6;
@@ -49,10 +48,20 @@ impl Backoff {
 
     /// Backs off for a failed compare-and-swap: spins exponentially but
     /// never yields, suitable for very short critical windows.
+    ///
+    /// Under `cfg(flodb_model)` the exponential spin collapses to a single
+    /// deprioritizing yield: each hint is a scheduler decision point, and
+    /// thousands of them would blow up the schedule space without adding
+    /// interleavings (the model has no cache contention to back off from).
     pub fn spin(&self) {
-        let step = self.step.get().min(SPIN_LIMIT);
-        for _ in 0..(1u32 << step) {
-            hint::spin_loop();
+        #[cfg(flodb_model)]
+        hint::spin_loop();
+        #[cfg(not(flodb_model))]
+        {
+            let step = self.step.get().min(SPIN_LIMIT);
+            for _ in 0..(1u32 << step) {
+                hint::spin_loop();
+            }
         }
         if self.step.get() <= SPIN_LIMIT {
             self.step.set(self.step.get() + 1);
@@ -60,9 +69,13 @@ impl Backoff {
     }
 
     /// Backs off while waiting for another thread to make progress: spins
-    /// first, then yields to the OS scheduler.
+    /// first, then yields to the OS scheduler. Collapses to one yield under
+    /// `cfg(flodb_model)` (see [`Backoff::spin`]).
     pub fn snooze(&self) {
         let step = self.step.get();
+        #[cfg(flodb_model)]
+        thread::yield_now();
+        #[cfg(not(flodb_model))]
         if step <= SPIN_LIMIT {
             for _ in 0..(1u32 << step) {
                 hint::spin_loop();

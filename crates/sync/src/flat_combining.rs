@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 
-use parking_lot::{Condvar, Mutex};
+use crate::shim::{Condvar, Mutex};
 
 #[derive(Debug)]
 struct Inner<T> {

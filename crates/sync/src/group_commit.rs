@@ -19,11 +19,10 @@
 
 use std::collections::HashMap;
 use std::mem;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use crate::shim::atomic::{AtomicU64, Ordering};
+use crate::shim::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Tuning knobs for a [`GroupCommitter`].
 #[derive(Debug, Clone, Copy)]
@@ -237,9 +236,9 @@ impl<E: Send + Sync> GroupCommitter<E> {
         let mut spins = 0u32;
         while self.committed.load(Ordering::Acquire) < group {
             if spins < 8 {
-                std::hint::spin_loop();
+                crate::shim::hint::spin_loop();
             } else if spins < 8 + self.cfg.follower_spin {
-                std::thread::yield_now();
+                crate::shim::thread::yield_now();
             } else {
                 break;
             }
@@ -266,7 +265,7 @@ impl<E: Send + Sync> GroupCommitter<E> {
     /// `leader_active == false`; the caller's record is already encoded.
     fn lead<'a, Commit>(
         &'a self,
-        mut state: parking_lot::MutexGuard<'a, State<E>>,
+        mut state: MutexGuard<'a, State<E>>,
         commit: Commit,
     ) -> Result<CommitRole, Arc<E>>
     where

@@ -17,9 +17,8 @@
 //! are not waited for, so the wait is bounded by the windows that were
 //! open at the flip — a true grace period, even at full write rate.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use crate::shim::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::shim::Mutex;
 
 /// A two-phase in-flight tracker; see the module docs.
 ///
@@ -86,6 +85,11 @@ impl PhasedInflight {
         let old = self.phase.fetch_add(1, Ordering::SeqCst) & 1;
         while self.counts[old].load(Ordering::SeqCst) != 0 {
             service();
+            // The service callback need not contain a yield point; under
+            // the model checker, deprioritize so the open windows can
+            // close (a plain spin would trip the step budget).
+            #[cfg(flodb_model)]
+            crate::shim::thread::yield_now();
         }
     }
 

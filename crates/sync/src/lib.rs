@@ -23,9 +23,13 @@
 //!   of each write.
 //! - [`kv`] — the common key/value byte-string representation shared by all
 //!   layers.
+//! - [`shim`] — the swappable primitives facade every concurrency-bearing
+//!   crate routes through, so `--cfg flodb_model` can swap in the
+//!   `flodb-check` model checker's instrumented types.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod backoff;
 pub mod flat_combining;
@@ -35,6 +39,7 @@ pub mod kv;
 pub mod pause;
 pub mod rcu;
 pub mod seq;
+pub mod shim;
 
 pub use backoff::Backoff;
 pub use flat_combining::WriteQueue;

@@ -10,9 +10,8 @@
 //! clears only when every pauser has resumed. A plain boolean would let
 //! one scan's `resume` release writers out from under another.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::{Condvar, Mutex};
+use crate::shim::atomic::{AtomicUsize, Ordering};
+use crate::shim::{Condvar, Mutex};
 
 /// A counting pause flag with blocking waiters.
 ///

@@ -21,13 +21,12 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
 
 use crate::backoff::Backoff;
+use crate::shim::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::shim::{Arc, Mutex};
 
 /// Epochs advance by 2 so that the low bit is free to mark "active".
 const EPOCH_STEP: u64 = 2;

@@ -7,9 +7,9 @@
 //! restart. Unlike multi-versioning, a key's sequence number is overwritten
 //! in place together with its value.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use crossbeam_utils::CachePadded;
+
+use crate::shim::atomic::{AtomicU64, Ordering};
 
 /// A monotonically increasing, shareable sequence-number source.
 ///

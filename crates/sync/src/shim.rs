@@ -1,0 +1,78 @@
+//! Swappable concurrency-primitives facade.
+//!
+//! Every lock, condvar, atomic, and thread operation in the
+//! concurrency-bearing crates (`flodb-sync`, `flodb-membuffer`,
+//! `flodb-memtable`, plus `flodb-core`'s view machinery) goes through this
+//! module instead of `std::sync` / `parking_lot` directly — enforced by
+//! `cargo xtask lint`. In normal builds the re-exports below compile to
+//! the exact same types as before (zero cost); under
+//! `RUSTFLAGS="--cfg flodb_model"` they swap to the instrumented
+//! primitives of `flodb-check`, whose scheduler explores thread
+//! interleavings deterministically (see ARCHITECTURE.md, "Verification").
+//!
+//! `Ordering` is the `std` enum in both modes, so code passes orderings
+//! unchanged; the model scheduler itself is sequentially consistent and
+//! does not explore weak-memory reorderings.
+
+#[cfg(not(flodb_model))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+#[cfg(flodb_model)]
+pub use flodb_check::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+pub use std::sync::Arc;
+
+/// Atomic types; instrumented under `cfg(flodb_model)`.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(not(flodb_model))]
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize,
+    };
+
+    #[cfg(flodb_model)]
+    pub use flodb_check::sync::atomic::{
+        fence, AtomicBool, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize,
+    };
+}
+
+/// Thread spawn/yield; model threads participate in the explored schedule.
+pub mod thread {
+    #[cfg(not(flodb_model))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(flodb_model)]
+    pub use flodb_check::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Spin-loop hint; a deprioritizing yield under the model.
+pub mod hint {
+    #[cfg(not(flodb_model))]
+    pub use std::hint::spin_loop;
+
+    #[cfg(flodb_model)]
+    pub use flodb_check::hint::spin_loop;
+}
+
+#[cfg(all(test, not(flodb_model)))]
+mod tests {
+    //! Zero-cost proof for normal builds: the facade's names are *type
+    //! identical* to the primitives they replace — `pub use`
+    //! re-exports, no wrappers — so going through the shim cannot cost
+    //! an instruction. Each binding below only compiles if the two
+    //! sides are the same type.
+
+    #[test]
+    fn shim_types_are_the_raw_types() {
+        let _: parking_lot::Mutex<u8> = super::Mutex::new(0u8);
+        let _: parking_lot::Condvar = super::Condvar::new();
+        let _: std::sync::atomic::AtomicUsize = super::atomic::AtomicUsize::new(0);
+        let _: std::sync::atomic::AtomicBool = super::atomic::AtomicBool::new(false);
+        let h: std::thread::JoinHandle<()> = super::thread::spawn(|| {});
+        h.join().unwrap();
+        let f: fn() = std::hint::spin_loop;
+        let g: fn() = super::hint::spin_loop;
+        assert_eq!(f as usize, g as usize);
+    }
+}

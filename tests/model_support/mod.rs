@@ -1,0 +1,360 @@
+//! Model-test scenario bodies shared by `tests/model.rs` (they must hold
+//! under the checker in normal builds) and `tests/model_mutation.rs`
+//! (re-enabling PR 5's freeze races via `--cfg flodb_model_mutation` must
+//! make the checker find them).
+//!
+//! Every body builds its entire world from scratch — the checker runs it
+//! once per explored schedule — and uses only `flodb_sync::shim`
+//! primitives, so each synchronization step is a scheduling decision
+//! point.
+
+// The invariant suite (tests/model.rs) and the mutation suite
+// (tests/model_mutation.rs) compile under mutually exclusive cfgs and
+// each uses a subset of these bodies.
+#![allow(dead_code)]
+
+use std::time::Duration;
+
+use flodb::core::drain::{help_drain_imm_via, DrainStyle};
+use flodb::core::view::{ImmMembuffer, MemView, ViewCell};
+use flodb::membuffer::{MemBuffer, MemBufferConfig};
+use flodb::memtable::SkipList;
+use flodb::sync::shim::atomic::{AtomicUsize, Ordering};
+use flodb::sync::shim::{thread, Arc, Mutex};
+use flodb::sync::{GroupCommitConfig, GroupCommitter, PhasedInflight, SequenceGenerator};
+
+/// One partition, one bucket (4 slots): the smallest Membuffer, so every
+/// write and every drain claim contend on the same bucket.
+fn tiny_membuffer() -> MemBuffer {
+    MemBuffer::new(MemBufferConfig {
+        partition_bits: 0,
+        buckets_per_partition: 1,
+    })
+}
+
+/// The PR 5 `open_for_drain` gate scenario (Algorithm 2 lines 12-16 vs.
+/// the freeze in Algorithm 3 lines 6-11).
+///
+/// A straggler writer is mid-`add` against the Membuffer that a master
+/// scan is freezing; a helping writer polls for a frozen buffer and helps
+/// drain it as soon as [`ImmMembuffer::drain_ready`] allows. The gate
+/// opens only after the freeze's grace period, so every straggler entry
+/// has landed before any bucket is claimed — with the gate mutated away
+/// (`--cfg flodb_model_mutation` pretends it is always open), the helper
+/// can claim the straggler's bucket *before* its entry lands, and the
+/// acknowledged write is dropped with the frozen buffer.
+pub fn freeze_gate_body() {
+    let mbf = Arc::new(tiny_membuffer());
+    let mtb = Arc::new(SkipList::new());
+    let view = Arc::new(ViewCell::new(MemView {
+        mbf: Some(Arc::clone(&mbf)),
+        imm_mbf: None,
+        mtb: Arc::clone(&mtb),
+        imm_mtb: None,
+    }));
+    let seq = Arc::new(SequenceGenerator::new());
+
+    // Straggler: an acknowledged put racing the freeze.
+    let writer = {
+        let view = Arc::clone(&view);
+        thread::spawn(move || {
+            view.read(|v| {
+                if let Some(m) = &v.mbf {
+                    m.add(b"straggler", Some(b"w"));
+                }
+            });
+        })
+    };
+
+    // Helping writer (the store's write path): helps with the draining of
+    // the immutable Membuffer once the gate allows.
+    let helper = {
+        let view = Arc::clone(&view);
+        let seq = Arc::clone(&seq);
+        thread::spawn(move || {
+            for _ in 0..2 {
+                let imm = view.read(|v| v.imm_mbf.clone());
+                if let Some(imm) = imm {
+                    if imm.drain_ready() && !imm.tracker.is_complete() {
+                        help_drain_imm_via(&imm, &view, &seq, DrainStyle::MultiInsert);
+                        return;
+                    }
+                }
+                thread::yield_now();
+            }
+        })
+    };
+
+    // The freezer (master-scan path, `freeze_and_drain_membuffer`):
+    // install a fresh Membuffer, freeze the old one — `update` waits the
+    // grace period — then open the drain and complete it.
+    view.update(|old| MemView {
+        mbf: Some(Arc::new(tiny_membuffer())),
+        imm_mbf: old
+            .mbf
+            .as_ref()
+            .map(|m| Arc::new(ImmMembuffer::new(Arc::clone(m)))),
+        ..old.clone()
+    });
+    let imm = view.read(|v| v.imm_mbf.clone()).expect("buffer was frozen");
+    imm.open_for_drain();
+    help_drain_imm_via(&imm, &view, &seq, DrainStyle::MultiInsert);
+    while !imm.tracker.is_complete() {
+        thread::yield_now();
+    }
+    writer.join().unwrap();
+    helper.join().unwrap();
+    assert_eq!(
+        imm.buffer.len(),
+        0,
+        "acknowledged write left in the dropped frozen Membuffer"
+    );
+}
+
+/// The `open_for_drain` gate, distilled: a straggler `add` racing a
+/// helper's bucket claim on a frozen Membuffer.
+///
+/// Same components and same gate as [`freeze_gate_body`], but the freeze's
+/// grace period is expressed directly — the freezer joins the straggler
+/// before opening the drain — instead of via an RCU `update`. That keeps
+/// the schedule short enough for the bounded search to cover: in
+/// [`freeze_gate_body`] the failing window hides behind ~30 consecutive
+/// scheduler choices (publish + synchronize + the helper's full view
+/// read), past what a preemption-bounded DFS or a random walk reaches in
+/// CI-sized budgets. Here the claim/add race *is* the whole trace, so the
+/// mutation suite can assert the checker finds it.
+pub fn gate_claim_body() {
+    let mbf = Arc::new(tiny_membuffer());
+    let mtb = Arc::new(SkipList::new());
+    let view = Arc::new(ViewCell::new(MemView {
+        mbf: None,
+        imm_mbf: None,
+        mtb: Arc::clone(&mtb),
+        imm_mtb: None,
+    }));
+    let imm = Arc::new(ImmMembuffer::new(Arc::clone(&mbf)));
+    let seq = Arc::new(SequenceGenerator::new());
+
+    // Straggler: an acknowledged put still in flight against the frozen
+    // buffer.
+    let straggler = {
+        let mbf = Arc::clone(&mbf);
+        thread::spawn(move || {
+            mbf.add(b"straggler", Some(b"w"));
+        })
+    };
+
+    // Helping writer: claims buckets as soon as the gate allows.
+    let helper = {
+        let imm = Arc::clone(&imm);
+        let view = Arc::clone(&view);
+        let seq = Arc::clone(&seq);
+        thread::spawn(move || {
+            if imm.drain_ready() && !imm.tracker.is_complete() {
+                help_drain_imm_via(&imm, &view, &seq, DrainStyle::MultiInsert);
+            }
+        })
+    };
+
+    // Freezer: the grace period — every in-flight write has landed — then
+    // open the gate and complete the drain.
+    straggler.join().unwrap();
+    imm.open_for_drain();
+    help_drain_imm_via(&imm, &view, &seq, DrainStyle::MultiInsert);
+    helper.join().unwrap();
+    assert!(imm.tracker.is_complete());
+    assert_eq!(
+        imm.buffer.len(),
+        0,
+        "acknowledged write left in the dropped frozen Membuffer"
+    );
+}
+
+/// The PR 5 stale-Memtable scenario: a cooperative drain racing a persist
+/// switch.
+///
+/// [`help_drain_imm_via`] resolves the target Memtable *inside each
+/// chunk's read-side critical section*, so a persist switch either waits
+/// for the in-flight chunk (grace period) or routes later chunks to the
+/// fresh table. Mutated (`--cfg flodb_model_mutation` resolves the table
+/// once up front), the switch can land between lookup and insert: the
+/// batch goes into the immutable table *after* its flush collected
+/// entries, and is dropped with it.
+pub fn persist_switch_body() {
+    let mbf = Arc::new(tiny_membuffer());
+    mbf.add(b"acked", Some(b"w"));
+    let imm = Arc::new(ImmMembuffer::new(Arc::clone(&mbf)));
+    imm.open_for_drain(); // Legitimately open: the freeze finished long ago.
+    let old_mtb = Arc::new(SkipList::new());
+    let view = Arc::new(ViewCell::new(MemView {
+        mbf: None,
+        imm_mbf: Some(Arc::clone(&imm)),
+        mtb: Arc::clone(&old_mtb),
+        imm_mtb: None,
+    }));
+    let seq = Arc::new(SequenceGenerator::new());
+
+    let helper = {
+        let imm = Arc::clone(&imm);
+        let view = Arc::clone(&view);
+        let seq = Arc::clone(&seq);
+        thread::spawn(move || help_drain_imm_via(&imm, &view, &seq, DrainStyle::MultiInsert))
+    };
+
+    // Persist switch: swap in a fresh Memtable, "flush" the old one,
+    // release it (persist_once's shape, minus the disk).
+    let new_mtb = Arc::new(SkipList::new());
+    view.update(|old| MemView {
+        mtb: Arc::clone(&new_mtb),
+        imm_mtb: Some(Arc::clone(&old.mtb)),
+        ..old.clone()
+    });
+    let flushed = old_mtb.get(b"acked").is_some();
+    view.update(|old| MemView {
+        imm_mtb: None,
+        ..old.clone()
+    });
+
+    helper.join().unwrap();
+    assert!(
+        flushed || new_mtb.get(b"acked").is_some(),
+        "acknowledged write missed both the flush and the live Memtable"
+    );
+}
+
+/// Group outcome broadcast: no submitter returns before its record is
+/// durable-ordered in the log, whether it led or followed.
+pub fn group_commit_broadcast_body() {
+    let log = Arc::new(Mutex::new(Vec::<u8>::new()));
+    let gc: Arc<GroupCommitter<String>> = Arc::new(GroupCommitter::new(GroupCommitConfig {
+        max_group_bytes: 1024,
+        frame_prefix: 0,
+        max_group_wait: Duration::ZERO,
+        follower_spin: 0,
+    }));
+    let handles: Vec<_> = [b'a', b'b']
+        .into_iter()
+        .map(|rec| {
+            let gc = Arc::clone(&gc);
+            let log = Arc::clone(&log);
+            thread::spawn(move || {
+                gc.submit(
+                    |buf| buf.push(rec),
+                    |payload| {
+                        log.lock().extend_from_slice(payload);
+                        Ok(())
+                    },
+                )
+                .expect("commit cannot fail here");
+                assert!(
+                    log.lock().contains(&rec),
+                    "submit returned before its record was committed"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(log.lock().len(), 2, "every record committed exactly once");
+}
+
+/// Error broadcast: when a group's commit fails, **every** member of that
+/// group observes the shared error — no record of a failed group is acked.
+pub fn group_commit_error_body() {
+    let gc: Arc<GroupCommitter<String>> = Arc::new(GroupCommitter::new(GroupCommitConfig {
+        max_group_bytes: 1024,
+        frame_prefix: 0,
+        max_group_wait: Duration::ZERO,
+        follower_spin: 0,
+    }));
+    let handles: Vec<_> = (0..2u8)
+        .map(|rec| {
+            let gc = Arc::clone(&gc);
+            thread::spawn(move || {
+                gc.submit(|buf| buf.push(rec), |_| Err("disk on fire".to_string()))
+            })
+        })
+        .collect();
+    for h in handles {
+        let res = h.join().unwrap();
+        let err = res.expect_err("a failed group must fail every member");
+        assert_eq!(*err, "disk on fire");
+    }
+}
+
+/// `PhasedInflight` grace coverage: after `quiesce_with` returns, every
+/// write logged before the quiesce began has also been applied — the
+/// property WAL segment retirement stands on.
+pub fn inflight_grace_body() {
+    let inflight = Arc::new(PhasedInflight::new());
+    let logged = Arc::new(AtomicUsize::new(0));
+    let applied = Arc::new(AtomicUsize::new(0));
+    let writers: Vec<_> = (0..2)
+        .map(|_| {
+            let inflight = Arc::clone(&inflight);
+            let logged = Arc::clone(&logged);
+            let applied = Arc::clone(&applied);
+            thread::spawn(move || {
+                let g = inflight.enter(); // window opens
+                logged.fetch_add(1, Ordering::SeqCst); // record hits the WAL
+                thread::yield_now(); // group-commit parking, room stalls...
+                applied.fetch_add(1, Ordering::SeqCst); // lands in memory
+                drop(g); // window closes
+            })
+        })
+        .collect();
+    let logged_before = logged.load(Ordering::SeqCst);
+    inflight.quiesce_with(|| {});
+    assert!(
+        applied.load(Ordering::SeqCst) >= logged_before,
+        "grace period missed a logged-but-unapplied window"
+    );
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert_eq!(inflight.open_windows(), 0);
+}
+
+/// RCU grace periods on the view cell: `update` never returns while a
+/// reader of the *old* view is still inside its critical section — the
+/// reader's insert must be visible in the frozen table by the time the
+/// switch completes (readers never observe, or mutate, a collected view).
+pub fn rcu_view_switch_body() {
+    let old_mtb = Arc::new(SkipList::new());
+    let view = Arc::new(ViewCell::new(MemView {
+        mbf: None,
+        imm_mbf: None,
+        mtb: Arc::clone(&old_mtb),
+        imm_mtb: None,
+    }));
+    let reader = {
+        let view = Arc::clone(&view);
+        let old_mtb = Arc::clone(&old_mtb);
+        thread::spawn(move || {
+            view.read(|v| {
+                let saw_old = Arc::ptr_eq(&v.mtb, &old_mtb);
+                thread::yield_now(); // stretch the critical section
+                v.mtb.insert(b"r", Some(b"1"), 7);
+                saw_old
+            })
+        })
+    };
+    let new_mtb = Arc::new(SkipList::new());
+    view.update(|old| MemView {
+        mtb: Arc::clone(&new_mtb),
+        imm_mtb: Some(Arc::clone(&old.mtb)),
+        ..old.clone()
+    });
+    // Snapshot *at the moment update returned*: the grace guarantee.
+    let old_len_at_return = old_mtb.len();
+    let saw_old = reader.join().unwrap();
+    if saw_old {
+        assert_eq!(
+            old_len_at_return, 1,
+            "update returned while a reader of the old view was mid-insert"
+        );
+    } else {
+        assert_eq!(new_mtb.len(), 1, "the reader of the new view inserted there");
+    }
+}

@@ -46,6 +46,7 @@
 //! is a shim-only observability hook with no crossbeam equivalent.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
@@ -106,6 +107,8 @@ impl<T> Pointer<T> for Owned<T> {
         raw
     }
 
+    // SAFETY: per the `Pointer::from_ptr` contract, `raw` came from
+    // `Owned::into_ptr`, so it is a live, uniquely-owned allocation.
     unsafe fn from_ptr(raw: *mut T) -> Self {
         Self {
             raw,
@@ -180,7 +183,8 @@ impl<'g, T> Shared<'g, T> {
     /// # Safety
     /// The pointee must be alive and no mutable reference to it may exist.
     pub unsafe fn deref(&self) -> &'g T {
-        &*self.raw
+        // SAFETY: Liveness and aliasing are the caller's contract above.
+        unsafe { &*self.raw }
     }
 
     /// Converts to a reference, `None` when null.
@@ -188,7 +192,8 @@ impl<'g, T> Shared<'g, T> {
     /// # Safety
     /// As for [`Shared::deref`].
     pub unsafe fn as_ref(&self) -> Option<&'g T> {
-        self.raw.as_ref()
+        // SAFETY: Liveness and aliasing are the caller's contract above.
+        unsafe { self.raw.as_ref() }
     }
 
     /// Takes ownership of the pointee.
@@ -196,7 +201,9 @@ impl<'g, T> Shared<'g, T> {
     /// # Safety
     /// The caller must hold the only remaining pointer to the allocation.
     pub unsafe fn into_owned(self) -> Owned<T> {
-        Owned::from_ptr(self.raw as *mut T)
+        // SAFETY: The caller vouches this is the last pointer (contract
+        // above), satisfying `from_ptr`'s uniqueness requirement.
+        unsafe { Owned::from_ptr(self.raw as *mut T) }
     }
 }
 
@@ -205,6 +212,8 @@ impl<'g, T> Pointer<T> for Shared<'g, T> {
         self.raw as *mut T
     }
 
+    // SAFETY: per the `Pointer::from_ptr` contract, `raw` came from
+    // `into_ptr`; `Shared` only copies the borrow — no ownership assumed.
     unsafe fn from_ptr(raw: *mut T) -> Self {
         Self {
             raw,
@@ -346,7 +355,9 @@ impl<T> Atomic<T> {
     /// The caller must have exclusive access and the pointer must be
     /// non-null.
     pub unsafe fn into_owned(self) -> Owned<T> {
-        Owned::from_ptr(self.ptr.into_inner())
+        // SAFETY: Exclusive access and non-null are the caller's contract
+        // above, satisfying `from_ptr`'s uniqueness requirement.
+        unsafe { Owned::from_ptr(self.ptr.into_inner()) }
     }
 }
 
@@ -415,9 +426,9 @@ impl Deferred {
         Self {
             // SAFETY: Only the lifetime is transmuted; the caller vouches
             // for the closure staying valid until it runs.
-            call: std::mem::transmute::<Box<dyn FnOnce() + '_>, Box<dyn FnOnce() + 'static>>(
-                boxed,
-            ),
+            call: unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + '_>, Box<dyn FnOnce() + 'static>>(boxed)
+            },
         }
     }
 
@@ -732,7 +743,10 @@ impl Guard {
         if raw.is_null() {
             return;
         }
-        self.defer_unchecked(move || drop(Box::from_raw(raw)));
+        // SAFETY: `defer_destroy`'s contract (the pointee is unreachable
+        // to new readers) is exactly `defer_unchecked`'s; `raw` came from
+        // `Owned::new`'s `Box`, so reconstituting it at drop time is sound.
+        unsafe { self.defer_unchecked(move || drop(Box::from_raw(raw))) };
     }
 
     /// Defers execution of `f` until a grace period has elapsed. On the
@@ -744,7 +758,9 @@ impl Guard {
     /// crossbeam's `Guard::defer_unchecked`).
     pub unsafe fn defer_unchecked<F: FnOnce()>(&self, f: F) {
         match &self.local {
-            Some(local) => local.defer(Deferred::new(f)),
+            // SAFETY: `Deferred::new` erases `f`'s lifetime; our own
+            // contract above guarantees `f` stays sound until it runs.
+            Some(local) => local.defer(unsafe { Deferred::new(f) }),
             None => {
                 // Unprotected: by contract the caller has exclusive access,
                 // so there is no grace period to wait for.
@@ -854,9 +870,9 @@ mod tests {
         let a = Atomic::new(41u64);
         let guard = pin();
         let s = a.load(Ordering::Acquire, &guard);
-        assert_eq!(unsafe { *s.deref() }, 41);
+        assert_eq!(unsafe { *s.deref() }, 41); // SAFETY: loaded under the live pin.
         drop(guard);
-        drop(unsafe { a.into_owned() });
+        drop(unsafe { a.into_owned() }); // SAFETY: test is sole owner, no guards left.
     }
 
     #[test]
@@ -872,7 +888,7 @@ mod tests {
             Ok(s) => s,
             Err(_) => panic!("CAS from null must win"),
         };
-        assert_eq!(unsafe { *installed.deref() }, 7);
+        assert_eq!(unsafe { *installed.deref() }, 7); // SAFETY: loaded under the live pin.
 
         let lost =
             a.compare_exchange(null, Owned::new(8), Ordering::SeqCst, Ordering::Acquire, &guard);
@@ -880,10 +896,10 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("CAS from stale expected must fail"),
         };
-        assert_eq!(unsafe { *err.current.deref() }, 7);
+        assert_eq!(unsafe { *err.current.deref() }, 7); // SAFETY: loaded under the live pin.
         assert_eq!(*err.new, 8); // ownership handed back
         drop(guard);
-        drop(unsafe { a.into_owned() });
+        drop(unsafe { a.into_owned() }); // SAFETY: test is sole owner, no guards left.
     }
 
     #[test]
@@ -891,10 +907,11 @@ mod tests {
         let a = Atomic::new(1u32);
         let guard = pin();
         let prev = a.swap(Owned::new(2), Ordering::AcqRel, &guard);
-        assert_eq!(unsafe { *prev.deref() }, 1);
+        assert_eq!(unsafe { *prev.deref() }, 1); // SAFETY: loaded under the live pin.
+        // SAFETY: `prev` was unpublished by the swap; defer covers readers.
         unsafe { guard.defer_destroy(prev) };
         drop(guard);
-        drop(unsafe { a.into_owned() });
+        drop(unsafe { a.into_owned() }); // SAFETY: test is sole owner, no guards left.
     }
 
     /// A value whose drop is observable through a shared counter.
@@ -974,6 +991,7 @@ mod tests {
                 Ordering::AcqRel,
                 &guard,
             );
+            // SAFETY: `old` was unpublished by the swap; defer covers readers.
             unsafe { guard.defer_destroy(old) };
             guard.flush();
             drop(guard);
@@ -989,6 +1007,7 @@ mod tests {
         reader.join().unwrap();
         pump_until(&drops, 1);
         assert_eq!(drops.load(Ordering::SeqCst), 1);
+        // SAFETY: the reader joined; this thread is the sole owner.
         drop(unsafe { Arc::try_unwrap(cell).ok().unwrap().into_owned() });
     }
 

@@ -1,0 +1,14 @@
+//! Model-aware `spin_loop`.
+
+use crate::sched;
+
+/// Spin-loop hint. Inside a model run this is a deprioritizing yield
+/// (identical to [`crate::thread::yield_now`]) so that busy-wait loops
+/// terminate under exploration instead of livelocking the serial
+/// scheduler; outside, it is `std::hint::spin_loop`.
+pub fn spin_loop() {
+    match sched::current() {
+        Some((exec, me)) => exec.yield_point(me, "hint::spin_loop"),
+        None => std::hint::spin_loop(),
+    }
+}

@@ -1,0 +1,984 @@
+//! The serial token-passing scheduler at the heart of the model checker.
+//!
+//! An [`Execution`] runs a test body on real OS threads but lets only one
+//! thread make progress at a time: every instrumented operation (atomic
+//! access, lock acquire, condvar wait, spawn, yield) is a *decision point*
+//! where the scheduler picks which runnable thread holds the token next.
+//! Because the choice sequence fully determines the interleaving, a run is
+//! replayable from its recorded decision script, and the space of
+//! interleavings can be explored systematically (DFS with bounded
+//! preemptions) or probabilistically (seeded xorshift random walks).
+//!
+//! Design notes:
+//!
+//! - Threads hand the token over via one `std::sync::Mutex` + `Condvar`
+//!   pair owned by the execution. A thread parked at a decision point waits
+//!   until `current == its id`.
+//! - `yield_now` (and `spin_loop`) mark the caller *Yielded*: it is not
+//!   schedulable again until some other thread has run, which makes
+//!   spin-wait loops terminate under exhaustive exploration (the loom
+//!   trick).
+//! - Timed condvar waits are modeled as *timeout-eligible*: the waiter
+//!   times out only when nothing else can run, so schedules stay finite
+//!   without modeling wall-clock time.
+//! - A panic in any model thread (assertion failure) or a state where no
+//!   thread can run (deadlock) aborts the run and reports the decision
+//!   script that led there.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, OnceLock, PoisonError};
+
+/// Sentinel "no thread holds the token" value for `Shared::current`.
+const NOBODY: usize = usize::MAX;
+
+/// Global source of model-object ids (mutexes, condvars). Globally unique
+/// ids let `static` model mutexes be reused across executions: each
+/// execution lazily creates per-id state in a map keyed by these ids.
+static NEXT_OBJECT_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Allocates a fresh id for a model mutex or condvar.
+pub(crate) fn next_object_id() -> usize {
+    NEXT_OBJECT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The execution the current OS thread belongs to, if it is a model
+    /// thread inside a run. `None` means primitives pass through to std.
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Returns the current thread's execution context, if any.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(ctx: Option<(Arc<Execution>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Why a run ended unsuccessfully.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure in the test body).
+    Panic(String),
+    /// No thread was runnable, yielded, or timeout-eligible.
+    Deadlock,
+    /// The run exceeded the per-run step budget (likely livelock).
+    StepBudget(usize),
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic(msg) => write!(f, "thread panicked: {msg}"),
+            FailureKind::Deadlock => write!(f, "deadlock: no thread can make progress"),
+            FailureKind::StepBudget(n) => {
+                write!(f, "step budget exhausted after {n} steps (livelock?)")
+            }
+        }
+    }
+}
+
+/// One scheduling decision: which thread got the token at a branch point
+/// where more than one thread was eligible.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Thread ids that were eligible to run, ascending.
+    pub options: Vec<usize>,
+    /// Index into `options` that was chosen.
+    pub chosen: usize,
+    /// The thread that held the token when the decision was made.
+    pub running: usize,
+}
+
+/// One entry in the operation trace (for failure reports).
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Thread that performed the operation.
+    pub tid: usize,
+    /// Static label, e.g. `"Mutex::lock"`.
+    pub label: &'static str,
+    /// Object id the operation touched, or `usize::MAX` if none.
+    pub obj: usize,
+}
+
+/// A failed run: the failure kind plus everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Zero-based iteration at which the failure was found.
+    pub iteration: usize,
+    /// Seed of the failing iteration (random strategy only).
+    pub seed: Option<u64>,
+    /// Replayable schedule: `chosen` index of every multi-option decision.
+    pub schedule: Vec<usize>,
+    /// Trailing operation trace of the failing run.
+    pub trace: Vec<Event>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model check failed: {}", self.kind)?;
+        writeln!(f, "  iteration: {}", self.iteration)?;
+        if let Some(seed) = self.seed {
+            writeln!(f, "  seed: {seed:#x}")?;
+        }
+        writeln!(
+            f,
+            "  schedule (replay with Builder::replay): {:?}",
+            self.schedule
+        )?;
+        writeln!(f, "  last {} operations:", self.trace.len().min(40))?;
+        let start = self.trace.len().saturating_sub(40);
+        for ev in &self.trace[start..] {
+            if ev.obj == usize::MAX {
+                writeln!(f, "    [t{}] {}", ev.tid, ev.label)?;
+            } else {
+                writeln!(f, "    [t{}] {} (#{})", ev.tid, ev.label, ev.obj)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Summary of a successful check.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub iterations: usize,
+    /// Whether the DFS strategy proved the bounded space exhausted
+    /// (always `false` for the random strategy).
+    pub exhausted: bool,
+}
+
+/// How to explore the schedule space.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Seeded pseudo-random walks; iteration `i` uses `seed + i`.
+    Random {
+        /// Number of schedules to run.
+        iterations: usize,
+        /// Base seed; each iteration perturbs it deterministically.
+        seed: u64,
+    },
+    /// Depth-first enumeration of schedules with at most `max_preemptions`
+    /// preemptive context switches per schedule, capped at
+    /// `max_iterations` runs.
+    Dfs {
+        /// Preemption bound (non-preemptive switches are always free).
+        max_preemptions: usize,
+        /// Hard cap on schedules executed.
+        max_iterations: usize,
+    },
+    /// Replay one exact schedule (from [`Failure::schedule`]).
+    Replay(Vec<usize>),
+}
+
+/// What the scheduler consults when more than one thread is eligible.
+enum Chooser {
+    /// Follow the script; after it is exhausted, prefer the running
+    /// thread (non-preemptive baseline), else the lowest eligible id.
+    Script(Vec<usize>),
+    /// Seeded xorshift.
+    Random(XorShift),
+}
+
+/// Minimal xorshift64* PRNG — deterministic, no external deps.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point.
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Run state of one model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Called `yield_now`/`spin_loop`; eligible only after someone else
+    /// runs (or nothing else can).
+    Yielded,
+    /// Waiting to acquire the mutex with this id.
+    BlockedMutex(usize),
+    /// Waiting on a condvar; must reacquire `mutex` when woken.
+    BlockedCondvar {
+        /// Condvar object id.
+        cv: usize,
+        /// Mutex to reacquire on wakeup.
+        mutex: usize,
+        /// Whether the wait had a timeout (may be woken spuriously by the
+        /// scheduler when nothing else can run).
+        timeout_ok: bool,
+    },
+    /// Woken from a condvar, waiting to reacquire the mutex.
+    Reacquiring(usize),
+    /// Waiting for the thread with this id to finish.
+    BlockedJoin(usize),
+    /// Done (body returned or panicked).
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadSlot {
+    state: RunState,
+    /// Set when a timed condvar wait was ended by the model "timeout".
+    wait_timed_out: bool,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    owner: Option<usize>,
+}
+
+/// Outcome of a single run, reported to the controller.
+struct RunOutcome {
+    failure: Option<FailureKind>,
+    decisions: Vec<Decision>,
+    trace: Vec<Event>,
+}
+
+struct Shared {
+    threads: Vec<ThreadSlot>,
+    /// Thread currently holding the token ([`NOBODY`] once the run ends).
+    current: usize,
+    chooser: Chooser,
+    decisions: Vec<Decision>,
+    trace: Vec<Event>,
+    steps: usize,
+    max_steps: usize,
+    mutexes: HashMap<usize, MutexState>,
+    outcome: Option<RunOutcome>,
+}
+
+/// One model-checked run of the test body. See module docs.
+pub(crate) struct Execution {
+    shared: StdMutex<Shared>,
+    cv: StdCondvar,
+}
+
+impl Execution {
+    fn new(chooser: Chooser, max_steps: usize) -> Self {
+        Self {
+            shared: StdMutex::new(Shared {
+                threads: vec![ThreadSlot {
+                    state: RunState::Runnable,
+                    wait_timed_out: false,
+                }],
+                current: 0,
+                chooser,
+                decisions: Vec::new(),
+                trace: Vec::new(),
+                steps: 0,
+                max_steps,
+                mutexes: HashMap::new(),
+                outcome: None,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_shared(&self) -> std::sync::MutexGuard<'_, Shared> {
+        self.shared.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records an operation, charges a step, and if the budget is blown
+    /// fails the run.
+    fn note_op(shared: &mut Shared, me: usize, label: &'static str, obj: usize) -> bool {
+        shared.trace.push(Event {
+            tid: me,
+            label,
+            obj,
+        });
+        shared.steps += 1;
+        if shared.steps > shared.max_steps {
+            let budget = shared.max_steps;
+            Self::finish_run(shared, Some(FailureKind::StepBudget(budget)));
+            return false;
+        }
+        true
+    }
+
+    /// Ends the run, recording the outcome for the controller.
+    fn finish_run(shared: &mut Shared, failure: Option<FailureKind>) {
+        if shared.outcome.is_some() {
+            return;
+        }
+        shared.current = NOBODY;
+        shared.outcome = Some(RunOutcome {
+            failure,
+            decisions: std::mem::take(&mut shared.decisions),
+            trace: std::mem::take(&mut shared.trace),
+        });
+    }
+
+    /// Computes the eligible thread set (ascending ids).
+    fn eligible(shared: &Shared) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (tid, slot) in shared.threads.iter().enumerate() {
+            let ok = match slot.state {
+                RunState::Runnable => true,
+                RunState::BlockedMutex(m) | RunState::Reacquiring(m) => shared
+                    .mutexes
+                    .get(&m)
+                    .is_none_or(|s| s.owner.is_none()),
+                RunState::BlockedJoin(t) => shared.threads[t].state == RunState::Finished,
+                _ => false,
+            };
+            if ok {
+                out.push(tid);
+            }
+        }
+        out
+    }
+
+    /// Picks the next thread to run and hands it the token. Must be called
+    /// with the caller's own new state already stored in its slot. Returns
+    /// after updating `shared.current` (possibly to the caller itself).
+    fn schedule(&self, shared: &mut Shared, me: usize) {
+        if shared.outcome.is_some() {
+            return;
+        }
+        let mut cands = Self::eligible(shared);
+
+        // Nothing plainly runnable: un-yield everyone and retry.
+        if cands.is_empty() {
+            for slot in &mut shared.threads {
+                if slot.state == RunState::Yielded {
+                    slot.state = RunState::Runnable;
+                }
+            }
+            cands = Self::eligible(shared);
+        }
+
+        // Still nothing: fire model "timeouts" on timed condvar waits,
+        // lowest tid first, until something becomes eligible.
+        if cands.is_empty() {
+            loop {
+                let victim = shared.threads.iter().position(|s| {
+                    matches!(
+                        s.state,
+                        RunState::BlockedCondvar {
+                            timeout_ok: true,
+                            ..
+                        }
+                    )
+                });
+                match victim {
+                    Some(tid) => {
+                        if let RunState::BlockedCondvar { mutex, .. } = shared.threads[tid].state {
+                            shared.threads[tid].state = RunState::Reacquiring(mutex);
+                            shared.threads[tid].wait_timed_out = true;
+                        }
+                        cands = Self::eligible(shared);
+                        if !cands.is_empty() {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        if cands.is_empty() {
+            let all_done = shared
+                .threads
+                .iter()
+                .all(|s| s.state == RunState::Finished);
+            let failure = if all_done {
+                None
+            } else {
+                Some(FailureKind::Deadlock)
+            };
+            Self::finish_run(shared, failure);
+            self.cv.notify_all();
+            return;
+        }
+
+        // Normalize the option order so the non-preemptive baseline — keep
+        // the running thread going if it is still eligible, else lowest id —
+        // is always index 0. The DFS backtracker enumerates untried siblings
+        // as `chosen + 1 ..`, which is only exhaustive if the first visit to
+        // every fresh decision picks index 0; with the running thread left
+        // mid-list, lower-indexed siblings would never be explored.
+        if let Some(pos) = cands.iter().position(|&t| t == me) {
+            cands[..=pos].rotate_right(1);
+        }
+
+        // Choose among the candidates.
+        let chosen_idx = if cands.len() == 1 {
+            0
+        } else {
+            let idx = match &mut shared.chooser {
+                Chooser::Script(script) => {
+                    let pos = shared.decisions.len();
+                    if pos < script.len() {
+                        script[pos].min(cands.len() - 1)
+                    } else {
+                        0 // The baseline: index 0 by construction above.
+                    }
+                }
+                Chooser::Random(rng) => (rng.next() % cands.len() as u64) as usize,
+            };
+            shared.decisions.push(Decision {
+                options: cands.clone(),
+                chosen: idx,
+                running: me,
+            });
+            idx
+        };
+        let next = cands[chosen_idx];
+
+        // Someone is about to run: threads that yielded become eligible
+        // again for future decisions.
+        for (tid, slot) in shared.threads.iter_mut().enumerate() {
+            if tid != next && slot.state == RunState::Yielded {
+                slot.state = RunState::Runnable;
+            }
+        }
+
+        // Prepare the chosen thread.
+        match shared.threads[next].state {
+            RunState::BlockedMutex(m) | RunState::Reacquiring(m) => {
+                shared.mutexes.entry(m).or_default().owner = Some(next);
+                shared.threads[next].state = RunState::Runnable;
+            }
+            RunState::BlockedJoin(_) | RunState::Yielded => {
+                shared.threads[next].state = RunState::Runnable;
+            }
+            RunState::Runnable => {}
+            RunState::BlockedCondvar { .. } | RunState::Finished => {
+                unreachable!("ineligible thread chosen")
+            }
+        }
+        shared.current = next;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until this thread holds the token again (or forever if the
+    /// run ended without it).
+    fn park(&self, mut shared: std::sync::MutexGuard<'_, Shared>, me: usize) {
+        while shared.current != me {
+            shared = self
+                .cv
+                .wait(shared)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A plain decision point: the calling thread stays runnable and the
+    /// scheduler may keep it running or switch.
+    pub(crate) fn op_point(self: &Arc<Self>, me: usize, label: &'static str, obj: usize) {
+        let mut shared = self.lock_shared();
+        if !Self::note_op(&mut shared, me, label, obj) {
+            self.cv.notify_all();
+            self.park(shared, me);
+            return;
+        }
+        self.schedule(&mut shared, me);
+        self.park(shared, me);
+    }
+
+    /// `yield_now` / `spin_loop`: deprioritize the caller.
+    pub(crate) fn yield_point(self: &Arc<Self>, me: usize, label: &'static str) {
+        let mut shared = self.lock_shared();
+        if !Self::note_op(&mut shared, me, label, usize::MAX) {
+            self.cv.notify_all();
+            self.park(shared, me);
+            return;
+        }
+        shared.threads[me].state = RunState::Yielded;
+        self.schedule(&mut shared, me);
+        self.park(shared, me);
+    }
+
+    /// Acquires model ownership of mutex `id`, blocking if held.
+    pub(crate) fn lock_mutex(self: &Arc<Self>, me: usize, id: usize) {
+        let mut shared = self.lock_shared();
+        if !Self::note_op(&mut shared, me, "Mutex::lock", id) {
+            self.cv.notify_all();
+            self.park(shared, me);
+            return;
+        }
+        let state = shared.mutexes.entry(id).or_default();
+        if state.owner.is_none() {
+            // Free: contend for it like everyone else at a decision point —
+            // block, then let the scheduler hand it to whichever eligible
+            // thread it picks (possibly us).
+        }
+        shared.threads[me].state = RunState::BlockedMutex(id);
+        self.schedule(&mut shared, me);
+        self.park(shared, me);
+        // When rescheduled, `schedule` has set owner = me.
+    }
+
+    /// Attempts to acquire mutex `id` without blocking.
+    pub(crate) fn try_lock_mutex(self: &Arc<Self>, me: usize, id: usize) -> bool {
+        let mut shared = self.lock_shared();
+        if !Self::note_op(&mut shared, me, "Mutex::try_lock", id) {
+            self.cv.notify_all();
+            self.park(shared, me);
+            return false;
+        }
+        let state = shared.mutexes.entry(id).or_default();
+        let got = if state.owner.is_none() {
+            state.owner = Some(me);
+            true
+        } else {
+            false
+        };
+        self.schedule(&mut shared, me);
+        self.park(shared, me);
+        got
+    }
+
+    /// Releases model ownership of mutex `id`.
+    pub(crate) fn unlock_mutex(self: &Arc<Self>, me: usize, id: usize) {
+        let mut shared = self.lock_shared();
+        if shared.outcome.is_some() {
+            return;
+        }
+        let state = shared.mutexes.entry(id).or_default();
+        debug_assert_eq!(state.owner, Some(me), "unlock by non-owner");
+        state.owner = None;
+        if !Self::note_op(&mut shared, me, "Mutex::unlock", id) {
+            self.cv.notify_all();
+            self.park(shared, me);
+            return;
+        }
+        self.schedule(&mut shared, me);
+        self.park(shared, me);
+    }
+
+    /// Condvar wait: atomically releases `mutex`, blocks on `cv`, and on
+    /// wakeup reacquires `mutex` before returning. Returns whether the
+    /// wait ended via the model timeout.
+    pub(crate) fn condvar_wait(
+        self: &Arc<Self>,
+        me: usize,
+        cv: usize,
+        mutex: usize,
+        timeout_ok: bool,
+    ) -> bool {
+        let mut shared = self.lock_shared();
+        if !Self::note_op(&mut shared, me, "Condvar::wait", cv) {
+            self.cv.notify_all();
+            self.park(shared, me);
+            return false;
+        }
+        let state = shared.mutexes.entry(mutex).or_default();
+        debug_assert_eq!(state.owner, Some(me), "condvar wait without the lock");
+        state.owner = None;
+        shared.threads[me].wait_timed_out = false;
+        shared.threads[me].state = RunState::BlockedCondvar {
+            cv,
+            mutex,
+            timeout_ok,
+        };
+        self.schedule(&mut shared, me);
+        self.park(shared, me);
+        let mut shared = self.lock_shared();
+        let timed_out = shared.threads[me].wait_timed_out;
+        shared.threads[me].wait_timed_out = false;
+        timed_out
+    }
+
+    /// Wakes waiters on condvar `id`. `all` wakes every waiter; otherwise
+    /// the lowest-id waiter (deterministic). Returns the number woken.
+    pub(crate) fn condvar_notify(self: &Arc<Self>, me: usize, id: usize, all: bool) -> usize {
+        let mut shared = self.lock_shared();
+        if !Self::note_op(
+            &mut shared,
+            me,
+            if all {
+                "Condvar::notify_all"
+            } else {
+                "Condvar::notify_one"
+            },
+            id,
+        ) {
+            self.cv.notify_all();
+            self.park(shared, me);
+            return 0;
+        }
+        let mut woken = 0;
+        for slot in shared.threads.iter_mut() {
+            if let RunState::BlockedCondvar { cv, mutex, .. } = slot.state {
+                if cv == id {
+                    slot.state = RunState::Reacquiring(mutex);
+                    slot.wait_timed_out = false;
+                    woken += 1;
+                    if !all {
+                        break;
+                    }
+                }
+            }
+        }
+        self.schedule(&mut shared, me);
+        self.park(shared, me);
+        woken
+    }
+
+    /// Registers a new model thread (runnable immediately) and returns its
+    /// id. The caller then spawns the OS thread and hits a decision point.
+    pub(crate) fn register_thread(self: &Arc<Self>) -> usize {
+        let mut shared = self.lock_shared();
+        shared.threads.push(ThreadSlot {
+            state: RunState::Runnable,
+            wait_timed_out: false,
+        });
+        shared.threads.len() - 1
+    }
+
+    /// First park of a freshly spawned model thread: waits to be scheduled
+    /// for the first time.
+    pub(crate) fn initial_park(self: &Arc<Self>, me: usize) {
+        let shared = self.lock_shared();
+        self.park(shared, me);
+    }
+
+    /// Blocks until thread `target` finishes.
+    pub(crate) fn join_thread(self: &Arc<Self>, me: usize, target: usize) {
+        let mut shared = self.lock_shared();
+        if !Self::note_op(&mut shared, me, "JoinHandle::join", target) {
+            self.cv.notify_all();
+            self.park(shared, me);
+            return;
+        }
+        if shared.threads[target].state != RunState::Finished {
+            shared.threads[me].state = RunState::BlockedJoin(target);
+        }
+        self.schedule(&mut shared, me);
+        self.park(shared, me);
+    }
+
+    /// Marks the calling thread finished; a panic fails the whole run.
+    pub(crate) fn thread_finished(self: &Arc<Self>, me: usize, panic_msg: Option<String>) {
+        let mut shared = self.lock_shared();
+        shared.threads[me].state = RunState::Finished;
+        if let Some(msg) = panic_msg {
+            Self::finish_run(&mut shared, Some(FailureKind::Panic(msg)));
+            self.cv.notify_all();
+            return;
+        }
+        if shared.outcome.is_some() {
+            return;
+        }
+        shared.trace.push(Event {
+            tid: me,
+            label: "thread::exit",
+            obj: usize::MAX,
+        });
+        self.schedule(&mut shared, me);
+    }
+}
+
+/// Installs (once) a panic hook that silences panics from model threads:
+/// the checker reports them itself, and expected-failure tests (mutation
+/// suite) would otherwise spew backtraces.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let quiet = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("flodb-check-"));
+            if !quiet {
+                prev(info);
+            }
+        }));
+    });
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Runs `body` once under `chooser`; blocks until the run completes or
+/// fails, then returns the outcome.
+fn run_once(
+    chooser: Chooser,
+    max_steps: usize,
+    body: &Arc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    install_quiet_hook();
+    let exec = Arc::new(Execution::new(chooser, max_steps));
+    let root_exec = Arc::clone(&exec);
+    let root_body = Arc::clone(body);
+    std::thread::Builder::new()
+        .name("flodb-check-0".to_owned())
+        .spawn(move || {
+            set_current(Some((Arc::clone(&root_exec), 0)));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| root_body()));
+            let msg = result.err().map(|p| panic_message(&*p));
+            root_exec.thread_finished(0, msg);
+            set_current(None);
+        })
+        .expect("spawn model root thread");
+
+    // Controller: wait for the run to end. Threads abandoned by a failing
+    // run park forever on the execution's condvar and are leaked — that is
+    // acceptable for a test tool and mirrors loom's behavior on failure.
+    let mut shared = exec.lock_shared();
+    while shared.outcome.is_none() {
+        shared = exec
+            .cv
+            .wait(shared)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+    shared.outcome.take().expect("outcome present")
+}
+
+fn schedule_of(decisions: &[Decision]) -> Vec<usize> {
+    decisions.iter().map(|d| d.chosen).collect()
+}
+
+/// Whether choosing `options[j]` at this decision is a preemption: the
+/// running thread was still eligible but a different thread was picked.
+fn is_preemption(d: &Decision, j: usize) -> bool {
+    d.options.contains(&d.running) && d.options[j] != d.running
+}
+
+/// Configuration for a model check. Start from [`Builder::new`], override
+/// what you need, then call [`Builder::check`] or [`Builder::model`].
+///
+/// Environment overrides (useful in CI): `FLODB_CHECK_ITERS`,
+/// `FLODB_CHECK_SEED`, `FLODB_CHECK_MAX_STEPS`.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Exploration strategy.
+    pub strategy: Strategy,
+    /// Per-run step budget (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    /// A seeded random-walk builder (500 iterations unless overridden by
+    /// `FLODB_CHECK_ITERS` / `FLODB_CHECK_SEED`).
+    pub fn new() -> Self {
+        let iterations = env_usize("FLODB_CHECK_ITERS").unwrap_or(500);
+        let seed = env_u64("FLODB_CHECK_SEED").unwrap_or(0x5EED);
+        let max_steps = env_usize("FLODB_CHECK_MAX_STEPS").unwrap_or(50_000);
+        Self {
+            strategy: Strategy::Random { iterations, seed },
+            max_steps,
+        }
+    }
+
+    /// DFS with a preemption bound — exhaustive for small bodies.
+    pub fn dfs(max_preemptions: usize) -> Self {
+        let max_iterations = env_usize("FLODB_CHECK_ITERS").unwrap_or(20_000);
+        Self {
+            strategy: Strategy::Dfs {
+                max_preemptions,
+                max_iterations,
+            },
+            max_steps: env_usize("FLODB_CHECK_MAX_STEPS").unwrap_or(50_000),
+        }
+    }
+
+    /// Replays one exact schedule from a prior [`Failure`].
+    pub fn replay(schedule: Vec<usize>) -> Self {
+        Self {
+            strategy: Strategy::Replay(schedule),
+            max_steps: env_usize("FLODB_CHECK_MAX_STEPS").unwrap_or(50_000),
+        }
+    }
+
+    /// Caps the number of explored schedules (random iterations, or the
+    /// DFS iteration budget; no-op for replay).
+    pub fn iterations(mut self, n: usize) -> Self {
+        match &mut self.strategy {
+            Strategy::Random { iterations, .. } => *iterations = n,
+            Strategy::Dfs { max_iterations, .. } => *max_iterations = n,
+            Strategy::Replay(_) => {}
+        }
+        self
+    }
+
+    /// Sets the random seed (no-op for DFS/replay).
+    pub fn seed(mut self, s: u64) -> Self {
+        if let Strategy::Random { seed, .. } = &mut self.strategy {
+            *seed = s;
+        }
+        self
+    }
+
+    /// Sets the per-run step budget.
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Runs `body` under the configured strategy. Returns the first
+    /// failure found, or a [`Report`] if every explored schedule passed.
+    pub fn check<F>(&self, body: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+        match &self.strategy {
+            Strategy::Random { iterations, seed } => {
+                for i in 0..*iterations {
+                    let s = seed.wrapping_add(i as u64);
+                    let out = run_once(
+                        Chooser::Random(XorShift::new(s)),
+                        self.max_steps,
+                        &body,
+                    );
+                    if let Some(kind) = out.failure {
+                        return Err(Failure {
+                            kind,
+                            iteration: i,
+                            seed: Some(s),
+                            schedule: schedule_of(&out.decisions),
+                            trace: out.trace,
+                        });
+                    }
+                }
+                Ok(Report {
+                    iterations: *iterations,
+                    exhausted: false,
+                })
+            }
+            Strategy::Dfs {
+                max_preemptions,
+                max_iterations,
+            } => {
+                let mut script: Vec<usize> = Vec::new();
+                let mut iterations = 0;
+                loop {
+                    let out = run_once(
+                        Chooser::Script(script.clone()),
+                        self.max_steps,
+                        &body,
+                    );
+                    iterations += 1;
+                    if let Some(kind) = out.failure {
+                        return Err(Failure {
+                            kind,
+                            iteration: iterations - 1,
+                            seed: None,
+                            schedule: schedule_of(&out.decisions),
+                            trace: out.trace,
+                        });
+                    }
+                    if iterations >= *max_iterations {
+                        return Ok(Report {
+                            iterations,
+                            exhausted: false,
+                        });
+                    }
+                    // Backtrack: find the deepest decision with an untried
+                    // alternative within the preemption budget.
+                    let d = &out.decisions;
+                    let mut preempts = vec![0usize; d.len() + 1];
+                    for i in 0..d.len() {
+                        preempts[i + 1] =
+                            preempts[i] + usize::from(is_preemption(&d[i], d[i].chosen));
+                    }
+                    let mut next: Option<Vec<usize>> = None;
+                    'search: for i in (0..d.len()).rev() {
+                        for j in d[i].chosen + 1..d[i].options.len() {
+                            if preempts[i] + usize::from(is_preemption(&d[i], j))
+                                <= *max_preemptions
+                            {
+                                let mut s: Vec<usize> =
+                                    d[..i].iter().map(|x| x.chosen).collect();
+                                s.push(j);
+                                next = Some(s);
+                                break 'search;
+                            }
+                        }
+                    }
+                    match next {
+                        Some(s) => script = s,
+                        None => {
+                            return Ok(Report {
+                                iterations,
+                                exhausted: true,
+                            })
+                        }
+                    }
+                }
+            }
+            Strategy::Replay(schedule) => {
+                let out = run_once(
+                    Chooser::Script(schedule.clone()),
+                    self.max_steps,
+                    &body,
+                );
+                match out.failure {
+                    Some(kind) => Err(Failure {
+                        kind,
+                        iteration: 0,
+                        seed: None,
+                        schedule: schedule_of(&out.decisions),
+                        trace: out.trace,
+                    }),
+                    None => Ok(Report {
+                        iterations: 1,
+                        exhausted: false,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Like [`Builder::check`] but panics with a formatted report on
+    /// failure — the idiomatic entry point for `#[test]` functions.
+    pub fn model<F>(&self, body: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        if let Err(failure) = self.check(body) {
+            panic!("{failure}");
+        }
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Checks `body` with the default random strategy, panicking on failure.
+///
+/// Shorthand for `Builder::new().model(body)`.
+pub fn model<F>(body: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().model(body);
+}

@@ -1,0 +1,540 @@
+//! Instrumented synchronization primitives.
+//!
+//! Every type here is *dual-mode*: used from inside a model run it routes
+//! through the `sched` module's scheduler (lock ownership is tracked by the
+//! model, every access is a decision point), and used from a plain thread
+//! it passes straight through to `std::sync`. That lets statics and setup
+//! code built against these types keep working outside the checker.
+//!
+//! The API mirrors the subset of `parking_lot` the FloDB crates use (see
+//! `third_party/parking_lot`): non-poisoning guards, `Condvar::wait(&mut
+//! MutexGuard)`, `notify_one() -> bool`, `notify_all() -> usize`.
+
+use std::sync::{self, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::sched::{self, Execution};
+
+pub use std::sync::Arc;
+
+/// Atomic types whose every access is a model decision point.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched;
+
+    /// Charges a decision point for an atomic access when inside a run.
+    #[inline]
+    fn point(label: &'static str) {
+        if let Some((exec, me)) = sched::current() {
+            exec.op_point(me, label, usize::MAX);
+        }
+    }
+
+    macro_rules! atomic_common {
+        ($name:ident, $ty:ty) => {
+            /// Model-instrumented drop-in for the std atomic of the same
+            /// name. Inside a run every method is a scheduler decision
+            /// point; outside it behaves exactly like std.
+            /// `compare_exchange_weak` never fails spuriously under the
+            /// model (the token-passing scheduler is sequentially
+            /// consistent).
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$name);
+
+            impl $name {
+                /// Creates a new atomic (usable in statics).
+                pub const fn new(v: $ty) -> Self {
+                    Self(std::sync::atomic::$name::new(v))
+                }
+
+                /// Loads the value.
+                pub fn load(&self, order: Ordering) -> $ty {
+                    point(concat!(stringify!($name), "::load"));
+                    self.0.load(order)
+                }
+
+                /// Stores a value.
+                pub fn store(&self, val: $ty, order: Ordering) {
+                    point(concat!(stringify!($name), "::store"));
+                    self.0.store(val, order);
+                }
+
+                /// Swaps the value, returning the previous one.
+                pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                    point(concat!(stringify!($name), "::swap"));
+                    self.0.swap(val, order)
+                }
+
+                /// Strong compare-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    point(concat!(stringify!($name), "::compare_exchange"));
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                /// Weak compare-exchange (never spuriously fails in model
+                /// runs).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    point(concat!(stringify!($name), "::compare_exchange_weak"));
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                /// Returns a mutable reference to the value (exclusive
+                /// access, no instrumentation needed).
+                pub fn get_mut(&mut self) -> &mut $ty {
+                    self.0.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $ty {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! atomic_int_ops {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                /// Adds to the value, returning the previous one.
+                pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                    point(concat!(stringify!($name), "::fetch_add"));
+                    self.0.fetch_add(val, order)
+                }
+
+                /// Subtracts from the value, returning the previous one.
+                pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                    point(concat!(stringify!($name), "::fetch_sub"));
+                    self.0.fetch_sub(val, order)
+                }
+
+                /// Bitwise-ORs the value, returning the previous one.
+                pub fn fetch_or(&self, val: $ty, order: Ordering) -> $ty {
+                    point(concat!(stringify!($name), "::fetch_or"));
+                    self.0.fetch_or(val, order)
+                }
+
+                /// Bitwise-ANDs the value, returning the previous one.
+                pub fn fetch_and(&self, val: $ty, order: Ordering) -> $ty {
+                    point(concat!(stringify!($name), "::fetch_and"));
+                    self.0.fetch_and(val, order)
+                }
+
+                /// Bitwise-XORs the value, returning the previous one.
+                pub fn fetch_xor(&self, val: $ty, order: Ordering) -> $ty {
+                    point(concat!(stringify!($name), "::fetch_xor"));
+                    self.0.fetch_xor(val, order)
+                }
+
+                /// Stores the maximum, returning the previous value.
+                pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
+                    point(concat!(stringify!($name), "::fetch_max"));
+                    self.0.fetch_max(val, order)
+                }
+
+                /// Stores the minimum, returning the previous value.
+                pub fn fetch_min(&self, val: $ty, order: Ordering) -> $ty {
+                    point(concat!(stringify!($name), "::fetch_min"));
+                    self.0.fetch_min(val, order)
+                }
+            }
+        };
+    }
+
+    atomic_common!(AtomicBool, bool);
+    atomic_common!(AtomicU32, u32);
+    atomic_common!(AtomicU64, u64);
+    atomic_common!(AtomicUsize, usize);
+    atomic_common!(AtomicI64, i64);
+    atomic_common!(AtomicIsize, isize);
+    atomic_int_ops!(AtomicU32, u32);
+    atomic_int_ops!(AtomicU64, u64);
+    atomic_int_ops!(AtomicUsize, usize);
+    atomic_int_ops!(AtomicI64, i64);
+    atomic_int_ops!(AtomicIsize, isize);
+
+    impl AtomicBool {
+        /// Bitwise-ORs the value, returning the previous one.
+        pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+            point("AtomicBool::fetch_or");
+            self.0.fetch_or(val, order)
+        }
+
+        /// Bitwise-ANDs the value, returning the previous one.
+        pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+            point("AtomicBool::fetch_and");
+            self.0.fetch_and(val, order)
+        }
+    }
+
+    /// Model-instrumented drop-in for `std::sync::atomic::AtomicPtr`.
+    #[derive(Debug)]
+    pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+    impl<T> AtomicPtr<T> {
+        /// Creates a new atomic pointer (usable in statics).
+        pub const fn new(p: *mut T) -> Self {
+            Self(std::sync::atomic::AtomicPtr::new(p))
+        }
+
+        /// Loads the pointer.
+        pub fn load(&self, order: Ordering) -> *mut T {
+            point("AtomicPtr::load");
+            self.0.load(order)
+        }
+
+        /// Stores a pointer.
+        pub fn store(&self, p: *mut T, order: Ordering) {
+            point("AtomicPtr::store");
+            self.0.store(p, order);
+        }
+
+        /// Swaps the pointer, returning the previous one.
+        pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+            point("AtomicPtr::swap");
+            self.0.swap(p, order)
+        }
+
+        /// Strong compare-exchange.
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            point("AtomicPtr::compare_exchange");
+            self.0.compare_exchange(current, new, success, failure)
+        }
+
+        /// Weak compare-exchange (never spuriously fails in model runs).
+        pub fn compare_exchange_weak(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            point("AtomicPtr::compare_exchange_weak");
+            self.0.compare_exchange(current, new, success, failure)
+        }
+
+        /// Returns a mutable reference to the pointer.
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.0.get_mut()
+        }
+
+        /// Consumes the atomic, returning the pointer.
+        pub fn into_inner(self) -> *mut T {
+            self.0.into_inner()
+        }
+    }
+
+    /// An atomic fence: a decision point in model runs, a real fence
+    /// otherwise (the model scheduler is already sequentially consistent).
+    pub fn fence(order: Ordering) {
+        point("fence");
+        std::sync::atomic::fence(order);
+    }
+}
+
+/// A model-aware mutual exclusion primitive with `parking_lot`-style
+/// (non-poisoning) API.
+pub struct Mutex<T: ?Sized> {
+    id: OnceLock<usize>,
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex (usable in statics).
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: OnceLock::new(),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Lazily-assigned globally-unique model object id.
+    fn object_id(&self) -> usize {
+        *self.id.get_or_init(sched::next_object_id)
+    }
+
+    /// Takes the underlying std lock, which a model-side owner must be
+    /// able to do without blocking.
+    fn raw_lock(&self) -> sync::MutexGuard<'_, T> {
+        match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => {
+                panic!("model mutex natively contended: mixing model and non-model threads on one lock is unsupported")
+            }
+        }
+    }
+
+    /// Acquires the mutex, blocking (or model-blocking) until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match sched::current() {
+            None => MutexGuard {
+                lock: self,
+                inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+                model: None,
+            },
+            Some((exec, me)) => {
+                exec.lock_mutex(me, self.object_id());
+                MutexGuard {
+                    lock: self,
+                    inner: Some(self.raw_lock()),
+                    model: Some((exec, me)),
+                }
+            }
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match sched::current() {
+            None => match self.inner.try_lock() {
+                Ok(g) => Some(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                    lock: self,
+                    inner: Some(e.into_inner()),
+                    model: None,
+                }),
+                Err(sync::TryLockError::WouldBlock) => None,
+            },
+            Some((exec, me)) => {
+                if exec.try_lock_mutex(me, self.object_id()) {
+                    Some(MutexGuard {
+                        lock: self,
+                        inner: Some(self.raw_lock()),
+                        model: Some((exec, me)),
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Returns a mutable reference to the inner value (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Mutex").field(&self.inner).finish()
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<'a, T: ?Sized> Drop for MutexGuard<'a, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then model ownership; no other
+        // model thread can run in between (this thread holds the token).
+        drop(self.inner.take());
+        if let Some((exec, me)) = self.model.take() {
+            exec.unlock_mutex(me, self.lock.object_id());
+        }
+    }
+}
+
+/// Result of a timed [`Condvar`] wait.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed. Under the
+    /// model, "the timeout elapsed" means the scheduler fired the wait's
+    /// timeout because no other thread could make progress.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A model-aware condition variable paired with [`Mutex`].
+///
+/// Timed waits (`wait_for` / `wait_until`) do not consult the clock in
+/// model runs: the waiter parks and is woken with `timed_out() == true`
+/// only when no other thread can make progress, which keeps schedules
+/// deterministic while still exercising the timeout code path.
+#[derive(Default)]
+pub struct Condvar {
+    id: OnceLock<usize>,
+    inner: sync::Condvar,
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+impl Condvar {
+    /// Creates a new condition variable (usable in statics).
+    pub const fn new() -> Self {
+        Self {
+            id: OnceLock::new(),
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    fn object_id(&self) -> usize {
+        *self.id.get_or_init(sched::next_object_id)
+    }
+
+    /// Shared model-side wait path; returns whether the model timeout
+    /// fired.
+    fn model_wait<T>(
+        &self,
+        exec: &Arc<Execution>,
+        me: usize,
+        guard: &mut MutexGuard<'_, T>,
+        timeout_ok: bool,
+    ) -> bool {
+        let mid = guard.lock.object_id();
+        drop(guard.inner.take());
+        let timed_out = exec.condvar_wait(me, self.object_id(), mid, timeout_ok);
+        guard.inner = Some(guard.lock.raw_lock());
+        timed_out
+    }
+
+    /// Blocks until notified, atomically releasing and reacquiring the
+    /// lock.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match guard.model.clone() {
+            Some((exec, me)) => {
+                self.model_wait(&exec, me, guard, false);
+            }
+            None => {
+                let inner = guard.inner.take().expect("guard present");
+                let inner = self
+                    .inner
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+                guard.inner = Some(inner);
+            }
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses (see type docs for the
+    /// model-run meaning of a timeout).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        match guard.model.clone() {
+            Some((exec, me)) => WaitTimeoutResult(self.model_wait(&exec, me, guard, true)),
+            None => {
+                let inner = guard.inner.take().expect("guard present");
+                let (inner, res) = match self.inner.wait_timeout(inner, timeout) {
+                    Ok((g, r)) => (g, r),
+                    Err(e) => e.into_inner(),
+                };
+                guard.inner = Some(inner);
+                WaitTimeoutResult(res.timed_out())
+            }
+        }
+    }
+
+    /// Blocks until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        if guard.model.is_some() {
+            return self.wait_for(guard, Duration::ZERO);
+        }
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        self.wait_for(guard, timeout)
+    }
+
+    /// Blocks while `condition` holds.
+    pub fn wait_while<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) {
+        while condition(&mut **guard) {
+            self.wait(guard);
+        }
+    }
+
+    /// Wakes one blocked waiter (lowest thread id under the model, for
+    /// determinism). Returns whether a waiter was woken (model runs only;
+    /// `false` under std like the parking_lot shim).
+    pub fn notify_one(&self) -> bool {
+        match sched::current() {
+            Some((exec, me)) => exec.condvar_notify(me, self.object_id(), false) > 0,
+            None => {
+                self.inner.notify_one();
+                false
+            }
+        }
+    }
+
+    /// Wakes all blocked waiters. Returns the number woken (model runs
+    /// only; 0 under std like the parking_lot shim).
+    pub fn notify_all(&self) -> usize {
+        match sched::current() {
+            Some((exec, me)) => exec.condvar_notify(me, self.object_id(), true),
+            None => {
+                self.inner.notify_all();
+                0
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Model-aware thread spawning, joining, and yielding.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+use crate::sched::{self, Execution};
+
+/// Yields the current thread. Inside a model run this *deprioritizes* the
+/// caller: it is not schedulable again until another thread has run, which
+/// makes spin-wait loops converge under exhaustive exploration.
+pub fn yield_now() {
+    match sched::current() {
+        Some((exec, me)) => exec.yield_point(me, "thread::yield_now"),
+        None => std::thread::yield_now(),
+    }
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<Execution>,
+        tid: usize,
+        result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+/// Handle to a spawned thread; join-able like `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("JoinHandle { .. }")
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result.
+    ///
+    /// A model handle must be joined from a thread in the same run. If the
+    /// target thread panicked, the whole run has already failed and the
+    /// joiner never resumes (the checker reports the panic).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { exec, tid, result } => {
+                let (_, me) = sched::current()
+                    .expect("model JoinHandle joined from outside its run");
+                exec.join_thread(me, tid);
+                result
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("joined model thread left no result")
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model run the new thread participates in the
+/// schedule (it starts parked and runs only when the scheduler picks it);
+/// outside, this is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+        Some((exec, me)) => {
+            let tid = exec.register_thread();
+            let result = Arc::new(StdMutex::new(None));
+            let thread_result = Arc::clone(&result);
+            let thread_exec = Arc::clone(&exec);
+            std::thread::Builder::new()
+                .name(format!("flodb-check-{tid}"))
+                .spawn(move || {
+                    sched::set_current(Some((Arc::clone(&thread_exec), tid)));
+                    thread_exec.initial_park(tid);
+                    let outcome = panic::catch_unwind(AssertUnwindSafe(f));
+                    let (stored, panic_msg) = match outcome {
+                        Ok(v) => (Ok(v), None),
+                        Err(p) => {
+                            let msg = sched::panic_message(&*p);
+                            (Err(p), Some(msg))
+                        }
+                    };
+                    *thread_result
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) = Some(stored);
+                    thread_exec.thread_finished(tid, panic_msg);
+                    sched::set_current(None);
+                })
+                .expect("spawn model thread");
+            // Give the scheduler a chance to run the child before the
+            // parent's next step.
+            exec.op_point(me, "thread::spawn", tid);
+            JoinHandle(Inner::Model { exec, tid, result })
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Static lint pass for the FloDB workspace (`cargo xtask lint`).
+//!
+//! Three rules, each guarding an invariant the compiler cannot see:
+//!
+//! 1. **`safety-comment`** — every `unsafe` block, function, impl, or
+//!    trait must be annotated with a `// SAFETY:` comment (or a
+//!    `# Safety` doc section) justifying why its obligations hold.
+//! 2. **`raw-sync`** — no `std::sync` / `parking_lot` / `std::thread`
+//!    primitive may be used directly inside `crates/sync`,
+//!    `crates/membuffer`, or `crates/memtable`; all synchronization must
+//!    go through the `flodb_sync::shim` facade so that `--cfg
+//!    flodb_model` coverage cannot silently rot as code evolves.
+//! 3. **`write-path-panic`** — no `.unwrap()` / `.expect(` in
+//!    `crates/core` production code unless the line carries a
+//!    `// PANIC-OK:` waiver explaining why panicking is acceptable
+//!    (the write path must surface failures as `WriteError`, never
+//!    abort a caller holding store state).
+//!
+//! The scanner is deliberately line-based and syntactic — it strips
+//! comments and string literals with a small state machine rather than
+//! parsing Rust. Test code is exempt from rules 2 and 3: the repo
+//! convention keeps `#[cfg(test)] mod tests` as the final item of a
+//! file, so everything from the first `#[cfg(test)]` line onward is
+//! treated as test code. Rule 1 applies to tests too (unsafe in tests
+//! still needs justifying).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which lint rule produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// An `unsafe` site without a `// SAFETY:` / `# Safety` annotation.
+    SafetyComment,
+    /// A raw `std::sync`/`parking_lot`/`std::thread` use in a crate that
+    /// must route through `flodb_sync::shim`.
+    RawSync,
+    /// An unwaived `.unwrap()`/`.expect(` in `crates/core` production code.
+    WritePathPanic,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rule::SafetyComment => write!(f, "safety-comment"),
+            Rule::RawSync => write!(f, "raw-sync"),
+            Rule::WritePathPanic => write!(f, "write-path-panic"),
+        }
+    }
+}
+
+/// One lint violation: file, 1-based line, rule, and a human message.
+#[derive(Debug)]
+pub struct Finding {
+    /// File the violation is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Returns the code portion of a line: string/char literals blanked out,
+/// everything from the first `//` (outside a literal) dropped. Multi-line
+/// literals are not tracked; none of the patterns we search for span them.
+fn code_portion(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            if c == '\\' {
+                chars.next();
+            } else if c == '"' {
+                in_str = false;
+            }
+            out.push(' ');
+        } else if in_char {
+            if c == '\\' {
+                chars.next();
+            } else if c == '\'' {
+                in_char = false;
+            }
+            out.push(' ');
+        } else {
+            match c {
+                '"' => {
+                    in_str = true;
+                    out.push(' ');
+                }
+                // A lifetime tick (`&'a`, `<'_>`) is followed by an
+                // identifier char then no closing quote; a char literal
+                // closes within a couple of chars. Treat as a literal
+                // only when a closing quote appears nearby.
+                '\'' => {
+                    let mut lookahead = chars.clone();
+                    let mut is_char = false;
+                    if let Some(n1) = lookahead.next() {
+                        if n1 == '\\' {
+                            is_char = true;
+                        } else if let Some(n2) = lookahead.next() {
+                            is_char = n2 == '\'';
+                        }
+                    }
+                    if is_char {
+                        in_char = true;
+                        out.push(' ');
+                    } else {
+                        out.push(c);
+                    }
+                }
+                '/' if chars.peek() == Some(&'/') => break,
+                _ => out.push(c),
+            }
+        }
+    }
+    out
+}
+
+/// Returns the comment portion of a line (text after `//` outside a
+/// string), or `""` if the line has no comment.
+fn comment_portion(line: &str) -> &str {
+    let code = code_portion(line);
+    // code_portion stops at the comment start, so the comment begins at
+    // the first byte past what survived (if the raw line is longer).
+    if code.len() < line.len() {
+        &line[code.len()..]
+    } else {
+        ""
+    }
+}
+
+/// True if `hay` contains `needle` as a standalone word (not flanked by
+/// identifier characters), e.g. `unsafe` but not `unsafe_op_in_unsafe_fn`.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+fn is_comment_or_attr(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") || t.starts_with(')')
+}
+
+/// Does the contiguous comment/attribute block ending at `line_idx - 1`
+/// (0-based) — or the line itself — carry a SAFETY justification?
+fn has_safety_annotation(lines: &[&str], line_idx: usize) -> bool {
+    let marker = |l: &str| l.contains("SAFETY:") || l.contains("# Safety");
+    if marker(comment_portion(lines[line_idx])) {
+        return true;
+    }
+    let mut i = line_idx;
+    while i > 0 && is_comment_or_attr(lines[i - 1]) {
+        i -= 1;
+        if marker(lines[i]) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rule 1: every `unsafe` site needs a SAFETY annotation. Applies to the
+/// whole file, tests included.
+pub fn check_safety_comments(file: &Path, content: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let code = code_portion(raw);
+        if !contains_word(&code, "unsafe") {
+            continue;
+        }
+        if !has_safety_annotation(&lines, idx) {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::SafetyComment,
+                message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc \
+                          section) justifying its obligations"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// The substrings rule 2 bans from facade-scoped crates. `shim.rs` itself
+/// is the one place allowed to name the real primitives.
+const RAW_SYNC_PATTERNS: &[&str] = &[
+    "std::sync",
+    "core::sync",
+    "parking_lot",
+    "std::thread",
+    "std::hint::spin_loop",
+];
+
+/// Rule 2: no raw synchronization primitives outside the facade.
+/// Test code (from the first `#[cfg(test)]` line on) is exempt.
+pub fn check_raw_sync(file: &Path, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = code_portion(raw);
+        for pat in RAW_SYNC_PATTERNS {
+            if code.contains(pat) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    rule: Rule::RawSync,
+                    message: format!(
+                        "raw `{pat}` in a facade-scoped crate; use `flodb_sync::shim` \
+                         (or `crate::shim` inside flodb-sync) so `--cfg flodb_model` \
+                         instruments it"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+    findings
+}
+
+/// Rule 3: `.unwrap()`/`.expect(` in flodb-core production code must carry
+/// a `// PANIC-OK:` waiver on the same line or the comment block above.
+/// Test code (from the first `#[cfg(test)]` line on) is exempt.
+pub fn check_write_path_panics(file: &Path, content: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = code_portion(raw);
+        if !code.contains(".unwrap()") && !code.contains(".expect(") {
+            continue;
+        }
+        let waived = comment_portion(raw).contains("PANIC-OK:")
+            || (idx > 0 && {
+                let mut i = idx;
+                let mut found = false;
+                while i > 0 && is_comment_or_attr(lines[i - 1]) {
+                    i -= 1;
+                    if lines[i].contains("PANIC-OK:") {
+                        found = true;
+                        break;
+                    }
+                }
+                found
+            });
+        if !waived {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::WritePathPanic,
+                message: "`.unwrap()`/`.expect()` in flodb-core production code; \
+                          return a typed error, or waive with `// PANIC-OK: <why>`"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `target/`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn scan(root: &Path, rel: &str, out: &mut Vec<PathBuf>) {
+    let dir = root.join(rel);
+    if dir.is_dir() {
+        rust_files(&dir, out);
+    }
+}
+
+/// Runs all three rules over the workspace rooted at `root` and returns
+/// every finding, sorted by file and line.
+pub fn run_lint(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Rule 1 scope: all first-party code plus the two third_party shims
+    // that contain unsafe (crossbeam-epoch, flodb-check). The remaining
+    // third_party shims mirror upstream APIs and are audited on import.
+    let mut safety_files = Vec::new();
+    for rel in [
+        "crates",
+        "src",
+        "tests",
+        "examples",
+        "third_party/crossbeam-epoch/src",
+        "third_party/flodb-check/src",
+    ] {
+        scan(root, rel, &mut safety_files);
+    }
+    for file in &safety_files {
+        if let Ok(content) = std::fs::read_to_string(file) {
+            findings.extend(check_safety_comments(file, &content));
+        }
+    }
+
+    // Rule 2 scope: the facade-routed crates. shim.rs is the facade.
+    let mut sync_files = Vec::new();
+    for rel in ["crates/sync/src", "crates/membuffer/src", "crates/memtable/src"] {
+        scan(root, rel, &mut sync_files);
+    }
+    for file in &sync_files {
+        if file.file_name().is_some_and(|n| n == "shim.rs") {
+            continue;
+        }
+        if let Ok(content) = std::fs::read_to_string(file) {
+            findings.extend(check_raw_sync(file, &content));
+        }
+    }
+
+    // Rule 3 scope: flodb-core production code.
+    let mut core_files = Vec::new();
+    scan(root, "crates/core/src", &mut core_files);
+    for file in &core_files {
+        if let Ok(content) = std::fs::read_to_string(file) {
+            findings.extend(check_write_path_panics(file, &content));
+        }
+    }
+
+    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_portion_strips_strings_and_comments() {
+        assert_eq!(code_portion("let x = 1; // std::sync"), "let x = 1; ");
+        assert!(!code_portion("let s = \"std::sync::Mutex\";").contains("std::sync"));
+        assert!(code_portion("let c = 'a'; std::sync::X").contains("std::sync"));
+        assert!(code_portion("fn f<'a>(x: &'a str) { unsafe {} }").contains("unsafe"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(!contains_word("deny(unsafe_op_in_unsafe_fn)", "unsafe"));
+        assert!(!contains_word("forbid(unsafe_code)", "unsafe"));
+    }
+
+    #[test]
+    fn safety_annotation_lookup() {
+        let ok = "// SAFETY: ptr is valid\nunsafe { *p }\n";
+        assert!(check_safety_comments(Path::new("x.rs"), ok).is_empty());
+        let same_line = "unsafe { *p } // SAFETY: ptr is valid\n";
+        assert!(check_safety_comments(Path::new("x.rs"), same_line).is_empty());
+        let doc = "/// # Safety\n/// p must be valid\npub unsafe fn f(p: *const u8) {}\n";
+        assert!(check_safety_comments(Path::new("x.rs"), doc).is_empty());
+        let bad = "let x = 0;\nunsafe { *p }\n";
+        assert_eq!(check_safety_comments(Path::new("x.rs"), bad).len(), 1);
+    }
+
+    #[test]
+    fn raw_sync_respects_test_boundary() {
+        let src = "use crate::shim::Mutex;\n#[cfg(test)]\nmod tests { use std::sync::Arc; }\n";
+        assert!(check_raw_sync(Path::new("x.rs"), src).is_empty());
+        let bad = "use std::sync::Mutex;\n";
+        assert_eq!(check_raw_sync(Path::new("x.rs"), bad).len(), 1);
+    }
+
+    #[test]
+    fn panic_waivers() {
+        let bad = "let v = map.get(k).unwrap();\n";
+        assert_eq!(check_write_path_panics(Path::new("x.rs"), bad).len(), 1);
+        let ok = "let v = map.get(k).unwrap(); // PANIC-OK: key inserted above\n";
+        assert!(check_write_path_panics(Path::new("x.rs"), ok).is_empty());
+        let above = "// PANIC-OK: key inserted above\nlet v = map.get(k).unwrap();\n";
+        assert!(check_write_path_panics(Path::new("x.rs"), above).is_empty());
+    }
+}

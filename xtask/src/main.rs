@@ -1,0 +1,52 @@
+//! `cargo xtask <command>` — workspace automation entry point.
+//!
+//! Commands:
+//! - `lint` — run the static lint pass (see the crate docs of the
+//!   `xtask` library for the rules). Exits non-zero on any finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // The binary lives at <root>/xtask; CARGO_MANIFEST_DIR is baked in at
+    // compile time, which is fine for a tool that only runs in-tree.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits one level below the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = workspace_root();
+            let findings = xtask::run_lint(&root);
+            if findings.is_empty() {
+                eprintln!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    // Findings print with paths relative to the root so CI
+                    // logs stay readable regardless of checkout location.
+                    let rel = f
+                        .file
+                        .strip_prefix(&root)
+                        .unwrap_or(&f.file)
+                        .display()
+                        .to_string();
+                    eprintln!("{rel}:{}: [{}] {}", f.line, f.rule, f.message);
+                }
+                eprintln!("xtask lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo xtask lint\n  (unknown command: {:?})",
+                other.unwrap_or("<none>")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Each lint rule must fire on its fixture file — and only where the
+//! fixture intends it to. This pins the rules against silent rot: a
+//! refactor that stops a rule from matching turns these tests red, not
+//! the workspace green.
+
+use std::path::Path;
+
+use xtask::{check_raw_sync, check_safety_comments, check_write_path_panics, Rule};
+
+fn fixture(name: &str) -> (std::path::PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let content = std::fs::read_to_string(&path).expect("fixture readable");
+    (path, content)
+}
+
+#[test]
+fn missing_safety_comment_fails() {
+    let (path, content) = fixture("missing_safety.rs");
+    let findings = check_safety_comments(&path, &content);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the unannotated block must fire: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, Rule::SafetyComment);
+    assert_eq!(findings[0].line, 3, "the bare `unsafe {{ *p }}` line");
+}
+
+#[test]
+fn raw_std_mutex_in_sync_fails() {
+    let (path, content) = fixture("raw_mutex_in_sync.rs");
+    let findings = check_raw_sync(&path, &content);
+    assert_eq!(
+        findings.len(),
+        1,
+        "the import must fire, the #[cfg(test)] use must not: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, Rule::RawSync);
+    assert_eq!(findings[0].line, 3, "the `use std::sync::Mutex;` line");
+}
+
+#[test]
+fn write_path_unwrap_fails() {
+    let (path, content) = fixture("write_path_unwrap.rs");
+    let findings = check_write_path_panics(&path, &content);
+    assert_eq!(
+        findings.len(),
+        1,
+        "the bare unwrap must fire, the PANIC-OK one must not: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, Rule::WritePathPanic);
+    assert_eq!(findings[0].line, 4, "the `self.wal.append(batch).unwrap()` line");
+}
+
+#[test]
+fn workspace_is_clean() {
+    // The binary exits non-zero on findings; CI runs it directly. This
+    // duplicate keeps `cargo test` sufficient to catch regressions too.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
+    let findings = xtask::run_lint(root);
+    assert!(
+        findings.is_empty(),
+        "workspace lint must be clean:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,10 @@
+// Lint fixture (not compiled): an unsafe block with no SAFETY comment.
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// And one that is properly annotated, to pin down the rule's boundary.
+pub fn read_raw_ok(p: *const u8) -> u8 {
+    // SAFETY: fixture — caller guarantees p is valid.
+    unsafe { *p }
+}

@@ -1,0 +1,13 @@
+// Lint fixture (not compiled): a raw std::sync::Mutex in a facade-scoped
+// crate. The import alone must trip the raw-sync rule.
+use std::sync::Mutex;
+
+pub struct Registry {
+    inner: Mutex<Vec<u64>>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Raw primitives are fine in test code.
+    use std::sync::Arc;
+}

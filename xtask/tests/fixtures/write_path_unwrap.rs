@@ -1,0 +1,7 @@
+// Lint fixture (not compiled): an unwaived unwrap on the write path.
+pub fn write(&self, batch: &WriteBatch) {
+    let seq = self.seq.reserve(batch.len());
+    self.wal.append(batch).unwrap();
+    // PANIC-OK: fixture — this one is waived and must not be flagged.
+    self.mbf.insert(batch).unwrap();
+}
