@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use flodb_core::{FloDb, FloDbOptions, KvStore, WalMode};
+use flodb_core::{FloDb, FloDbOptions, KvStore, ShardedFloDb, ShardedOptions, WalMode};
 use flodb_storage::record::encode_record_parts;
 use flodb_storage::wal::WalWriter;
 use flodb_storage::{Env, FsEnv, MemEnv, Record, StorageError};
@@ -65,6 +65,12 @@ pub struct Cell {
     /// Bytes of WAL segments retired during the cell (store families
     /// only).
     pub wal_retired_bytes: u64,
+    /// Shard count of the store under test (1 = unsharded).
+    pub shards: usize,
+    /// Writes (puts + deletes) absorbed by each shard, indexed by shard —
+    /// the imbalance gauge of the `store_sharded` family. Empty for
+    /// unsharded cells (and omitted from their JSON).
+    pub shard_puts: Vec<u64>,
 }
 
 /// Matrix dimensions; see [`MatrixConfig::full`] and [`MatrixConfig::smoke`].
@@ -222,6 +228,24 @@ fn wal_pipeline_cell(
         },
         wal_rotations: 0,
         wal_retired_bytes: 0,
+        shards: 1,
+        shard_puts: Vec::new(),
+    }
+}
+
+/// Applies a store-family WAL mode tag to `opts`.
+fn apply_wal_mode(opts: &mut FloDbOptions, wal: &str) {
+    match wal {
+        "off" => opts.wal = WalMode::Disabled,
+        "mutex_nosync" => {
+            opts.wal = WalMode::Enabled { sync: false };
+            opts.wal_group_commit = false;
+        }
+        "group_nosync" => {
+            opts.wal = WalMode::Enabled { sync: false };
+            opts.wal_group_commit = true;
+        }
+        other => panic!("unknown store wal mode {other}"),
     }
 }
 
@@ -236,18 +260,7 @@ fn store_cell(
     let mut opts = FloDbOptions::default_in_memory();
     opts.memory_bytes = cfg.scale.memory_bytes;
     opts.env = Arc::new(MemEnv::new(None));
-    match wal {
-        "off" => opts.wal = WalMode::Disabled,
-        "mutex_nosync" => {
-            opts.wal = WalMode::Enabled { sync: false };
-            opts.wal_group_commit = false;
-        }
-        "group_nosync" => {
-            opts.wal = WalMode::Enabled { sync: false };
-            opts.wal_group_commit = true;
-        }
-        other => panic!("unknown store wal mode {other}"),
-    }
+    apply_wal_mode(&mut opts, wal);
     let db = Arc::new(FloDb::open(opts).expect("open"));
     let store: Arc<dyn KvStore> = Arc::clone(&db) as Arc<dyn KvStore>;
     let mut wl = WorkloadConfig::new(
@@ -278,6 +291,61 @@ fn store_cell(
         wal_follower_writes: stats.wal_follower_writes,
         wal_rotations: stats.wal_rotations,
         wal_retired_bytes: stats.wal_retired_bytes,
+        shards: 1,
+        shard_puts: Vec::new(),
+    }
+}
+
+/// End-to-end sharded store cell: the same mixed workload as
+/// `store_mixed`, but through a [`ShardedFloDb`] router over `shards`
+/// FloDB instances. The per-shard memory budget divides the scale's
+/// total, so `shards = 1` vs `shards = N` compares equal aggregate
+/// resources; `shard_puts` records each shard's absorbed writes, making
+/// routing imbalance visible right in the committed trajectory file.
+fn store_sharded_cell(wal: &'static str, shards: u32, threads: usize, cfg: &MatrixConfig) -> Cell {
+    let mut opts = FloDbOptions::default_in_memory();
+    opts.memory_bytes = (cfg.scale.memory_bytes / shards as usize).max(64 * 1024);
+    opts.env = Arc::new(MemEnv::new(None));
+    apply_wal_mode(&mut opts, wal);
+    let db =
+        Arc::new(ShardedFloDb::open(ShardedOptions::new(shards, opts)).expect("open sharded"));
+    let store: Arc<dyn KvStore> = Arc::clone(&db) as Arc<dyn KvStore>;
+    let mut wl = WorkloadConfig::new(
+        threads,
+        OperationMix::mixed_balanced(),
+        KeyDistribution::Uniform {
+            n: cfg.scale.dataset,
+        },
+    );
+    wl.duration = cfg.cell_time;
+    wl.value_bytes = cfg.scale.value_bytes;
+    wl.shards = shards;
+    let report = run_workload(&store, &wl);
+    let stats = db.stats();
+    let recs_per_group = if stats.wal_groups > 0 {
+        stats.wal_group_records as f64 / stats.wal_groups as f64
+    } else {
+        0.0
+    };
+    let shard_puts = db
+        .per_shard_stats()
+        .iter()
+        .map(|s| s.puts + s.deletes)
+        .collect();
+    Cell {
+        bench: "store_sharded",
+        wal,
+        env: "mem",
+        threads,
+        ops_per_sec: report.ops_per_sec(),
+        total_ops: report.total_ops,
+        elapsed_s: report.elapsed.as_secs_f64(),
+        recs_per_group,
+        wal_follower_writes: stats.wal_follower_writes,
+        wal_rotations: stats.wal_rotations,
+        wal_retired_bytes: stats.wal_retired_bytes,
+        shards: shards as usize,
+        shard_puts,
     }
 }
 
@@ -357,6 +425,15 @@ pub fn run_matrix(cfg: &MatrixConfig) -> Vec<Cell> {
             ));
         }
     }
+
+    // Sharded router family: the mixed workload through a ShardedFloDb at
+    // N=1 (router overhead over a plain store) and N=4 (the multi-core
+    // layout on a sliced memory budget), same aggregate resources.
+    for &shards in &[1u32, 4] {
+        for &threads in &cfg.threads {
+            cells.push(store_sharded_cell("group_nosync", shards, threads, cfg));
+        }
+    }
     cells
 }
 
@@ -370,8 +447,10 @@ pub fn run_matrix_best_of(cfg: &MatrixConfig, repeat: usize) -> Vec<Cell> {
     for _ in 1..repeat.max(1) {
         // Cell order is deterministic, so runs zip index-by-index.
         for (seen, fresh) in best.iter_mut().zip(run_matrix(cfg)) {
-            debug_assert_eq!((seen.bench, seen.wal, seen.env, seen.threads),
-                (fresh.bench, fresh.wal, fresh.env, fresh.threads));
+            debug_assert_eq!(
+                (seen.bench, seen.wal, seen.env, seen.threads, seen.shards),
+                (fresh.bench, fresh.wal, fresh.env, fresh.threads, fresh.shards)
+            );
             if fresh.ops_per_sec > seen.ops_per_sec {
                 *seen = fresh;
             }
@@ -409,15 +488,22 @@ pub fn to_json(cells: &[Cell], note: &str) -> String {
     out.push_str(&format!("  \"note\": \"{}\",\n", json_escape(note)));
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
+        let shard_puts = if c.shard_puts.is_empty() {
+            String::new()
+        } else {
+            let entries: Vec<String> = c.shard_puts.iter().map(u64::to_string).collect();
+            format!(", \"shard_puts\": [{}]", entries.join(", "))
+        };
         out.push_str(&format!(
             "    {{\"bench\": \"{}\", \"wal\": \"{}\", \"env\": \"{}\", \"threads\": {}, \
-             \"ops_per_sec\": {:.0}, \"total_ops\": {}, \"elapsed_s\": {:.3}, \
+             \"shards\": {}, \"ops_per_sec\": {:.0}, \"total_ops\": {}, \"elapsed_s\": {:.3}, \
              \"recs_per_group\": {:.2}, \"wal_follower_writes\": {}, \
-             \"wal_rotations\": {}, \"wal_retired_bytes\": {}}}{}\n",
+             \"wal_rotations\": {}, \"wal_retired_bytes\": {}{}}}{}\n",
             c.bench,
             c.wal,
             c.env,
             c.threads,
+            c.shards,
             c.ops_per_sec,
             c.total_ops,
             c.elapsed_s,
@@ -425,6 +511,7 @@ pub fn to_json(cells: &[Cell], note: &str) -> String {
             c.wal_follower_writes,
             c.wal_rotations,
             c.wal_retired_bytes,
+            shard_puts,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
@@ -466,6 +553,40 @@ pub fn validate_matrix_json(text: &str) -> Result<(), String> {
                 Some((_, json::Value::Number(n))) if *n >= 0.0 => {}
                 other => return Err(format!("cell {i}: bad {required}: {other:?}")),
             }
+        }
+        // Sharded cells additionally carry the shard layout and a
+        // per-shard write breakdown sized to it. Pre-sharding documents
+        // (PR 3 / PR 5) have neither field and stay valid.
+        let is_sharded = matches!(
+            fields.iter().find(|(k, _)| k == "bench"),
+            Some((_, json::Value::String(s))) if s == "store_sharded"
+        );
+        let shards = match fields.iter().find(|(k, _)| k == "shards") {
+            Some((_, json::Value::Number(n))) if *n >= 1.0 => Some(*n as usize),
+            Some(other) => return Err(format!("cell {i}: bad shards: {other:?}")),
+            None if is_sharded => return Err(format!("cell {i}: store_sharded without shards")),
+            None => None,
+        };
+        match fields.iter().find(|(k, _)| k == "shard_puts") {
+            Some((_, json::Value::Array(puts))) => {
+                let Some(shards) = shards else {
+                    return Err(format!("cell {i}: shard_puts without shards"));
+                };
+                if puts.len() != shards {
+                    return Err(format!(
+                        "cell {i}: shard_puts has {} entries for {shards} shards",
+                        puts.len()
+                    ));
+                }
+                if !puts.iter().all(|p| matches!(p, json::Value::Number(n) if *n >= 0.0)) {
+                    return Err(format!("cell {i}: non-numeric shard_puts entry"));
+                }
+            }
+            Some((_, other)) => return Err(format!("cell {i}: bad shard_puts: {other:?}")),
+            None if is_sharded => {
+                return Err(format!("cell {i}: store_sharded without shard_puts"))
+            }
+            None => {}
         }
     }
     Ok(())
@@ -663,6 +784,51 @@ mod tests {
         // validator keeps them optional so pre-PR5 documents stay valid).
         assert!(doc.contains("\"wal_rotations\""));
         assert!(doc.contains("\"wal_retired_bytes\""));
+        // The sharded family runs even in smoke mode, and its cells carry
+        // the per-shard breakdown the validator enforces.
+        assert!(doc.contains("\"shards\""));
+        let sharded: Vec<&Cell> = cells.iter().filter(|c| c.bench == "store_sharded").collect();
+        assert!(sharded.iter().any(|c| c.shards == 1));
+        assert!(sharded.iter().any(|c| c.shards == 4));
+        for cell in sharded {
+            assert_eq!(cell.shard_puts.len(), cell.shards);
+            assert!(cell.shard_puts.iter().sum::<u64>() > 0);
+        }
+    }
+
+    #[test]
+    fn validator_enforces_sharded_cell_shape() {
+        let base = "{\"bench\": \"store_sharded\", \"wal\": \"off\", \"env\": \"mem\", \
+                    \"threads\": 1, \"ops_per_sec\": 10.0, \"total_ops\": 5, \
+                    \"elapsed_s\": 0.5";
+        let doc = |cell: String| {
+            format!("{{\"schema\": \"flodb-bench-matrix/v1\", \"cells\": [{cell}]}}")
+        };
+        // Well-formed sharded cell passes.
+        validate_matrix_json(&doc(format!(
+            "{base}, \"shards\": 2, \"shard_puts\": [3, 2]}}"
+        )))
+        .unwrap();
+        // store_sharded without the layout fields is rejected.
+        assert!(validate_matrix_json(&doc(format!("{base}}}"))).is_err());
+        assert!(validate_matrix_json(&doc(format!("{base}, \"shards\": 2}}"))).is_err());
+        // Breakdown length must match the shard count, entries numeric.
+        assert!(validate_matrix_json(&doc(format!(
+            "{base}, \"shards\": 2, \"shard_puts\": [3]}}"
+        )))
+        .is_err());
+        assert!(validate_matrix_json(&doc(format!(
+            "{base}, \"shards\": 2, \"shard_puts\": [3, \"x\"]}}"
+        )))
+        .is_err());
+        // shard_puts on a non-sharded cell needs a shards field too.
+        assert!(validate_matrix_json(&doc(
+            "{\"bench\": \"b\", \"wal\": \"off\", \"env\": \"mem\", \"threads\": 1, \
+             \"ops_per_sec\": 10.0, \"total_ops\": 5, \"elapsed_s\": 0.5, \
+             \"shard_puts\": [1]}"
+                .to_string()
+        ))
+        .is_err());
     }
 
     #[test]

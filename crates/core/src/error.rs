@@ -82,6 +82,9 @@ pub enum OptionsError {
     /// `wal_segment_max_bytes` is zero, which would seal a fresh segment
     /// after every single commit group.
     ZeroWalSegmentBytes,
+    /// A sharded store was configured with zero shards — there would be
+    /// nowhere to route any key.
+    ZeroShards,
 }
 
 impl std::fmt::Display for OptionsError {
@@ -103,6 +106,7 @@ impl std::fmt::Display for OptionsError {
             Self::ZeroWalSegmentBytes => {
                 write!(f, "wal_segment_max_bytes must be positive")
             }
+            Self::ZeroShards => write!(f, "shards must be >= 1"),
         }
     }
 }
@@ -119,6 +123,17 @@ pub enum OpenError {
     Storage(StorageError),
     /// A background thread (drain or persist) could not be spawned.
     Spawn(std::io::Error),
+    /// The store root's sticky sharding record disagrees with the
+    /// requested shard layout. The count and hash seed decide which shard
+    /// owns each key, so silently honoring the new layout would route
+    /// reads away from the shards holding their data; reopen with the
+    /// on-disk layout instead.
+    ShardMismatch {
+        /// The layout recorded on disk: `(shards, hash_seed)`.
+        on_disk: (u32, u64),
+        /// The layout this open requested: `(shards, hash_seed)`.
+        requested: (u32, u64),
+    },
 }
 
 impl std::fmt::Display for OpenError {
@@ -127,6 +142,13 @@ impl std::fmt::Display for OpenError {
             Self::Options(e) => write!(f, "invalid options: {e}"),
             Self::Storage(e) => write!(f, "storage failure during open: {e}"),
             Self::Spawn(e) => write!(f, "failed to spawn background thread: {e}"),
+            Self::ShardMismatch { on_disk, requested } => write!(
+                f,
+                "store was created with {} shards (hash seed {:#x}) but this \
+                 open requested {} shards (hash seed {:#x}); the sharding \
+                 layout is sticky",
+                on_disk.0, on_disk.1, requested.0, requested.1
+            ),
         }
     }
 }
@@ -137,6 +159,7 @@ impl std::error::Error for OpenError {
             Self::Options(e) => Some(e),
             Self::Storage(e) => Some(e),
             Self::Spawn(e) => Some(e),
+            Self::ShardMismatch { .. } => None,
         }
     }
 }
@@ -237,6 +260,26 @@ mod tests {
         )))
         .into();
         assert!(matches!(unified, Error::Write(WriteError::Poisoned(_))));
+    }
+
+    #[test]
+    fn shard_mismatch_is_typed_and_displayable() {
+        let e = OpenError::ShardMismatch {
+            on_disk: (4, 0x5eed),
+            requested: (7, 0x5eed),
+        };
+        assert!(e.to_string().contains("4 shards"));
+        assert!(e.to_string().contains("7 shards"));
+        assert!(std::error::Error::source(&e).is_none());
+        let unified: Error = e.into();
+        assert!(matches!(
+            unified,
+            Error::Open(OpenError::ShardMismatch {
+                on_disk: (4, _),
+                requested: (7, _)
+            })
+        ));
+        assert!(OptionsError::ZeroShards.to_string().contains("shards"));
     }
 
     #[test]

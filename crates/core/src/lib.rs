@@ -44,6 +44,7 @@ mod api;
 mod error;
 mod options;
 mod scan;
+pub mod sharded;
 mod stats;
 mod store;
 
@@ -63,5 +64,6 @@ mod view;
 pub use api::{KvStore, ScanEntry, StoreStats, WriteBatch};
 pub use error::{Error, OpenError, OptionsError, WriteError};
 pub use options::{FloDbOptions, WalMode};
+pub use sharded::{Partitioner, ShardedFloDb, ShardedOptions};
 pub use stats::{FloDbStats, ReclamationStats};
 pub use store::FloDb;

@@ -1,0 +1,99 @@
+//! K-way merge of per-shard scan snapshots.
+//!
+//! Generalizes the 3-way cursor merge the LsmCore baseline uses for
+//! memtable/immutable/disk: each shard contributes one sorted snapshot,
+//! cursors advance over them, and the minimum head key is emitted next.
+//! Hash partitioning makes keys unique across shards, so unlike the LSM
+//! merge there is no freshest-sequence arbitration — at most one cursor
+//! holds any given key.
+
+use std::ops::ControlFlow;
+
+use crate::api::ScanEntry;
+
+/// Streams the merged union of `snapshots` (each sorted, mutually
+/// disjoint) into `visitor` in global key order; `ControlFlow::Break`
+/// stops the merge immediately, pruning both the remaining emission and
+/// the cursor advancement over every shard. Returns the number of entries
+/// emitted.
+pub(crate) fn merge_snapshots(
+    snapshots: &[Vec<ScanEntry>],
+    visitor: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+) -> u64 {
+    let mut cursors = vec![0usize; snapshots.len()];
+    let mut emitted = 0u64;
+    loop {
+        // Linear minimum over the N heads: N is the shard count (single
+        // digits), where a scan through an array beats a binary heap.
+        let mut min: Option<usize> = None;
+        for (i, snapshot) in snapshots.iter().enumerate() {
+            let Some(head) = snapshot.get(cursors[i]) else {
+                continue;
+            };
+            match min {
+                Some(m) if snapshots[m][cursors[m]].0 <= head.0 => {}
+                _ => min = Some(i),
+            }
+        }
+        let Some(m) = min else {
+            return emitted; // Every cursor exhausted.
+        };
+        let (key, value) = &snapshots[m][cursors[m]];
+        cursors[m] += 1;
+        emitted += 1;
+        if visitor(key, value).is_break() {
+            return emitted;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(k: &str) -> ScanEntry {
+        (k.as_bytes().to_vec(), k.as_bytes().to_vec())
+    }
+
+    fn collect(snapshots: &[Vec<ScanEntry>]) -> Vec<String> {
+        let mut out = Vec::new();
+        merge_snapshots(snapshots, &mut |k, _| {
+            out.push(String::from_utf8(k.to_vec()).unwrap());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn merges_in_global_key_order() {
+        let snapshots = vec![
+            vec![entry("b"), entry("e"), entry("h")],
+            vec![entry("a"), entry("f")],
+            vec![],
+            vec![entry("c"), entry("d"), entry("g")],
+        ];
+        assert_eq!(collect(&snapshots), ["a", "b", "c", "d", "e", "f", "g", "h"]);
+    }
+
+    #[test]
+    fn break_stops_mid_merge() {
+        let snapshots = vec![vec![entry("a"), entry("c")], vec![entry("b"), entry("d")]];
+        let mut seen = Vec::new();
+        let emitted = merge_snapshots(&snapshots, &mut |k, _| {
+            seen.push(k.to_vec());
+            if k == b"b" {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(emitted, 2);
+        assert_eq!(seen, vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+
+    #[test]
+    fn empty_input_emits_nothing() {
+        assert!(collect(&[]).is_empty());
+        assert!(collect(&[vec![], vec![]]).is_empty());
+    }
+}

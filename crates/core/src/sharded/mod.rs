@@ -1,0 +1,26 @@
+//! Hash-partitioned sharding: N FloDB instances behind one [`KvStore`].
+//!
+//! The ROADMAP's multi-core story: a single FloDB instance serializes its
+//! group commit behind one leader and one fsync stream; N instances give
+//! N independent Membuffers, WALs, drain pipelines, and persist threads.
+//! This module family is the router over them —
+//!
+//! - [`partitioner`] — the seeded stable key hash deciding shard
+//!   ownership (total, insertion-order independent, persisted);
+//! - [`router`] — [`ShardedFloDb`]: the full `KvStore` over the shard
+//!   set, including [`WriteBatch`](crate::WriteBatch) splitting with
+//!   annotated per-shard WAL frames;
+//! - `merge` (private) — the k-way merge fanning per-shard scan
+//!   snapshots into one ordered stream;
+//! - `stats` (private) — per-shard stats summed into the router-level
+//!   view.
+//!
+//! [`KvStore`]: crate::KvStore
+
+pub mod partitioner;
+mod merge;
+pub mod router;
+mod stats;
+
+pub use partitioner::Partitioner;
+pub use router::{ShardedFloDb, ShardedOptions, DEFAULT_HASH_SEED};

@@ -1,0 +1,91 @@
+//! Aggregation of per-shard [`StoreStats`] into one router-level view.
+
+use crate::api::StoreStats;
+
+/// Sums every counter (and gauge) across `per_shard`.
+///
+/// Counters add up to exactly the totals an unsharded store would report
+/// for the same operations — the router itself counts nothing, each
+/// operation is counted once by the shard that executed it, so
+/// aggregation can never double-count. The two gauges
+/// (`wal_generations`, `wal_active_bytes`) sum to fleet-wide totals:
+/// "live WAL generations across all shards" is the quantity the
+/// bounded-log invariant cares about. One router-level scan fans out to
+/// every shard, so the aggregated `scans` counts shard-scans: expect
+/// `shards ×` the logical scan count.
+///
+/// The destructuring is exhaustive on purpose: adding a field to
+/// [`StoreStats`] without deciding how it aggregates fails compilation
+/// here.
+pub(crate) fn aggregate(per_shard: &[StoreStats]) -> StoreStats {
+    let mut total = StoreStats::default();
+    for s in per_shard {
+        let StoreStats {
+            puts,
+            deletes,
+            gets,
+            scans,
+            scanned_keys,
+            persists,
+            fast_level_writes,
+            scan_restarts,
+            fallback_scans,
+            wal_groups,
+            wal_group_records,
+            wal_follower_writes,
+            wal_rotations,
+            wal_retired_bytes,
+            wal_generations,
+            wal_active_bytes,
+        } = s;
+        total.puts += puts;
+        total.deletes += deletes;
+        total.gets += gets;
+        total.scans += scans;
+        total.scanned_keys += scanned_keys;
+        total.persists += persists;
+        total.fast_level_writes += fast_level_writes;
+        total.scan_restarts += scan_restarts;
+        total.fallback_scans += fallback_scans;
+        total.wal_groups += wal_groups;
+        total.wal_group_records += wal_group_records;
+        total.wal_follower_writes += wal_follower_writes;
+        total.wal_rotations += wal_rotations;
+        total.wal_retired_bytes += wal_retired_bytes;
+        total.wal_generations += wal_generations;
+        total.wal_active_bytes += wal_active_bytes;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_every_field() {
+        let a = StoreStats {
+            puts: 1,
+            deletes: 2,
+            gets: 3,
+            scans: 4,
+            scanned_keys: 5,
+            persists: 6,
+            fast_level_writes: 7,
+            scan_restarts: 8,
+            fallback_scans: 9,
+            wal_groups: 10,
+            wal_group_records: 11,
+            wal_follower_writes: 12,
+            wal_rotations: 13,
+            wal_retired_bytes: 14,
+            wal_generations: 15,
+            wal_active_bytes: 16,
+        };
+        let total = aggregate(&[a.clone(), a.clone(), StoreStats::default()]);
+        assert_eq!(total.puts, 2);
+        assert_eq!(total.wal_active_bytes, 32);
+        assert_eq!(aggregate(&[]), StoreStats::default());
+        assert_eq!(aggregate(std::slice::from_ref(&a)), a);
+    }
+}

@@ -34,7 +34,7 @@ use flodb_sync::{
 };
 use parking_lot::{Condvar, Mutex};
 
-use crate::api::{KvStore, StoreStats, WriteBatch};
+use crate::api::{KvStore, ScanEntry, StoreStats, WriteBatch};
 use crate::drain::{self, DrainStyle};
 use crate::error::{OpenError, WriteError};
 use crate::options::{FloDbOptions, WalMode};
@@ -456,6 +456,72 @@ impl FloDb {
             self.apply_to_memory(key, value);
         }
         Ok(())
+    }
+
+    /// Like [`KvStore::write`], but stamps the batch's WAL frame with a
+    /// sub-batch annotation (see [`wal::BatchAnnotation`]). The sharded
+    /// router uses this to tie sibling sub-batches together across shard
+    /// logs: the annotation is encoded at the head of the frame payload,
+    /// inside the committer's critical section, so it and its records are
+    /// contiguous in one frame and recover all-or-nothing. Recovery strips
+    /// annotations out of the replayed records, so a tagged write replays
+    /// exactly like an untagged one.
+    ///
+    /// Operation stats (`puts`/`deletes`) are counted here, like
+    /// [`KvStore::write`] counts them; `wal_group_records` counts only the
+    /// real operations, not the annotation.
+    pub fn write_tagged(
+        &self,
+        batch: &WriteBatch,
+        tag: wal::BatchAnnotation,
+    ) -> Result<(), WriteError> {
+        debug_assert_eq!(tag.ops as usize, batch.len(), "annotation ops must match batch");
+        if batch.is_empty() {
+            // Nothing to annotate; keep the empty-write poison contract.
+            return self.write_impl(batch);
+        }
+        // Logged→applied window; see `put_impl`.
+        let _inflight = self.inner.wal.as_ref().map(|w| w.inflight.enter());
+        self.wal_append(
+            |inner, buf| {
+                tag.encode_into(buf);
+                for (key, value) in batch.iter() {
+                    encode_record_parts(buf, key, inner.seq.next(), value);
+                }
+            },
+            batch.len() as u64,
+        )?;
+        for (key, value) in batch.iter() {
+            self.apply_to_memory(key, value);
+        }
+        FloDbStats::add(&self.inner.stats.puts, batch.puts());
+        FloDbStats::add(&self.inner.stats.deletes, batch.deletes());
+        Ok(())
+    }
+
+    /// Runs one validated scan of `[low, high)` and returns the live
+    /// entries as an owned, sorted snapshot.
+    ///
+    /// This is the fan-out building block for the sharded router: each
+    /// shard materializes its snapshot through the full restart protocol,
+    /// then the router k-way-merges the per-shard snapshots and streams
+    /// them to the caller's visitor. Unlike [`KvStore::scan_with`], an
+    /// early `ControlFlow::Break` in that merge prunes the *emission*, not
+    /// the snapshot construction — the restart protocol validates a whole
+    /// range at a time. Counts one `scans` and the returned entries as
+    /// `scanned_keys`, so aggregated stats stay comparable with the
+    /// unsharded path.
+    pub fn scan_snapshot(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+        let merged = self.scan_impl(low, high);
+        FloDbStats::bump(&self.inner.stats.scans);
+        let out: Vec<ScanEntry> = merged
+            .iter()
+            .filter_map(|(key, (_, value))| {
+                value.as_ref().map(|v| (key.to_vec(), v.to_vec()))
+            })
+            .collect();
+        FloDbStats::add(&self.inner.stats.scanned_keys, out.len() as u64);
+        out
     }
 
     /// Commits one submission — `encode` writes its record(s), `records`

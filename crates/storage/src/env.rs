@@ -266,6 +266,88 @@ impl Env for MemEnv {
 }
 
 // ---------------------------------------------------------------------------
+// Prefixed sub-namespace view of another environment.
+// ---------------------------------------------------------------------------
+
+/// A view of a parent [`Env`] restricted to names under a directory-style
+/// prefix (`"shard-00/"`), the storage substrate of a sharded store: each
+/// shard runs a full, unmodified store against its own `PrefixEnv`, so its
+/// WAL segments, SSTables and manifest land under `shard-NN/` of one root.
+///
+/// The parent keeps its flat namespace; this wrapper only rewrites names
+/// on the way in and filters/strips them on the way out of [`Env::list`].
+/// [`Env::bytes_written`] and [`Env::sync_dir`] are forwarded to the
+/// parent (the write-amplification counter and directory durability are
+/// properties of the underlying device, not of one shard's slice of it).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use flodb_storage::env::{Env, MemEnv, PrefixEnv};
+///
+/// let root: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+/// let shard = PrefixEnv::new(Arc::clone(&root), "shard-00");
+/// shard.new_writable("000001.log").unwrap();
+/// assert!(root.exists("shard-00/000001.log"));
+/// assert_eq!(shard.list().unwrap(), vec!["000001.log".to_string()]);
+/// ```
+pub struct PrefixEnv {
+    parent: Arc<dyn Env>,
+    /// The prefix including its trailing separator (`"shard-00/"`).
+    prefix: String,
+}
+
+impl PrefixEnv {
+    /// Wraps `parent`, mapping every name to `<dir>/<name>`. A trailing
+    /// `/` on `dir` is accepted but not required.
+    pub fn new(parent: Arc<dyn Env>, dir: &str) -> Self {
+        let mut prefix = dir.trim_end_matches('/').to_string();
+        prefix.push('/');
+        Self { parent, prefix }
+    }
+
+    fn full(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
+    }
+}
+
+impl Env for PrefixEnv {
+    fn new_writable(&self, name: &str) -> Result<Box<dyn WritableFile>> {
+        self.parent.new_writable(&self.full(name))
+    }
+
+    fn open_random(&self, name: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        self.parent.open_random(&self.full(name))
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.parent.delete(&self.full(name))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.parent.exists(&self.full(name))
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self
+            .parent
+            .list()?
+            .into_iter()
+            .filter_map(|n| n.strip_prefix(&self.prefix).map(str::to_string))
+            .collect())
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.parent.bytes_written()
+    }
+
+    fn sync_dir(&self) -> Result<()> {
+        self.parent.sync_dir()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Real filesystem environment.
 // ---------------------------------------------------------------------------
 
@@ -336,7 +418,15 @@ impl RandomAccessFile for FsRandom {
 
 impl Env for FsEnv {
     fn new_writable(&self, name: &str) -> Result<Box<dyn WritableFile>> {
-        let file = std::fs::File::create(self.path(name))?;
+        let path = self.path(name);
+        // Slash-containing names ([`PrefixEnv`] sub-namespaces) live in
+        // subdirectories that may not exist yet.
+        if name.contains('/') {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
         Ok(Box::new(FsWritable {
             file,
             bytes_written: Arc::clone(&self.bytes_written),
@@ -367,9 +457,27 @@ impl Env for FsEnv {
     }
 
     fn list(&self) -> Result<Vec<String>> {
+        // Walk one directory level deep so [`PrefixEnv`] sub-namespaces
+        // (`shard-NN/<file>`) list through, reported with their relative
+        // slashed names. Plain stores never create subdirectories, so
+        // their listings are unchanged.
         let mut out = Vec::new();
         for entry in std::fs::read_dir(&self.root)? {
-            out.push(entry?.file_name().to_string_lossy().into_owned());
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if entry.file_type()?.is_dir() {
+                for sub in std::fs::read_dir(entry.path())? {
+                    let sub = sub?;
+                    if sub.file_type()?.is_file() {
+                        out.push(format!(
+                            "{name}/{}",
+                            sub.file_name().to_string_lossy()
+                        ));
+                    }
+                }
+            } else {
+                out.push(name);
+            }
         }
         Ok(out)
     }
@@ -380,6 +488,15 @@ impl Env for FsEnv {
     }
 
     fn sync_dir(&self) -> Result<()> {
+        // Sub-namespace directories hold WAL segments whose creation and
+        // retirement need the same directory-entry durability as the
+        // root's (see [`Env::sync_dir`]), so sync them along with it.
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                std::fs::File::open(entry.path())?.sync_all()?;
+            }
+        }
         std::fs::File::open(&self.root)?.sync_all()?;
         Ok(())
     }
@@ -452,6 +569,55 @@ mod tests {
         assert_eq!(bucket.consume(5_000), Duration::ZERO);
         // Exceeding it: positive wait.
         assert!(bucket.consume(10_000) > Duration::ZERO);
+    }
+
+    #[test]
+    fn prefix_env_isolates_namespaces() {
+        let root: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+        let a = PrefixEnv::new(Arc::clone(&root), "shard-00");
+        let b = PrefixEnv::new(Arc::clone(&root), "shard-01/");
+        let mut f = a.new_writable("x.log").unwrap();
+        f.append(b"aaa").unwrap();
+        b.new_writable("y.log").unwrap();
+
+        assert!(a.exists("x.log"));
+        assert!(!a.exists("y.log"), "namespaces must not bleed");
+        assert!(root.exists("shard-00/x.log"));
+        assert_eq!(a.list().unwrap(), vec!["x.log".to_string()]);
+        assert_eq!(b.list().unwrap(), vec!["y.log".to_string()]);
+        assert_eq!(a.open_random("x.log").unwrap().len(), 3);
+
+        a.delete("x.log").unwrap();
+        assert!(!root.exists("shard-00/x.log"));
+        assert!(root.exists("shard-01/y.log"), "delete stays scoped");
+        assert!(a.bytes_written() >= 3, "write accounting is shared");
+        a.sync_dir().unwrap();
+    }
+
+    #[test]
+    fn fsenv_supports_prefixed_subdirectories() {
+        let dir =
+            std::env::temp_dir().join(format!("flodb-env-subdir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let root: Arc<dyn Env> = Arc::new(FsEnv::new(&dir).unwrap());
+        let shard = PrefixEnv::new(Arc::clone(&root), "shard-03");
+        let mut f = shard.new_writable("000001.log").unwrap();
+        f.append(b"data").unwrap();
+        f.sync().unwrap();
+        f.finish().unwrap();
+        root.new_writable("TOP").unwrap();
+
+        assert!(shard.exists("000001.log"));
+        assert_eq!(shard.list().unwrap(), vec!["000001.log".to_string()]);
+        let all = root.list().unwrap();
+        assert!(all.contains(&"shard-03/000001.log".to_string()));
+        assert!(all.contains(&"TOP".to_string()));
+        assert_eq!(shard.open_random("000001.log").unwrap().len(), 4);
+        shard.sync_dir().unwrap();
+        shard.delete("000001.log").unwrap();
+        shard.delete("000001.log").unwrap(); // Idempotent.
+        assert!(!shard.exists("000001.log"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -29,13 +29,16 @@ pub mod error;
 pub mod log_manager;
 pub mod manifest;
 pub mod record;
+pub mod sharding;
 pub mod sstable;
 pub mod table_cache;
 pub mod version;
 pub mod wal;
 
 pub use disk::{DiskComponent, DiskOptions, DiskStats};
-pub use env::{Env, FsEnv, MemEnv, ThrottleConfig};
+pub use env::{Env, FsEnv, MemEnv, PrefixEnv, ThrottleConfig};
 pub use error::{Result, StorageError};
 pub use log_manager::{LogConfig, LogManager, RecoveredWal};
 pub use record::Record;
+pub use sharding::{read_sharding, shard_dir_name, write_sharding, ShardingSpec};
+pub use wal::BatchAnnotation;

@@ -41,7 +41,7 @@ use std::sync::Arc;
 use crate::env::Env;
 use crate::error::Result;
 use crate::record::Record;
-use crate::wal::{parse_wal_name, wal_file_name, WalWriter};
+use crate::wal::{parse_wal_name, wal_file_name, BatchAnnotation, WalWriter};
 
 /// Tuning for a [`LogManager`].
 #[derive(Debug, Clone, Copy)]
@@ -260,6 +260,9 @@ pub struct RecoveredWal {
     pub records: Vec<Record>,
     /// Largest sequence number seen (0 when nothing was recovered).
     pub max_seq: u64,
+    /// Sub-batch annotations recovered across the replayed segments, in
+    /// log order (empty for unsharded stores).
+    pub annotations: Vec<BatchAnnotation>,
     /// Highest generation present on disk (0 when no segments exist); the
     /// reopened store's active segment must use a strictly higher one.
     pub max_generation: u64,
@@ -288,6 +291,7 @@ pub fn recover_segments(env: &dyn Env, oldest_live: u64) -> Result<RecoveredWal>
     let mut out = RecoveredWal {
         records: Vec::new(),
         max_seq: 0,
+        annotations: Vec::new(),
         max_generation: segments.last().map_or(0, |(generation, _)| *generation),
         segment_names: segments.iter().map(|(_, n)| n.clone()).collect(),
     };
@@ -297,6 +301,7 @@ pub fn recover_segments(env: &dyn Env, oldest_live: u64) -> Result<RecoveredWal>
         }
         let replay = crate::wal::replay_segment(env, name, *generation)?;
         out.records.extend(replay.records);
+        out.annotations.extend(replay.annotations);
         out.max_seq = out.max_seq.max(replay.max_seq);
     }
     Ok(out)

@@ -9,7 +9,7 @@
 
 use crate::env::{Env, RandomAccessFile, WritableFile};
 use crate::error::{Result, StorageError};
-use crate::record::{crc32, Record};
+use crate::record::{crc32, encode_record_parts, Record};
 
 /// Returns the canonical WAL file name for log `number`.
 pub fn wal_file_name(number: u64) -> String {
@@ -25,6 +25,65 @@ pub fn parse_wal_name(name: &str) -> Option<u64> {
 /// callers reserve this much at the start of their batch buffer so
 /// [`WalWriter::append_group_frame`] can patch the header in place.
 pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Sequence number reserved for in-frame annotation records.
+///
+/// Annotations ride the record encoding (so legacy replay code walks over
+/// them without a format change) but carry frame metadata, not data: the
+/// replay path strips them out of the recovered records and excludes this
+/// sentinel from `max_seq`, so the store's sequence counter never jumps
+/// to `u64::MAX` after recovering an annotated log.
+pub const ANNOTATION_SEQ: u64 = u64::MAX;
+
+/// Metadata a sharded router stamps on each per-shard sub-batch frame.
+///
+/// When a cross-shard `WriteBatch` is split, every shard's sub-batch is
+/// one group-commit frame opening with one of these. The shared
+/// `batch_id` ties sibling frames together across shard WALs; `shard` /
+/// `shard_count` say which slice this is of how many; `ops` is the
+/// sub-batch's record count. Because a frame replays all-or-nothing, a
+/// recovered annotation proves its whole sub-batch was recovered with it
+/// — the per-shard half of the documented cross-shard atomicity rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAnnotation {
+    /// Router-wide id shared by every sub-batch split from one `WriteBatch`.
+    pub batch_id: u64,
+    /// Which shard this sub-batch was routed to.
+    pub shard: u32,
+    /// How many shards received a non-empty sub-batch of the parent batch.
+    pub shard_count: u32,
+    /// Number of real records in this sub-batch (excluding the annotation).
+    pub ops: u32,
+}
+
+impl BatchAnnotation {
+    /// Encodes the annotation as a record (key = packed metadata,
+    /// seq = [`ANNOTATION_SEQ`], tombstone) appended to `out`, suitable
+    /// for placing at the head of a group-commit frame payload.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut key = [0u8; 20];
+        key[..8].copy_from_slice(&self.batch_id.to_le_bytes());
+        key[8..12].copy_from_slice(&self.shard.to_le_bytes());
+        key[12..16].copy_from_slice(&self.shard_count.to_le_bytes());
+        key[16..20].copy_from_slice(&self.ops.to_le_bytes());
+        encode_record_parts(out, &key, ANNOTATION_SEQ, None);
+    }
+
+    fn decode(key: &[u8]) -> Result<Self> {
+        if key.len() != 20 {
+            return Err(StorageError::Corruption(format!(
+                "wal annotation record key is {} bytes, expected 20",
+                key.len()
+            )));
+        }
+        Ok(Self {
+            batch_id: u64::from_le_bytes(key[..8].try_into().expect("8 bytes")),
+            shard: u32::from_le_bytes(key[8..12].try_into().expect("4 bytes")),
+            shard_count: u32::from_le_bytes(key[12..16].try_into().expect("4 bytes")),
+            ops: u32::from_le_bytes(key[16..20].try_into().expect("4 bytes")),
+        })
+    }
+}
 
 /// Magic bytes opening every generation-numbered WAL segment.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"FLODBSEG";
@@ -191,8 +250,8 @@ pub fn replay(env: &dyn Env, name: &str) -> Result<(Vec<Record>, u64)> {
     let file: std::sync::Arc<dyn RandomAccessFile> = env.open_random(name)?;
     let size = file.len();
     let data = file.read_at(0, size as usize)?;
-    let (records, max_seq, _) = replay_frames(&data, 0)?;
-    Ok((records, max_seq))
+    let replayed = replay_frames(&data, 0)?;
+    Ok((replayed.records, replayed.max_seq))
 }
 
 /// The result of replaying one generation-numbered segment.
@@ -202,6 +261,10 @@ pub struct SegmentReplay {
     pub records: Vec<Record>,
     /// Largest sequence number seen (0 when empty).
     pub max_seq: u64,
+    /// Sub-batch annotations recovered from intact frames, in append
+    /// order. Empty for unsharded stores; the sharded recovery sweep uses
+    /// these to prove every recovered sub-batch is whole.
+    pub annotations: Vec<BatchAnnotation>,
     /// Whether the segment ended cleanly at a frame boundary; a torn or
     /// corrupt tail (including a torn header) marks a crash point whose
     /// remainder was truncated. Diagnostic — sealed segments are
@@ -234,18 +297,14 @@ pub fn replay_segment(
         // segment whose magic was corrupted away — and silently reporting
         // an empty segment would vaporize that segment's fsynced frames —
         // so it is reported as corruption rather than success.
-        let (records, max_seq, clean) = replay_frames(&data, 0)?;
-        if records.is_empty() {
+        let replayed = replay_frames(&data, 0)?;
+        if replayed.records.is_empty() {
             return Err(StorageError::Corruption(format!(
                 "{name}: neither a headered WAL segment nor a replayable \
                  legacy log"
             )));
         }
-        return Ok(SegmentReplay {
-            records,
-            max_seq,
-            clean,
-        });
+        return Ok(replayed);
     }
     if data.len() < SEGMENT_HEADER_BYTES {
         // Torn at creation (magic prefix or shorter than one frame
@@ -253,6 +312,7 @@ pub fn replay_segment(
         return Ok(SegmentReplay {
             records: Vec::new(),
             max_seq: 0,
+            annotations: Vec::new(),
             clean: false,
         });
     }
@@ -269,19 +329,16 @@ pub fn replay_segment(
              file name says {expected_generation}"
         )));
     }
-    let (records, max_seq, clean) = replay_frames(&data, SEGMENT_HEADER_BYTES)?;
-    Ok(SegmentReplay {
-        records,
-        max_seq,
-        clean,
-    })
+    replay_frames(&data, SEGMENT_HEADER_BYTES)
 }
 
 /// Walks `[len][crc][payload]` frames from `start`, stopping at the first
-/// torn or corrupt one. Returns the records, the max sequence number, and
-/// whether the walk consumed the data exactly to its end.
-fn replay_frames(data: &[u8], start: usize) -> Result<(Vec<Record>, u64, bool)> {
+/// torn or corrupt one. Records with the [`ANNOTATION_SEQ`] sentinel are
+/// decoded into [`BatchAnnotation`]s instead of joining the recovered
+/// records (and never contribute to `max_seq`).
+fn replay_frames(data: &[u8], start: usize) -> Result<SegmentReplay> {
     let mut records = Vec::new();
+    let mut annotations = Vec::new();
     let mut max_seq = 0u64;
     let mut pos = start;
     loop {
@@ -302,12 +359,22 @@ fn replay_frames(data: &[u8], start: usize) -> Result<(Vec<Record>, u64, bool)> 
             let r = Record::decode_from(payload, &mut p).map_err(|e| {
                 StorageError::Corruption(format!("wal frame decoded badly after crc pass: {e}"))
             })?;
+            if r.seq == ANNOTATION_SEQ {
+                annotations.push(BatchAnnotation::decode(&r.key)?);
+                continue;
+            }
             max_seq = max_seq.max(r.seq);
             records.push(r);
         }
         pos += 8 + len;
     }
-    Ok((records, max_seq, pos == data.len()))
+    let clean = pos == data.len();
+    Ok(SegmentReplay {
+        records,
+        max_seq,
+        annotations,
+        clean,
+    })
 }
 
 #[cfg(test)]
@@ -568,6 +635,66 @@ mod tests {
         let r = replay_segment(&env, &wal_file_name(1), 1).unwrap();
         assert_eq!(r.records.len(), 5, "intact prefix replays");
         assert!(!r.clean, "a torn tail must be reported");
+    }
+
+    #[test]
+    fn annotated_frames_replay_records_and_annotations_separately() {
+        let env = MemEnv::new(None);
+        let mut w = WalWriter::create_segment(&env, 1, false).unwrap();
+
+        // Two annotated sub-batch frames (as a sharded router writes them)
+        // plus one plain frame (as a point op writes it).
+        let ann_a = BatchAnnotation {
+            batch_id: 42,
+            shard: 0,
+            shard_count: 2,
+            ops: 3,
+        };
+        let mut payload = Vec::new();
+        ann_a.encode_into(&mut payload);
+        for r in records(0..3) {
+            r.encode_into(&mut payload);
+        }
+        w.append_payload(&payload).unwrap();
+
+        let ann_b = BatchAnnotation {
+            batch_id: 42,
+            shard: 1,
+            shard_count: 2,
+            ops: 2,
+        };
+        payload.clear();
+        ann_b.encode_into(&mut payload);
+        for r in records(3..5) {
+            r.encode_into(&mut payload);
+        }
+        w.append_payload(&payload).unwrap();
+
+        w.append_batch(&records(5..6)).unwrap();
+        w.finish().unwrap();
+
+        let r = replay_segment(&env, &wal_file_name(1), 1).unwrap();
+        assert_eq!(r.records.len(), 6, "annotations are not data records");
+        assert_eq!(r.max_seq, 5, "the annotation sentinel must not leak into max_seq");
+        assert_eq!(r.annotations, vec![ann_a, ann_b]);
+        assert!(r.clean);
+        assert!(r.records.iter().all(|rec| rec.seq != ANNOTATION_SEQ));
+
+        // A torn second frame drops that sub-batch's annotation and records
+        // together — whole-sub-batch semantics.
+        let file = env.open_random(&wal_file_name(1)).unwrap();
+        let bytes = file.read_at(0, file.len() as usize).unwrap();
+        // Recompute the first frame's extent from its header.
+        let at = SEGMENT_HEADER_BYTES;
+        let frame_len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let first_frame_end = at + 8 + frame_len;
+        let mut f = env.new_writable("torn.log").unwrap();
+        f.append(&segment_header(1)).unwrap();
+        f.append(&bytes[SEGMENT_HEADER_BYTES..first_frame_end + 4]).unwrap();
+        let torn = replay_segment(&env, "torn.log", 1).unwrap();
+        assert_eq!(torn.records.len(), 3);
+        assert_eq!(torn.annotations, vec![ann_a]);
+        assert!(!torn.clean);
     }
 
     #[test]

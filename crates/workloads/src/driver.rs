@@ -44,6 +44,11 @@ pub struct WorkloadConfig {
     /// Thread 0 writes, all others read (the Figure 12 workload),
     /// overriding `mix` per-thread.
     pub single_writer: bool,
+    /// Shard count the store under test is built with; 1 = unsharded.
+    /// Consumed by store construction ([`crate::init::build_flodb_store`])
+    /// — the driver loop itself is store-agnostic and just records the
+    /// knob so reports can label sharded runs.
+    pub shards: u32,
 }
 
 impl WorkloadConfig {
@@ -60,6 +65,7 @@ impl WorkloadConfig {
             seed: 0xF10D_B,
             measure_latency: false,
             single_writer: false,
+            shards: 1,
         }
     }
 }

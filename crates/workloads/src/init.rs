@@ -6,7 +6,28 @@
 //! layout is optimal for all systems and the compaction algorithm's effect
 //! is minimized).
 
-use flodb_core::KvStore;
+use std::sync::Arc;
+
+use flodb_core::{FloDbOptions, KvStore, OpenError, ShardedFloDb, ShardedOptions};
+
+/// Builds the FloDB store a workload run targets: a plain
+/// [`flodb_core::FloDb`] at `shards == 1`, a [`ShardedFloDb`] router
+/// otherwise. This is how the harness's and bench matrix's `shards` knob
+/// (see [`crate::WorkloadConfig::shards`]) turns into a store, so sharded
+/// paths run under the exact same driver as unsharded ones.
+///
+/// # Errors
+///
+/// Whatever the underlying open reports ([`OpenError`]).
+pub fn build_flodb_store(shards: u32, base: FloDbOptions) -> Result<Arc<dyn KvStore>, OpenError> {
+    if shards <= 1 {
+        Ok(Arc::new(flodb_core::FloDb::open(base)?))
+    } else {
+        Ok(Arc::new(ShardedFloDb::open(ShardedOptions::new(
+            shards, base,
+        ))?))
+    }
+}
 
 /// A Feistel-free random permutation of `0..n` via a multiplicative hash:
 /// visits every even-indexed key exactly once, in scattered order.

@@ -26,6 +26,7 @@ pub mod keys;
 pub mod mix;
 
 pub use driver::{run_workload, RunReport, WorkloadConfig};
+pub use init::build_flodb_store;
 pub use histogram::Histogram;
 pub use keys::KeyDistribution;
 pub use mix::{OpKind, OperationMix};

@@ -70,8 +70,9 @@
 #![warn(rust_2018_idioms)]
 
 pub use flodb_core::{
-    Error, FloDb, FloDbOptions, FloDbStats, KvStore, OpenError, OptionsError, ReclamationStats,
-    ScanEntry, StoreStats, WalMode, WriteBatch, WriteError,
+    Error, FloDb, FloDbOptions, FloDbStats, KvStore, OpenError, OptionsError, Partitioner,
+    ReclamationStats, ScanEntry, ShardedFloDb, ShardedOptions, StoreStats, WalMode, WriteBatch,
+    WriteError,
 };
 
 /// The FloDB store and the uniform `KvStore` interface (re-export of

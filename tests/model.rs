@@ -71,6 +71,16 @@ fn group_commit_broadcasts_errors() {
 }
 
 #[test]
+fn router_split_commits_whole_sub_batches() {
+    dfs().model(scenarios::router_split_body);
+}
+
+#[test]
+fn router_split_commits_whole_sub_batches_random() {
+    random().model(scenarios::router_split_body);
+}
+
+#[test]
 fn inflight_grace_covers_logged_to_applied() {
     dfs().model(scenarios::inflight_grace_body);
 }

@@ -63,6 +63,24 @@ fn checker_finds_the_stale_memtable_race() {
 }
 
 #[test]
+fn checker_finds_the_broken_router_split() {
+    // PR 7 mutation: a sub-batch submitted outside the owning shard's
+    // committer critical section lands one record at a time, so a
+    // concurrent writer's records can interleave mid-sub-batch and tear
+    // the frame the recovery contract stands on.
+    let failure = Builder::dfs(2)
+        .iterations(3000)
+        .check(scenarios::router_split_broken_body)
+        .expect_err("the split mutation must tear a sub-batch");
+    assert_lost_write(&failure, "torn across the shard's log");
+
+    let replayed = Builder::replay(failure.schedule.clone())
+        .check(scenarios::router_split_broken_body)
+        .expect_err("replaying the failing schedule must fail again");
+    assert_lost_write(&replayed, "torn across the shard's log");
+}
+
+#[test]
 fn finding_is_deterministic() {
     // Two independent searches over the mutated code must fail on the
     // same iteration with the same schedule — no wall-clock, no ASLR, no

@@ -283,6 +283,108 @@ pub fn group_commit_error_body() {
     }
 }
 
+/// The sharded router's write split vs. per-shard group commit (PR 7).
+///
+/// Two writers each split one batch into per-shard sub-batches and commit
+/// every sub-batch through the owning shard's committer. The router's
+/// contract: each sub-batch lands in its shard's log **whole and
+/// contiguous** (one frame), exactly once, and the router's applied-ops
+/// accounting matches what the logs hold — no lost sub-batch, no
+/// double-count, under any interleaving of the two writers across the two
+/// committers.
+pub fn router_split_body() {
+    router_split(false);
+}
+
+/// The broken router split for the mutation suite: sub-batch records are
+/// appended to the shard's log *outside* the committer's critical
+/// section, one record at a time. A concurrent writer can interleave its
+/// own records mid-sub-batch, tearing the frame — the checker must find
+/// the schedule that does.
+pub fn router_split_broken_body() {
+    router_split(true);
+}
+
+fn router_split(broken: bool) {
+    const WRITERS: usize = 2;
+    const SHARDS: usize = 2;
+    /// One distinct byte per (writer, shard, op) record.
+    fn tag(w: usize, s: usize, i: usize) -> u8 {
+        (w * 4 + s * 2 + i) as u8
+    }
+    type ShardLane = (Arc<GroupCommitter<String>>, Arc<Mutex<Vec<u8>>>);
+    let shards: Vec<ShardLane> = (0..SHARDS)
+        .map(|_| {
+            (
+                Arc::new(GroupCommitter::new(GroupCommitConfig {
+                    max_group_bytes: 1024,
+                    frame_prefix: 0,
+                    max_group_wait: Duration::ZERO,
+                    follower_spin: 0,
+                })),
+                Arc::new(Mutex::new(Vec::<u8>::new())),
+            )
+        })
+        .collect();
+    let applied = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let shards = shards.clone();
+            let applied = Arc::clone(&applied);
+            thread::spawn(move || {
+                // The split: this writer's batch holds two ops for every
+                // shard; each shard's pair is one sub-batch.
+                for (s, (gc, log)) in shards.iter().enumerate() {
+                    let ops = [tag(w, s, 0), tag(w, s, 1)];
+                    if broken {
+                        // Mutation: the sub-batch bypasses the committer
+                        // and lands one record at a time.
+                        log.lock().push(ops[0]);
+                        thread::yield_now();
+                        log.lock().push(ops[1]);
+                    } else {
+                        gc.submit(
+                            |buf| buf.extend_from_slice(&ops),
+                            |payload| {
+                                log.lock().extend_from_slice(payload);
+                                Ok(())
+                            },
+                        )
+                        .expect("commit cannot fail here");
+                    }
+                    // Router stats: one bump per committed sub-batch.
+                    applied.fetch_add(ops.len(), Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut total = 0;
+    for (s, (_, log)) in shards.iter().enumerate() {
+        let log = log.lock();
+        total += log.len();
+        for w in 0..WRITERS {
+            let (a, b) = (tag(w, s, 0), tag(w, s, 1));
+            assert_eq!(
+                log.iter().filter(|&&x| x == a).count(),
+                1,
+                "sub-batch record committed more than once (double-count)"
+            );
+            let ia = log.iter().position(|&x| x == a).expect("lost sub-batch");
+            let ib = log.iter().position(|&x| x == b).expect("lost sub-batch");
+            assert_eq!(ib, ia + 1, "sub-batch torn across the shard's log");
+        }
+    }
+    assert_eq!(total, WRITERS * SHARDS * 2, "lost sub-batch records");
+    assert_eq!(
+        applied.load(Ordering::SeqCst),
+        WRITERS * SHARDS * 2,
+        "router accounting diverged from the logs"
+    );
+}
+
 /// `PhasedInflight` grace coverage: after `quiesce_with` returns, every
 /// write logged before the quiesce began has also been applied — the
 /// property WAL segment retirement stands on.

@@ -1,0 +1,174 @@
+//! Property-based equivalence tests for the sharded router: any
+//! interleaved sequence of puts, deletes, batches and scans observed
+//! through a `ShardedFloDb` (at several shard counts) matches a single
+//! unsharded FloDB bit-for-bit, and the partitioner is a total, stable,
+//! insertion-order-independent function of the key.
+
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use flodb::storage::{Env, MemEnv};
+use flodb::{
+    FloDb, FloDbOptions, KvStore, Partitioner, ShardedFloDb, ShardedOptions, WalMode, WriteBatch,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Put(u8, u8),
+    Delete(u8),
+    /// An atomic batch of puts (even keys) and deletes (odd keys).
+    Batch(Vec<(u8, Option<u8>)>),
+    /// Compare a full scan over `[low, high]` between the two stores.
+    Scan(u8, u8),
+    /// Drop both stores and reopen (crash + recovery on both sides).
+    Crash,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        5 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Step::Put(k, v)),
+        2 => any::<u8>().prop_map(Step::Delete),
+        2 => proptest::collection::vec((any::<u8>(), proptest::option::of(any::<u8>())), 1..12)
+            .prop_map(Step::Batch),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Scan(a.min(b), a.max(b))),
+        1 => Just(Step::Crash),
+    ]
+}
+
+fn key(k: u8) -> [u8; 8] {
+    (u64::from(k) << 24 | 0xC0FFEE).to_be_bytes()
+}
+
+fn collect(db: &dyn KvStore, low: u8, high: u8) -> Vec<(Vec<u8>, Vec<u8>)> {
+    db.scan(&key(low), &key(high))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn sharded_store_is_observationally_equal_to_unsharded(
+        shards in prop_oneof![Just(1u32), Just(2), Just(4), Just(7)],
+        steps in proptest::collection::vec(step_strategy(), 1..60),
+    ) {
+        let sharded_env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+        let plain_env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+        let base = |env: &Arc<dyn Env>| {
+            let mut o = FloDbOptions::small_for_tests();
+            o.env = Arc::clone(env);
+            o.wal = WalMode::Enabled { sync: false };
+            o
+        };
+        let open_sharded =
+            || ShardedFloDb::open(ShardedOptions::new(shards, base(&sharded_env))).unwrap();
+        let open_plain = || FloDb::open(base(&plain_env)).unwrap();
+        let mut sharded = Some(open_sharded());
+        let mut plain = Some(open_plain());
+        for step in &steps {
+            let (s, p) = (sharded.as_ref().unwrap(), plain.as_ref().unwrap());
+            match step {
+                Step::Put(k, v) => {
+                    s.put(&key(*k), &[*v]).unwrap();
+                    p.put(&key(*k), &[*v]).unwrap();
+                }
+                Step::Delete(k) => {
+                    s.delete(&key(*k)).unwrap();
+                    p.delete(&key(*k)).unwrap();
+                }
+                Step::Batch(ops) => {
+                    let mut batch = WriteBatch::new();
+                    for (k, v) in ops {
+                        match v {
+                            Some(v) => batch.put(&key(*k), &[*v]),
+                            None => batch.delete(&key(*k)),
+                        };
+                    }
+                    s.write(&batch).unwrap();
+                    p.write(&batch).unwrap();
+                }
+                Step::Scan(low, high) => {
+                    prop_assert_eq!(
+                        collect(s, *low, *high),
+                        collect(p, *low, *high),
+                        "scan [{}, {}] diverged", low, high
+                    );
+                }
+                Step::Crash => {
+                    drop(sharded.take());
+                    drop(plain.take());
+                    sharded = Some(open_sharded());
+                    plain = Some(open_plain());
+                }
+            }
+        }
+        // Final crash on both sides, then compare every observation.
+        drop(sharded.take());
+        drop(plain.take());
+        let s = open_sharded();
+        let p = open_plain();
+        for k in 0..=255u8 {
+            prop_assert_eq!(s.get(&key(k)), p.get(&key(k)), "get({}) diverged", k);
+        }
+        prop_assert_eq!(collect(&s, 0, 255), collect(&p, 0, 255));
+        // Early termination sees the same prefix through the k-way merge.
+        let mut s_prefix = Vec::new();
+        s.scan_with(&key(0), &key(255), &mut |k, v| {
+            s_prefix.push((k.to_vec(), v.to_vec()));
+            if s_prefix.len() == 3 { ControlFlow::Break(()) } else { ControlFlow::Continue(()) }
+        });
+        let full = collect(&p, 0, 255);
+        prop_assert_eq!(&s_prefix[..], &full[..s_prefix.len()]);
+    }
+
+    #[test]
+    fn partitioner_is_total_stable_and_order_independent(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..64),
+        shards in 1u32..9,
+        seed in any::<u64>(),
+    ) {
+        let part = Partitioner::new(shards, seed);
+        let forward: Vec<u32> = keys.iter().map(|k| part.shard_of(k)).collect();
+        // Total: every key lands in range.
+        prop_assert!(forward.iter().all(|&s| s < shards));
+        // Stable and insertion-order independent: a fresh partitioner
+        // visiting the keys in reverse assigns identical shards.
+        let again = Partitioner::new(shards, seed);
+        let backward: Vec<u32> = keys.iter().rev().map(|k| again.shard_of(k)).collect();
+        let backward: Vec<u32> = backward.into_iter().rev().collect();
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn partitioner_is_stable_across_reopen(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..32),
+        shards in prop_oneof![Just(2u32), Just(4), Just(7)],
+    ) {
+        // Routing must survive a reopen: the shard that wrote a key is the
+        // shard that serves it, or reads silently miss. Verified end to
+        // end — write through one handle, crash, read through another.
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+        let opts = || {
+            let mut o = FloDbOptions::small_for_tests();
+            o.env = Arc::clone(&env);
+            o.wal = WalMode::Enabled { sync: false };
+            ShardedOptions::new(shards, o)
+        };
+        let before;
+        {
+            let db = ShardedFloDb::open(opts()).unwrap();
+            before = *db.partitioner();
+            for k in &keys {
+                db.put(k, b"routed").unwrap();
+            }
+        }
+        let db = ShardedFloDb::open(opts()).unwrap();
+        prop_assert_eq!(*db.partitioner(), before);
+        for k in &keys {
+            prop_assert_eq!(db.get(k).as_deref(), Some(b"routed".as_slice()));
+        }
+    }
+}

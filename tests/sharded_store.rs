@@ -1,0 +1,219 @@
+//! Integration tests for the hash-partitioned sharded router
+//! (`ShardedFloDb`): routing, batch splitting, fanned-out scans, the
+//! sticky sharding record, and per-shard stats aggregation.
+
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use flodb::storage::{Env, FsEnv, MemEnv};
+use flodb::{
+    FloDbOptions, KvStore, OpenError, ShardedFloDb, ShardedOptions, WalMode, WriteBatch,
+};
+
+fn key(n: u64) -> [u8; 8] {
+    n.to_be_bytes()
+}
+
+fn opts(shards: u32, env: Arc<dyn Env>) -> ShardedOptions {
+    let mut base = FloDbOptions::small_for_tests();
+    base.env = env;
+    base.wal = WalMode::Enabled { sync: false };
+    ShardedOptions::new(shards, base)
+}
+
+#[test]
+fn point_ops_route_and_read_back() {
+    let db = ShardedFloDb::open(opts(4, Arc::new(MemEnv::new(None)))).unwrap();
+    for i in 0..500u64 {
+        db.put(&key(i), &i.to_le_bytes()).unwrap();
+    }
+    for i in (0..500u64).step_by(7) {
+        db.delete(&key(i)).unwrap();
+    }
+    for i in 0..500u64 {
+        let got = db.get(&key(i));
+        if i % 7 == 0 {
+            assert_eq!(got, None, "deleted key {i} resurfaced");
+        } else {
+            assert_eq!(got, Some(i.to_le_bytes().to_vec()), "key {i} lost");
+        }
+    }
+    // Keys actually spread: every shard took some writes.
+    let per_shard = db.per_shard_stats();
+    assert_eq!(per_shard.len(), 4);
+    assert!(
+        per_shard.iter().all(|s| s.puts > 0),
+        "uniform keys must reach every shard: {:?}",
+        per_shard.iter().map(|s| s.puts).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn batches_split_across_shards_and_apply_whole() {
+    let db = ShardedFloDb::open(opts(4, Arc::new(MemEnv::new(None)))).unwrap();
+    let mut batch = WriteBatch::new();
+    for i in 0..64u64 {
+        batch.put(&key(i), b"batched");
+    }
+    batch.delete(&key(3));
+    db.write(&batch).unwrap();
+    assert_eq!(db.get(&key(3)), None, "later delete in the batch wins");
+    for i in 0..64u64 {
+        if i != 3 {
+            assert_eq!(db.get(&key(i)).as_deref(), Some(b"batched".as_slice()));
+        }
+    }
+    let stats = db.stats();
+    assert_eq!(stats.puts, 64);
+    assert_eq!(stats.deletes, 1);
+}
+
+#[test]
+fn scans_fan_out_in_global_key_order_and_break_stops_early() {
+    let db = ShardedFloDb::open(opts(7, Arc::new(MemEnv::new(None)))).unwrap();
+    for i in 0..300u64 {
+        db.put(&key(i), &i.to_le_bytes()).unwrap();
+    }
+    db.delete(&key(42)).unwrap();
+    let out = db.scan(&key(10), &key(60));
+    let got: Vec<u64> = out
+        .iter()
+        .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+        .collect();
+    let want: Vec<u64> = (10..=60).filter(|&i| i != 42).collect();
+    assert_eq!(got, want, "fan-out merge must yield global key order");
+
+    // Break prunes the merge: the visitor sees a prefix and stops.
+    let mut seen = Vec::new();
+    db.scan_with(&key(0), &key(299), &mut |k, _| {
+        seen.push(u64::from_be_bytes(k.try_into().unwrap()));
+        if seen.len() == 5 {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn sharded_store_recovers_from_wal_after_crash() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+    {
+        let db = ShardedFloDb::open(opts(4, Arc::clone(&env))).unwrap();
+        for i in 0..200u64 {
+            db.put(&key(i), &i.to_le_bytes()).unwrap();
+        }
+        let mut batch = WriteBatch::new();
+        for i in 200..232u64 {
+            batch.put(&key(i), b"tail");
+        }
+        db.write(&batch).unwrap();
+        // Crash: drop without quiescing.
+    }
+    let db = ShardedFloDb::open(opts(4, env)).unwrap();
+    for i in 0..200u64 {
+        assert_eq!(db.get(&key(i)), Some(i.to_le_bytes().to_vec()), "key {i}");
+    }
+    for i in 200..232u64 {
+        assert_eq!(db.get(&key(i)).as_deref(), Some(b"tail".as_slice()));
+    }
+    assert_eq!(db.scan(&key(0), &key(231)).len(), 232);
+}
+
+#[test]
+fn reopen_with_different_layout_is_a_typed_error() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+    drop(ShardedFloDb::open(opts(4, Arc::clone(&env))).unwrap());
+
+    // Different shard count.
+    match ShardedFloDb::open(opts(2, Arc::clone(&env))) {
+        Err(OpenError::ShardMismatch { on_disk, requested }) => {
+            assert_eq!(on_disk.0, 4);
+            assert_eq!(requested.0, 2);
+        }
+        other => panic!("expected ShardMismatch, got {other:?}"),
+    }
+
+    // Same count, different hash seed: just as sticky — keys would route
+    // to the wrong shards.
+    let mut reseeded = opts(4, Arc::clone(&env));
+    reseeded.hash_seed ^= 1;
+    match ShardedFloDb::open(reseeded) {
+        Err(OpenError::ShardMismatch { on_disk, requested }) => {
+            assert_eq!(on_disk.0, requested.0, "counts match; seeds differ");
+            assert_ne!(on_disk.1, requested.1);
+        }
+        other => panic!("expected ShardMismatch, got {other:?}"),
+    }
+
+    // The matching layout still opens.
+    ShardedFloDb::open(opts(4, env)).unwrap();
+}
+
+#[test]
+fn sharded_store_round_trips_on_real_files() {
+    let dir = std::env::temp_dir().join(format!(
+        "flodb-sharded-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let env: Arc<dyn Env> = Arc::new(FsEnv::new(&dir).unwrap());
+    {
+        let db = ShardedFloDb::open(opts(3, Arc::clone(&env))).unwrap();
+        for i in 0..100u64 {
+            db.put(&key(i), b"durable").unwrap();
+        }
+        db.delete(&key(7)).unwrap();
+    }
+    // The layout on disk is one directory per shard plus the sticky record.
+    assert!(dir.join("SHARDING").is_file());
+    for s in 0..3 {
+        assert!(dir.join(format!("shard-{s:02}")).is_dir(), "shard {s} dir");
+    }
+    let db = ShardedFloDb::open(opts(3, env)).unwrap();
+    assert_eq!(db.get(&key(7)), None);
+    for i in 0..100u64 {
+        if i != 7 {
+            assert_eq!(db.get(&key(i)).as_deref(), Some(b"durable".as_slice()));
+        }
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn aggregated_stats_sum_per_shard_counters() {
+    let db = ShardedFloDb::open(opts(4, Arc::new(MemEnv::new(None)))).unwrap();
+    for i in 0..100u64 {
+        db.put(&key(i), b"v").unwrap();
+    }
+    for i in 0..50u64 {
+        db.get(&key(i));
+    }
+    db.scan(&key(0), &key(99));
+    let per_shard = db.per_shard_stats();
+    let total = db.stats();
+    assert_eq!(total.puts, 100);
+    assert_eq!(total.puts, per_shard.iter().map(|s| s.puts).sum::<u64>());
+    assert_eq!(total.gets, per_shard.iter().map(|s| s.gets).sum::<u64>());
+    // One logical scan fans out to one scan per shard.
+    assert_eq!(total.scans, u64::from(db.shard_count()));
+    assert_eq!(total.scanned_keys, 100);
+}
+
+#[test]
+fn single_shard_router_behaves_like_plain_store() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new(None));
+    {
+        let db = ShardedFloDb::open(opts(1, Arc::clone(&env))).unwrap();
+        assert_eq!(db.shard_count(), 1);
+        let mut batch = WriteBatch::new();
+        batch.put(b"a", b"1").put(b"b", b"2").delete(b"a");
+        db.write(&batch).unwrap();
+    }
+    let db = ShardedFloDb::open(opts(1, env)).unwrap();
+    assert_eq!(db.get(b"a"), None);
+    assert_eq!(db.get(b"b").as_deref(), Some(b"2".as_slice()));
+}

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use flodb::workloads::init::{fill_random, fill_sequential};
-use flodb::workloads::{run_workload, KeyDistribution, OperationMix, WorkloadConfig};
+use flodb::workloads::{
+    build_flodb_store, run_workload, KeyDistribution, OperationMix, WorkloadConfig,
+};
 use flodb::{FloDb, FloDbOptions, KvStore};
 
 fn store() -> Arc<dyn KvStore> {
@@ -105,6 +107,34 @@ fn scan_mix_counts_keys_not_ops() {
         report.keys_accessed,
         report.total_ops
     );
+}
+
+#[test]
+fn shards_knob_runs_the_mixed_cell_against_a_sharded_store() {
+    // The `shards` knob turns into a ShardedFloDb via build_flodb_store;
+    // the driver itself stays store-agnostic. One mixed cell at N=4: the
+    // run completes, reports are consistent, and every shard took writes.
+    let mut cfg = WorkloadConfig::new(
+        3,
+        OperationMix::mixed_balanced(),
+        KeyDistribution::Uniform { n: 10_000 },
+    );
+    cfg.shards = 4;
+    cfg.ops_per_thread = Some(500);
+    let store = build_flodb_store(cfg.shards, FloDbOptions::small_for_tests()).unwrap();
+    assert_eq!(store.name(), "ShardedFloDB");
+    fill_random(&*store, 10_000, 64);
+    let report = run_workload(&store, &cfg);
+    assert_eq!(report.total_ops, 3 * 500);
+    assert_eq!(report.total_ops, report.reads + report.writes + report.scans);
+    let stats = store.stats();
+    assert!(
+        stats.puts + stats.deletes >= 5_000,
+        "fill + mixed writes must register in aggregated stats"
+    );
+    // At N=1 the same knob yields a plain store.
+    let plain = build_flodb_store(1, FloDbOptions::small_for_tests()).unwrap();
+    assert_eq!(plain.name(), "FloDB");
 }
 
 #[test]
