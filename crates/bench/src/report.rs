@@ -65,6 +65,16 @@ pub struct Cell {
     /// Bytes of WAL segments retired during the cell (store families
     /// only).
     pub wal_retired_bytes: u64,
+    /// I/O attempts that failed and were retried by the persist thread
+    /// (store families only; 0 in a healthy run — the matrix runs with no
+    /// faults armed, so the field exists to make any nonzero count loud).
+    pub io_retries: u64,
+    /// Persistent background-I/O failures that degraded the store (store
+    /// families only; must stay 0 in a benchmark run).
+    pub io_degraded: u64,
+    /// WAL segment retirements that failed their delete (store families
+    /// only; must stay 0 in a benchmark run).
+    pub wal_retire_errors: u64,
     /// Shard count of the store under test (1 = unsharded).
     pub shards: usize,
     /// Writes (puts + deletes) absorbed by each shard, indexed by shard —
@@ -228,6 +238,9 @@ fn wal_pipeline_cell(
         },
         wal_rotations: 0,
         wal_retired_bytes: 0,
+        io_retries: 0,
+        io_degraded: 0,
+        wal_retire_errors: 0,
         shards: 1,
         shard_puts: Vec::new(),
     }
@@ -273,6 +286,10 @@ fn store_cell(
     wl.duration = cfg.cell_time;
     wl.value_bytes = cfg.scale.value_bytes;
     let report = run_workload(&store, &wl);
+    assert_eq!(
+        report.write_failures, 0,
+        "{bench}/{wal}: store rejected writes mid-benchmark"
+    );
     let stats = db.stats();
     let recs_per_group = if stats.wal_groups > 0 {
         stats.wal_group_records as f64 / stats.wal_groups as f64
@@ -291,6 +308,9 @@ fn store_cell(
         wal_follower_writes: stats.wal_follower_writes,
         wal_rotations: stats.wal_rotations,
         wal_retired_bytes: stats.wal_retired_bytes,
+        io_retries: stats.io_retries,
+        io_degraded: stats.io_degraded,
+        wal_retire_errors: stats.wal_retire_errors,
         shards: 1,
         shard_puts: Vec::new(),
     }
@@ -321,6 +341,10 @@ fn store_sharded_cell(wal: &'static str, shards: u32, threads: usize, cfg: &Matr
     wl.value_bytes = cfg.scale.value_bytes;
     wl.shards = shards;
     let report = run_workload(&store, &wl);
+    assert_eq!(
+        report.write_failures, 0,
+        "store_sharded/{wal}: store rejected writes mid-benchmark"
+    );
     let stats = db.stats();
     let recs_per_group = if stats.wal_groups > 0 {
         stats.wal_group_records as f64 / stats.wal_groups as f64
@@ -344,6 +368,9 @@ fn store_sharded_cell(wal: &'static str, shards: u32, threads: usize, cfg: &Matr
         wal_follower_writes: stats.wal_follower_writes,
         wal_rotations: stats.wal_rotations,
         wal_retired_bytes: stats.wal_retired_bytes,
+        io_retries: stats.io_retries,
+        io_degraded: stats.io_degraded,
+        wal_retire_errors: stats.wal_retire_errors,
         shards: shards as usize,
         shard_puts,
     }
@@ -498,7 +525,8 @@ pub fn to_json(cells: &[Cell], note: &str) -> String {
             "    {{\"bench\": \"{}\", \"wal\": \"{}\", \"env\": \"{}\", \"threads\": {}, \
              \"shards\": {}, \"ops_per_sec\": {:.0}, \"total_ops\": {}, \"elapsed_s\": {:.3}, \
              \"recs_per_group\": {:.2}, \"wal_follower_writes\": {}, \
-             \"wal_rotations\": {}, \"wal_retired_bytes\": {}{}}}{}\n",
+             \"wal_rotations\": {}, \"wal_retired_bytes\": {}, \
+             \"io_retries\": {}, \"io_degraded\": {}, \"wal_retire_errors\": {}{}}}{}\n",
             c.bench,
             c.wal,
             c.env,
@@ -511,6 +539,9 @@ pub fn to_json(cells: &[Cell], note: &str) -> String {
             c.wal_follower_writes,
             c.wal_rotations,
             c.wal_retired_bytes,
+            c.io_retries,
+            c.io_degraded,
+            c.wal_retire_errors,
             shard_puts,
             if i + 1 == cells.len() { "" } else { "," }
         ));
@@ -784,6 +815,15 @@ mod tests {
         // validator keeps them optional so pre-PR5 documents stay valid).
         assert!(doc.contains("\"wal_rotations\""));
         assert!(doc.contains("\"wal_retired_bytes\""));
+        // Resilience counters ride along too (also optional for the
+        // validator — pre-PR8 documents have none), and a benchmark run
+        // with no faults armed must report a clean bill of health.
+        assert!(doc.contains("\"io_retries\""));
+        assert!(doc.contains("\"wal_retire_errors\""));
+        for c in &cells {
+            assert_eq!(c.io_degraded, 0, "{}: store degraded mid-benchmark", c.bench);
+            assert_eq!(c.wal_retire_errors, 0, "{}: retire errors", c.bench);
+        }
         // The sharded family runs even in smoke mode, and its cells carry
         // the per-shard breakdown the validator enforces.
         assert!(doc.contains("\"shards\""));

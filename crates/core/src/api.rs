@@ -167,6 +167,17 @@ pub struct StoreStats {
     /// Gauge: bytes in the active WAL segment, header included (FloDB
     /// only; 0 with the WAL off).
     pub wal_active_bytes: u64,
+    /// Background I/O attempts retried after a transient failure, and
+    /// WAL rotations deferred by a failed segment creation (FloDB only).
+    pub io_retries: u64,
+    /// Background I/O operations abandoned after exhausting their
+    /// retries; flush/compaction abandonments also latch the store
+    /// degraded — writes rejected, reads still served (FloDB only).
+    pub io_degraded: u64,
+    /// WAL retirement passes that failed to record the oldest-live mark
+    /// or delete retired segment files, leaving the segments on disk as
+    /// stale-but-harmless leftovers (FloDB only).
+    pub wal_retire_errors: u64,
 }
 
 /// The uniform key-value store interface (§2.1 of the paper, v2 surface).

@@ -25,8 +25,15 @@ pub enum WriteError {
     /// [`WriteError::Poisoned`] — after a lost append, later writes could
     /// otherwise be acknowledged yet replay without their predecessors.
     Wal(Arc<StorageError>),
-    /// An earlier log failure poisoned the store (the original failure is
-    /// attached); this write was rejected without touching the log.
+    /// An earlier failure latched the store closed to writes (the
+    /// original failure is attached); this write was rejected without
+    /// touching the log. Two latches produce this: the WAL *poison*
+    /// latch (a lost append) and the *degraded* health latch (a
+    /// background flush or compaction that kept failing through its
+    /// bounded retries — accepting writes would then grow memory without
+    /// bound). Either way reads keep serving everything acknowledged,
+    /// and a reopen recovers the acknowledged prefix from the log — the
+    /// defined path back to health (ARCHITECTURE.md "Failure model").
     Poisoned(Arc<StorageError>),
 }
 
@@ -35,7 +42,7 @@ impl std::fmt::Display for WriteError {
         match self {
             Self::Wal(e) => write!(f, "write-ahead log append failed: {e}"),
             Self::Poisoned(e) => {
-                write!(f, "store poisoned by an earlier WAL failure: {e}")
+                write!(f, "store closed to writes by an earlier failure: {e}")
             }
         }
     }

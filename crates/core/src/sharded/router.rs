@@ -171,6 +171,20 @@ impl ShardedFloDb {
         self.shards.iter().map(KvStore::stats).collect()
     }
 
+    /// Shard indexes currently latched degraded (see
+    /// [`FloDb::is_degraded`]). Failure isolation is per shard: a
+    /// poisoned or degraded shard rejects *its* writes, while sibling
+    /// shards keep serving reads and writes untouched — the router never
+    /// propagates one shard's latch to another.
+    pub fn degraded_shards(&self) -> Vec<u32> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_degraded())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
     fn shard_for(&self, key: &[u8]) -> &FloDb {
         &self.shards[self.partitioner.shard_of(key) as usize]
     }

@@ -37,6 +37,9 @@ pub(crate) fn aggregate(per_shard: &[StoreStats]) -> StoreStats {
             wal_retired_bytes,
             wal_generations,
             wal_active_bytes,
+            io_retries,
+            io_degraded,
+            wal_retire_errors,
         } = s;
         total.puts += puts;
         total.deletes += deletes;
@@ -54,6 +57,9 @@ pub(crate) fn aggregate(per_shard: &[StoreStats]) -> StoreStats {
         total.wal_retired_bytes += wal_retired_bytes;
         total.wal_generations += wal_generations;
         total.wal_active_bytes += wal_active_bytes;
+        total.io_retries += io_retries;
+        total.io_degraded += io_degraded;
+        total.wal_retire_errors += wal_retire_errors;
     }
     total
 }
@@ -81,10 +87,14 @@ mod tests {
             wal_retired_bytes: 14,
             wal_generations: 15,
             wal_active_bytes: 16,
+            io_retries: 17,
+            io_degraded: 18,
+            wal_retire_errors: 19,
         };
         let total = aggregate(&[a.clone(), a.clone(), StoreStats::default()]);
         assert_eq!(total.puts, 2);
         assert_eq!(total.wal_active_bytes, 32);
+        assert_eq!(total.wal_retire_errors, 38);
         assert_eq!(aggregate(&[]), StoreStats::default());
         assert_eq!(aggregate(std::slice::from_ref(&a)), a);
     }

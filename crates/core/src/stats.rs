@@ -66,6 +66,24 @@ pub struct FloDbStats {
     /// Gauge: bytes in the active WAL segment, header included (0 with
     /// the WAL disabled).
     pub wal_active_bytes: AtomicU64,
+    /// Background I/O attempts retried after a transient failure (flush,
+    /// compaction, retirement record/delete), plus WAL rotations deferred
+    /// by a failed segment creation — each retried at the next group
+    /// boundary. Nonzero with zero [`Self::io_degraded`] means the device
+    /// misbehaved and the store rode it out.
+    pub io_retries: AtomicU64,
+    /// Background I/O operations abandoned after exhausting their
+    /// retries. A flush or compaction abandonment also latches the store
+    /// degraded (writes rejected, reads still served — see
+    /// ARCHITECTURE.md "Failure model"); a retirement abandonment only
+    /// leaves segment files behind (tracked by
+    /// [`Self::wal_retire_errors`]).
+    pub io_degraded: AtomicU64,
+    /// Retirement passes that failed to durably record the oldest-live
+    /// mark or to delete retired segment files. The affected segments
+    /// stay on disk as stale-but-harmless leftovers (pruned at the next
+    /// open); only disk-footprint boundedness degrades.
+    pub wal_retire_errors: AtomicU64,
 }
 
 /// A snapshot of epoch-based memory reclamation activity (see
@@ -135,6 +153,9 @@ impl FloDbStats {
             wal_retired_bytes: self.wal_retired_bytes.load(Ordering::Relaxed),
             wal_generations: self.wal_generations.load(Ordering::Relaxed),
             wal_active_bytes: self.wal_active_bytes.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            io_degraded: self.io_degraded.load(Ordering::Relaxed),
+            wal_retire_errors: self.wal_retire_errors.load(Ordering::Relaxed),
         }
     }
 }

@@ -148,6 +148,18 @@ struct Inner {
     persist_park: Mutex<()>,
     persist_cv: Condvar,
     wal: Option<WalState>,
+    /// Store-level health latch, closed by a *persistent* background I/O
+    /// failure (a flush or compaction still failing after its bounded
+    /// retries). Degraded means: writes are rejected (so memory stays
+    /// bounded), reads keep serving everything acknowledged — including
+    /// the un-flushable immutable Memtable, which stays resident — and
+    /// `quiesce` treats the un-flushable work as settled instead of
+    /// wedging. The WAL is never retired once degraded, so a reopen
+    /// replays every acknowledged write: reopen is the path back to
+    /// health (see ARCHITECTURE.md "Failure model").
+    degraded: AtomicBool,
+    /// The failure that latched `degraded`.
+    degraded_reason: Mutex<Option<Arc<StorageError>>>,
 }
 
 /// The FloDB key-value store.
@@ -162,6 +174,80 @@ pub struct FloDb {
 impl Inner {
     fn new_membuffer(&self) -> Arc<MemBuffer> {
         Arc::new(MemBuffer::new(membuffer_config(&self.opts)))
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Latches the store degraded after `what` kept failing through its
+    /// bounded retries. First failure wins the reason slot; the latch is
+    /// published after the slot is filled (same publication order as the
+    /// WAL poison latch).
+    fn degrade(&self, what: &str, err: &StorageError) {
+        FloDbStats::bump(&self.stats.io_degraded);
+        let mut slot = self.degraded_reason.lock();
+        if slot.is_none() {
+            *slot = Some(Arc::new(StorageError::Io(std::io::Error::other(format!(
+                "store degraded: {what} failed persistently: {err}"
+            )))));
+        }
+        drop(slot);
+        self.degraded.store(true, Ordering::Release);
+    }
+
+    /// The [`WriteError`] a write on a degraded store reports.
+    fn degraded_error(&self) -> WriteError {
+        let err = self.degraded_reason.lock().clone().unwrap_or_else(|| {
+            Arc::new(StorageError::Io(std::io::Error::other(
+                "store degraded by a persistent background I/O failure",
+            )))
+        });
+        WriteError::Poisoned(err)
+    }
+
+    /// Rejects new writes once the health latch is closed. One choke
+    /// point for every write path, WAL-enabled or not.
+    fn check_degraded(&self) -> Result<(), WriteError> {
+        if self.is_degraded() {
+            return Err(self.degraded_error());
+        }
+        Ok(())
+    }
+}
+
+/// Maximum reattempts for one background I/O operation before it is
+/// treated as persistently failing.
+const IO_RETRY_LIMIT: u32 = 3;
+
+/// Runs `op` with bounded retry-with-backoff for transient I/O errors:
+/// each failed attempt is counted in `io_retries`, ramped through the
+/// shared [`Backoff`] (yields first) and then a short real sleep —
+/// transient conditions like a full device queue or a briefly
+/// unwritable directory clear in milliseconds, not in spin loops. After
+/// [`IO_RETRY_LIMIT`] reattempts the last error is returned and the
+/// caller decides the degradation (latch, counter, or give-up).
+fn io_with_retries<T>(
+    inner: &Inner,
+    mut op: impl FnMut() -> Result<T, StorageError>,
+) -> Result<T, StorageError> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if attempt >= IO_RETRY_LIMIT {
+                    return Err(e);
+                }
+                attempt += 1;
+                FloDbStats::bump(&inner.stats.io_retries);
+                let backoff = Backoff::new();
+                while !backoff.is_completed() {
+                    backoff.snooze();
+                }
+                std::thread::sleep(Duration::from_millis(1 << attempt.min(4)));
+            }
+        }
     }
 }
 
@@ -315,6 +401,8 @@ impl FloDb {
             persist_park: Mutex::new(()),
             persist_cv: Condvar::new(),
             wal,
+            degraded: AtomicBool::new(false),
+            degraded_reason: Mutex::new(None),
             opts,
         });
         if let Some(wal) = &inner.wal {
@@ -362,6 +450,17 @@ impl FloDb {
         &self.inner.stats
     }
 
+    /// Whether the store has latched degraded: a background flush or
+    /// compaction kept failing through its bounded retries. A degraded
+    /// store rejects writes ([`WriteError::Poisoned`]), keeps serving
+    /// every acknowledged read (the un-flushable Memtable stays
+    /// resident), and never retires its WAL — so a reopen replays the
+    /// log and recovers the full acknowledged state. See ARCHITECTURE.md
+    /// "Failure model" for the contract.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.is_degraded()
+    }
+
     /// Disk-component statistics (files per level, compactions, bytes).
     pub fn disk_stats(&self) -> flodb_storage::DiskStats {
         self.inner.disk.stats()
@@ -383,6 +482,12 @@ impl FloDb {
         let backoff = Backoff::new();
         loop {
             self.wake_persist();
+            if self.inner.is_degraded() {
+                // The remaining memory-resident data cannot be forced
+                // down (that is what degraded *means*); waiting would
+                // wedge this maintenance call forever.
+                break;
+            }
             let (mbf_len, imm_mbf, mtb_len, imm_mtb) = self.inner.view.read(|v| {
                 (
                     v.mbf.as_ref().map_or(0, |m| m.len()),
@@ -397,9 +502,15 @@ impl FloDb {
             backoff.snooze();
         }
         self.inner.force_flush.store(false, Ordering::SeqCst);
-        // PANIC-OK: explicit maintenance entry point, not the write path;
-        // a broken disk here has no caller-visible state to corrupt.
-        self.inner.disk.compact_all().expect("compaction failed");
+        if self.inner.is_degraded() {
+            return;
+        }
+        if let Err(e) = io_with_retries(&self.inner, || self.inner.disk.compact_all()) {
+            // Maintenance entry point, not the write path: a persistently
+            // broken disk degrades the store instead of panicking; the
+            // flushed data is already durable.
+            self.inner.degrade("compaction", &e);
+        }
     }
 
     fn wake_persist(&self) {
@@ -432,9 +543,11 @@ impl FloDb {
     /// all-or-nothing.
     fn write_impl(&self, batch: &WriteBatch) -> Result<(), WriteError> {
         if batch.is_empty() {
-            // Even an empty commit observes the poison latch — the
-            // contract is that *every* write on a poisoned store reports
-            // it, so an empty batch cannot read as a healthy write path.
+            // Even an empty commit observes the poison and health
+            // latches — the contract is that *every* write on a poisoned
+            // or degraded store reports it, so an empty batch cannot
+            // read as a healthy write path.
+            self.inner.check_degraded()?;
             if let Some(wal) = &self.inner.wal {
                 if wal.poisoned.load(Ordering::Acquire) {
                     return Err(wal.poison_error());
@@ -533,6 +646,10 @@ impl FloDb {
         records: u64,
     ) -> Result<(), WriteError> {
         let inner = &*self.inner;
+        // The health latch gates every write path, WAL-enabled or not:
+        // once background persistence failed persistently, accepting
+        // writes would grow memory without bound (nothing drains it).
+        inner.check_degraded()?;
         let Some(wal) = &inner.wal else {
             return Ok(());
         };
@@ -603,6 +720,12 @@ impl FloDb {
             // stays bounded instead of waiting for the next size-triggered
             // flush.
             self.wake_persist();
+        } else if outcome.rotation_failed {
+            // A due roll was deferred because the next segment could not
+            // be created; the log manager retries at the next group
+            // boundary. Count the deferral so a misbehaving device is
+            // visible even though the append itself succeeded.
+            FloDbStats::bump(&inner.stats.io_retries);
         }
         Ok(())
     }
@@ -661,6 +784,15 @@ impl FloDb {
                 }
                 let bytes = inner.view.read(|v| v.mtb.approximate_bytes());
                 if bytes <= inner.memtable_trigger {
+                    break;
+                }
+                if inner.is_degraded() {
+                    // Room is made by flushes — the very thing that just
+                    // failed persistently. This write was already
+                    // acknowledged in the WAL, so it must reach memory;
+                    // only writes in flight before the health latch
+                    // closed can be here, a bounded set, so memory stays
+                    // bounded too.
                     break;
                 }
                 if !stalled {
@@ -1037,7 +1169,8 @@ fn persist_loop(inner: &Arc<Inner>) {
     while !inner.stop.load(Ordering::Acquire) {
         let persisted = persist_once(inner);
         let retired = maybe_retire_wal(inner);
-        if !persisted && !retired {
+        let compacted = maybe_compact(inner);
+        if !persisted && !retired && !compacted {
             let mut g = inner.persist_park.lock();
             inner
                 .persist_cv
@@ -1046,6 +1179,29 @@ fn persist_loop(inner: &Arc<Inner>) {
     }
     // Final drain-through so `Drop` leaves no frozen component behind.
     persist_once(inner);
+}
+
+/// Services compaction debt that no flush is around to piggyback on:
+/// recovery flushes at open (and flushes whose follow-up compaction was
+/// cut short) can leave `needs_compaction()` true with an empty memory
+/// component, and nothing else would ever clear it — `quiesce` would
+/// wait on that debt forever. Runs under the same policy switch as the
+/// post-flush compaction (`compact_after_flush` assigns compaction to
+/// the persist thread) and degrades rather than panics on persistent
+/// failure, like every other persist-thread I/O.
+fn maybe_compact(inner: &Arc<Inner>) -> bool {
+    if !inner.opts.persist_enabled
+        || !inner.opts.compact_after_flush
+        || inner.is_degraded()
+        || !inner.disk.needs_compaction()
+    {
+        return false;
+    }
+    if let Err(e) = io_with_retries(inner, || inner.disk.compact_all()) {
+        inner.degrade("compaction", &e);
+        return false;
+    }
+    true
 }
 
 fn persist_once(inner: &Arc<Inner>) -> bool {
@@ -1071,13 +1227,25 @@ fn persist_once(inner: &Arc<Inner>) -> bool {
     let Some(imm) = view.imm_mtb.clone() else {
         return should_switch;
     };
-    flush_imm(inner, &imm);
-    true
+    flush_imm(inner, &imm) || should_switch
 }
 
 /// Flushes one immutable Memtable to the disk component and releases it.
-fn flush_imm(inner: &Arc<Inner>, imm: &Arc<SkipList>) {
+///
+/// Returns whether progress was made. Transient disk errors are retried
+/// with backoff ([`io_with_retries`]); a persistent failure latches the
+/// store degraded and keeps the table **resident** — reads serve it
+/// live, nothing acknowledged is lost, and since the WAL is never
+/// retired on a degraded store, a reopen replays it all. Never panics:
+/// writers were acked when their WAL frame went durable, and the log
+/// stays intact for recovery.
+fn flush_imm(inner: &Arc<Inner>, imm: &Arc<SkipList>) -> bool {
     if inner.opts.persist_enabled && !imm.is_empty() {
+        if inner.is_degraded() {
+            // Releasing the table would drop acknowledged reads (its
+            // records never reached disk); leave it for reopen to heal.
+            return false;
+        }
         let records: Vec<Record> = imm
             .collect_entries()
             .into_iter()
@@ -1087,13 +1255,16 @@ fn flush_imm(inner: &Arc<Inner>, imm: &Arc<SkipList>) {
                 value: vv.value,
             })
             .collect();
-        // PANIC-OK: background flush thread, not the write path; writers
-        // were acked when their WAL frame went durable, and aborting here
-        // leaves the log intact for recovery rather than dropping data.
-        inner.disk.flush_records(records).expect("flush failed");
+        if let Err(e) = io_with_retries(inner, || inner.disk.flush_records(records.clone())) {
+            inner.degrade("memtable flush", &e);
+            return false;
+        }
         if inner.opts.compact_after_flush {
-            // PANIC-OK: same background thread, same recovery story.
-            inner.disk.compact_all().expect("compaction failed");
+            if let Err(e) = io_with_retries(inner, || inner.disk.compact_all()) {
+                // The flush itself landed, so the table can still be
+                // released below — only the level shape degrades.
+                inner.degrade("compaction", &e);
+            }
         }
     }
     // Release the immutable Memtable; scans holding a snapshot keep it
@@ -1106,6 +1277,7 @@ fn flush_imm(inner: &Arc<Inner>, imm: &Arc<SkipList>) {
     FloDbStats::bump(&inner.stats.persists);
     let _g = inner.room.lock();
     inner.room_cv.notify_all();
+    true
 }
 
 /// Pushes the current Memtable contents down to the disk component,
@@ -1176,6 +1348,13 @@ fn maybe_retire_wal(inner: &Arc<Inner>) -> bool {
     if !inner.opts.disk.manifest || !inner.opts.persist_enabled {
         return false;
     }
+    if inner.is_degraded() {
+        // The checkpoint's flush cannot succeed, so no sealed segment
+        // can ever be covered — and the segments must stay: a degraded
+        // store's WAL is the only durable copy of everything that never
+        // reached disk, and reopen heals from it.
+        return false;
+    }
     let horizon = {
         let log = wal.log.lock();
         match log.sealed().last() {
@@ -1205,6 +1384,14 @@ fn maybe_retire_wal(inner: &Arc<Inner>) -> bool {
     inner.pause_writers.resume();
     inner.pause_draining.resume();
     flush_memtable_now(inner);
+    if inner.is_degraded() {
+        // The checkpoint's flush failed: the sealed segments are NOT
+        // covered by disk state, so neither the oldest-live mark nor the
+        // deletions may proceed — the segments are the durable copy.
+        // They stay tracked; the degraded check at the top keeps this
+        // pass from being re-attempted.
+        return false;
+    }
 
     // Step 4: durable mark, then deletion. Errors here must not panic
     // the persist thread (writers would then stall on Memtable room
@@ -1213,8 +1400,18 @@ fn maybe_retire_wal(inner: &Arc<Inner>) -> bool {
     // untracked anyway — their files stay on disk relative to whatever
     // mark was recorded, recovery handles both cases (live files replay,
     // stale files are ignored), and the next open prunes them; only
-    // disk-footprint boundedness degrades.
-    if inner.disk.record_wal_oldest_live(new_oldest(wal, horizon)).is_err() {
+    // disk-footprint boundedness degrades, which `wal_retire_errors`
+    // (and `io_degraded`) make observable. Transient failures never get
+    // that far — both the manifest append and the deletions are retried
+    // with backoff first (appending a duplicate oldest-live record and
+    // re-deleting are both idempotent).
+    if io_with_retries(inner, || {
+        inner.disk.record_wal_oldest_live(new_oldest(wal, horizon))
+    })
+    .is_err()
+    {
+        FloDbStats::bump(&inner.stats.wal_retire_errors);
+        FloDbStats::bump(&inner.stats.io_degraded);
         wal.log.lock().take_sealed_up_to(horizon);
         return false;
     }
@@ -1230,12 +1427,18 @@ fn maybe_retire_wal(inner: &Arc<Inner>) -> bool {
             .store(log.live_generations(), Ordering::Relaxed);
         taken
     };
-    match log_manager::delete_segments(inner.opts.env.as_ref(), &taken) {
+    match io_with_retries(inner, || {
+        log_manager::delete_segments(inner.opts.env.as_ref(), &taken)
+    }) {
         Ok(retired) => {
             FloDbStats::add(&inner.stats.wal_retired_bytes, retired.bytes);
             retired.segments > 0
         }
-        Err(_) => false,
+        Err(_) => {
+            FloDbStats::bump(&inner.stats.wal_retire_errors);
+            FloDbStats::bump(&inner.stats.io_degraded);
+            false
+        }
     }
 }
 
@@ -1339,12 +1542,26 @@ impl KvStore for FloDb {
                     .wal
                     .as_ref()
                     .is_some_and(|w| !w.log.lock().sealed().is_empty());
+            // A degraded store can still settle its memory-only work
+            // (drains run without disk I/O), but the resident immutable
+            // Memtable, pending switch, retirement backlog and
+            // compaction debt are permanently un-servable — treating
+            // them as pending would wedge quiesce forever. "Quiesced"
+            // then means: no *achievable* background work remains.
+            let degraded = self.inner.is_degraded();
+            // Compaction debt is only worth waiting on when the persist
+            // thread is the one servicing it (`compact_after_flush`);
+            // otherwise nobody ever will, and waiting would wedge.
+            let compaction_pending = self.inner.opts.compact_after_flush
+                && self.inner.opts.persist_enabled
+                && self.inner.disk.needs_compaction();
             if mbf_len == 0
                 && !imm_mbf
-                && !imm_mtb
-                && !switch_pending
-                && !retire_pending
-                && !self.inner.disk.needs_compaction()
+                && (degraded
+                    || (!imm_mtb
+                        && !switch_pending
+                        && !retire_pending
+                        && !compaction_pending))
             {
                 break;
             }

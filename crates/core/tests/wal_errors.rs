@@ -1,76 +1,19 @@
 //! WAL failure propagation: a failed append must reject the write (and
 //! every write after it) instead of panicking mid-pipeline or — worse —
 //! acknowledging a write the log lost.
+//!
+//! Faults come from the shared [`FaultEnv`] (armed at the
+//! `"segment-append"` trip point), so these tests exercise the same
+//! injection layer as the whole-store fault sweep.
 
-use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 use flodb_core::{FloDb, FloDbOptions, KvStore, WalMode, WriteBatch, WriteError};
-use flodb_storage::env::{Env, MemEnv, RandomAccessFile, WritableFile};
-use flodb_storage::{Result, StorageError};
+use flodb_storage::env::{Env, MemEnv};
+use flodb_storage::{FaultEnv, FaultKind, FaultPlan};
 
-/// An env whose writable files start failing once a shared append budget
-/// is exhausted (negative budget = unlimited). Reads always work.
-struct FailEnv {
-    inner: MemEnv,
-    appends_left: Arc<AtomicI64>,
-}
-
-impl FailEnv {
-    fn new() -> (Arc<Self>, Arc<AtomicI64>) {
-        let budget = Arc::new(AtomicI64::new(-1));
-        let env = Arc::new(Self {
-            inner: MemEnv::new(None),
-            appends_left: Arc::clone(&budget),
-        });
-        (env, budget)
-    }
-}
-
-struct FailingFile {
-    inner: Box<dyn WritableFile>,
-    appends_left: Arc<AtomicI64>,
-}
-
-impl WritableFile for FailingFile {
-    fn append(&mut self, data: &[u8]) -> Result<()> {
-        let left = self.appends_left.load(Ordering::Acquire);
-        if left >= 0 && self.appends_left.fetch_sub(1, Ordering::AcqRel) <= 0 {
-            self.appends_left.store(0, Ordering::Release);
-            return Err(StorageError::Io(std::io::Error::other("injected failure")));
-        }
-        self.inner.append(data)
-    }
-    fn sync(&mut self) -> Result<()> {
-        self.inner.sync()
-    }
-    fn finish(&mut self) -> Result<()> {
-        self.inner.finish()
-    }
-}
-
-impl Env for FailEnv {
-    fn new_writable(&self, name: &str) -> Result<Box<dyn WritableFile>> {
-        Ok(Box::new(FailingFile {
-            inner: self.inner.new_writable(name)?,
-            appends_left: Arc::clone(&self.appends_left),
-        }))
-    }
-    fn open_random(&self, name: &str) -> Result<Arc<dyn RandomAccessFile>> {
-        self.inner.open_random(name)
-    }
-    fn delete(&self, name: &str) -> Result<()> {
-        self.inner.delete(name)
-    }
-    fn exists(&self, name: &str) -> bool {
-        self.inner.exists(name)
-    }
-    fn list(&self) -> Result<Vec<String>> {
-        self.inner.list()
-    }
-    fn bytes_written(&self) -> u64 {
-        self.inner.bytes_written()
-    }
+fn fault_env() -> Arc<FaultEnv> {
+    Arc::new(FaultEnv::new(Arc::new(MemEnv::new(None))))
 }
 
 fn opts(env: Arc<dyn Env>, group_commit: bool) -> FloDbOptions {
@@ -87,11 +30,12 @@ fn opts(env: Arc<dyn Env>, group_commit: bool) -> FloDbOptions {
 #[test]
 fn wal_failure_rejects_write_and_poisons_store() {
     for group_commit in [true, false] {
-        let (env, budget) = FailEnv::new();
-        let db = FloDb::open(opts(env, group_commit)).unwrap();
+        let env = fault_env();
+        let db = FloDb::open(opts(Arc::clone(&env) as Arc<dyn Env>, group_commit)).unwrap();
         db.put(b"good", b"1").unwrap();
 
-        budget.store(0, Ordering::Release); // Log dies now.
+        // Log dies now: every segment append from here on fails.
+        env.arm(FaultPlan::persistent("segment-append", FaultKind::Io));
         let err = db.put(b"lost", b"2").unwrap_err();
         assert!(
             matches!(err, WriteError::Wal(_)),
@@ -108,6 +52,7 @@ fn wal_failure_rejects_write_and_poisons_store() {
         assert!(matches!(err, WriteError::Poisoned(_)), "got {err:?}");
         assert!(db.wal_poison().is_some());
         assert!(db.wal_poison().unwrap().to_string().contains("injected"));
+        assert!(env.injected("segment-append") >= 1, "the fault really fired");
 
         // Reads and scans keep serving the acknowledged prefix.
         assert_eq!(db.get(b"good"), Some(b"1".to_vec()));
@@ -118,11 +63,12 @@ fn wal_failure_rejects_write_and_poisons_store() {
 #[test]
 fn failed_batch_applies_none_of_its_operations() {
     for group_commit in [true, false] {
-        let (env, budget) = FailEnv::new();
-        let db = FloDb::open(opts(env, group_commit)).unwrap();
+        let env = fault_env();
+        let db = FloDb::open(opts(Arc::clone(&env) as Arc<dyn Env>, group_commit)).unwrap();
         db.put(b"keep", b"1").unwrap();
 
-        budget.store(0, Ordering::Release); // Log dies now.
+        // Log dies now.
+        env.arm(FaultPlan::persistent("segment-append", FaultKind::Io));
         let mut batch = WriteBatch::new();
         batch.put(b"a", b"1").put(b"b", b"2").delete(b"keep");
         let err = db.write(&batch).unwrap_err();
@@ -147,18 +93,18 @@ fn failed_batch_applies_none_of_its_operations() {
 
 #[test]
 fn acknowledged_prefix_survives_recovery_after_failure() {
-    let (env, budget) = FailEnv::new();
+    let env = fault_env();
     let env_dyn: Arc<dyn Env> = Arc::clone(&env) as Arc<dyn Env>;
     {
         let db = FloDb::open(opts(Arc::clone(&env_dyn), true)).unwrap();
         for i in 0..50u64 {
             db.put(&i.to_be_bytes(), b"acked").unwrap();
         }
-        budget.store(0, Ordering::Release);
+        env.arm(FaultPlan::persistent("segment-append", FaultKind::Io));
         assert!(db.put(b"never", b"acked").is_err());
         // Crash while poisoned.
     }
-    budget.store(-1, Ordering::Release); // The disk heals on restart.
+    env.disarm_all(); // The disk heals on restart.
     let db = FloDb::open(opts(env_dyn, true)).unwrap();
     for i in 0..50u64 {
         assert_eq!(db.get(&i.to_be_bytes()), Some(b"acked".to_vec()), "key {i}");

@@ -26,6 +26,7 @@ pub mod compaction;
 pub mod disk;
 pub mod env;
 pub mod error;
+pub mod fault;
 pub mod log_manager;
 pub mod manifest;
 pub mod record;
@@ -38,6 +39,7 @@ pub mod wal;
 pub use disk::{DiskComponent, DiskOptions, DiskStats};
 pub use env::{Env, FsEnv, MemEnv, PrefixEnv, ThrottleConfig};
 pub use error::{Result, StorageError};
+pub use fault::{FaultEnv, FaultKind, FaultPlan};
 pub use log_manager::{LogConfig, LogManager, RecoveredWal};
 pub use record::Record;
 pub use sharding::{read_sharding, shard_dir_name, write_sharding, ShardingSpec};

@@ -71,6 +71,12 @@ pub struct AppendOutcome {
     /// Whether this append sealed the active segment and rolled to a
     /// fresh generation.
     pub rotated: bool,
+    /// Whether a due rotation could not seal the segment because creating
+    /// the next generation failed. The active segment stays fully usable
+    /// and the roll is retried at the next group boundary; callers should
+    /// surface the deferral (it means the log is growing past its
+    /// threshold on a misbehaving device).
+    pub rotation_failed: bool,
     /// Bytes now in the active segment (header included).
     pub active_bytes: u64,
     /// Live generations on disk: sealed-but-unretired plus the active one.
@@ -100,6 +106,8 @@ pub struct LogManager {
     /// Sealed segments in generation order (oldest first).
     sealed: Vec<SealedSegment>,
     rotations: u64,
+    /// Due rotations deferred because creating the next segment failed.
+    failed_rotations: u64,
 }
 
 impl LogManager {
@@ -114,6 +122,7 @@ impl LogManager {
             writer,
             sealed: Vec::new(),
             rotations: 0,
+            failed_rotations: 0,
         })
     }
 
@@ -124,9 +133,10 @@ impl LogManager {
     /// group boundary and no frame straddles two segments.
     pub fn append_group_frame(&mut self, frame: &mut [u8]) -> Result<AppendOutcome> {
         self.writer.append_group_frame(frame)?;
-        let rotated = self.maybe_rotate();
+        let (rotated, rotation_failed) = self.maybe_rotate();
         Ok(AppendOutcome {
             rotated,
+            rotation_failed,
             active_bytes: self.writer.bytes_written(),
             live_generations: self.live_generations(),
         })
@@ -137,15 +147,17 @@ impl LogManager {
     /// synced) *before* the old writer is finished, so a creation failure
     /// leaves the current segment fully usable — the roll is simply
     /// retried at the next group boundary, and the log grows past its
-    /// threshold instead of losing durability.
-    fn maybe_rotate(&mut self) -> bool {
+    /// threshold instead of losing durability. Returns
+    /// `(rotated, rotation_failed)`; at most one is set.
+    fn maybe_rotate(&mut self) -> (bool, bool) {
         if self.writer.bytes_written() < self.cfg.segment_max_bytes {
-            return false;
+            return (false, false);
         }
         let next = self.active_generation + 1;
         let Ok(fresh) = WalWriter::create_segment(self.env.as_ref(), next, self.cfg.sync_on_write)
         else {
-            return false;
+            self.failed_rotations += 1;
+            return (false, true);
         };
         let sealed = mem::replace(&mut self.writer, fresh);
         let bytes = sealed.bytes_written();
@@ -159,7 +171,7 @@ impl LogManager {
         });
         self.active_generation = next;
         self.rotations += 1;
-        true
+        (true, false)
     }
 
     /// Deletes every sealed segment with `generation <= up_to`, then syncs
@@ -222,6 +234,12 @@ impl LogManager {
     /// Total rotations performed by this manager.
     pub fn rotations(&self) -> u64 {
         self.rotations
+    }
+
+    /// Due rotations deferred because the next segment could not be
+    /// created (see [`AppendOutcome::rotation_failed`]).
+    pub fn failed_rotations(&self) -> u64 {
+        self.failed_rotations
     }
 
     /// The oldest generation recovery would need: the oldest sealed

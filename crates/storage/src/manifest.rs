@@ -199,11 +199,21 @@ pub struct RecoveredManifest {
     pub wal_oldest_live: u64,
 }
 
-/// Finds and replays the newest manifest generation on `env`.
+/// Finds and replays the newest **intact** manifest generation on `env`.
 ///
 /// Returns `None` when no manifest exists (a fresh database). Replay stops
 /// at the first torn or corrupt frame, LevelDB-style: the tail written
 /// during a crash is forfeit, everything before it is recovered.
+///
+/// A newest generation with *zero* intact records is a stillborn
+/// creation: the open that created it died (crash or I/O failure)
+/// before its seed snapshot landed, so the generation before it still
+/// describes the true file layout. Recovery falls back to the newest
+/// generation holding at least one intact record — letting the empty
+/// file shadow the intact one would silently drop every table. The
+/// stillborn file itself needs no cleanup: the next successful open
+/// recreates (truncates) exactly that generation number and prunes
+/// everything older once it is seeded.
 pub fn recover(env: &dyn Env) -> Result<Option<RecoveredManifest>> {
     let mut generations: Vec<u64> = env
         .list()?
@@ -211,41 +221,44 @@ pub fn recover(env: &dyn Env) -> Result<Option<RecoveredManifest>> {
         .filter_map(|n| parse_manifest_name(n))
         .collect();
     generations.sort_unstable();
-    let Some(&generation) = generations.last() else {
-        return Ok(None);
-    };
-
-    let file = env.open_random(&manifest_file_name(generation))?;
-    let data = file.read_at(0, file.len() as usize)?;
-    let mut edits = Vec::new();
-    let mut next_file = 1u64;
-    let mut wal_oldest_live = 0u64;
-    let mut pos = 0usize;
-    loop {
-        if pos + 8 > data.len() {
-            break;
+    for (idx, &generation) in generations.iter().enumerate().rev() {
+        let file = env.open_random(&manifest_file_name(generation))?;
+        let data = file.read_at(0, file.len() as usize)?;
+        let mut edits = Vec::new();
+        let mut next_file = 1u64;
+        let mut wal_oldest_live = 0u64;
+        let mut pos = 0usize;
+        loop {
+            if pos + 8 > data.len() {
+                break;
+            }
+            let len =
+                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if pos + 8 + len > data.len() {
+                break; // Torn tail.
+            }
+            let payload = &data[pos + 8..pos + 8 + len];
+            if crc32(payload) != crc {
+                break; // Corrupt tail.
+            }
+            let (edit, nf, oldest) = decode_record(payload)?;
+            edits.push(edit);
+            next_file = nf;
+            wal_oldest_live = oldest;
+            pos += 8 + len;
         }
-        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
-        if pos + 8 + len > data.len() {
-            break; // Torn tail.
+        if edits.is_empty() && idx > 0 {
+            continue; // Stillborn generation; try the one before it.
         }
-        let payload = &data[pos + 8..pos + 8 + len];
-        if crc32(payload) != crc {
-            break; // Corrupt tail.
-        }
-        let (edit, nf, oldest) = decode_record(payload)?;
-        edits.push(edit);
-        next_file = nf;
-        wal_oldest_live = oldest;
-        pos += 8 + len;
+        return Ok(Some(RecoveredManifest {
+            generation,
+            edits,
+            next_file,
+            wal_oldest_live,
+        }));
     }
-    Ok(Some(RecoveredManifest {
-        generation,
-        edits,
-        next_file,
-        wal_oldest_live,
-    }))
+    Ok(None)
 }
 
 /// Deletes manifest generations older than `keep`.
@@ -380,6 +393,48 @@ mod tests {
         f.finish().unwrap();
         let r = recover(&env).unwrap().unwrap();
         assert!(r.edits.is_empty(), "corrupt record must not replay");
+    }
+
+    #[test]
+    fn stillborn_newest_generation_falls_back_to_the_intact_one() {
+        let env = MemEnv::new(None);
+        let mut w = ManifestWriter::create(&env, 1).unwrap();
+        let mut e = VersionEdit::default();
+        e.add(0, meta(1, 0, 9));
+        w.append(&e, 2).unwrap();
+
+        // A crash (or injected failure) during the next open created
+        // generation 2 but died before its seed snapshot landed: the
+        // file exists with zero intact records.
+        ManifestWriter::create(&env, 2).unwrap();
+        let r = recover(&env).unwrap().unwrap();
+        assert_eq!(r.generation, 1, "an empty newest generation must not win");
+        assert_eq!(r.edits.len(), 1);
+        assert_eq!(r.next_file, 2);
+
+        // Same if the seed snapshot tore mid-frame (corrupt, not empty).
+        let mut f = env.new_writable(&manifest_file_name(3)).unwrap();
+        f.append(&[0x40, 0, 0, 0, 0xAA, 0xBB]).unwrap();
+        f.finish().unwrap();
+        let r = recover(&env).unwrap().unwrap();
+        assert_eq!(r.generation, 1, "a torn newest generation must not win");
+
+        // An intact record with an *empty* edit is not stillborn — a
+        // fresh store's seed snapshot is exactly that.
+        let mut w4 = ManifestWriter::create(&env, 4).unwrap();
+        w4.append(&VersionEdit::default(), 9).unwrap();
+        let r = recover(&env).unwrap().unwrap();
+        assert_eq!(r.generation, 4);
+        assert_eq!(r.next_file, 9);
+    }
+
+    #[test]
+    fn sole_empty_generation_still_recovers() {
+        let env = MemEnv::new(None);
+        ManifestWriter::create(&env, 1).unwrap();
+        let r = recover(&env).unwrap().unwrap();
+        assert_eq!(r.generation, 1);
+        assert!(r.edits.is_empty());
     }
 
     #[test]

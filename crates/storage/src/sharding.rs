@@ -58,17 +58,29 @@ impl ShardingSpec {
 /// Writes (and syncs) the sharding record at the root of `env`, then syncs
 /// the directory so the record's existence survives a crash along with the
 /// shard directories it describes.
+///
+/// If any step fails, the half-written record is removed (best effort)
+/// before the error is returned: the record is only ever written before
+/// any shard holds data, so a later open can safely retry creation —
+/// whereas a torn record left behind would read as corruption on every
+/// subsequent open, bricking the root over one transient I/O error.
 pub fn write_sharding(env: &dyn Env, spec: &ShardingSpec) -> Result<()> {
     let payload = spec.encode();
     let mut frame = Vec::with_capacity(8 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&crc32(&payload).to_le_bytes());
     frame.extend_from_slice(&payload);
-    let mut file = env.new_writable(SHARDING_FILE)?;
-    file.append(&frame)?;
-    file.sync()?;
-    file.finish()?;
-    env.sync_dir()
+    let result = (|| {
+        let mut file = env.new_writable(SHARDING_FILE)?;
+        file.append(&frame)?;
+        file.sync()?;
+        file.finish()?;
+        env.sync_dir()
+    })();
+    if result.is_err() && env.exists(SHARDING_FILE) {
+        let _ = env.delete(SHARDING_FILE);
+    }
+    result
 }
 
 /// Reads the sharding record at the root of `env`.
@@ -148,6 +160,29 @@ mod tests {
         let mut f = env.new_writable(SHARDING_FILE).unwrap();
         f.append(&corrupt).unwrap();
         assert!(read_sharding(&env).is_err());
+    }
+
+    #[test]
+    fn failed_creation_leaves_no_torn_record_behind() {
+        use std::sync::Arc;
+
+        use crate::fault::{FaultEnv, FaultKind, FaultPlan};
+
+        let env = FaultEnv::new(Arc::new(MemEnv::new(None)));
+        let spec = ShardingSpec {
+            shards: 4,
+            hash_seed: 9,
+        };
+        for site in ["sharding-create", "sharding-append", "sharding-sync", "dir-sync"] {
+            env.arm(FaultPlan::persistent(site, FaultKind::Io));
+            assert!(write_sharding(&env, &spec).is_err(), "{site}");
+            env.disarm_all();
+            // The failed creation must be retryable: no torn record may
+            // read as corruption, which would brick the root for good.
+            assert_eq!(read_sharding(&env).unwrap(), None, "{site}");
+        }
+        write_sharding(&env, &spec).unwrap();
+        assert_eq!(read_sharding(&env).unwrap(), Some(spec));
     }
 
     #[test]

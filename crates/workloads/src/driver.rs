@@ -85,6 +85,13 @@ pub struct RunReport {
     pub scans: u64,
     /// Keys touched (reads + writes + keys returned by scans).
     pub keys_accessed: u64,
+    /// Writes the store rejected (`WriteError`). A worker that sees one
+    /// stops — a store latched by poison or degradation rejects every
+    /// later write, so spinning on it would only inflate the error count
+    /// — and the run completes with whatever the healthy workers did. A
+    /// benchmark must end with this at 0; the fault suites are the place
+    /// where it is allowed to be nonzero.
+    pub write_failures: u64,
     /// Read latency histogram (if measured).
     pub read_latency: Histogram,
     /// Write latency histogram (if measured).
@@ -111,6 +118,7 @@ struct ThreadResult {
     writes: u64,
     scans: u64,
     keys_accessed: u64,
+    write_failures: u64,
     read_latency: Histogram,
     write_latency: Histogram,
     scan_latency: Histogram,
@@ -141,6 +149,7 @@ pub fn run_workload(store: &Arc<dyn KvStore>, cfg: &WorkloadConfig) -> RunReport
         writes: 0,
         scans: 0,
         keys_accessed: 0,
+        write_failures: 0,
         read_latency: Histogram::new(),
         write_latency: Histogram::new(),
         scan_latency: Histogram::new(),
@@ -152,6 +161,7 @@ pub fn run_workload(store: &Arc<dyn KvStore>, cfg: &WorkloadConfig) -> RunReport
         report.writes += r.writes;
         report.scans += r.scans;
         report.keys_accessed += r.keys_accessed;
+        report.write_failures += r.write_failures;
         report.read_latency.merge(&r.read_latency);
         report.write_latency.merge(&r.write_latency);
         report.scan_latency.merge(&r.scan_latency);
@@ -175,6 +185,7 @@ fn worker(
         writes: 0,
         scans: 0,
         keys_accessed: 0,
+        write_failures: 0,
         read_latency: Histogram::new(),
         write_latency: Histogram::new(),
         scan_latency: Histogram::new(),
@@ -206,7 +217,14 @@ fn worker(
                 }
             }
             OpKind::Insert => {
-                store.put(&key, &value).expect("write not acknowledged");
+                // A rejected write means the store latched itself closed
+                // (poison/degraded); stop this worker rather than panic
+                // across the thread boundary — the report carries the
+                // count (`RunReport::write_failures`).
+                if store.put(&key, &value).is_err() {
+                    result.write_failures += 1;
+                    break;
+                }
                 result.writes += 1;
                 result.keys_accessed += 1;
                 if let Some(t0) = t0 {
@@ -214,7 +232,10 @@ fn worker(
                 }
             }
             OpKind::Delete => {
-                store.delete(&key).expect("delete not acknowledged");
+                if store.delete(&key).is_err() {
+                    result.write_failures += 1;
+                    break;
+                }
                 result.writes += 1;
                 result.keys_accessed += 1;
                 if let Some(t0) = t0 {
@@ -329,6 +350,53 @@ mod tests {
         assert!(report.total_ops > 0);
         assert!(report.elapsed < Duration::from_secs(5));
         assert_eq!(report.reads, 0);
+    }
+
+    /// A store whose write path latched closed: every put/delete is
+    /// rejected, the shape of a poisoned or degraded FloDB.
+    struct RejectingStore(MapStore);
+
+    impl KvStore for RejectingStore {
+        fn put(&self, _key: &[u8], _value: &[u8]) -> Result<(), WriteError> {
+            Err(WriteError::Poisoned(Arc::new(
+                flodb_storage::StorageError::Corruption("latched".into()),
+            )))
+        }
+        fn delete(&self, _key: &[u8]) -> Result<(), WriteError> {
+            Err(WriteError::Poisoned(Arc::new(
+                flodb_storage::StorageError::Corruption("latched".into()),
+            )))
+        }
+        fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+            self.0.get(key)
+        }
+        fn scan_with(
+            &self,
+            low: &[u8],
+            high: &[u8],
+            visitor: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
+        ) {
+            self.0.scan_with(low, high, visitor)
+        }
+        fn name(&self) -> &'static str {
+            "rejecting"
+        }
+    }
+
+    #[test]
+    fn rejected_writes_end_the_run_cleanly() {
+        let store: Arc<dyn KvStore> = Arc::new(RejectingStore(MapStore::default()));
+        let mut cfg = WorkloadConfig::new(
+            2,
+            OperationMix::write_only(),
+            KeyDistribution::Uniform { n: 100 },
+        );
+        cfg.ops_per_thread = Some(1_000_000);
+        // Must return (no panic propagated, no spin on the dead store),
+        // with every worker's stop accounted for.
+        let report = run_workload(&store, &cfg);
+        assert_eq!(report.write_failures, 2);
+        assert_eq!(report.writes, 0);
     }
 
     #[test]

@@ -71,6 +71,16 @@ fn group_commit_broadcasts_errors() {
 }
 
 #[test]
+fn group_commit_broadcasts_injected_faults() {
+    dfs().model(scenarios::group_commit_injected_fault_body);
+}
+
+#[test]
+fn group_commit_broadcasts_injected_faults_random() {
+    random().model(scenarios::group_commit_injected_fault_body);
+}
+
+#[test]
 fn router_split_commits_whole_sub_batches() {
     dfs().model(scenarios::router_split_body);
 }

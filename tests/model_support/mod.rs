@@ -283,6 +283,64 @@ pub fn group_commit_error_body() {
     }
 }
 
+/// Injected-failure broadcast: the overlap between the model layer and
+/// the deterministic fault Env. The group's commit path appends through
+/// a real [`WalWriter`] over a [`FaultEnv`] with the `segment-append`
+/// trip point armed — the same error shape the persist thread sees when
+/// the log device dies mid-group — and the contract is the same as
+/// [`group_commit_error_body`] plus two fault-layer facts: every member
+/// observes the *injected* error (not a wrapper that lost the marker),
+/// and no frame of a failed group ever lands in the segment.
+pub fn group_commit_injected_fault_body() {
+    use flodb::storage::fault::is_injected;
+    use flodb::storage::wal::{WalWriter, SEGMENT_HEADER_BYTES};
+    use flodb::storage::{FaultEnv, FaultKind, FaultPlan, MemEnv, StorageError};
+
+    let env = std::sync::Arc::new(FaultEnv::new(std::sync::Arc::new(MemEnv::new(None))));
+    // Create the segment before arming: the fault under test is the
+    // append of a formed group, not segment creation.
+    let writer = Arc::new(Mutex::new(
+        WalWriter::create_segment(&*env, 1, false).expect("segment create is unarmed"),
+    ));
+    env.arm(FaultPlan::persistent("segment-append", FaultKind::Io));
+
+    let gc: Arc<GroupCommitter<StorageError>> = Arc::new(GroupCommitter::new(GroupCommitConfig {
+        max_group_bytes: 1024,
+        frame_prefix: 0,
+        max_group_wait: Duration::ZERO,
+        follower_spin: 0,
+    }));
+    let handles: Vec<_> = (0..2u8)
+        .map(|rec| {
+            let gc = Arc::clone(&gc);
+            let writer = Arc::clone(&writer);
+            thread::spawn(move || {
+                gc.submit(
+                    |buf| buf.push(rec),
+                    |payload| writer.lock().append_payload(payload),
+                )
+            })
+        })
+        .collect();
+    for h in handles {
+        let res = h.join().unwrap();
+        let err = res.expect_err("a failed group must fail every member");
+        assert!(
+            is_injected(&err),
+            "member saw a non-injected error: {err}"
+        );
+    }
+    assert!(
+        env.injected("segment-append") >= 1,
+        "the armed trip point never fired"
+    );
+    assert_eq!(
+        writer.lock().bytes_written(),
+        SEGMENT_HEADER_BYTES as u64,
+        "a frame of a failed group was counted as written"
+    );
+}
+
 /// The sharded router's write split vs. per-shard group commit (PR 7).
 ///
 /// Two writers each split one batch into per-shard sub-batches and commit

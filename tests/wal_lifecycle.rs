@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use flodb::storage::{Env, MemEnv};
+use flodb::storage::{Env, FaultEnv, FaultKind, FaultPlan, MemEnv};
 use flodb::{FloDb, FloDbOptions, KvStore, WalMode, WriteBatch};
 
 const SEGMENT_MAX: usize = 16 * 1024;
@@ -190,6 +190,62 @@ fn kill_at_any_offset_recovers_an_acked_prefix_across_retirement() {
     assert!(
         first_recovered.unwrap() < total,
         "the sweep never actually tore anything"
+    );
+}
+
+#[test]
+fn retirement_io_errors_are_counted_and_leave_the_store_live() {
+    // Segment deletion failing must not panic the persist thread, wedge
+    // quiesce, or reject writes — it costs disk-footprint boundedness
+    // only, and that loss must be *observable*: `wal_retire_errors`
+    // counts it (the pre-existing silent "forgotten-but-live" hole).
+    let fault = Arc::new(FaultEnv::new(Arc::new(MemEnv::new(None))));
+    let env: Arc<dyn Env> = Arc::clone(&fault) as Arc<dyn Env>;
+    let total = {
+        let db = FloDb::open(opts(Arc::clone(&env))).unwrap();
+        fault.arm(FaultPlan::persistent("retire-delete", FaultKind::Io));
+        let total = write_until_rotations(&db, 5);
+        db.quiesce();
+
+        let stats = db.stats();
+        assert!(
+            stats.wal_retire_errors > 0,
+            "failed deletions must be counted, not forgotten"
+        );
+        assert!(
+            stats.io_retries > 0,
+            "deletions must be retried before giving up"
+        );
+        assert!(fault.injected("retire-delete") > 0, "the fault really fired");
+        assert!(!db.is_degraded(), "retirement failure must not latch writes shut");
+
+        // The store stays fully live: writes and reads keep working.
+        db.put(b"still-alive", b"yes").unwrap();
+        assert_eq!(db.get(b"still-alive"), Some(b"yes".to_vec()));
+        for n in 0..total {
+            assert_eq!(db.get(&key(n)).as_deref(), Some(&[n as u8; 40][..]), "key {n}");
+        }
+        // Only boundedness degraded: the untracked segment files linger.
+        assert!(
+            wal_files(env.as_ref()).len() > 1,
+            "failed deletions must leave the segment files on disk"
+        );
+        total
+    };
+
+    // The environment heals; reopen recovers everything acknowledged and
+    // prunes the lingering files (they are stale relative to the
+    // recorded oldest-live mark).
+    fault.disarm_all();
+    let db = FloDb::open(opts(Arc::clone(&env))).unwrap();
+    assert_eq!(db.get(b"still-alive"), Some(b"yes".to_vec()));
+    for n in 0..total {
+        assert_eq!(db.get(&key(n)).as_deref(), Some(&[n as u8; 40][..]), "key {n}");
+    }
+    assert_eq!(
+        wal_files(env.as_ref()).len(),
+        1,
+        "reopen must prune the segments the failed deletions left behind"
     );
 }
 

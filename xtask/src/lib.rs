@@ -15,6 +15,13 @@
 //!    `// PANIC-OK:` waiver explaining why panicking is acceptable
 //!    (the write path must surface failures as `WriteError`, never
 //!    abort a caller holding store state).
+//! 4. **`env-unwrap`** — no `.unwrap()` / `.expect(` on the result of an
+//!    `Env`-surface call (`new_writable`, `open_random`, `sync_dir`,
+//!    `read_at`, `.delete`, `.list`) in `crates/storage` or `crates/core`
+//!    production code, `// PANIC-OK:` waivable. Every one of these calls
+//!    is a fault-injection point (see `flodb_storage::fault`): a panic
+//!    there turns an injectable, recoverable I/O error into an abort the
+//!    resilience sweep can never exercise.
 //!
 //! The scanner is deliberately line-based and syntactic — it strips
 //! comments and string literals with a small state machine rather than
@@ -37,6 +44,9 @@ pub enum Rule {
     RawSync,
     /// An unwaived `.unwrap()`/`.expect(` in `crates/core` production code.
     WritePathPanic,
+    /// An unwaived `.unwrap()`/`.expect(` on an `Env`-surface result in
+    /// storage or core production code.
+    EnvUnwrap,
 }
 
 impl fmt::Display for Rule {
@@ -45,6 +55,7 @@ impl fmt::Display for Rule {
             Rule::SafetyComment => write!(f, "safety-comment"),
             Rule::RawSync => write!(f, "raw-sync"),
             Rule::WritePathPanic => write!(f, "write-path-panic"),
+            Rule::EnvUnwrap => write!(f, "env-unwrap"),
         }
     }
 }
@@ -255,6 +266,22 @@ pub fn check_raw_sync(file: &Path, content: &str) -> Vec<Finding> {
     findings
 }
 
+/// Is the panic at `line_idx` waived by a `// PANIC-OK:` marker on the
+/// same line or in the comment/attribute block directly above?
+fn panic_waived(lines: &[&str], line_idx: usize) -> bool {
+    if comment_portion(lines[line_idx]).contains("PANIC-OK:") {
+        return true;
+    }
+    let mut i = line_idx;
+    while i > 0 && is_comment_or_attr(lines[i - 1]) {
+        i -= 1;
+        if lines[i].contains("PANIC-OK:") {
+            return true;
+        }
+    }
+    false
+}
+
 /// Rule 3: `.unwrap()`/`.expect(` in flodb-core production code must carry
 /// a `// PANIC-OK:` waiver on the same line or the comment block above.
 /// Test code (from the first `#[cfg(test)]` line on) is exempt.
@@ -269,20 +296,7 @@ pub fn check_write_path_panics(file: &Path, content: &str) -> Vec<Finding> {
         if !code.contains(".unwrap()") && !code.contains(".expect(") {
             continue;
         }
-        let waived = comment_portion(raw).contains("PANIC-OK:")
-            || (idx > 0 && {
-                let mut i = idx;
-                let mut found = false;
-                while i > 0 && is_comment_or_attr(lines[i - 1]) {
-                    i -= 1;
-                    if lines[i].contains("PANIC-OK:") {
-                        found = true;
-                        break;
-                    }
-                }
-                found
-            });
-        if !waived {
+        if !panic_waived(&lines, idx) {
             findings.push(Finding {
                 file: file.to_path_buf(),
                 line: idx + 1,
@@ -290,6 +304,52 @@ pub fn check_write_path_panics(file: &Path, content: &str) -> Vec<Finding> {
                 message: "`.unwrap()`/`.expect()` in flodb-core production code; \
                           return a typed error, or waive with `// PANIC-OK: <why>`"
                     .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// The `Env`-surface calls rule 4 guards: each returns a `Result` whose
+/// failure the fault layer can inject, so panicking on it forecloses the
+/// resilience sweep. Method-call spellings (leading `.`) where the bare
+/// name would collide with unrelated functions.
+const ENV_RESULT_CALLS: &[&str] = &[
+    "new_writable(",
+    "open_random(",
+    "sync_dir(",
+    "read_at(",
+    ".delete(",
+    ".list(",
+];
+
+/// Rule 4: `.unwrap()`/`.expect(` on the same line as an `Env`-surface
+/// call in storage/core production code, `// PANIC-OK:` waivable. Test
+/// code (from the first `#[cfg(test)]` line on) is exempt.
+pub fn check_env_unwraps(file: &Path, content: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = code_portion(raw);
+        if !code.contains(".unwrap()") && !code.contains(".expect(") {
+            continue;
+        }
+        let Some(call) = ENV_RESULT_CALLS.iter().find(|c| code.contains(*c)) else {
+            continue;
+        };
+        if !panic_waived(&lines, idx) {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::EnvUnwrap,
+                message: format!(
+                    "`.unwrap()`/`.expect()` on `{}...)` — an injectable I/O fault \
+                     point; propagate the error, or waive with `// PANIC-OK: <why>`",
+                    call.trim_start_matches('.')
+                ),
             });
         }
     }
@@ -370,6 +430,19 @@ pub fn run_lint(root: &Path) -> Vec<Finding> {
         }
     }
 
+    // Rule 4 scope: every crate that calls the Env surface directly.
+    // (Core is also covered by rule 3; here the rule adds the storage
+    // crate, where blanket rule 3 would flood non-Env unwraps.)
+    let mut env_files = Vec::new();
+    for rel in ["crates/storage/src", "crates/core/src"] {
+        scan(root, rel, &mut env_files);
+    }
+    for file in &env_files {
+        if let Ok(content) = std::fs::read_to_string(file) {
+            findings.extend(check_env_unwraps(file, &content));
+        }
+    }
+
     findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     findings
 }
@@ -421,5 +494,33 @@ mod tests {
         assert!(check_write_path_panics(Path::new("x.rs"), ok).is_empty());
         let above = "// PANIC-OK: key inserted above\nlet v = map.get(k).unwrap();\n";
         assert!(check_write_path_panics(Path::new("x.rs"), above).is_empty());
+    }
+
+    #[test]
+    fn env_unwrap_rule() {
+        // Unwrapping an Env-surface result fires.
+        let bad = "let f = env.new_writable(\"x.log\").unwrap();\n";
+        let findings = check_env_unwraps(Path::new("x.rs"), bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::EnvUnwrap);
+        let bad2 = "let data = file.read_at(0, len).expect(\"read\");\n";
+        assert_eq!(check_env_unwraps(Path::new("x.rs"), bad2).len(), 1);
+        // Non-Env unwraps are rule 3's business, not this rule's.
+        let other = "let v = map.get(k).unwrap();\n";
+        assert!(check_env_unwraps(Path::new("x.rs"), other).is_empty());
+        // Waivers and the test boundary apply as in rule 3.
+        let waived = "let f = env.sync_dir().unwrap(); // PANIC-OK: startup only\n";
+        assert!(check_env_unwraps(Path::new("x.rs"), waived).is_empty());
+        let in_tests =
+            "#[cfg(test)]\nmod tests {\n    fn t() { env.open_random(\"f\").unwrap(); }\n}\n";
+        assert!(check_env_unwraps(Path::new("x.rs"), in_tests).is_empty());
+        // Doc-comment examples are comments, not code.
+        let doc = "/// env.new_writable(\"f\").unwrap();\nfn f() {}\n";
+        assert!(check_env_unwraps(Path::new("x.rs"), doc).is_empty());
+        // Method-call spellings don't fire on unrelated bare names.
+        let unrelated = "self.pending.list().unwrap();\n";
+        assert_eq!(check_env_unwraps(Path::new("x.rs"), unrelated).len(), 1);
+        let not_env = "let d = to_delete(x).unwrap();\n";
+        assert!(check_env_unwraps(Path::new("x.rs"), not_env).is_empty());
     }
 }
