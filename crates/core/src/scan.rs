@@ -8,7 +8,8 @@
 //! over many scans. Chains of piggybacking scans are bounded so the reused
 //! sequence number does not grow stale without bound.
 
-use parking_lot::{Condvar, Mutex};
+use flodb_sync::lock_order::SCAN_COORDINATOR;
+use flodb_sync::shim::{ranked_condvar, ranked_mutex, Condvar, Mutex};
 
 /// The role a scan was admitted under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,16 +41,25 @@ struct ScanState {
 }
 
 /// Admission control for scans.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ScanCoordinator {
     state: Mutex<ScanState>,
     cv: Condvar,
 }
 
+impl Default for ScanCoordinator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ScanCoordinator {
     /// Creates an idle coordinator.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            state: ranked_mutex(SCAN_COORDINATOR, ScanState::default()),
+            cv: ranked_condvar(SCAN_COORDINATOR),
+        }
     }
 
     /// Admits a scan.

@@ -32,7 +32,10 @@ use flodb_sync::{
     Backoff, CommitRole, GroupCommitConfig, GroupCommitter, PauseFlag, PhasedInflight,
     SequenceGenerator,
 };
-use parking_lot::{Condvar, Mutex};
+use flodb_sync::lock_order::{
+    CORE_DEGRADED, CORE_FREEZE, CORE_PERSIST_PARK, CORE_ROOM, CORE_THREADS, WAL_LOG, WAL_POISON,
+};
+use flodb_sync::shim::{ranked_condvar, ranked_mutex, Condvar, Mutex};
 
 use crate::api::{KvStore, ScanEntry, StoreStats, WriteBatch};
 use crate::drain::{self, DrainStyle};
@@ -359,10 +362,10 @@ impl FloDb {
                             follower_spin: opts.wal_follower_spin,
                         })
                     }),
-                    log: Mutex::new(log),
+                    log: ranked_mutex(WAL_LOG, log),
                     inflight: PhasedInflight::new(),
                     poisoned: AtomicBool::new(false),
-                    poison: Mutex::new(None),
+                    poison: ranked_mutex(WAL_POISON, None),
                 })
             }
         };
@@ -392,17 +395,17 @@ impl FloDb {
             pause_writers: PauseFlag::new(),
             pause_draining: PauseFlag::new(),
             coord: ScanCoordinator::new(),
-            freeze_lock: Mutex::new(()),
+            freeze_lock: ranked_mutex(CORE_FREEZE, ()),
             stats: FloDbStats::default(),
             stop: AtomicBool::new(false),
             force_flush: AtomicBool::new(false),
-            room: Mutex::new(()),
-            room_cv: Condvar::new(),
-            persist_park: Mutex::new(()),
-            persist_cv: Condvar::new(),
+            room: ranked_mutex(CORE_ROOM, ()),
+            room_cv: ranked_condvar(CORE_ROOM),
+            persist_park: ranked_mutex(CORE_PERSIST_PARK, ()),
+            persist_cv: ranked_condvar(CORE_PERSIST_PARK),
             wal,
             degraded: AtomicBool::new(false),
-            degraded_reason: Mutex::new(None),
+            degraded_reason: ranked_mutex(CORE_DEGRADED, None),
             opts,
         });
         if let Some(wal) = &inner.wal {
@@ -441,7 +444,7 @@ impl FloDb {
 
         Ok(Self {
             inner,
-            threads: Mutex::new(threads),
+            threads: ranked_mutex(CORE_THREADS, threads),
         })
     }
 
@@ -478,6 +481,10 @@ impl FloDb {
     /// Forces the entire memory component down to disk and waits for
     /// quiescence (drains, flushes and compactions complete).
     pub fn flush_all(&self) {
+        // ORDERING: the flag must be SC-ordered with the persist thread's
+        // drain decision — store, then wake, then poll; a weaker store
+        // could let a concurrently-parking persist thread read the old
+        // flag after consuming the wake. Maintenance path, not hot.
         self.inner.force_flush.store(true, Ordering::SeqCst);
         let backoff = Backoff::new();
         loop {
@@ -501,6 +508,8 @@ impl FloDb {
             }
             backoff.snooze();
         }
+        // ORDERING: symmetric with the set above; the clear must not be
+        // reorderable before the final emptiness poll that justified it.
         self.inner.force_flush.store(false, Ordering::SeqCst);
         if self.inner.is_degraded() {
             return;
@@ -1636,6 +1645,8 @@ impl Drop for FloDb {
         self.inner.stop.store(true, Ordering::Release);
         self.wake_persist();
         for handle in self.threads.lock().drain(..) {
+            // LOCK-OK: shutdown-only join; the joined workers never take
+            // FloDb.threads, and drop is the lock's only contender.
             let _ = handle.join();
         }
     }

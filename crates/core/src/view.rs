@@ -13,7 +13,8 @@
 use flodb_membuffer::{DrainTracker, MemBuffer};
 use flodb_memtable::SkipList;
 use flodb_sync::shim::atomic::{AtomicBool, AtomicPtr, Ordering};
-use flodb_sync::shim::{Arc, Mutex};
+use flodb_sync::lock_order::CORE_VIEW_SWITCH;
+use flodb_sync::shim::{ranked_mutex, Arc, Mutex};
 use flodb_sync::RcuDomain;
 
 /// An immutable Membuffer being fully drained before a scan, plus the
@@ -99,7 +100,7 @@ impl ViewCell {
         Self {
             ptr: AtomicPtr::new(Box::into_raw(Box::new(view))),
             domain: RcuDomain::new(),
-            switch_lock: Mutex::new(()),
+            switch_lock: ranked_mutex(CORE_VIEW_SWITCH, ()),
         }
     }
 

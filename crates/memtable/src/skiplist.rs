@@ -329,12 +329,16 @@ impl SkipList {
             }
 
             // Publish at level 0; this is the linearization point.
+            // ORDERING: SeqCst on success keeps node publication in one
+            // total order with the seq-stamp issuance and the scan
+            // protocol's pause/quiesce loads; Release would publish the
+            // tower but leave the insert unordered against those flags.
             // SAFETY: `preds[0]` is head or a live node.
             let pred0 = unsafe { preds[0].deref() };
             match pred0.tower[0].compare_exchange(
                 succs[0],
                 node,
-                Ordering::SeqCst,
+                Ordering::SeqCst, // ORDERING: see publication comment above
                 Ordering::Acquire,
                 guard,
             ) {
@@ -368,13 +372,17 @@ impl SkipList {
         let node_ref = unsafe { node_shared.deref() };
         for level in 1..height {
             loop {
+                // ORDERING: same total order as the level-0 publication
+                // CAS — upper-level links are an index over already-live
+                // nodes, and keeping them SC avoids reasoning about mixed
+                // orders on the same tower slots.
                 // SAFETY: `preds[level]` is head or a live node.
                 let pred = unsafe { preds[level].deref() };
                 if pred.tower[level]
                     .compare_exchange(
                         succs[level],
                         node_shared,
-                        Ordering::SeqCst,
+                        Ordering::SeqCst, // ORDERING: see comment above
                         Ordering::Acquire,
                         guard,
                     )
@@ -407,9 +415,13 @@ impl SkipList {
                 return;
             }
             let delta = vv.payload_len() as isize - cur_ref.payload_len() as isize;
+            // ORDERING: value replacement is a linearization point readers
+            // race with; SeqCst keeps it in the same total order as node
+            // publication so a scan's snapshot cannot observe a newer
+            // value yet miss an older insert.
             match node
                 .value
-                .compare_exchange(cur, vv, Ordering::SeqCst, Ordering::Acquire, guard)
+                .compare_exchange(cur, vv, Ordering::SeqCst, Ordering::Acquire, guard) // ORDERING: see comment above
             {
                 Ok(_) => {
                     self.bytes.fetch_add(delta, Ordering::Relaxed);

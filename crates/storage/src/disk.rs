@@ -11,7 +11,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use flodb_sync::lock_order::{DISK_COMPACTION, DISK_MANIFEST};
+use flodb_sync::shim::{ranked_mutex, Mutex};
 
 use crate::compaction::{pick_compaction, run_compaction, CompactionConfig};
 use crate::env::Env;
@@ -130,7 +131,7 @@ impl DiskComponent {
             writer.append(&snapshot, component.versions.peek_file_number())?;
             manifest::prune_old_generations(env.as_ref(), generation + 1)?;
             Self {
-                manifest: Some(Mutex::new(writer)),
+                manifest: Some(ranked_mutex(DISK_MANIFEST, writer)),
                 ..component
             }
         } else {
@@ -158,7 +159,7 @@ impl DiskComponent {
             versions: VersionSet::new(),
             cache,
             opts,
-            compaction_lock: Mutex::new(()),
+            compaction_lock: ranked_mutex(DISK_COMPACTION, ()),
             manifest,
             wal_oldest_live: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
@@ -395,6 +396,9 @@ impl DiskComponent {
             let number = handle.number;
             handle.set_cleanup(move || {
                 cache.evict(number);
+                // LOCK-OK: deferred-cleanup closure — it runs when the
+                // last snapshot drops, not under the compaction lock the
+                // lexical pass sees here.
                 let _ = env.delete(&table_file_name(number));
             });
         }

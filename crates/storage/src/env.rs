@@ -14,7 +14,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Mutex, RwLock};
+use flodb_sync::lock_order::{ENV_DATA, ENV_FILE, ENV_INNER, ENV_THROTTLE};
+use flodb_sync::shim::{ranked_mutex, ranked_rwlock, Mutex, RwLock};
 
 use crate::error::{Result, StorageError};
 
@@ -157,8 +158,8 @@ impl MemEnv {
     /// Creates a new simulated disk; `throttle == None` means unlimited.
     pub fn new(throttle: Option<ThrottleConfig>) -> Self {
         Self {
-            inner: Mutex::new(MemEnvInner::default()),
-            throttle: throttle.map(|cfg| Arc::new(Mutex::new(TokenBucket::new(cfg)))),
+            inner: ranked_mutex(ENV_INNER, MemEnvInner::default()),
+            throttle: throttle.map(|cfg| Arc::new(ranked_mutex(ENV_THROTTLE, TokenBucket::new(cfg)))),
             bytes_written: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
@@ -223,7 +224,7 @@ impl RandomAccessFile for MemRandom {
 
 impl Env for MemEnv {
     fn new_writable(&self, name: &str) -> Result<Box<dyn WritableFile>> {
-        let data = Arc::new(RwLock::new(Vec::new()));
+        let data = Arc::new(ranked_rwlock(ENV_DATA, Vec::new()));
         self.inner
             .lock()
             .files
@@ -407,6 +408,8 @@ impl RandomAccessFile for FsRandom {
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(off))?;
         let mut buf = vec![0u8; len];
+        // LOCK-OK: serializing seek+read pairs on the shared descriptor is
+        // this leaf mutex's entire purpose; nothing is acquired under it.
         file.read_exact(&mut buf)?;
         Ok(buf)
     }
@@ -439,7 +442,7 @@ impl Env for FsEnv {
             .map_err(|_| StorageError::NotFound(name.to_string()))?;
         let size = file.metadata()?.len();
         Ok(Arc::new(FsRandom {
-            file: Mutex::new(file),
+            file: ranked_mutex(ENV_FILE, file),
             size,
         }))
     }

@@ -25,7 +25,8 @@ use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use flodb_sync::lock_order::{FAULT_COUNTERS, FAULT_PLANS};
+use flodb_sync::shim::{ranked_mutex, Mutex};
 
 use crate::env::{Env, RandomAccessFile, WritableFile};
 use crate::error::{Result, StorageError};
@@ -245,10 +246,19 @@ struct ArmedPlan {
     remaining: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct FaultState {
     counters: Mutex<HashMap<&'static str, SiteCounters>>,
     plans: Mutex<Vec<ArmedPlan>>,
+}
+
+impl Default for FaultState {
+    fn default() -> Self {
+        Self {
+            counters: ranked_mutex(FAULT_COUNTERS, HashMap::new()),
+            plans: ranked_mutex(FAULT_PLANS, Vec::new()),
+        }
+    }
 }
 
 impl FaultState {

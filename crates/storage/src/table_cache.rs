@@ -17,7 +17,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use flodb_sync::lock_order::{CACHE_GLOBAL, CACHE_SHARD};
+use flodb_sync::shim::{ranked_mutex, Mutex};
 
 use crate::env::Env;
 use crate::error::Result;
@@ -96,7 +97,7 @@ impl ShardedTableCache {
         let shards = shards.max(1);
         Self {
             env,
-            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            shards: (0..shards).map(|_| ranked_mutex(CACHE_SHARD, Shard::new())).collect(),
             per_shard_capacity: (capacity / shards).max(1),
             tick: AtomicU64::new(0),
             stats: (AtomicU64::new(0), AtomicU64::new(0)),
@@ -144,7 +145,7 @@ impl GlobalLockTableCache {
     pub fn new(env: Arc<dyn Env>, capacity: usize) -> Self {
         Self {
             env,
-            state: Mutex::new(Shard::new()),
+            state: ranked_mutex(CACHE_GLOBAL, Shard::new()),
             capacity: capacity.max(1),
             tick: AtomicU64::new(0),
             stats: (AtomicU64::new(0), AtomicU64::new(0)),

@@ -12,7 +12,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use flodb_sync::lock_order::{VERSION_CLEANUP, VERSION_CURRENT};
+use flodb_sync::shim::{ranked_mutex, Mutex};
 
 use crate::error::{Result, StorageError};
 
@@ -66,7 +67,7 @@ impl FileHandle {
     pub fn new(meta: FileMeta) -> Self {
         Self {
             meta,
-            cleanup: Mutex::new(None),
+            cleanup: ranked_mutex(VERSION_CLEANUP, None),
         }
     }
 
@@ -216,7 +217,7 @@ impl VersionSet {
     /// Creates a version set with an empty current version.
     pub fn new() -> Self {
         Self {
-            current: Mutex::new(Arc::new(Version::empty())),
+            current: ranked_mutex(VERSION_CURRENT, Arc::new(Version::empty())),
             next_file: std::sync::atomic::AtomicU64::new(1),
         }
     }
@@ -226,22 +227,27 @@ impl VersionSet {
         Arc::clone(&self.current.lock())
     }
 
+    // The file-number allocator is a pure monotonic counter: uniqueness
+    // comes from the RMWs' single modification order, and every consumer
+    // that persists a number does so under the manifest lock, which
+    // provides the cross-variable ordering. Relaxed is sufficient.
+
     /// Allocates a fresh file number.
     pub fn new_file_number(&self) -> u64 {
         self.next_file
-            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Returns the next file number without allocating it (recorded in
     /// manifest records so recovery can resume allocation).
     pub fn peek_file_number(&self) -> u64 {
-        self.next_file.load(std::sync::atomic::Ordering::SeqCst)
+        self.next_file.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Moves the allocator forward to at least `n` (manifest recovery).
     pub fn bump_file_number(&self, n: u64) {
         self.next_file
-            .fetch_max(n, std::sync::atomic::Ordering::SeqCst);
+            .fetch_max(n, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Applies `edit`, installing and returning the new current version.

@@ -12,7 +12,8 @@
 
 use std::collections::VecDeque;
 
-use crate::shim::{Condvar, Mutex};
+use crate::lock_order::SYNC_WRITE_QUEUE;
+use crate::shim::{ranked_condvar, ranked_mutex, Condvar, Mutex};
 
 #[derive(Debug)]
 struct Inner<T> {
@@ -54,13 +55,13 @@ impl<T> WriteQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self {
-            inner: Mutex::new(Inner {
+            inner: ranked_mutex(SYNC_WRITE_QUEUE, Inner {
                 pending: VecDeque::new(),
                 next_ticket: 1,
                 completed: 0,
                 leader_active: false,
             }),
-            condvar: Condvar::new(),
+            condvar: ranked_condvar(SYNC_WRITE_QUEUE),
         }
     }
 

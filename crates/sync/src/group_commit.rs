@@ -22,7 +22,8 @@ use std::mem;
 use std::time::{Duration, Instant};
 
 use crate::shim::atomic::{AtomicU64, Ordering};
-use crate::shim::{Arc, Condvar, Mutex, MutexGuard};
+use crate::lock_order::GROUP_COMMIT_STATE;
+use crate::shim::{ranked_condvar, ranked_mutex, Arc, Condvar, Mutex, MutexGuard};
 
 /// Tuning knobs for a [`GroupCommitter`].
 #[derive(Debug, Clone, Copy)]
@@ -166,7 +167,7 @@ impl<E: Send + Sync> GroupCommitter<E> {
     pub fn new(cfg: GroupCommitConfig) -> Self {
         Self {
             cfg,
-            state: Mutex::new(State {
+            state: ranked_mutex(GROUP_COMMIT_STATE, State {
                 buf: Vec::new(),
                 members: 0,
                 open_group: 1,
@@ -177,9 +178,9 @@ impl<E: Send + Sync> GroupCommitter<E> {
                 outcomes: HashMap::new(),
             }),
             committed: AtomicU64::new(0),
-            done_cv: Condvar::new(),
-            room_cv: Condvar::new(),
-            fill_cv: Condvar::new(),
+            done_cv: ranked_condvar(GROUP_COMMIT_STATE),
+            room_cv: ranked_condvar(GROUP_COMMIT_STATE),
+            fill_cv: ranked_condvar(GROUP_COMMIT_STATE),
         }
     }
 

@@ -17,8 +17,9 @@
 //! are not waited for, so the wait is bounded by the windows that were
 //! open at the flip — a true grace period, even at full write rate.
 
+use crate::lock_order::WAL_INFLIGHT_QUIESCE;
 use crate::shim::atomic::{AtomicU64, AtomicUsize, Ordering};
-use crate::shim::Mutex;
+use crate::shim::{ranked_mutex, Mutex};
 
 /// A two-phase in-flight tracker; see the module docs.
 ///
@@ -32,7 +33,7 @@ use crate::shim::Mutex;
 /// drop(guard); // the tracked window closed
 /// inflight.quiesce_with(|| unreachable!("nothing is in flight"));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PhasedInflight {
     /// Low bit selects which counter new entrants use.
     phase: AtomicUsize,
@@ -50,10 +51,20 @@ pub struct InflightGuard<'a> {
     phase: usize,
 }
 
+impl Default for PhasedInflight {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl PhasedInflight {
     /// Creates an idle tracker.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            phase: AtomicUsize::new(0),
+            counts: [AtomicU64::new(0), AtomicU64::new(0)],
+            quiesce_lock: ranked_mutex(WAL_INFLIGHT_QUIESCE, ()),
+        }
     }
 
     /// Opens an in-flight window in the current phase.
@@ -66,12 +77,17 @@ impl PhasedInflight {
     /// its increment is therefore visible to the quiescer's drain check.
     pub fn enter(&self) -> InflightGuard<'_> {
         loop {
+            // ORDERING: the whole increment-then-recheck dance is a Dekker
+            // protocol with the quiescer's flip-then-drain (see the doc
+            // comment above); every operation participates in the single
+            // total order or the "recheck saw old phase ⇒ increment
+            // visible to the drain" implication does not hold.
             let phase = self.phase.load(Ordering::SeqCst) & 1;
-            self.counts[phase].fetch_add(1, Ordering::SeqCst);
-            if self.phase.load(Ordering::SeqCst) & 1 == phase {
+            self.counts[phase].fetch_add(1, Ordering::SeqCst); // ORDERING: Dekker, see comment above
+            if self.phase.load(Ordering::SeqCst) & 1 == phase { // ORDERING: Dekker, see comment above
                 return InflightGuard { owner: self, phase };
             }
-            self.counts[phase].fetch_sub(1, Ordering::SeqCst);
+            self.counts[phase].fetch_sub(1, Ordering::SeqCst); // ORDERING: Dekker, see comment above
         }
     }
 
@@ -82,12 +98,19 @@ impl PhasedInflight {
     /// so the wait loop must not just spin).
     pub fn quiesce_with(&self, mut service: impl FnMut()) {
         let _serial = self.quiesce_lock.lock();
+        // ORDERING: the quiescer's half of the Dekker pairing with
+        // `enter` — the flip RMW and the drain loads must share the
+        // entrants' total order, or a window opened before the flip could
+        // be missed by the drain check.
         let old = self.phase.fetch_add(1, Ordering::SeqCst) & 1;
-        while self.counts[old].load(Ordering::SeqCst) != 0 {
+        while self.counts[old].load(Ordering::SeqCst) != 0 { // ORDERING: Dekker drain load, see comment above
             service();
             // The service callback need not contain a yield point; under
             // the model checker, deprioritize so the open windows can
             // close (a plain spin would trip the step budget).
+            // LOCK-OK: quiesce_lock exists to serialize quiescers; waiting
+            // out the drain under it is the intended behavior, and window
+            // holders never take it.
             #[cfg(flodb_model)]
             crate::shim::thread::yield_now();
         }
@@ -95,12 +118,17 @@ impl PhasedInflight {
 
     /// Windows currently open (both phases; diagnostics only).
     pub fn open_windows(&self) -> u64 {
-        self.counts[0].load(Ordering::SeqCst) + self.counts[1].load(Ordering::SeqCst)
+        // Diagnostics only — no protocol depends on these loads, so the
+        // weakest ordering suffices.
+        self.counts[0].load(Ordering::Relaxed) + self.counts[1].load(Ordering::Relaxed)
     }
 }
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
+        // ORDERING: the close must join the same total order as the open
+        // and the quiescer's drain loads; a Release decrement could be
+        // observed by the drain while the window's writes are not.
         self.owner.counts[self.phase].fetch_sub(1, Ordering::SeqCst);
     }
 }

@@ -26,6 +26,9 @@
 //! - [`shim`] — the swappable primitives facade every concurrency-bearing
 //!   crate routes through, so `--cfg flodb_model` can swap in the
 //!   `flodb-check` model checker's instrumented types.
+//! - [`lock_order`] — the ranked lock classes of the declared hierarchy
+//!   (`LOCK_ORDER.toml`); debug/model builds enforce strictly ascending
+//!   acquisition order at runtime through the shim's ranked constructors.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,6 +39,7 @@ pub mod flat_combining;
 pub mod group_commit;
 pub mod inflight;
 pub mod kv;
+pub mod lock_order;
 pub mod pause;
 pub mod rcu;
 pub mod seq;

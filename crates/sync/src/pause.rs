@@ -11,7 +11,8 @@
 //! one scan's `resume` release writers out from under another.
 
 use crate::shim::atomic::{AtomicUsize, Ordering};
-use crate::shim::{Condvar, Mutex};
+use crate::lock_order::SYNC_PAUSE;
+use crate::shim::{ranked_condvar, ranked_mutex, Condvar, Mutex};
 
 /// A counting pause flag with blocking waiters.
 ///
@@ -45,8 +46,8 @@ impl PauseFlag {
     pub fn new() -> Self {
         Self {
             pausers: AtomicUsize::new(0),
-            lock: Mutex::new(()),
-            condvar: Condvar::new(),
+            lock: ranked_mutex(SYNC_PAUSE, ()),
+            condvar: ranked_condvar(SYNC_PAUSE),
         }
     }
 
@@ -59,12 +60,18 @@ impl PauseFlag {
     /// section, or this load observes the pause — never neither.
     #[inline]
     pub fn is_paused(&self) -> bool {
+        // ORDERING: the reader's half of the Dekker argument in the doc
+        // comment above — this load and the writer's slot store must
+        // share one total order with `pause`'s increment.
         self.pausers.load(Ordering::SeqCst) > 0
     }
 
     /// Registers a pauser. Waiters block until every pauser resumes.
     pub fn pause(&self) {
         let _g = self.lock.lock();
+        // ORDERING: the pauser's half of the Dekker pairing with lock-free
+        // `is_paused` readers; the mutex only serializes pausers against
+        // each other, not against those readers.
         self.pausers.fetch_add(1, Ordering::SeqCst);
     }
 
@@ -75,6 +82,8 @@ impl PauseFlag {
     /// Panics if called more times than [`PauseFlag::pause`].
     pub fn resume(&self) {
         let _g = self.lock.lock();
+        // ORDERING: symmetric with `pause` — the decrement participates in
+        // the same total order the lock-free readers load from.
         let prev = self.pausers.fetch_sub(1, Ordering::SeqCst);
         assert!(prev > 0, "resume without matching pause");
         if prev == 1 {

@@ -26,7 +26,8 @@ use crossbeam_utils::CachePadded;
 
 use crate::backoff::Backoff;
 use crate::shim::atomic::{AtomicU64, AtomicUsize, Ordering};
-use crate::shim::{Arc, Mutex};
+use crate::lock_order::SYNC_RCU_REGISTRY;
+use crate::shim::{ranked_mutex, Arc, Mutex};
 
 /// Epochs advance by 2 so that the low bit is free to mark "active".
 const EPOCH_STEP: u64 = 2;
@@ -108,7 +109,7 @@ impl RcuDomain {
         Self {
             id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed),
             epoch: CachePadded::new(AtomicU64::new(EPOCH_STEP)),
-            registry: Mutex::new(Vec::new()),
+            registry: ranked_mutex(SYNC_RCU_REGISTRY, Vec::new()),
         }
     }
 
@@ -137,10 +138,14 @@ impl RcuDomain {
                 // Without the loop, a thread descheduled between the epoch
                 // load and the slot store could be missed by the scan while
                 // still reading the old pointer.
+                // ORDERING: every operation in the restabilization loop is
+                // SC — the argument above is stated in terms of the single
+                // total order between the slot store, the epoch loads, and
+                // the synchronizer's epoch RMW and slot scan.
                 let mut epoch = self.epoch.load(Ordering::SeqCst);
                 loop {
-                    entry.slot.state.store(epoch | 1, Ordering::SeqCst);
-                    let now = self.epoch.load(Ordering::SeqCst);
+                    entry.slot.state.store(epoch | 1, Ordering::SeqCst); // ORDERING: restabilization, see comment above
+                    let now = self.epoch.load(Ordering::SeqCst); // ORDERING: restabilization, see comment above
                     if now == epoch {
                         break;
                     }
@@ -163,12 +168,18 @@ impl RcuDomain {
     /// Membuffer) *before* calling this, then safely reclaim or drain the
     /// old structure afterwards.
     pub fn synchronize(&self) {
+        // ORDERING: the grace-period side of the reader protocol — the
+        // epoch bump RMW must be SC-ordered with the readers'
+        // restabilization loop (see `read_lock`).
         let new_epoch = self.epoch.fetch_add(EPOCH_STEP, Ordering::SeqCst) + EPOCH_STEP;
         let mut registry = self.registry.lock();
         registry.retain(|slot| slot.retired.load(Ordering::Acquire) == 0);
         for slot in registry.iter() {
             let backoff = Backoff::new();
             loop {
+                // ORDERING: the scan load pairs with the readers' SC slot
+                // stores; seeing QUIESCENT or a post-bump epoch here must
+                // imply the reader's section is ordered before the bump.
                 let state = slot.state.load(Ordering::SeqCst);
                 if state == QUIESCENT || (state & !1) >= new_epoch {
                     break;
@@ -176,6 +187,9 @@ impl RcuDomain {
                 if slot.retired.load(Ordering::Acquire) != 0 {
                     break;
                 }
+                // LOCK-OK: synchronize holds the registry while waiting
+                // readers out by design; read-side sections never take the
+                // registry, so the wait cannot feed back into a deadlock.
                 backoff.snooze();
             }
         }
@@ -199,6 +213,9 @@ impl RcuDomain {
                 .expect("read_unlock without read_lock");
             entry.nesting -= 1;
             if entry.nesting == 0 {
+                // ORDERING: the quiescent store must be SC-ordered after
+                // the section's reads so a synchronizer that observes it
+                // can safely reclaim what the section was reading.
                 entry.slot.state.store(QUIESCENT, Ordering::SeqCst);
             }
         });

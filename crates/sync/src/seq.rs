@@ -56,6 +56,10 @@ impl SequenceGenerator {
     /// This is the `fetchAndIncrement` of the paper's pseudocode.
     #[inline]
     pub fn next(&self) -> u64 {
+        // ORDERING: issuance must share one total order with scan
+        // snapshots (`current`) and the SC skiplist publication CASes —
+        // the restart rule "entry seq > snapshot ⇒ concurrent" is argued
+        // in that single order, not in per-pair happens-before edges.
         self.counter.fetch_add(1, Ordering::SeqCst)
     }
 
@@ -66,12 +70,15 @@ impl SequenceGenerator {
     /// single atomic operation.
     #[inline]
     pub fn next_block(&self, n: u64) -> u64 {
+        // ORDERING: same total-order argument as `next`.
         self.counter.fetch_add(n, Ordering::SeqCst)
     }
 
     /// Returns the next number that would be issued, without issuing it.
     #[inline]
     pub fn current(&self) -> u64 {
+        // ORDERING: the scan-snapshot load; it anchors the snapshot in
+        // the issuance total order (see `next`).
         self.counter.load(Ordering::SeqCst)
     }
 }

@@ -390,6 +390,234 @@ impl<'a, T: ?Sized> Drop for MutexGuard<'a, T> {
     }
 }
 
+/// A model-aware reader-writer lock with `parking_lot`-style API.
+///
+/// Under the model, read and write acquisitions are both treated as
+/// exclusive (the scheduler tracks one owner per object). That shrinks
+/// the schedule space — reader/reader concurrency is never explored —
+/// but it is *conservative* for safety properties: every interleaving the
+/// exclusive model admits is also admitted by a real rwlock, and the
+/// serialized schedules still exercise all lock-ordering decisions.
+pub struct RwLock<T: ?Sized> {
+    id: OnceLock<usize>,
+    inner: sync::RwLock<T>,
+}
+
+/// Shared RAII guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<sync::RwLockReadGuard<'a, T>>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+/// Exclusive RAII guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<sync::RwLockWriteGuard<'a, T>>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock (usable in statics).
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: OnceLock::new(),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn object_id(&self) -> usize {
+        *self.id.get_or_init(sched::next_object_id)
+    }
+
+    /// Takes the underlying std read lock, which a model-side owner must
+    /// be able to do without blocking (ownership is exclusive under the
+    /// model, so no native writer can hold it).
+    fn raw_read(&self) -> sync::RwLockReadGuard<'_, T> {
+        match self.inner.try_read() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => {
+                panic!("model rwlock natively contended: mixing model and non-model threads on one lock is unsupported")
+            }
+        }
+    }
+
+    /// Takes the underlying std write lock without blocking (see
+    /// [`Self::raw_read`]).
+    fn raw_write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        match self.inner.try_write() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => {
+                panic!("model rwlock natively contended: mixing model and non-model threads on one lock is unsupported")
+            }
+        }
+    }
+
+    /// Acquires shared read access (exclusive under the model).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match sched::current() {
+            None => RwLockReadGuard {
+                lock: self,
+                inner: Some(self.inner.read().unwrap_or_else(PoisonError::into_inner)),
+                model: None,
+            },
+            Some((exec, me)) => {
+                exec.lock_mutex(me, self.object_id());
+                RwLockReadGuard {
+                    lock: self,
+                    inner: Some(self.raw_read()),
+                    model: Some((exec, me)),
+                }
+            }
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match sched::current() {
+            None => RwLockWriteGuard {
+                lock: self,
+                inner: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
+                model: None,
+            },
+            Some((exec, me)) => {
+                exec.lock_mutex(me, self.object_id());
+                RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(self.raw_write()),
+                    model: Some((exec, me)),
+                }
+            }
+        }
+    }
+
+    /// Attempts shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match sched::current() {
+            None => match self.inner.try_read() {
+                Ok(g) => Some(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(sync::TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(e.into_inner()),
+                    model: None,
+                }),
+                Err(sync::TryLockError::WouldBlock) => None,
+            },
+            Some((exec, me)) => {
+                if exec.try_lock_mutex(me, self.object_id()) {
+                    Some(RwLockReadGuard {
+                        lock: self,
+                        inner: Some(self.raw_read()),
+                        model: Some((exec, me)),
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Attempts exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match sched::current() {
+            None => match self.inner.try_write() {
+                Ok(g) => Some(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(e.into_inner()),
+                    model: None,
+                }),
+                Err(sync::TryLockError::WouldBlock) => None,
+            },
+            Some((exec, me)) => {
+                if exec.try_lock_mutex(me, self.object_id()) {
+                    Some(RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(self.raw_write()),
+                        model: Some((exec, me)),
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Returns a mutable reference to the inner value (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("RwLock").field(&self.inner).finish()
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<'a, T: ?Sized> Drop for RwLockReadGuard<'a, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((exec, me)) = self.model.take() {
+            exec.unlock_mutex(me, self.lock.object_id());
+        }
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<'a, T: ?Sized> Drop for RwLockWriteGuard<'a, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((exec, me)) = self.model.take() {
+            exec.unlock_mutex(me, self.lock.object_id());
+        }
+    }
+}
+
 /// Result of a timed [`Condvar`] wait.
 #[derive(Debug, Clone, Copy)]
 pub struct WaitTimeoutResult(bool);

@@ -1,0 +1,158 @@
+//! Shared scanner machinery for the lint rules and the locks pass.
+//!
+//! The scanners are deliberately line-based and syntactic — they strip
+//! comments and string literals with a small state machine rather than
+//! parsing Rust. Test code is exempt from most rules: the repo convention
+//! keeps `#[cfg(test)] mod tests` as the final item of a file, so
+//! everything from the first `#[cfg(test)]` line onward is treated as
+//! test code.
+
+use std::path::{Path, PathBuf};
+
+/// Returns the code portion of a line: string/char literals blanked out,
+/// everything from the first `//` (outside a literal) dropped. Multi-line
+/// literals are not tracked; none of the patterns we search for span them.
+pub fn code_portion(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            if c == '\\' {
+                chars.next();
+            } else if c == '"' {
+                in_str = false;
+            }
+            out.push(' ');
+        } else if in_char {
+            if c == '\\' {
+                chars.next();
+            } else if c == '\'' {
+                in_char = false;
+            }
+            out.push(' ');
+        } else {
+            match c {
+                '"' => {
+                    in_str = true;
+                    out.push(' ');
+                }
+                // A lifetime tick (`&'a`, `<'_>`) is followed by an
+                // identifier char then no closing quote; a char literal
+                // closes within a couple of chars. Treat as a literal
+                // only when a closing quote appears nearby.
+                '\'' => {
+                    let mut lookahead = chars.clone();
+                    let mut is_char = false;
+                    if let Some(n1) = lookahead.next() {
+                        if n1 == '\\' {
+                            is_char = true;
+                        } else if let Some(n2) = lookahead.next() {
+                            is_char = n2 == '\'';
+                        }
+                    }
+                    if is_char {
+                        in_char = true;
+                        out.push(' ');
+                    } else {
+                        out.push(c);
+                    }
+                }
+                '/' if chars.peek() == Some(&'/') => break,
+                _ => out.push(c),
+            }
+        }
+    }
+    out
+}
+
+/// Returns the comment portion of a line (text after `//` outside a
+/// string), or `""` if the line has no comment.
+pub fn comment_portion(line: &str) -> &str {
+    let code = code_portion(line);
+    // code_portion stops at the comment start, so the comment begins at
+    // the first byte past what survived (if the raw line is longer).
+    if code.len() < line.len() {
+        &line[code.len()..]
+    } else {
+        ""
+    }
+}
+
+/// True if `hay` contains `needle` as a standalone word (not flanked by
+/// identifier characters), e.g. `unsafe` but not `unsafe_op_in_unsafe_fn`.
+pub fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Whether a line is part of a contiguous comment/attribute block (used
+/// when searching upward for a waiver or annotation).
+pub fn is_comment_or_attr(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") || t.starts_with(')')
+}
+
+/// Is `marker` present on the line at `line_idx` (0-based, comment
+/// portion) or anywhere in the contiguous comment/attribute block directly
+/// above it? This is the shared lookup behind `PANIC-OK:`, `ORDERING:`
+/// and `LOCK-OK:` waivers.
+pub fn line_has_marker(lines: &[&str], line_idx: usize, marker: &str) -> bool {
+    if comment_portion(lines[line_idx]).contains(marker) {
+        return true;
+    }
+    let mut i = line_idx;
+    while i > 0 && is_comment_or_attr(lines[i - 1]) {
+        i -= 1;
+        if lines[i].contains(marker) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `target/`.
+pub fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Collects `.rs` files under `root/rel` if that directory exists.
+pub fn scan(root: &Path, rel: &str, out: &mut Vec<PathBuf>) {
+    let dir = root.join(rel);
+    if dir.is_dir() {
+        rust_files(&dir, out);
+    }
+}

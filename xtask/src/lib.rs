@@ -1,389 +1,50 @@
-//! Static lint pass for the FloDB workspace (`cargo xtask lint`).
+//! Static analysis passes for the FloDB workspace.
 //!
-//! Three rules, each guarding an invariant the compiler cannot see:
+//! Two commands share this library:
 //!
-//! 1. **`safety-comment`** — every `unsafe` block, function, impl, or
-//!    trait must be annotated with a `// SAFETY:` comment (or a
-//!    `# Safety` doc section) justifying why its obligations hold.
-//! 2. **`raw-sync`** — no `std::sync` / `parking_lot` / `std::thread`
-//!    primitive may be used directly inside `crates/sync`,
-//!    `crates/membuffer`, or `crates/memtable`; all synchronization must
-//!    go through the `flodb_sync::shim` facade so that `--cfg
-//!    flodb_model` coverage cannot silently rot as code evolves.
-//! 3. **`write-path-panic`** — no `.unwrap()` / `.expect(` in
-//!    `crates/core` production code unless the line carries a
-//!    `// PANIC-OK:` waiver explaining why panicking is acceptable
-//!    (the write path must surface failures as `WriteError`, never
-//!    abort a caller holding store state).
-//! 4. **`env-unwrap`** — no `.unwrap()` / `.expect(` on the result of an
-//!    `Env`-surface call (`new_writable`, `open_random`, `sync_dir`,
-//!    `read_at`, `.delete`, `.list`) in `crates/storage` or `crates/core`
-//!    production code, `// PANIC-OK:` waivable. Every one of these calls
-//!    is a fault-injection point (see `flodb_storage::fault`): a panic
-//!    there turns an injectable, recoverable I/O error into an abort the
-//!    resilience sweep can never exercise.
+//! * `cargo xtask lint` — five line-based rules ([`run_lint`]), one per
+//!   module under [`rules`]:
+//!   1. **`safety-comment`** — every `unsafe` site needs a `// SAFETY:`
+//!      comment or `# Safety` doc section.
+//!   2. **`raw-sync`** — no raw `std::sync`/`parking_lot`/`std::thread`
+//!      primitives in facade-scoped crates; everything routes through
+//!      `flodb_sync::shim` so `--cfg flodb_model` coverage cannot rot.
+//!   3. **`write-path-panic`** — no unwaived `.unwrap()`/`.expect(` in
+//!      `crates/core` production code (`// PANIC-OK:` waivable).
+//!   4. **`env-unwrap`** — no panicking on `Env`-surface results in
+//!      storage/core production code; every such call is a
+//!      fault-injection point.
+//!   5. **`seqcst-ordering`** — `Ordering::SeqCst` in modeled-crate
+//!      production code needs an `// ORDERING:` justification or a
+//!      downgrade to the weakest sufficient ordering.
+//! * `cargo xtask locks` — the whole-workspace lock-order analysis
+//!   ([`locks::run_locks`]): lock-site extraction, the declared hierarchy
+//!   in `LOCK_ORDER.toml`, rank/cycle/blocking checks, and the
+//!   static-vs-runtime staleness cross-check.
 //!
-//! The scanner is deliberately line-based and syntactic — it strips
-//! comments and string literals with a small state machine rather than
-//! parsing Rust. Test code is exempt from rules 2 and 3: the repo
-//! convention keeps `#[cfg(test)] mod tests` as the final item of a
-//! file, so everything from the first `#[cfg(test)]` line onward is
-//! treated as test code. Rule 1 applies to tests too (unsafe in tests
-//! still needs justifying).
+//! The scanners are deliberately line-based and syntactic — comments and
+//! string literals are stripped with a small state machine ([`common`]),
+//! never a full parser. Test code (everything from the first
+//! `#[cfg(test)]` line onward, per the repo convention of keeping test
+//! modules last) is exempt from every rule except `safety-comment`.
 
-use std::fmt;
+pub mod common;
+pub mod locks;
+pub mod rules;
+
 use std::path::{Path, PathBuf};
 
-/// Which lint rule produced a finding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Rule {
-    /// An `unsafe` site without a `// SAFETY:` / `# Safety` annotation.
-    SafetyComment,
-    /// A raw `std::sync`/`parking_lot`/`std::thread` use in a crate that
-    /// must route through `flodb_sync::shim`.
-    RawSync,
-    /// An unwaived `.unwrap()`/`.expect(` in `crates/core` production code.
-    WritePathPanic,
-    /// An unwaived `.unwrap()`/`.expect(` on an `Env`-surface result in
-    /// storage or core production code.
-    EnvUnwrap,
-}
+pub use rules::env_unwrap::check_env_unwraps;
+pub use rules::ordering::check_seqcst_ordering;
+pub use rules::panic::check_write_path_panics;
+pub use rules::safety::check_safety_comments;
+pub use rules::shim::check_raw_sync;
+pub use rules::{Finding, Rule};
 
-impl fmt::Display for Rule {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Rule::SafetyComment => write!(f, "safety-comment"),
-            Rule::RawSync => write!(f, "raw-sync"),
-            Rule::WritePathPanic => write!(f, "write-path-panic"),
-            Rule::EnvUnwrap => write!(f, "env-unwrap"),
-        }
-    }
-}
+use common::scan;
 
-/// One lint violation: file, 1-based line, rule, and a human message.
-#[derive(Debug)]
-pub struct Finding {
-    /// File the violation is in.
-    pub file: PathBuf,
-    /// 1-based line number.
-    pub line: usize,
-    /// The rule that fired.
-    pub rule: Rule,
-    /// What is wrong and how to fix it.
-    pub message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.message
-        )
-    }
-}
-
-/// Returns the code portion of a line: string/char literals blanked out,
-/// everything from the first `//` (outside a literal) dropped. Multi-line
-/// literals are not tracked; none of the patterns we search for span them.
-fn code_portion(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    let mut in_char = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            if c == '\\' {
-                chars.next();
-            } else if c == '"' {
-                in_str = false;
-            }
-            out.push(' ');
-        } else if in_char {
-            if c == '\\' {
-                chars.next();
-            } else if c == '\'' {
-                in_char = false;
-            }
-            out.push(' ');
-        } else {
-            match c {
-                '"' => {
-                    in_str = true;
-                    out.push(' ');
-                }
-                // A lifetime tick (`&'a`, `<'_>`) is followed by an
-                // identifier char then no closing quote; a char literal
-                // closes within a couple of chars. Treat as a literal
-                // only when a closing quote appears nearby.
-                '\'' => {
-                    let mut lookahead = chars.clone();
-                    let mut is_char = false;
-                    if let Some(n1) = lookahead.next() {
-                        if n1 == '\\' {
-                            is_char = true;
-                        } else if let Some(n2) = lookahead.next() {
-                            is_char = n2 == '\'';
-                        }
-                    }
-                    if is_char {
-                        in_char = true;
-                        out.push(' ');
-                    } else {
-                        out.push(c);
-                    }
-                }
-                '/' if chars.peek() == Some(&'/') => break,
-                _ => out.push(c),
-            }
-        }
-    }
-    out
-}
-
-/// Returns the comment portion of a line (text after `//` outside a
-/// string), or `""` if the line has no comment.
-fn comment_portion(line: &str) -> &str {
-    let code = code_portion(line);
-    // code_portion stops at the comment start, so the comment begins at
-    // the first byte past what survived (if the raw line is longer).
-    if code.len() < line.len() {
-        &line[code.len()..]
-    } else {
-        ""
-    }
-}
-
-/// True if `hay` contains `needle` as a standalone word (not flanked by
-/// identifier characters), e.g. `unsafe` but not `unsafe_op_in_unsafe_fn`.
-fn contains_word(hay: &str, needle: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = hay[start..].find(needle) {
-        let at = start + pos;
-        let before_ok = at == 0
-            || !hay[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = at + needle.len();
-        let after_ok = after >= hay.len()
-            || !hay[after..]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + needle.len();
-    }
-    false
-}
-
-fn is_comment_or_attr(line: &str) -> bool {
-    let t = line.trim_start();
-    t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") || t.starts_with(')')
-}
-
-/// Does the contiguous comment/attribute block ending at `line_idx - 1`
-/// (0-based) — or the line itself — carry a SAFETY justification?
-fn has_safety_annotation(lines: &[&str], line_idx: usize) -> bool {
-    let marker = |l: &str| l.contains("SAFETY:") || l.contains("# Safety");
-    if marker(comment_portion(lines[line_idx])) {
-        return true;
-    }
-    let mut i = line_idx;
-    while i > 0 && is_comment_or_attr(lines[i - 1]) {
-        i -= 1;
-        if marker(lines[i]) {
-            return true;
-        }
-    }
-    false
-}
-
-/// Rule 1: every `unsafe` site needs a SAFETY annotation. Applies to the
-/// whole file, tests included.
-pub fn check_safety_comments(file: &Path, content: &str) -> Vec<Finding> {
-    let lines: Vec<&str> = content.lines().collect();
-    let mut findings = Vec::new();
-    for (idx, raw) in lines.iter().enumerate() {
-        let code = code_portion(raw);
-        if !contains_word(&code, "unsafe") {
-            continue;
-        }
-        if !has_safety_annotation(&lines, idx) {
-            findings.push(Finding {
-                file: file.to_path_buf(),
-                line: idx + 1,
-                rule: Rule::SafetyComment,
-                message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc \
-                          section) justifying its obligations"
-                    .to_string(),
-            });
-        }
-    }
-    findings
-}
-
-/// The substrings rule 2 bans from facade-scoped crates. `shim.rs` itself
-/// is the one place allowed to name the real primitives.
-const RAW_SYNC_PATTERNS: &[&str] = &[
-    "std::sync",
-    "core::sync",
-    "parking_lot",
-    "std::thread",
-    "std::hint::spin_loop",
-];
-
-/// Rule 2: no raw synchronization primitives outside the facade.
-/// Test code (from the first `#[cfg(test)]` line on) is exempt.
-pub fn check_raw_sync(file: &Path, content: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for (idx, raw) in content.lines().enumerate() {
-        if raw.trim_start().starts_with("#[cfg(test)]") {
-            break;
-        }
-        let code = code_portion(raw);
-        for pat in RAW_SYNC_PATTERNS {
-            if code.contains(pat) {
-                findings.push(Finding {
-                    file: file.to_path_buf(),
-                    line: idx + 1,
-                    rule: Rule::RawSync,
-                    message: format!(
-                        "raw `{pat}` in a facade-scoped crate; use `flodb_sync::shim` \
-                         (or `crate::shim` inside flodb-sync) so `--cfg flodb_model` \
-                         instruments it"
-                    ),
-                });
-                break;
-            }
-        }
-    }
-    findings
-}
-
-/// Is the panic at `line_idx` waived by a `// PANIC-OK:` marker on the
-/// same line or in the comment/attribute block directly above?
-fn panic_waived(lines: &[&str], line_idx: usize) -> bool {
-    if comment_portion(lines[line_idx]).contains("PANIC-OK:") {
-        return true;
-    }
-    let mut i = line_idx;
-    while i > 0 && is_comment_or_attr(lines[i - 1]) {
-        i -= 1;
-        if lines[i].contains("PANIC-OK:") {
-            return true;
-        }
-    }
-    false
-}
-
-/// Rule 3: `.unwrap()`/`.expect(` in flodb-core production code must carry
-/// a `// PANIC-OK:` waiver on the same line or the comment block above.
-/// Test code (from the first `#[cfg(test)]` line on) is exempt.
-pub fn check_write_path_panics(file: &Path, content: &str) -> Vec<Finding> {
-    let lines: Vec<&str> = content.lines().collect();
-    let mut findings = Vec::new();
-    for (idx, raw) in lines.iter().enumerate() {
-        if raw.trim_start().starts_with("#[cfg(test)]") {
-            break;
-        }
-        let code = code_portion(raw);
-        if !code.contains(".unwrap()") && !code.contains(".expect(") {
-            continue;
-        }
-        if !panic_waived(&lines, idx) {
-            findings.push(Finding {
-                file: file.to_path_buf(),
-                line: idx + 1,
-                rule: Rule::WritePathPanic,
-                message: "`.unwrap()`/`.expect()` in flodb-core production code; \
-                          return a typed error, or waive with `// PANIC-OK: <why>`"
-                    .to_string(),
-            });
-        }
-    }
-    findings
-}
-
-/// The `Env`-surface calls rule 4 guards: each returns a `Result` whose
-/// failure the fault layer can inject, so panicking on it forecloses the
-/// resilience sweep. Method-call spellings (leading `.`) where the bare
-/// name would collide with unrelated functions.
-const ENV_RESULT_CALLS: &[&str] = &[
-    "new_writable(",
-    "open_random(",
-    "sync_dir(",
-    "read_at(",
-    ".delete(",
-    ".list(",
-];
-
-/// Rule 4: `.unwrap()`/`.expect(` on the same line as an `Env`-surface
-/// call in storage/core production code, `// PANIC-OK:` waivable. Test
-/// code (from the first `#[cfg(test)]` line on) is exempt.
-pub fn check_env_unwraps(file: &Path, content: &str) -> Vec<Finding> {
-    let lines: Vec<&str> = content.lines().collect();
-    let mut findings = Vec::new();
-    for (idx, raw) in lines.iter().enumerate() {
-        if raw.trim_start().starts_with("#[cfg(test)]") {
-            break;
-        }
-        let code = code_portion(raw);
-        if !code.contains(".unwrap()") && !code.contains(".expect(") {
-            continue;
-        }
-        let Some(call) = ENV_RESULT_CALLS.iter().find(|c| code.contains(*c)) else {
-            continue;
-        };
-        if !panic_waived(&lines, idx) {
-            findings.push(Finding {
-                file: file.to_path_buf(),
-                line: idx + 1,
-                rule: Rule::EnvUnwrap,
-                message: format!(
-                    "`.unwrap()`/`.expect()` on `{}...)` — an injectable I/O fault \
-                     point; propagate the error, or waive with `// PANIC-OK: <why>`",
-                    call.trim_start_matches('.')
-                ),
-            });
-        }
-    }
-    findings
-}
-
-/// Recursively collects `.rs` files under `dir`, skipping `target/`.
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            rust_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-fn scan(root: &Path, rel: &str, out: &mut Vec<PathBuf>) {
-    let dir = root.join(rel);
-    if dir.is_dir() {
-        rust_files(&dir, out);
-    }
-}
-
-/// Runs all three rules over the workspace rooted at `root` and returns
-/// every finding, sorted by file and line.
+/// Runs all five lint rules over the workspace rooted at `root` and
+/// returns every finding, sorted by file and line.
 pub fn run_lint(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
 
@@ -401,34 +62,20 @@ pub fn run_lint(root: &Path) -> Vec<Finding> {
     ] {
         scan(root, rel, &mut safety_files);
     }
-    for file in &safety_files {
-        if let Ok(content) = std::fs::read_to_string(file) {
-            findings.extend(check_safety_comments(file, &content));
-        }
-    }
+    for_each_file(&safety_files, &mut findings, check_safety_comments);
 
     // Rule 2 scope: the facade-routed crates. shim.rs is the facade.
     let mut sync_files = Vec::new();
     for rel in ["crates/sync/src", "crates/membuffer/src", "crates/memtable/src"] {
         scan(root, rel, &mut sync_files);
     }
-    for file in &sync_files {
-        if file.file_name().is_some_and(|n| n == "shim.rs") {
-            continue;
-        }
-        if let Ok(content) = std::fs::read_to_string(file) {
-            findings.extend(check_raw_sync(file, &content));
-        }
-    }
+    sync_files.retain(|f| f.file_name().is_none_or(|n| n != "shim.rs"));
+    for_each_file(&sync_files, &mut findings, check_raw_sync);
 
     // Rule 3 scope: flodb-core production code.
     let mut core_files = Vec::new();
     scan(root, "crates/core/src", &mut core_files);
-    for file in &core_files {
-        if let Ok(content) = std::fs::read_to_string(file) {
-            findings.extend(check_write_path_panics(file, &content));
-        }
-    }
+    for_each_file(&core_files, &mut findings, check_write_path_panics);
 
     // Rule 4 scope: every crate that calls the Env surface directly.
     // (Core is also covered by rule 3; here the rule adds the storage
@@ -437,90 +84,29 @@ pub fn run_lint(root: &Path) -> Vec<Finding> {
     for rel in ["crates/storage/src", "crates/core/src"] {
         scan(root, rel, &mut env_files);
     }
-    for file in &env_files {
-        if let Ok(content) = std::fs::read_to_string(file) {
-            findings.extend(check_env_unwraps(file, &content));
-        }
+    for_each_file(&env_files, &mut findings, check_env_unwraps);
+
+    // Rule 5 scope: the same modeled crates the locks pass covers — the
+    // crates whose memory-ordering story the model checker and the lock
+    // hierarchy are supposed to document.
+    let mut ordering_files = Vec::new();
+    for rel in locks::MODELED_CRATES {
+        scan(root, rel, &mut ordering_files);
     }
+    for_each_file(&ordering_files, &mut findings, check_seqcst_ordering);
 
     findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     findings
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn code_portion_strips_strings_and_comments() {
-        assert_eq!(code_portion("let x = 1; // std::sync"), "let x = 1; ");
-        assert!(!code_portion("let s = \"std::sync::Mutex\";").contains("std::sync"));
-        assert!(code_portion("let c = 'a'; std::sync::X").contains("std::sync"));
-        assert!(code_portion("fn f<'a>(x: &'a str) { unsafe {} }").contains("unsafe"));
-    }
-
-    #[test]
-    fn word_boundaries() {
-        assert!(contains_word("unsafe {", "unsafe"));
-        assert!(!contains_word("deny(unsafe_op_in_unsafe_fn)", "unsafe"));
-        assert!(!contains_word("forbid(unsafe_code)", "unsafe"));
-    }
-
-    #[test]
-    fn safety_annotation_lookup() {
-        let ok = "// SAFETY: ptr is valid\nunsafe { *p }\n";
-        assert!(check_safety_comments(Path::new("x.rs"), ok).is_empty());
-        let same_line = "unsafe { *p } // SAFETY: ptr is valid\n";
-        assert!(check_safety_comments(Path::new("x.rs"), same_line).is_empty());
-        let doc = "/// # Safety\n/// p must be valid\npub unsafe fn f(p: *const u8) {}\n";
-        assert!(check_safety_comments(Path::new("x.rs"), doc).is_empty());
-        let bad = "let x = 0;\nunsafe { *p }\n";
-        assert_eq!(check_safety_comments(Path::new("x.rs"), bad).len(), 1);
-    }
-
-    #[test]
-    fn raw_sync_respects_test_boundary() {
-        let src = "use crate::shim::Mutex;\n#[cfg(test)]\nmod tests { use std::sync::Arc; }\n";
-        assert!(check_raw_sync(Path::new("x.rs"), src).is_empty());
-        let bad = "use std::sync::Mutex;\n";
-        assert_eq!(check_raw_sync(Path::new("x.rs"), bad).len(), 1);
-    }
-
-    #[test]
-    fn panic_waivers() {
-        let bad = "let v = map.get(k).unwrap();\n";
-        assert_eq!(check_write_path_panics(Path::new("x.rs"), bad).len(), 1);
-        let ok = "let v = map.get(k).unwrap(); // PANIC-OK: key inserted above\n";
-        assert!(check_write_path_panics(Path::new("x.rs"), ok).is_empty());
-        let above = "// PANIC-OK: key inserted above\nlet v = map.get(k).unwrap();\n";
-        assert!(check_write_path_panics(Path::new("x.rs"), above).is_empty());
-    }
-
-    #[test]
-    fn env_unwrap_rule() {
-        // Unwrapping an Env-surface result fires.
-        let bad = "let f = env.new_writable(\"x.log\").unwrap();\n";
-        let findings = check_env_unwraps(Path::new("x.rs"), bad);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, Rule::EnvUnwrap);
-        let bad2 = "let data = file.read_at(0, len).expect(\"read\");\n";
-        assert_eq!(check_env_unwraps(Path::new("x.rs"), bad2).len(), 1);
-        // Non-Env unwraps are rule 3's business, not this rule's.
-        let other = "let v = map.get(k).unwrap();\n";
-        assert!(check_env_unwraps(Path::new("x.rs"), other).is_empty());
-        // Waivers and the test boundary apply as in rule 3.
-        let waived = "let f = env.sync_dir().unwrap(); // PANIC-OK: startup only\n";
-        assert!(check_env_unwraps(Path::new("x.rs"), waived).is_empty());
-        let in_tests =
-            "#[cfg(test)]\nmod tests {\n    fn t() { env.open_random(\"f\").unwrap(); }\n}\n";
-        assert!(check_env_unwraps(Path::new("x.rs"), in_tests).is_empty());
-        // Doc-comment examples are comments, not code.
-        let doc = "/// env.new_writable(\"f\").unwrap();\nfn f() {}\n";
-        assert!(check_env_unwraps(Path::new("x.rs"), doc).is_empty());
-        // Method-call spellings don't fire on unrelated bare names.
-        let unrelated = "self.pending.list().unwrap();\n";
-        assert_eq!(check_env_unwraps(Path::new("x.rs"), unrelated).len(), 1);
-        let not_env = "let d = to_delete(x).unwrap();\n";
-        assert!(check_env_unwraps(Path::new("x.rs"), not_env).is_empty());
+fn for_each_file(
+    files: &[PathBuf],
+    findings: &mut Vec<Finding>,
+    rule: fn(&Path, &str) -> Vec<Finding>,
+) {
+    for file in files {
+        if let Ok(content) = std::fs::read_to_string(file) {
+            findings.extend(rule(file, &content));
+        }
     }
 }

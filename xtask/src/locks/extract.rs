@@ -1,0 +1,754 @@
+//! Lock-site extraction: declarations, guard scopes, acquisition edges
+//! and blocking calls, from the lexed token stream.
+//!
+//! Two passes per workspace:
+//!
+//! 1. **Declarations** — every struct field whose type mentions `Mutex`,
+//!    `RwLock` or `Condvar` is a lock site, named `Type.field`. This is
+//!    the robust half: a lock cannot exist without a declaration, so
+//!    "every site must resolve to a ranked class" is enforceable exactly.
+//! 2. **Acquisitions** — `.lock()` / `.read()` / `.write()` calls whose
+//!    receiver resolves to a declared site (via the enclosing `impl`
+//!    block for `self.field`, or a workspace-unique field name
+//!    otherwise). Guard live scopes follow the binding form: `let g = ...`
+//!    lives to the end of its block (or `drop(g)`); an acquisition in a
+//!    `for`/`if`/`while`/`match` header lives for the following block; a
+//!    bare expression statement's guard is a temporary that dies at the
+//!    statement's semicolon. While any guard is live, further resolved
+//!    acquisitions produce *edges* and blocking-call patterns produce
+//!    *blocking hits*. Receivers that are plain locals are deliberately
+//!    unresolved (best-effort): the runtime rank tracker covers what the
+//!    lexical pass cannot see.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::locks::lexer::{is_ident, lex, Tok, Token};
+
+/// What kind of primitive a declaration is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// A mutual-exclusion lock.
+    Mutex,
+    /// A reader-writer lock.
+    RwLock,
+    /// A condition variable (a ranked *site*, but never a graph node —
+    /// waiting is checked against the guards held at the wait).
+    Condvar,
+}
+
+/// One lock declaration: a struct field of lock type.
+#[derive(Debug, Clone)]
+pub struct Decl {
+    /// `Type.field`.
+    pub site: String,
+    /// Field name alone (for receiver resolution).
+    pub field: String,
+    /// The primitive kind.
+    pub kind: LockKind,
+    /// Declaring file.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One acquired-while-holding observation.
+#[derive(Debug, Clone)]
+pub struct ObservedEdge {
+    /// Site held (`Type.field`).
+    pub held: String,
+    /// Site acquired under it.
+    pub acquired: String,
+    /// File of the inner acquisition.
+    pub file: PathBuf,
+    /// 1-based line of the inner acquisition.
+    pub line: usize,
+}
+
+/// A blocking call made while holding at least one resolved guard.
+#[derive(Debug, Clone)]
+pub struct BlockingHit {
+    /// The pattern that matched (e.g. `.sync()`).
+    pub call: String,
+    /// Sites held at the call.
+    pub held: Vec<String>,
+    /// File of the call.
+    pub file: PathBuf,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// Everything the extraction pass found in one file.
+#[derive(Debug, Default)]
+pub struct FileFacts {
+    /// Acquisition edges.
+    pub edges: Vec<ObservedEdge>,
+    /// Blocking calls under guards.
+    pub blocking: Vec<BlockingHit>,
+}
+
+/// Calls that block the calling thread: `Env` I/O (every one is a
+/// fault-injection point and can hit a real device), fsync, condvar
+/// waits, thread sleeps/joins/parking, group-commit submission, and the
+/// backoff helpers' bounded spinning. A guard held across any of these
+/// serializes every contender behind a stall — a hard error unless the
+/// site carries a `// LOCK-OK:` waiver arguing the blocking is the
+/// design (e.g. the WAL leader's append+fsync under the log lock).
+pub const BLOCKING_CALLS: &[&str] = &[
+    ".sync()",
+    ".sync_dir(",
+    ".new_writable(",
+    ".open_random(",
+    ".read_at(",
+    ".delete(",
+    ".list(",
+    ".append(",
+    ".join(",
+    ".submit(",
+    "sleep(",
+    "park(",
+    "park_timeout(",
+    "read_exact(",
+    ".snooze(",
+    "spin_loop(",
+    "yield_now(",
+];
+
+/// Condvar wait spellings, checked separately: waiting on the guard's
+/// *own* mutex is the primitive working as intended; holding any *other*
+/// guard across the wait is the violation.
+pub const WAIT_CALLS: &[&str] = &[".wait(", ".wait_for(", ".wait_until(", ".wait_while("];
+
+fn kind_of(ident: &str) -> Option<LockKind> {
+    match ident {
+        "Mutex" => Some(LockKind::Mutex),
+        "RwLock" => Some(LockKind::RwLock),
+        "Condvar" => Some(LockKind::Condvar),
+        _ => None,
+    }
+}
+
+/// Pass 1: extract lock-typed struct fields from one file.
+pub fn extract_decls(file: &Path, content: &str) -> Vec<Decl> {
+    let toks = lex(content);
+    let mut decls = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !is_ident(&toks[i].tok, "struct") {
+            i += 1;
+            continue;
+        }
+        let Some(Token { tok: Tok::Ident(struct_name), .. }) = toks.get(i + 1) else {
+            i += 1;
+            continue;
+        };
+        let struct_name = struct_name.clone();
+        // Find the body `{` (skipping generics / where clauses). A `;`
+        // first means a unit/tuple struct — no named fields to scan.
+        let mut j = i + 2;
+        let mut body_start = None;
+        while let Some(t) = toks.get(j) {
+            match t.tok {
+                Tok::LBrace => {
+                    body_start = Some(j);
+                    break;
+                }
+                Tok::Semi => break,
+                _ => j += 1,
+            }
+        }
+        let Some(body_start) = body_start else {
+            i += 1;
+            continue;
+        };
+        // Walk fields at depth 1: `name :` then type tokens to the
+        // field-separating comma (nesting-aware) or the closing brace.
+        let mut depth = 1usize;
+        let mut k = body_start + 1;
+        while k < toks.len() && depth > 0 {
+            match &toks[k].tok {
+                Tok::LBrace => depth += 1,
+                Tok::RBrace => depth -= 1,
+                Tok::Ident(field)
+                    if depth == 1
+                        && matches!(toks.get(k + 1).map(|t| &t.tok), Some(Tok::Colon))
+                        && !matches!(toks.get(k + 2).map(|t| &t.tok), Some(Tok::Colon)) =>
+                {
+                    let field = field.clone();
+                    let line = toks[k].line;
+                    // Scan the type expression for lock idents.
+                    let mut nest = 0i32;
+                    let mut m = k + 2;
+                    let mut found: Option<LockKind> = None;
+                    while m < toks.len() {
+                        match &toks[m].tok {
+                            Tok::Lt | Tok::LParen | Tok::LBracket => nest += 1,
+                            Tok::Gt | Tok::RParen | Tok::RBracket => {
+                                // A closing `>`/`)`/`]` below the
+                                // field's own nesting ends the type
+                                // (e.g. the struct's closing brace
+                                // comes next).
+                                nest -= 1;
+                            }
+                            Tok::Comma if nest <= 0 => break,
+                            Tok::RBrace => break,
+                            Tok::Ident(ty) if found.is_none() => found = kind_of(ty),
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    if let Some(kind) = found {
+                        decls.push(Decl {
+                            site: format!("{struct_name}.{field}"),
+                            field,
+                            kind,
+                            file: file.to_path_buf(),
+                            line,
+                        });
+                    }
+                    k = m;
+                    continue;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        i = k;
+    }
+    decls
+}
+
+/// How a live guard came to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GuardScope {
+    /// `let g = ...` — lives until its block closes (or `drop(g)`).
+    Block(usize),
+    /// Acquired in a `for`/`if`/`while`/`match` header — attaches to the
+    /// next block that opens, then behaves like `Block`.
+    PendingBlock,
+    /// A statement temporary — dies at the statement's end.
+    Statement,
+}
+
+#[derive(Debug, Clone)]
+struct LiveGuard {
+    site: String,
+    binder: Option<String>,
+    scope: GuardScope,
+    /// 1-based line the guard went live.
+    start_line: usize,
+}
+
+/// Resolves a receiver chain (identifiers left of `.lock()` etc., in
+/// source order, `[...]` index expressions already skipped) to a declared
+/// site.
+fn resolve(
+    chain: &[String],
+    impl_ctx: Option<&str>,
+    by_site: &HashMap<String, LockKind>,
+    by_field: &HashMap<String, Vec<String>>,
+) -> Option<String> {
+    if chain.is_empty() {
+        return None;
+    }
+    let field = chain.last()?;
+    if chain.len() == 2 && chain[0] == "self" {
+        if let Some(ty) = impl_ctx {
+            let site = format!("{ty}.{field}");
+            if by_site.contains_key(&site) {
+                return Some(site);
+            }
+        }
+    }
+    match by_field.get(field.as_str()) {
+        Some(sites) if sites.len() == 1 => Some(sites[0].clone()),
+        _ => None,
+    }
+}
+
+/// Parses an `impl` header starting at `toks[i]` (which is `impl`),
+/// returning the implemented type name and the index of the body `{`.
+fn parse_impl_header(toks: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    // Skip the generic parameter list directly after `impl`.
+    if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Lt)) {
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(j) {
+            match t.tok {
+                Tok::Lt => depth += 1,
+                Tok::Gt => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Collect idents up to `{`; `for` resets the candidate (trait impl).
+    let mut ty: Option<String> = None;
+    let mut after_for = false;
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(j) {
+        match &t.tok {
+            Tok::LBrace if depth == 0 => return ty.map(|ty| (ty, j)),
+            Tok::Lt => depth += 1,
+            Tok::Gt => depth -= 1,
+            Tok::Ident(w) if w == "for" => {
+                after_for = true;
+                ty = None;
+            }
+            Tok::Ident(w) if w == "where" => {
+                // Type position is over; keep scanning for the `{`.
+            }
+            Tok::Ident(w) if depth == 0 => {
+                if ty.is_none() || after_for {
+                    // First path segment of the (self-)type; later
+                    // segments of a path (`a::B`) overwrite via Colon
+                    // handling below, which is fine — the final segment
+                    // is the type name.
+                    ty = Some(w.clone());
+                    after_for = false;
+                } else if matches!(toks.get(j - 1).map(|t| &t.tok), Some(Tok::Colon)) {
+                    ty = Some(w.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Pass 2: extract edges and blocking hits from one file, given the
+/// workspace-wide declarations.
+pub fn extract_facts(file: &Path, content: &str, decls: &[Decl]) -> FileFacts {
+    let by_site: HashMap<String, LockKind> =
+        decls.iter().map(|d| (d.site.clone(), d.kind)).collect();
+    let mut by_field: HashMap<String, Vec<String>> = HashMap::new();
+    for d in decls {
+        let sites = by_field.entry(d.field.clone()).or_default();
+        if !sites.contains(&d.site) {
+            sites.push(d.site.clone());
+        }
+    }
+
+    let toks = lex(content);
+    let mut facts = FileFacts::default();
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    // (type name, brace depth of its body) of enclosing impl blocks.
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+
+    // Statement accumulator.
+    let mut stmt: Vec<usize> = Vec::new(); // indices into toks
+
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Ident(w) if w == "impl" => {
+                if let Some((ty, body)) = parse_impl_header(&toks, i) {
+                    impl_stack.push((ty, depth + 1));
+                    depth += 1;
+                    stmt.clear();
+                    i = body + 1;
+                    continue;
+                }
+            }
+            Tok::LBrace => {
+                depth += 1;
+                // A block header statement (for/if/while/match/loop or a
+                // plain block) ends here; process it, attaching any
+                // pending guards to the block that just opened.
+                process_statement(
+                    &toks, &stmt, file, &by_site, &by_field, &impl_stack, &mut guards,
+                    &mut facts, depth,
+                );
+                for g in &mut guards {
+                    if g.scope == GuardScope::PendingBlock {
+                        g.scope = GuardScope::Block(depth);
+                    }
+                }
+                // Temporaries from the header die once the block opens.
+                guards.retain(|g| g.scope != GuardScope::Statement);
+                stmt.clear();
+            }
+            Tok::RBrace => {
+                // An unterminated trailing expression still counts.
+                process_statement(
+                    &toks, &stmt, file, &by_site, &by_field, &impl_stack, &mut guards,
+                    &mut facts, depth,
+                );
+                stmt.clear();
+                guards.retain(|g| match g.scope {
+                    GuardScope::Block(d) => d < depth,
+                    GuardScope::PendingBlock => false,
+                    GuardScope::Statement => false,
+                });
+                impl_stack.retain(|(_, d)| *d < depth);
+                depth = depth.saturating_sub(1);
+            }
+            Tok::Semi => {
+                process_statement(
+                    &toks, &stmt, file, &by_site, &by_field, &impl_stack, &mut guards,
+                    &mut facts, depth,
+                );
+                guards.retain(|g| g.scope != GuardScope::Statement);
+                stmt.clear();
+            }
+            _ => stmt.push(i),
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// Handles one accumulated statement: guard kills (`drop(g)`), new
+/// acquisitions (with edge emission), and blocking/wait hits.
+#[allow(clippy::too_many_arguments)]
+fn process_statement(
+    toks: &[Token],
+    stmt: &[usize],
+    file: &Path,
+    by_site: &HashMap<String, LockKind>,
+    by_field: &HashMap<String, Vec<String>>,
+    impl_stack: &[(String, usize)],
+    guards: &mut Vec<LiveGuard>,
+    facts: &mut FileFacts,
+    depth: usize,
+) {
+    if stmt.is_empty() {
+        return;
+    }
+    let impl_ctx = impl_stack.last().map(|(t, _)| t.as_str());
+    let first = &toks[stmt[0]].tok;
+    let is_header = matches!(first, Tok::Ident(w) if matches!(w.as_str(), "for" | "if" | "while" | "match"));
+    let binder = if is_ident(first, "let") {
+        // `let [mut] name = ...`; `let _ = ...` drops immediately.
+        let mut j = 1;
+        if stmt.len() > j && is_ident(&toks[stmt[j]].tok, "mut") {
+            j += 1;
+        }
+        match stmt.get(j).map(|&k| &toks[k].tok) {
+            Some(Tok::Ident(name)) if name != "_" => Some(name.clone()),
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    // `drop(g)` kills the named guard.
+    for w in stmt.windows(3) {
+        if is_ident(&toks[w[0]].tok, "drop")
+            && toks[w[1]].tok == Tok::LParen
+        {
+            if let Tok::Ident(name) = &toks[w[2]].tok {
+                guards.retain(|g| g.binder.as_deref() != Some(name.as_str()));
+            }
+        }
+    }
+
+    // Wait-call and blocking detection work on the raw statement text per
+    // line; gather the lines this statement spans.
+    let stmt_lines: Vec<usize> = {
+        let mut v: Vec<usize> = stmt.iter().map(|&k| toks[k].line).collect();
+        v.dedup();
+        v
+    };
+
+    // Acquisitions: `<chain> . {lock,try_lock,read,try_read,write,try_write} (`.
+    let mut s = 0;
+    while s + 2 < stmt.len() {
+        let (a, b, c) = (stmt[s], stmt[s + 1], stmt[s + 2]);
+        let is_acq = toks[a].tok == Tok::Dot
+            && matches!(&toks[b].tok, Tok::Ident(m)
+                if matches!(m.as_str(), "lock" | "try_lock" | "read" | "try_read" | "write" | "try_write"))
+            && toks[c].tok == Tok::LParen
+            && matches!(stmt.get(s + 3).map(|&k| &toks[k].tok), Some(Tok::RParen) | None);
+        if !is_acq {
+            s += 1;
+            continue;
+        }
+        let method = match &toks[b].tok {
+            Tok::Ident(m) => m.clone(),
+            _ => unreachable!("matched an ident above"),
+        };
+        // Walk backward over the receiver: `[...]` index groups and
+        // `ident .` segments.
+        let mut chain_rev: Vec<String> = Vec::new();
+        let mut p = s; // index into stmt, pointing at the Dot
+        loop {
+            // Skip a `[ ... ]` group directly before the dot.
+            let mut q = p;
+            if q > 0 && toks[stmt[q - 1]].tok == Tok::RBracket {
+                let mut nest = 0i32;
+                while q > 0 {
+                    q -= 1;
+                    match toks[stmt[q]].tok {
+                        Tok::RBracket => nest += 1,
+                        Tok::LBracket => {
+                            nest -= 1;
+                            if nest == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if q == 0 {
+                break;
+            }
+            if let Tok::Ident(seg) = &toks[stmt[q - 1]].tok {
+                chain_rev.push(seg.clone());
+                // Continue if the segment is itself preceded by a dot.
+                if q >= 2 && toks[stmt[q - 2]].tok == Tok::Dot {
+                    p = q - 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        let chain: Vec<String> = chain_rev.into_iter().rev().collect();
+        let resolved = resolve(&chain, impl_ctx, by_site, by_field);
+        if let Some(site) = resolved {
+            let kind = by_site[&site];
+            let method_matches = match kind {
+                LockKind::Mutex => matches!(method.as_str(), "lock" | "try_lock"),
+                LockKind::RwLock => {
+                    matches!(method.as_str(), "read" | "try_read" | "write" | "try_write")
+                }
+                LockKind::Condvar => false,
+            };
+            if method_matches {
+                let line = toks[b].line;
+                for g in guards.iter() {
+                    facts.edges.push(ObservedEdge {
+                        held: g.site.clone(),
+                        acquired: site.clone(),
+                        file: file.to_path_buf(),
+                        line,
+                    });
+                }
+                // `let v = m.lock().get(..)` binds the *chained result*,
+                // not the guard — the guard is a temporary dropped at
+                // statement end. Only an acquisition that terminates the
+                // expression (next token is not `.`) lives in the binder.
+                let chained_further =
+                    matches!(stmt.get(s + 4).map(|&k| &toks[k].tok), Some(Tok::Dot));
+                let scope = if binder.is_some() && !chained_further {
+                    GuardScope::Block(depth)
+                } else if is_header {
+                    GuardScope::PendingBlock
+                } else {
+                    GuardScope::Statement
+                };
+                guards.push(LiveGuard {
+                    site,
+                    binder: binder.clone(),
+                    scope,
+                    start_line: line,
+                });
+            }
+        }
+        s += 1;
+    }
+
+    // Blocking calls and condvar waits while guards are live. Guards
+    // acquired by this very statement are included: a temporary like
+    // `self.threads.lock().join()` holds across the call.
+    if guards.is_empty() {
+        return;
+    }
+    let _ = stmt_lines;
+    let text: String = {
+        // Reconstruct enough of the statement to pattern-match calls.
+        let mut t = String::new();
+        for &k in stmt {
+            match &toks[k].tok {
+                Tok::Ident(w) => {
+                    t.push_str(w);
+                }
+                Tok::Dot => t.push('.'),
+                Tok::LParen => t.push('('),
+                Tok::RParen => t.push(')'),
+                Tok::Amp => t.push('&'),
+                Tok::Comma => t.push(','),
+                Tok::Colon => t.push(':'),
+                _ => t.push(' '),
+            }
+        }
+        t
+    };
+    let line = toks[stmt[0]].line;
+    for pat in WAIT_CALLS {
+        if let Some(pos) = text.find(pat) {
+            // The waited guard: first ident after `(&mut `.
+            let after = &text[pos + pat.len()..];
+            let waited = after
+                .trim_start_matches('&')
+                .trim_start()
+                .trim_start_matches("mut")
+                .trim_start();
+            let waited: String = waited
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            let others: Vec<String> = guards
+                .iter()
+                .filter(|g| g.binder.as_deref() != Some(waited.as_str()))
+                .map(|g| g.site.clone())
+                .collect();
+            if !others.is_empty() {
+                facts.blocking.push(BlockingHit {
+                    call: (*pat).to_string(),
+                    held: others,
+                    file: file.to_path_buf(),
+                    line,
+                });
+            }
+        }
+    }
+    for pat in BLOCKING_CALLS {
+        if text.contains(pat) {
+            facts.blocking.push(BlockingHit {
+                call: (*pat).to_string(),
+                held: guards.iter().map(|g| g.site.clone()).collect(),
+                file: file.to_path_buf(),
+                line,
+            });
+        }
+    }
+    // Silence the unused-field warning until diagnostics grow richer.
+    let _ = guards.first().map(|g| g.start_line);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decls_of(src: &str) -> Vec<Decl> {
+        extract_decls(Path::new("x.rs"), src)
+    }
+
+    #[test]
+    fn finds_lock_fields() {
+        let src = "pub struct A { state: Mutex<u8>, cv: Condvar, data: Arc<RwLock<Vec<u8>>>, n: usize }\n";
+        let d = decls_of(src);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].site, "A.state");
+        assert_eq!(d[0].kind, LockKind::Mutex);
+        assert_eq!(d[1].site, "A.cv");
+        assert_eq!(d[1].kind, LockKind::Condvar);
+        assert_eq!(d[2].site, "A.data");
+        assert_eq!(d[2].kind, LockKind::RwLock);
+    }
+
+    #[test]
+    fn nested_generics_do_not_split_fields() {
+        let src = "struct B { map: HashMap<String, Arc<RwLock<Vec<u8>>>>, m: Mutex<()> }\n";
+        let d = decls_of(src);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].site, "B.map");
+        assert_eq!(d[1].site, "B.m");
+    }
+
+    #[test]
+    fn self_receiver_resolves_via_impl_context() {
+        let src = "struct A { inner: Mutex<u8> }\nstruct B { inner: Mutex<u8> }\n\
+                   impl A { fn f(&self) { let g = self.inner.lock(); let h = self.inner.lock(); } }\n";
+        let decls = decls_of(src);
+        let facts = extract_facts(Path::new("x.rs"), src, &decls);
+        assert_eq!(facts.edges.len(), 1);
+        assert_eq!(facts.edges[0].held, "A.inner");
+        assert_eq!(facts.edges[0].acquired, "A.inner");
+    }
+
+    #[test]
+    fn unique_field_resolves_without_impl_context() {
+        let src = "struct W { log: Mutex<u8> }\nstruct P { poison: Mutex<u8> }\n\
+                   impl W { fn f(&self, p: &P) { let g = self.log.lock(); let s = p.poison.lock(); } }\n";
+        let decls = decls_of(src);
+        let facts = extract_facts(Path::new("x.rs"), src, &decls);
+        assert_eq!(facts.edges.len(), 1);
+        assert_eq!(facts.edges[0].held, "W.log");
+        assert_eq!(facts.edges[0].acquired, "P.poison");
+    }
+
+    #[test]
+    fn drop_ends_a_guard_scope() {
+        let src = "struct A { a: Mutex<u8> }\nstruct B { b: Mutex<u8> }\n\
+                   impl A { fn f(&self, x: &B) { let g = self.a.lock(); drop(g); let h = x.b.lock(); } }\n";
+        let decls = decls_of(src);
+        let facts = extract_facts(Path::new("x.rs"), src, &decls);
+        assert!(facts.edges.is_empty(), "{:?}", facts.edges);
+    }
+
+    #[test]
+    fn statement_temporaries_do_not_outlive_their_statement() {
+        let src = "struct A { a: Mutex<u8> }\nstruct B { b: Mutex<u8> }\n\
+                   impl A { fn f(&self, x: &B) { self.a.lock().touch(); let h = x.b.lock(); } }\n";
+        let decls = decls_of(src);
+        let facts = extract_facts(Path::new("x.rs"), src, &decls);
+        assert!(facts.edges.is_empty(), "{:?}", facts.edges);
+    }
+
+    #[test]
+    fn blocking_call_under_guard_is_reported() {
+        let src = "struct A { a: Mutex<u8> }\n\
+                   impl A { fn f(&self, w: &mut F) { let g = self.a.lock(); w.sync(); } }\n";
+        let decls = decls_of(src);
+        let facts = extract_facts(Path::new("x.rs"), src, &decls);
+        assert_eq!(facts.blocking.len(), 1);
+        assert_eq!(facts.blocking[0].call, ".sync()");
+        assert_eq!(facts.blocking[0].held, vec!["A.a".to_string()]);
+    }
+
+    #[test]
+    fn waiting_on_own_mutex_is_fine_but_foreign_guards_are_not() {
+        let ok = "struct A { a: Mutex<u8>, cv: Condvar }\n\
+                  impl A { fn f(&self) { let mut g = self.a.lock(); self.cv.wait(&mut g); } }\n";
+        let decls = decls_of(ok);
+        let facts = extract_facts(Path::new("x.rs"), ok, &decls);
+        assert!(facts.blocking.is_empty(), "{:?}", facts.blocking);
+
+        let bad = "struct A { a: Mutex<u8>, cv: Condvar }\nstruct B { b: Mutex<u8> }\n\
+                   impl A { fn f(&self, x: &B) { let o = x.b.lock(); let mut g = self.a.lock(); self.cv.wait(&mut g); } }\n";
+        let decls = decls_of(bad);
+        let facts = extract_facts(Path::new("x.rs"), bad, &decls);
+        assert!(
+            facts.blocking.iter().any(|b| b.call == ".wait(" && b.held == vec!["B.b".to_string()]),
+            "{:?}",
+            facts.blocking
+        );
+    }
+
+    #[test]
+    fn for_header_guard_lives_for_the_loop() {
+        let src = "struct A { threads: Mutex<Vec<u8>> }\n\
+                   impl A { fn f(&self) { for h in self.threads.lock().drain() { h.join(); } } }\n";
+        let decls = decls_of(src);
+        let facts = extract_facts(Path::new("x.rs"), src, &decls);
+        assert!(
+            facts.blocking.iter().any(|b| b.call == ".join("),
+            "{:?}",
+            facts.blocking
+        );
+    }
+
+    #[test]
+    fn indexed_receivers_resolve() {
+        let src = "struct C { shards: Vec<Mutex<u8>> }\nstruct D { d: Mutex<u8> }\n\
+                   impl C { fn f(&self, x: &D) { let g = x.d.lock(); self.shards[i % self.shards.len()].lock().touch(); } }\n";
+        let decls = decls_of(src);
+        let facts = extract_facts(Path::new("x.rs"), src, &decls);
+        assert!(
+            facts.edges.iter().any(|e| e.held == "D.d" && e.acquired == "C.shards"),
+            "{:?}",
+            facts.edges
+        );
+    }
+}

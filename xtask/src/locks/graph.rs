@@ -1,0 +1,544 @@
+//! The lock-graph checks: rank coverage, hierarchy consistency,
+//! cycle-freedom, undeclared edges, blocking-under-guard, and the
+//! static/runtime staleness cross-check.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::locks::extract::{BlockingHit, Decl, ObservedEdge};
+use crate::locks::order::LockOrder;
+
+/// One lock-order violation.
+#[derive(Debug)]
+pub struct LockFinding {
+    /// File the violation is in (`LOCK_ORDER.toml` for declaration-side
+    /// errors).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl fmt::Display for LockFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [lock-order] {}", self.file.display(), self.line, self.message)
+    }
+}
+
+/// An observed fact plus whether its site carries a `// LOCK-OK:` waiver.
+pub struct Waivable<T> {
+    /// The extracted fact.
+    pub fact: T,
+    /// Whether the acquisition line is waived.
+    pub waived: bool,
+}
+
+/// Runs every check. `runtime_ranks` is the `(name, rank, line)` list
+/// extracted from `crates/sync/src/lock_order.rs`.
+pub fn check(
+    order: &LockOrder,
+    order_path: &Path,
+    decls: &[Decl],
+    edges: &[Waivable<ObservedEdge>],
+    blocking: &[Waivable<BlockingHit>],
+    runtime_ranks: &[(String, u32, usize)],
+    runtime_path: &Path,
+) -> Vec<LockFinding> {
+    let mut findings = Vec::new();
+    let site_to_class = order.site_to_class();
+
+    // Duplicate class names make every later lookup ambiguous.
+    let mut seen = HashSet::new();
+    for c in &order.classes {
+        if !seen.insert(c.name.as_str()) {
+            findings.push(LockFinding {
+                file: order_path.to_path_buf(),
+                line: c.line,
+                message: format!("duplicate [[class]] `{}`", c.name),
+            });
+        }
+    }
+
+    // Every extracted lock site must belong to exactly one ranked class.
+    let declared_sites: HashSet<&str> = site_to_class.keys().copied().collect();
+    for d in decls {
+        if !declared_sites.contains(d.site.as_str()) {
+            findings.push(LockFinding {
+                file: d.file.clone(),
+                line: d.line,
+                message: format!(
+                    "lock site `{}` ({:?}) has no ranked class in LOCK_ORDER.toml; \
+                     add it to a [[class]] `sites` list",
+                    d.site, d.kind
+                ),
+            });
+        }
+    }
+
+    // Staleness, declaration side: a site listed in the TOML that no
+    // longer exists in source means the hierarchy has drifted.
+    let extracted: HashSet<&str> = decls.iter().map(|d| d.site.as_str()).collect();
+    for c in &order.classes {
+        for s in &c.sites {
+            if !extracted.contains(s.as_str()) {
+                findings.push(LockFinding {
+                    file: order_path.to_path_buf(),
+                    line: c.line,
+                    message: format!(
+                        "class `{}` lists site `{}` which no longer exists in the \
+                         modeled crates; remove or rename it",
+                        c.name, s
+                    ),
+                });
+            }
+        }
+    }
+
+    // Staleness, runtime side: the TOML hierarchy and the runtime
+    // `LockClass` constants must agree exactly, both directions, with
+    // equal ranks — otherwise the static gate and the debug-assertion
+    // tracker enforce different orders.
+    let runtime: HashMap<&str, (u32, usize)> = runtime_ranks
+        .iter()
+        .map(|(n, r, l)| (n.as_str(), (*r, *l)))
+        .collect();
+    for c in &order.classes {
+        match runtime.get(c.name.as_str()) {
+            None => findings.push(LockFinding {
+                file: order_path.to_path_buf(),
+                line: c.line,
+                message: format!(
+                    "class `{}` has no matching LockClass constant in {}; the \
+                     declared rank is unreferenced by source",
+                    c.name,
+                    runtime_path.display()
+                ),
+            }),
+            Some((rank, line)) if *rank != c.rank => findings.push(LockFinding {
+                file: runtime_path.to_path_buf(),
+                line: *line,
+                message: format!(
+                    "runtime rank {} for `{}` disagrees with LOCK_ORDER.toml rank {}",
+                    rank, c.name, c.rank
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    let toml_classes: HashSet<&str> = order.classes.iter().map(|c| c.name.as_str()).collect();
+    for (name, _, line) in runtime_ranks {
+        if !toml_classes.contains(name.as_str()) {
+            findings.push(LockFinding {
+                file: runtime_path.to_path_buf(),
+                line: *line,
+                message: format!(
+                    "runtime LockClass `{name}` is not declared in LOCK_ORDER.toml"
+                ),
+            });
+        }
+    }
+
+    // Declared edges: both endpoints must exist and ranks must ascend.
+    let rank_of: HashMap<&str, u32> =
+        order.classes.iter().map(|c| (c.name.as_str(), c.rank)).collect();
+    for e in &order.edges {
+        let (Some(&from), Some(&to)) = (rank_of.get(e.from.as_str()), rank_of.get(e.to.as_str()))
+        else {
+            findings.push(LockFinding {
+                file: order_path.to_path_buf(),
+                line: e.line,
+                message: format!(
+                    "edge `{}` -> `{}` references an undeclared class",
+                    e.from, e.to
+                ),
+            });
+            continue;
+        };
+        if from >= to {
+            findings.push(LockFinding {
+                file: order_path.to_path_buf(),
+                line: e.line,
+                message: format!(
+                    "edge `{}` (rank {}) -> `{}` (rank {}) does not ascend; ranks \
+                     must strictly increase along every acquisition edge",
+                    e.from, from, e.to, to
+                ),
+            });
+        }
+    }
+
+    // Cycle-freedom over the declared graph. With ascending ranks this is
+    // implied, but the check stays independent so a future rank rework
+    // cannot silently ship a cycle.
+    if let Some(cycle) = find_cycle(order) {
+        findings.push(LockFinding {
+            file: order_path.to_path_buf(),
+            line: 1,
+            message: format!("declared lock graph has a cycle: {}", cycle.join(" -> ")),
+        });
+    }
+
+    // Observed edges: must resolve to ranked classes, ascend, and be
+    // declared (or waived in place).
+    let declared_edges: HashSet<(&str, &str)> = order
+        .edges
+        .iter()
+        .map(|e| (e.from.as_str(), e.to.as_str()))
+        .collect();
+    for w in edges {
+        let e = &w.fact;
+        let (Some(&held_class), Some(&acq_class)) = (
+            site_to_class.get(e.held.as_str()),
+            site_to_class.get(e.acquired.as_str()),
+        ) else {
+            // Unranked sites are already reported above.
+            continue;
+        };
+        if w.waived {
+            continue;
+        }
+        if held_class == acq_class {
+            findings.push(LockFinding {
+                file: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "`{}` acquired while a guard of the same class `{}` is live; \
+                     the shim mutex is not reentrant — this self-deadlocks",
+                    e.acquired, held_class
+                ),
+            });
+            continue;
+        }
+        let (hr, ar) = (rank_of[held_class], rank_of[acq_class]);
+        if hr >= ar {
+            findings.push(LockFinding {
+                file: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "`{}` (class `{}`, rank {}) acquired while holding `{}` (class \
+                     `{}`, rank {}); ranks must ascend — restructure, or waive with \
+                     `// LOCK-OK: <why>`",
+                    e.acquired, acq_class, ar, e.held, held_class, hr
+                ),
+            });
+        } else if !declared_edges.contains(&(held_class, acq_class)) {
+            findings.push(LockFinding {
+                file: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "undeclared lock edge: `{held_class}` -> `{acq_class}`; add an \
+                     [[edge]] with a `why` to LOCK_ORDER.toml, or waive with \
+                     `// LOCK-OK: <why>`"
+                ),
+            });
+        }
+    }
+
+    // Blocking calls under live guards.
+    for w in blocking {
+        if w.waived {
+            continue;
+        }
+        let b = &w.fact;
+        findings.push(LockFinding {
+            file: b.file.clone(),
+            line: b.line,
+            message: format!(
+                "blocking call `{}` while holding {}; a stalled {} serializes every \
+                 contender — move the call outside the guard, or waive with \
+                 `// LOCK-OK: <why>`",
+                b.call.trim_end_matches('('),
+                b.held
+                    .iter()
+                    .map(|s| format!("`{s}`"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if b.call.contains("sync") { "device" } else { "callee" },
+            ),
+        });
+    }
+
+    findings
+}
+
+/// DFS cycle search over the declared edges; returns one cycle as a class
+/// path if any exists.
+fn find_cycle(order: &LockOrder) -> Option<Vec<String>> {
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for e in &order.edges {
+        adj.entry(e.from.as_str()).or_default().push(e.to.as_str());
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: HashMap<&str, Color> = HashMap::new();
+    for c in &order.classes {
+        color.insert(c.name.as_str(), Color::White);
+    }
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &HashMap<&'a str, Vec<&'a str>>,
+        color: &mut HashMap<&'a str, Color>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        color.insert(node, Color::Gray);
+        stack.push(node);
+        for &next in adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]) {
+            match color.get(next).copied().unwrap_or(Color::White) {
+                Color::Gray => {
+                    let start = stack.iter().position(|&n| n == next).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        stack[start..].iter().map(|s| s.to_string()).collect();
+                    cycle.push(next.to_string());
+                    return Some(cycle);
+                }
+                Color::White => {
+                    if let Some(c) = dfs(next, adj, color, stack) {
+                        return Some(c);
+                    }
+                }
+                Color::Black => {}
+            }
+        }
+        stack.pop();
+        color.insert(node, Color::Black);
+        None
+    }
+    let names: Vec<&str> = order.classes.iter().map(|c| c.name.as_str()).collect();
+    let mut stack = Vec::new();
+    for name in names {
+        if color.get(name) == Some(&Color::White) {
+            if let Some(c) = dfs(name, &adj, &mut color, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// Re-export used by fixtures to name the primitive kinds in assertions.
+pub use crate::locks::extract::LockKind as Kind;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locks::extract::LockKind;
+    use crate::locks::order::parse_lock_order;
+    use std::path::Path;
+
+    fn order_of(toml: &str) -> LockOrder {
+        parse_lock_order(toml).unwrap()
+    }
+
+    fn decl(site: &str) -> Decl {
+        let (_, field) = site.split_once('.').unwrap();
+        Decl {
+            site: site.to_string(),
+            field: field.to_string(),
+            kind: LockKind::Mutex,
+            file: Path::new("src.rs").to_path_buf(),
+            line: 1,
+        }
+    }
+
+    fn runtime(order: &LockOrder) -> Vec<(String, u32, usize)> {
+        order
+            .classes
+            .iter()
+            .map(|c| (c.name.clone(), c.rank, c.line))
+            .collect()
+    }
+
+    const BASE: &str = r#"
+[[class]]
+name = "a"
+rank = 10
+sites = ["A.a"]
+[[class]]
+name = "b"
+rank = 20
+sites = ["B.b"]
+[[edge]]
+from = "a"
+to = "b"
+why = "test"
+"#;
+
+    fn edge(held: &str, acquired: &str, waived: bool) -> Waivable<ObservedEdge> {
+        Waivable {
+            fact: ObservedEdge {
+                held: held.to_string(),
+                acquired: acquired.to_string(),
+                file: Path::new("src.rs").to_path_buf(),
+                line: 7,
+            },
+            waived,
+        }
+    }
+
+    #[test]
+    fn clean_graph_passes() {
+        let order = order_of(BASE);
+        let decls = vec![decl("A.a"), decl("B.b")];
+        let f = check(
+            &order,
+            Path::new("LOCK_ORDER.toml"),
+            &decls,
+            &[edge("A.a", "B.b", false)],
+            &[],
+            &runtime(&order),
+            Path::new("lock_order.rs"),
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unranked_site_and_stale_site_are_errors() {
+        let order = order_of(BASE);
+        let decls = vec![decl("A.a"), decl("C.c")];
+        let f = check(
+            &order,
+            Path::new("LOCK_ORDER.toml"),
+            &decls,
+            &[],
+            &[],
+            &runtime(&order),
+            Path::new("lock_order.rs"),
+        );
+        assert!(f.iter().any(|x| x.message.contains("`C.c`") && x.message.contains("no ranked class")));
+        assert!(f.iter().any(|x| x.message.contains("`B.b`") && x.message.contains("no longer exists")));
+    }
+
+    #[test]
+    fn descending_and_undeclared_edges_are_errors_unless_waived() {
+        let order = order_of(BASE);
+        let decls = vec![decl("A.a"), decl("B.b")];
+        let path = Path::new("LOCK_ORDER.toml");
+        let rt = runtime(&order);
+        let rtp = Path::new("lock_order.rs");
+
+        let f = check(&order, path, &decls, &[edge("B.b", "A.a", false)], &[], &rt, rtp);
+        assert!(f.iter().any(|x| x.message.contains("ranks must ascend")), "{f:?}");
+
+        let f = check(&order, path, &decls, &[edge("B.b", "A.a", true)], &[], &rt, rtp);
+        assert!(f.is_empty(), "{f:?}");
+
+        // An ascending but undeclared pair still needs an [[edge]].
+        let extra = format!(
+            "{BASE}\n[[class]]\nname = \"c\"\nrank = 30\nsites = [\"C.c\"]\n"
+        );
+        let order = order_of(&extra);
+        let decls = vec![decl("A.a"), decl("B.b"), decl("C.c")];
+        let f = check(&order, path, &decls, &[edge("A.a", "C.c", false)], &[], &runtime(&order), rtp);
+        assert!(f.iter().any(|x| x.message.contains("undeclared lock edge")), "{f:?}");
+    }
+
+    #[test]
+    fn same_class_reacquisition_is_an_error() {
+        let order = order_of(BASE);
+        let decls = vec![decl("A.a"), decl("B.b")];
+        let f = check(
+            &order,
+            Path::new("LOCK_ORDER.toml"),
+            &decls,
+            &[edge("A.a", "A.a", false)],
+            &[],
+            &runtime(&order),
+            Path::new("lock_order.rs"),
+        );
+        assert!(f.iter().any(|x| x.message.contains("self-deadlocks")), "{f:?}");
+    }
+
+    #[test]
+    fn cycle_in_declared_graph_is_reported() {
+        let toml = r#"
+[[class]]
+name = "a"
+rank = 10
+sites = ["A.a"]
+[[class]]
+name = "b"
+rank = 20
+sites = ["B.b"]
+[[edge]]
+from = "a"
+to = "b"
+why = "x"
+[[edge]]
+from = "b"
+to = "a"
+why = "y"
+"#;
+        let order = order_of(toml);
+        let decls = vec![decl("A.a"), decl("B.b")];
+        let f = check(
+            &order,
+            Path::new("LOCK_ORDER.toml"),
+            &decls,
+            &[],
+            &[],
+            &runtime(&order),
+            Path::new("lock_order.rs"),
+        );
+        assert!(f.iter().any(|x| x.message.contains("cycle")), "{f:?}");
+        // The b -> a edge also fails the ascent check independently.
+        assert!(f.iter().any(|x| x.message.contains("does not ascend")), "{f:?}");
+    }
+
+    #[test]
+    fn runtime_rank_drift_is_an_error() {
+        let order = order_of(BASE);
+        let decls = vec![decl("A.a"), decl("B.b")];
+        let mut rt = runtime(&order);
+        rt[0].1 = 99;
+        let f = check(
+            &order,
+            Path::new("LOCK_ORDER.toml"),
+            &decls,
+            &[],
+            &[],
+            &rt,
+            Path::new("lock_order.rs"),
+        );
+        assert!(f.iter().any(|x| x.message.contains("disagrees")), "{f:?}");
+
+        // A runtime constant missing from the TOML is also drift.
+        let rt = vec![("a".to_string(), 10, 1), ("b".to_string(), 20, 2), ("ghost".to_string(), 5, 3)];
+        let f = check(
+            &order,
+            Path::new("LOCK_ORDER.toml"),
+            &decls,
+            &[],
+            &[],
+            &rt,
+            Path::new("lock_order.rs"),
+        );
+        assert!(f.iter().any(|x| x.message.contains("`ghost`")), "{f:?}");
+    }
+
+    #[test]
+    fn blocking_hits_respect_waivers() {
+        let order = order_of(BASE);
+        let decls = vec![decl("A.a"), decl("B.b")];
+        let hit = |waived| Waivable {
+            fact: BlockingHit {
+                call: ".sync()".to_string(),
+                held: vec!["A.a".to_string()],
+                file: Path::new("src.rs").to_path_buf(),
+                line: 9,
+            },
+            waived,
+        };
+        let path = Path::new("LOCK_ORDER.toml");
+        let rtp = Path::new("lock_order.rs");
+        let f = check(&order, path, &decls, &[], &[hit(false)], &runtime(&order), rtp);
+        assert!(f.iter().any(|x| x.message.contains("blocking call")), "{f:?}");
+        let f = check(&order, path, &decls, &[], &[hit(true)], &runtime(&order), rtp);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

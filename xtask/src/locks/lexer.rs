@@ -1,0 +1,137 @@
+//! A lightweight Rust lexer for the locks pass.
+//!
+//! Like PR 6's model checker, this is built from scratch — no syn, no
+//! proc-macro2. The pass only needs token *shape* (identifiers, dots,
+//! parens, brace nesting) with line numbers, so the lexer tokenizes the
+//! comment- and string-stripped code portion of each line (reusing the
+//! lint scanner's state machine) and never has to understand expressions
+//! it does not care about. Test code — everything from the first
+//! `#[cfg(test)]` line onward, per the repo convention — is not lexed:
+//! lock discipline in tests is exercised by the runtime rank tracker, not
+//! the static graph.
+
+use crate::common::code_portion;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`self`, `let`, `lock`, ...).
+    Ident(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `&`
+    Amp,
+    /// `=`
+    Eq,
+    /// `#`
+    Pound,
+    /// Any other punctuation the pass treats as inert.
+    Other(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Lexes `content` into tokens, stopping at the first `#[cfg(test)]`
+/// line (test code is out of scope for the static pass).
+pub fn lex(content: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = code_portion(raw);
+        let line = idx + 1;
+        let mut chars = code.chars().peekable();
+        while let Some(c) = chars.next() {
+            let tok = match c {
+                c if c.is_whitespace() => continue,
+                c if c.is_alphanumeric() || c == '_' => {
+                    let mut ident = String::new();
+                    ident.push(c);
+                    while let Some(&n) = chars.peek() {
+                        if n.is_alphanumeric() || n == '_' {
+                            ident.push(n);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Ident(ident)
+                }
+                '{' => Tok::LBrace,
+                '}' => Tok::RBrace,
+                '(' => Tok::LParen,
+                ')' => Tok::RParen,
+                '[' => Tok::LBracket,
+                ']' => Tok::RBracket,
+                ';' => Tok::Semi,
+                ',' => Tok::Comma,
+                '.' => Tok::Dot,
+                ':' => Tok::Colon,
+                '<' => Tok::Lt,
+                '>' => Tok::Gt,
+                '&' => Tok::Amp,
+                '=' => Tok::Eq,
+                '#' => Tok::Pound,
+                other => Tok::Other(other),
+            };
+            out.push(Token { tok, line });
+        }
+    }
+    out
+}
+
+/// Convenience: is this token the identifier `s`?
+pub fn is_ident(t: &Tok, s: &str) -> bool {
+    matches!(t, Tok::Ident(i) if i == s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_shapes_with_lines() {
+        let toks = lex("let g = self.log.lock();\nx();\n");
+        assert!(matches!(&toks[0].tok, Tok::Ident(i) if i == "let"));
+        assert_eq!(toks[0].line, 1);
+        let last = toks.last().unwrap();
+        assert_eq!(last.tok, Tok::Semi);
+        assert_eq!(last.line, 2);
+    }
+
+    #[test]
+    fn strips_strings_comments_and_test_code() {
+        let toks = lex("let s = \"a.lock()\"; // b.lock()\n#[cfg(test)]\nmod tests { c.lock(); }\n");
+        assert!(!toks.iter().any(|t| is_ident(&t.tok, "lock")));
+    }
+}

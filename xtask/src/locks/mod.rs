@@ -1,0 +1,125 @@
+//! `cargo xtask locks` — whole-workspace lock-order analysis.
+//!
+//! The pass extracts every lock declaration and every lexically visible
+//! acquisition in the modeled crates, then checks the result against the
+//! hierarchy declared in `LOCK_ORDER.toml`:
+//!
+//! * every lock site must belong to a ranked class;
+//! * sites listed in the TOML must still exist (no stale hierarchy);
+//! * the runtime `LockClass` constants in `crates/sync/src/lock_order.rs`
+//!   must mirror the TOML exactly (same classes, same ranks);
+//! * declared edges must ascend in rank and the declared graph must be
+//!   cycle-free;
+//! * observed acquisitions under a live guard must ascend and be declared
+//!   (`// LOCK-OK:` waivable per site);
+//! * blocking calls (Env I/O, fsync, joins, parking, group-commit
+//!   submission) under a live guard are errors (`// LOCK-OK:` waivable).
+//!
+//! The lexical pass sees only same-function nesting; the interprocedural
+//! chains the TOML also declares are enforced at runtime by the
+//! debug-assertion rank tracker in `flodb_sync::lock_order`. Together the
+//! two halves cover what neither can alone.
+
+pub mod extract;
+pub mod graph;
+pub mod lexer;
+pub mod order;
+
+use std::path::{Path, PathBuf};
+
+use crate::common::{line_has_marker, rust_files};
+use extract::{extract_decls, extract_facts, BlockingHit, Decl, ObservedEdge};
+use graph::{LockFinding, Waivable};
+
+/// The marker that waives a lock-order finding at its site, mirroring
+/// `PANIC-OK:` for the panic rules.
+pub const LOCK_OK: &str = "LOCK-OK:";
+
+/// Crates whose lock discipline the pass models.
+pub const MODELED_CRATES: &[&str] = &[
+    "crates/sync/src",
+    "crates/membuffer/src",
+    "crates/memtable/src",
+    "crates/storage/src",
+    "crates/core/src",
+];
+
+/// Files that *implement* the lock infrastructure and are therefore not
+/// subject to it: the shim's wrapper structs would otherwise register as
+/// unrankable lock sites of their own.
+const INFRA_FILES: &[&str] = &["shim.rs", "lock_order.rs"];
+
+/// Runs the full pipeline over an explicit file set. `order_path` is the
+/// hierarchy TOML, `runtime_path` the runtime-rank source (pass the real
+/// `lock_order.rs` for the workspace, a fixture stand-in for tests).
+pub fn run_locks_files(
+    order_path: &Path,
+    runtime_path: &Path,
+    files: &[PathBuf],
+) -> Result<Vec<LockFinding>, String> {
+    let content_of = |p: &Path| -> Result<String, String> {
+        std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))
+    };
+
+    let order_content = content_of(order_path)?;
+    let order = order::parse_lock_order(&order_content)
+        .map_err(|e| format!("{}:{}: {}", order_path.display(), e.line, e.message))?;
+    let runtime_ranks = order::parse_runtime_ranks(&content_of(runtime_path)?);
+
+    let mut sources: Vec<(PathBuf, String)> = Vec::new();
+    for f in files {
+        sources.push((f.clone(), content_of(f)?));
+    }
+
+    let mut decls: Vec<Decl> = Vec::new();
+    for (path, content) in &sources {
+        decls.extend(extract_decls(path, content));
+    }
+
+    let mut edges: Vec<Waivable<ObservedEdge>> = Vec::new();
+    let mut blocking: Vec<Waivable<BlockingHit>> = Vec::new();
+    for (path, content) in &sources {
+        let lines: Vec<&str> = content.lines().collect();
+        let waived_at =
+            |line: usize| line >= 1 && line_has_marker(&lines, line - 1, LOCK_OK);
+        let facts = extract_facts(path, content, &decls);
+        for e in facts.edges {
+            let waived = waived_at(e.line);
+            edges.push(Waivable { fact: e, waived });
+        }
+        for b in facts.blocking {
+            let waived = waived_at(b.line);
+            blocking.push(Waivable { fact: b, waived });
+        }
+    }
+
+    Ok(graph::check(
+        &order,
+        order_path,
+        &decls,
+        &edges,
+        &blocking,
+        &runtime_ranks,
+        runtime_path,
+    ))
+}
+
+/// Runs the pass over the workspace rooted at `root`.
+pub fn run_locks(root: &Path) -> Result<Vec<LockFinding>, String> {
+    let order_path = root.join("LOCK_ORDER.toml");
+    let runtime_path = root.join("crates/sync/src/lock_order.rs");
+    let mut files = Vec::new();
+    for dir in MODELED_CRATES {
+        rust_files(&root.join(dir), &mut files);
+    }
+    files.retain(|f| {
+        let name = f.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let is_sync_crate = f
+            .parent()
+            .map(|p| p.ends_with("crates/sync/src"))
+            .unwrap_or(false);
+        !(is_sync_crate && INFRA_FILES.contains(&name))
+    });
+    files.sort();
+    run_locks_files(&order_path, &runtime_path, &files)
+}

@@ -1,0 +1,322 @@
+//! The declared lock hierarchy: `LOCK_ORDER.toml` parsing and the
+//! cross-check against `crates/sync/src/lock_order.rs`.
+//!
+//! The TOML dialect is the small subset the file actually uses (parsed
+//! here without crates.io dependencies, like everything else in xtask):
+//! `[[class]]` / `[[edge]]` tables, single-line `key = "string"`,
+//! `key = integer`, and single-line `key = ["a", "b"]` string arrays.
+//! Comments start with `#`.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+/// One ranked lock class.
+#[derive(Debug, Clone)]
+pub struct LockClassDecl {
+    /// Class name, e.g. `core.freeze`.
+    pub name: String,
+    /// Rank; outer locks are low, inner locks are high. Every acquisition
+    /// edge must go from a strictly lower to a strictly higher rank.
+    pub rank: u32,
+    /// The source sites (`Type.field`) this class covers.
+    pub sites: Vec<String>,
+    /// 1-based line of the `[[class]]` header (diagnostics).
+    pub line: usize,
+}
+
+/// One declared acquired-while-holding edge with its justification.
+#[derive(Debug, Clone)]
+pub struct EdgeDecl {
+    /// Class held.
+    pub from: String,
+    /// Class acquired under it.
+    pub to: String,
+    /// Why this nesting is legal and intended.
+    pub why: String,
+    /// 1-based line of the `[[edge]]` header (diagnostics).
+    pub line: usize,
+}
+
+/// The parsed hierarchy.
+#[derive(Debug, Default)]
+pub struct LockOrder {
+    /// Ranked classes, in file order.
+    pub classes: Vec<LockClassDecl>,
+    /// Declared edges, in file order.
+    pub edges: Vec<EdgeDecl>,
+}
+
+impl LockOrder {
+    /// Class lookup by name.
+    pub fn class(&self, name: &str) -> Option<&LockClassDecl> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Maps every declared site to its class name.
+    pub fn site_to_class(&self) -> HashMap<&str, &str> {
+        let mut map = HashMap::new();
+        for c in &self.classes {
+            for s in &c.sites {
+                map.insert(s.as_str(), c.name.as_str());
+            }
+        }
+        map
+    }
+}
+
+/// A parse failure: line and message.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+fn unquote(v: &str, line: usize) -> Result<String, ParseError> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(ParseError {
+            line,
+            message: format!("expected a double-quoted string, got `{v}`"),
+        })
+    }
+}
+
+fn parse_array(v: &str, line: usize) -> Result<Vec<String>, ParseError> {
+    let v = v.trim();
+    let Some(body) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+        return Err(ParseError {
+            line,
+            message: format!("expected a single-line [\"...\"] array, got `{v}`"),
+        });
+    };
+    let mut out = Vec::new();
+    for item in body.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(unquote(item, line)?);
+    }
+    Ok(out)
+}
+
+/// Parses the `LOCK_ORDER.toml` dialect.
+pub fn parse_lock_order(content: &str) -> Result<LockOrder, ParseError> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Class,
+        Edge,
+    }
+    let mut order = LockOrder::default();
+    let mut section = Section::None;
+    for (idx, raw) in content.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match trimmed {
+            "[[class]]" => {
+                section = Section::Class;
+                order.classes.push(LockClassDecl {
+                    name: String::new(),
+                    rank: 0,
+                    sites: Vec::new(),
+                    line,
+                });
+                continue;
+            }
+            "[[edge]]" => {
+                section = Section::Edge;
+                order.edges.push(EdgeDecl {
+                    from: String::new(),
+                    to: String::new(),
+                    why: String::new(),
+                    line,
+                });
+                continue;
+            }
+            _ => {}
+        }
+        let Some((key, value)) = trimmed.split_once('=') else {
+            return Err(ParseError {
+                line,
+                message: format!("expected `key = value` or a [[class]]/[[edge]] header, got `{trimmed}`"),
+            });
+        };
+        let key = key.trim();
+        match section {
+            Section::None => {
+                return Err(ParseError {
+                    line,
+                    message: "key outside any [[class]]/[[edge]] table".to_string(),
+                })
+            }
+            Section::Class => {
+                // PANIC-OK is not needed: a [[class]] header always pushes
+                // before its keys are seen, so last_mut cannot fail — but
+                // stay defensive anyway.
+                let Some(class) = order.classes.last_mut() else {
+                    return Err(ParseError {
+                        line,
+                        message: "class key before any [[class]] header".to_string(),
+                    });
+                };
+                match key {
+                    "name" => class.name = unquote(value, line)?,
+                    "rank" => {
+                        class.rank = value.trim().parse().map_err(|_| ParseError {
+                            line,
+                            message: format!("rank must be an unsigned integer, got `{}`", value.trim()),
+                        })?;
+                    }
+                    "sites" => class.sites = parse_array(value, line)?,
+                    "about" => {
+                        unquote(value, line)?;
+                    }
+                    other => {
+                        return Err(ParseError {
+                            line,
+                            message: format!("unknown class key `{other}`"),
+                        })
+                    }
+                }
+            }
+            Section::Edge => {
+                let Some(edge) = order.edges.last_mut() else {
+                    return Err(ParseError {
+                        line,
+                        message: "edge key before any [[edge]] header".to_string(),
+                    });
+                };
+                match key {
+                    "from" => edge.from = unquote(value, line)?,
+                    "to" => edge.to = unquote(value, line)?,
+                    "why" => edge.why = unquote(value, line)?,
+                    other => {
+                        return Err(ParseError {
+                            line,
+                            message: format!("unknown edge key `{other}`"),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    for c in &order.classes {
+        if c.name.is_empty() {
+            return Err(ParseError {
+                line: c.line,
+                message: "[[class]] missing `name`".to_string(),
+            });
+        }
+    }
+    for e in &order.edges {
+        if e.from.is_empty() || e.to.is_empty() || e.why.is_empty() {
+            return Err(ParseError {
+                line: e.line,
+                message: "[[edge]] needs `from`, `to` and a non-empty `why` justification"
+                    .to_string(),
+            });
+        }
+    }
+    Ok(order)
+}
+
+/// Extracts the `LockClass { name: "...", rank: N }` constants from
+/// `crates/sync/src/lock_order.rs` so the static hierarchy and the
+/// runtime ranks cannot drift apart. Returns `(name, rank, line)` per
+/// constant; constants are written one per line by convention.
+pub fn parse_runtime_ranks(content: &str) -> Vec<(String, u32, usize)> {
+    let mut out = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let code = crate::common::code_portion(raw);
+        let Some(pos) = code.find("LockClass {") else {
+            continue;
+        };
+        let rest = &code[pos..];
+        // The stripped code portion blanks string literals, so read the
+        // name from the raw line instead.
+        let Some(name) = raw
+            .split_once("name:")
+            .and_then(|(_, r)| r.split('"').nth(1))
+        else {
+            continue;
+        };
+        let Some(rank) = rest
+            .split_once("rank:")
+            .and_then(|(_, r)| {
+                r.trim_start()
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse::<u32>()
+                    .ok()
+            })
+        else {
+            continue;
+        };
+        out.push((name.to_string(), rank, idx + 1));
+    }
+    out
+}
+
+/// Loads and parses `LOCK_ORDER.toml` from the workspace root.
+pub fn load(root: &Path) -> Result<LockOrder, String> {
+    let path = root.join("LOCK_ORDER.toml");
+    let content = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_lock_order(&content).map_err(|e| format!("{}:{}: {}", path.display(), e.line, e.message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_classes_and_edges() {
+        let toml = r#"
+# comment
+[[class]]
+name = "a.outer"
+rank = 10
+sites = ["Foo.lock", "Foo.cv"]
+about = "the outer lock"
+
+[[class]]
+name = "b.inner"
+rank = 20
+sites = ["Bar.lock"]
+
+[[edge]]
+from = "a.outer"
+to = "b.inner"
+why = "Foo::step acquires Bar under its own lock"
+"#;
+        let order = parse_lock_order(toml).unwrap();
+        assert_eq!(order.classes.len(), 2);
+        assert_eq!(order.class("a.outer").unwrap().rank, 10);
+        assert_eq!(order.class("a.outer").unwrap().sites.len(), 2);
+        assert_eq!(order.edges.len(), 1);
+        assert_eq!(order.edges[0].to, "b.inner");
+        assert_eq!(order.site_to_class()["Bar.lock"], "b.inner");
+    }
+
+    #[test]
+    fn rejects_unjustified_edges() {
+        let toml = "[[edge]]\nfrom = \"a\"\nto = \"b\"\n";
+        assert!(parse_lock_order(toml).is_err());
+    }
+
+    #[test]
+    fn extracts_runtime_ranks() {
+        let src = "pub const CORE_FREEZE: LockClass = LockClass { name: \"core.freeze\", rank: 22 };\n";
+        let ranks = parse_runtime_ranks(src);
+        assert_eq!(ranks, vec![("core.freeze".to_string(), 22, 1)]);
+    }
+}

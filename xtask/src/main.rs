@@ -3,8 +3,10 @@
 //! Commands:
 //! - `lint` — run the static lint pass (see the crate docs of the
 //!   `xtask` library for the rules). Exits non-zero on any finding.
+//! - `locks` — run the whole-workspace lock-order analysis against
+//!   `LOCK_ORDER.toml`. Exits non-zero on any violation.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn workspace_root() -> PathBuf {
@@ -14,6 +16,12 @@ fn workspace_root() -> PathBuf {
         .parent()
         .expect("xtask sits one level below the workspace root")
         .to_path_buf()
+}
+
+fn rel(root: &Path, file: &Path) -> String {
+    // Findings print with paths relative to the root so CI logs stay
+    // readable regardless of checkout location.
+    file.strip_prefix(root).unwrap_or(file).display().to_string()
 }
 
 fn main() -> ExitCode {
@@ -27,23 +35,35 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             } else {
                 for f in &findings {
-                    // Findings print with paths relative to the root so CI
-                    // logs stay readable regardless of checkout location.
-                    let rel = f
-                        .file
-                        .strip_prefix(&root)
-                        .unwrap_or(&f.file)
-                        .display()
-                        .to_string();
-                    eprintln!("{rel}:{}: [{}] {}", f.line, f.rule, f.message);
+                    eprintln!("{}:{}: [{}] {}", rel(&root, &f.file), f.line, f.rule, f.message);
                 }
                 eprintln!("xtask lint: {} finding(s)", findings.len());
                 ExitCode::FAILURE
             }
         }
+        Some("locks") => {
+            let root = workspace_root();
+            match xtask::locks::run_locks(&root) {
+                Err(e) => {
+                    eprintln!("xtask locks: {e}");
+                    ExitCode::FAILURE
+                }
+                Ok(findings) if findings.is_empty() => {
+                    eprintln!("xtask locks: hierarchy consistent");
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        eprintln!("{}:{}: [lock-order] {}", rel(&root, &f.file), f.line, f.message);
+                    }
+                    eprintln!("xtask locks: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+            }
+        }
         other => {
             eprintln!(
-                "usage: cargo xtask lint\n  (unknown command: {:?})",
+                "usage: cargo xtask <lint|locks>\n  (unknown command: {:?})",
                 other.unwrap_or("<none>")
             );
             ExitCode::FAILURE

@@ -1,0 +1,89 @@
+//! Rule `env-unwrap`: no `.unwrap()` / `.expect(` on the result of an
+//! `Env`-surface call in `crates/storage` or `crates/core` production
+//! code, `// PANIC-OK:` waivable. Every one of these calls is a
+//! fault-injection point (see `flodb_storage::fault`): a panic there
+//! turns an injectable, recoverable I/O error into an abort the
+//! resilience sweep can never exercise.
+
+use std::path::Path;
+
+use crate::common::code_portion;
+use crate::rules::panic::panic_waived;
+use crate::rules::{Finding, Rule};
+
+/// The `Env`-surface calls this rule guards: each returns a `Result` whose
+/// failure the fault layer can inject, so panicking on it forecloses the
+/// resilience sweep. Method-call spellings (leading `.`) where the bare
+/// name would collide with unrelated functions.
+const ENV_RESULT_CALLS: &[&str] = &[
+    "new_writable(",
+    "open_random(",
+    "sync_dir(",
+    "read_at(",
+    ".delete(",
+    ".list(",
+];
+
+/// Checks one file for panics on `Env`-surface results.
+pub fn check_env_unwraps(file: &Path, content: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = code_portion(raw);
+        if !code.contains(".unwrap()") && !code.contains(".expect(") {
+            continue;
+        }
+        let Some(call) = ENV_RESULT_CALLS.iter().find(|c| code.contains(*c)) else {
+            continue;
+        };
+        if !panic_waived(&lines, idx) {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::EnvUnwrap,
+                message: format!(
+                    "`.unwrap()`/`.expect()` on `{}...)` — an injectable I/O fault \
+                     point; propagate the error, or waive with `// PANIC-OK: <why>`",
+                    call.trim_start_matches('.')
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_unwrap_rule() {
+        // Unwrapping an Env-surface result fires.
+        let bad = "let f = env.new_writable(\"x.log\").unwrap();\n";
+        let findings = check_env_unwraps(Path::new("x.rs"), bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::EnvUnwrap);
+        let bad2 = "let data = file.read_at(0, len).expect(\"read\");\n";
+        assert_eq!(check_env_unwraps(Path::new("x.rs"), bad2).len(), 1);
+        // Non-Env unwraps are rule 3's business, not this rule's.
+        let other = "let v = map.get(k).unwrap();\n";
+        assert!(check_env_unwraps(Path::new("x.rs"), other).is_empty());
+        // Waivers and the test boundary apply as in rule 3.
+        let waived = "let f = env.sync_dir().unwrap(); // PANIC-OK: startup only\n";
+        assert!(check_env_unwraps(Path::new("x.rs"), waived).is_empty());
+        let in_tests =
+            "#[cfg(test)]\nmod tests {\n    fn t() { env.open_random(\"f\").unwrap(); }\n}\n";
+        assert!(check_env_unwraps(Path::new("x.rs"), in_tests).is_empty());
+        // Doc-comment examples are comments, not code.
+        let doc = "/// env.new_writable(\"f\").unwrap();\nfn f() {}\n";
+        assert!(check_env_unwraps(Path::new("x.rs"), doc).is_empty());
+        // Method-call spellings don't fire on unrelated bare names.
+        let unrelated = "self.pending.list().unwrap();\n";
+        assert_eq!(check_env_unwraps(Path::new("x.rs"), unrelated).len(), 1);
+        let not_env = "let d = to_delete(x).unwrap();\n";
+        assert!(check_env_unwraps(Path::new("x.rs"), not_env).is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Rule `seqcst-ordering`: every `Ordering::SeqCst` in modeled-crate
+//! production code must carry an `// ORDERING:` justification comment on
+//! the same line or in the comment block directly above — or be
+//! downgraded to the weakest ordering that is actually required.
+//!
+//! `SeqCst` is the "when in doubt" ordering: it hides the real
+//! synchronization argument and costs a full fence on weakly-ordered
+//! hardware. Sites that genuinely need a single total order (Dekker-style
+//! flag protocols, cross-variable orderings) keep it and say why; sites
+//! that only need a monotonic counter or a paired release/acquire get
+//! downgraded. Test code (from the first `#[cfg(test)]` line on) is
+//! exempt — tests reach for `SeqCst` as the conservative default and
+//! prove nothing about the production memory model.
+
+use std::path::Path;
+
+use crate::common::{code_portion, line_has_marker};
+use crate::rules::{Finding, Rule};
+
+/// Checks one file for unjustified `SeqCst` orderings.
+pub fn check_seqcst_ordering(file: &Path, content: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = code_portion(raw);
+        if !code.contains("SeqCst") {
+            continue;
+        }
+        if !line_has_marker(&lines, idx, "ORDERING:") {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::SeqCstOrdering,
+                message: "`Ordering::SeqCst` without an `// ORDERING:` justification; \
+                          explain why a total order is required, or downgrade to the \
+                          weakest sufficient ordering"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqcst_needs_justification() {
+        let bad = "self.flag.store(true, Ordering::SeqCst);\n";
+        let findings = check_seqcst_ordering(Path::new("x.rs"), bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::SeqCstOrdering);
+
+        let same_line =
+            "self.flag.store(true, Ordering::SeqCst); // ORDERING: Dekker with is_paused\n";
+        assert!(check_seqcst_ordering(Path::new("x.rs"), same_line).is_empty());
+
+        let above = "// ORDERING: must totally order with the phase flip\n\
+                     self.counts[p].fetch_add(1, Ordering::SeqCst);\n";
+        assert!(check_seqcst_ordering(Path::new("x.rs"), above).is_empty());
+
+        // Weaker orderings never fire.
+        let relaxed = "self.ticks.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(check_seqcst_ordering(Path::new("x.rs"), relaxed).is_empty());
+
+        // Test code is exempt.
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn t() { f.store(true, Ordering::SeqCst); }\n}\n";
+        assert!(check_seqcst_ordering(Path::new("x.rs"), in_tests).is_empty());
+
+        // Doc comments are not code.
+        let doc = "/// uses Ordering::SeqCst internally\nfn f() {}\n";
+        assert!(check_seqcst_ordering(Path::new("x.rs"), doc).is_empty());
+    }
+}

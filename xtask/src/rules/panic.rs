@@ -1,0 +1,57 @@
+//! Rule `write-path-panic`: no `.unwrap()` / `.expect(` in `crates/core`
+//! production code unless the line carries a `// PANIC-OK:` waiver
+//! explaining why panicking is acceptable (the write path must surface
+//! failures as `WriteError`, never abort a caller holding store state).
+//! Test code (from the first `#[cfg(test)]` line on) is exempt.
+
+use std::path::Path;
+
+use crate::common::{code_portion, line_has_marker};
+use crate::rules::{Finding, Rule};
+
+/// Is the panic at `line_idx` waived by a `// PANIC-OK:` marker on the
+/// same line or in the comment/attribute block directly above?
+pub(crate) fn panic_waived(lines: &[&str], line_idx: usize) -> bool {
+    line_has_marker(lines, line_idx, "PANIC-OK:")
+}
+
+/// Checks one file for unwaived panics in production code.
+pub fn check_write_path_panics(file: &Path, content: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = code_portion(raw);
+        if !code.contains(".unwrap()") && !code.contains(".expect(") {
+            continue;
+        }
+        if !panic_waived(&lines, idx) {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::WritePathPanic,
+                message: "`.unwrap()`/`.expect()` in flodb-core production code; \
+                          return a typed error, or waive with `// PANIC-OK: <why>`"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_waivers() {
+        let bad = "let v = map.get(k).unwrap();\n";
+        assert_eq!(check_write_path_panics(Path::new("x.rs"), bad).len(), 1);
+        let ok = "let v = map.get(k).unwrap(); // PANIC-OK: key inserted above\n";
+        assert!(check_write_path_panics(Path::new("x.rs"), ok).is_empty());
+        let above = "// PANIC-OK: key inserted above\nlet v = map.get(k).unwrap();\n";
+        assert!(check_write_path_panics(Path::new("x.rs"), above).is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Rule `safety-comment`: every `unsafe` block, function, impl, or trait
+//! must be annotated with a `// SAFETY:` comment (or a `# Safety` doc
+//! section) justifying why its obligations hold. Applies to the whole
+//! file, tests included (unsafe in tests still needs justifying).
+
+use std::path::Path;
+
+use crate::common::{code_portion, comment_portion, contains_word, is_comment_or_attr};
+use crate::rules::{Finding, Rule};
+
+/// Does the contiguous comment/attribute block ending at `line_idx - 1`
+/// (0-based) — or the line itself — carry a SAFETY justification?
+fn has_safety_annotation(lines: &[&str], line_idx: usize) -> bool {
+    let marker = |l: &str| l.contains("SAFETY:") || l.contains("# Safety");
+    if marker(comment_portion(lines[line_idx])) {
+        return true;
+    }
+    let mut i = line_idx;
+    while i > 0 && is_comment_or_attr(lines[i - 1]) {
+        i -= 1;
+        if marker(lines[i]) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Checks one file for unannotated `unsafe` sites.
+pub fn check_safety_comments(file: &Path, content: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let code = code_portion(raw);
+        if !contains_word(&code, "unsafe") {
+            continue;
+        }
+        if !has_safety_annotation(&lines, idx) {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::SafetyComment,
+                message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc \
+                          section) justifying its obligations"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_annotation_lookup() {
+        let ok = "// SAFETY: ptr is valid\nunsafe { *p }\n";
+        assert!(check_safety_comments(Path::new("x.rs"), ok).is_empty());
+        let same_line = "unsafe { *p } // SAFETY: ptr is valid\n";
+        assert!(check_safety_comments(Path::new("x.rs"), same_line).is_empty());
+        let doc = "/// # Safety\n/// p must be valid\npub unsafe fn f(p: *const u8) {}\n";
+        assert!(check_safety_comments(Path::new("x.rs"), doc).is_empty());
+        let bad = "let x = 0;\nunsafe { *p }\n";
+        assert_eq!(check_safety_comments(Path::new("x.rs"), bad).len(), 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Rule `raw-sync`: no `std::sync` / `parking_lot` / `std::thread`
+//! primitive may be used directly inside the facade-scoped crates; all
+//! synchronization must go through the `flodb_sync::shim` facade so that
+//! `--cfg flodb_model` coverage cannot silently rot as code evolves.
+//! Test code (from the first `#[cfg(test)]` line on) is exempt.
+
+use std::path::Path;
+
+use crate::common::code_portion;
+use crate::rules::{Finding, Rule};
+
+/// The substrings this rule bans from facade-scoped crates. `shim.rs`
+/// itself is the one place allowed to name the real primitives.
+const RAW_SYNC_PATTERNS: &[&str] = &[
+    "std::sync",
+    "core::sync",
+    "parking_lot",
+    "std::thread",
+    "std::hint::spin_loop",
+];
+
+/// Checks one file for raw synchronization-primitive uses.
+pub fn check_raw_sync(file: &Path, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = code_portion(raw);
+        for pat in RAW_SYNC_PATTERNS {
+            if code.contains(pat) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    rule: Rule::RawSync,
+                    message: format!(
+                        "raw `{pat}` in a facade-scoped crate; use `flodb_sync::shim` \
+                         (or `crate::shim` inside flodb-sync) so `--cfg flodb_model` \
+                         instruments it"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_sync_respects_test_boundary() {
+        let src = "use crate::shim::Mutex;\n#[cfg(test)]\nmod tests { use std::sync::Arc; }\n";
+        assert!(check_raw_sync(Path::new("x.rs"), src).is_empty());
+        let bad = "use std::sync::Mutex;\n";
+        assert_eq!(check_raw_sync(Path::new("x.rs"), bad).len(), 1);
+    }
+}

@@ -70,3 +70,89 @@ fn workspace_is_clean() {
             .join("\n")
     );
 }
+
+// ---------------------------------------------------------------------------
+// `cargo xtask locks` fixture corpus: each error class the lock-order pass
+// reports must fire on its fixture — and stay silent on the clean and
+// waived ones.
+
+fn locks_case(name: &str) -> Vec<xtask::locks::graph::LockFinding> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/locks")
+        .join(name);
+    xtask::locks::run_locks_files(
+        &dir.join("LOCK_ORDER.toml"),
+        &dir.join("lock_order.rs"),
+        &[dir.join("src.rs")],
+    )
+    .expect("fixture hierarchy parses")
+}
+
+fn render(findings: &[xtask::locks::graph::LockFinding]) -> String {
+    findings
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn locks_clean_fixture_passes() {
+    let findings = locks_case("clean");
+    assert!(findings.is_empty(), "declared edge, ascending nesting:\n{}", render(&findings));
+}
+
+#[test]
+fn locks_undeclared_edge_fails() {
+    let findings = locks_case("undeclared_edge");
+    assert_eq!(findings.len(), 1, "exactly the missing edge:\n{}", render(&findings));
+    assert!(findings[0].message.contains("undeclared lock edge"), "{}", findings[0]);
+    assert_eq!(findings[0].line, 11, "the inner acquisition line");
+}
+
+#[test]
+fn locks_declared_cycle_fails() {
+    let findings = locks_case("cycle");
+    assert!(
+        findings.iter().any(|f| f.message.contains("cycle")),
+        "the two declared edges close a loop:\n{}",
+        render(&findings)
+    );
+}
+
+#[test]
+fn locks_blocking_under_guard_fails() {
+    let findings = locks_case("blocking");
+    assert_eq!(findings.len(), 1, "exactly the fsync under the guard:\n{}", render(&findings));
+    assert!(findings[0].message.contains("blocking call"), "{}", findings[0]);
+    assert_eq!(findings[0].line, 11, "the `f.sync()` line");
+}
+
+#[test]
+fn locks_waived_edge_passes() {
+    let findings = locks_case("waived_edge");
+    assert!(findings.is_empty(), "LOCK-OK must silence the edge:\n{}", render(&findings));
+}
+
+#[test]
+fn locks_observed_inversion_fails() {
+    // The same descending shape the runtime tracker rejects with a panic
+    // (see crates/sync/src/lock_order.rs tests): rank 10 acquired under
+    // rank 20.
+    let findings = locks_case("inversion");
+    assert_eq!(findings.len(), 1, "exactly the descending edge:\n{}", render(&findings));
+    assert!(findings[0].message.contains("ranks must ascend"), "{}", findings[0]);
+}
+
+#[test]
+fn workspace_lock_hierarchy_is_consistent() {
+    // Mirror of `workspace_is_clean` for the locks pass: CI runs the
+    // binary, this keeps plain `cargo test` sufficient.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
+    let findings = xtask::locks::run_locks(root).expect("workspace hierarchy parses");
+    assert!(
+        findings.is_empty(),
+        "cargo xtask locks must be clean:\n{}",
+        render(&findings)
+    );
+}

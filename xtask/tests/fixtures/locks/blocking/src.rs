@@ -1,0 +1,14 @@
+//! Fixture: durability barrier issued while a guard is live.
+
+pub struct Outer {
+    a: Mutex<File>,
+    b: Mutex<u32>,
+}
+
+impl Outer {
+    pub fn flush(&self, f: &File) {
+        let g = self.a.lock();
+        f.sync();
+        drop(g);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture stand-in for crates/sync/src/lock_order.rs.
+
+pub struct LockClass {
+    pub name: &'static str,
+    pub rank: u32,
+}
+
+pub const FIX_OUTER: LockClass = LockClass { name: "fix.outer", rank: 10 };
+pub const FIX_INNER: LockClass = LockClass { name: "fix.inner", rank: 20 };

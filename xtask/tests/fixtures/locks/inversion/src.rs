@@ -1,0 +1,16 @@
+//! Fixture: nests `a` (rank 10) under `b` (rank 20) — descending. The
+//! runtime tracker test in crates/sync/src/lock_order.rs rejects the same
+//! shape dynamically.
+
+pub struct Outer {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Outer {
+    pub fn nest(&self) -> u32 {
+        let g = self.b.lock();
+        let h = self.a.lock();
+        *g + *h
+    }
+}

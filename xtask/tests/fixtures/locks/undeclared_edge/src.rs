@@ -1,0 +1,14 @@
+//! Fixture: nests `b` (rank 20) under `a` (rank 10) — ascending.
+
+pub struct Outer {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Outer {
+    pub fn nest(&self) -> u32 {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        *g + *h
+    }
+}

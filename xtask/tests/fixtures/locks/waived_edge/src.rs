@@ -1,0 +1,17 @@
+//! Fixture: same ascending nesting, waived at the site instead of
+//! declared as an edge.
+
+pub struct Outer {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Outer {
+    pub fn nest(&self) -> u32 {
+        let g = self.a.lock();
+        // LOCK-OK: fixture waiver — the nesting is intentional and the
+        // edge is deliberately left out of the TOML.
+        let h = self.b.lock();
+        *g + *h
+    }
+}
