@@ -24,12 +24,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use flodb_core::{FloDb, FloDbOptions, KvStore, ShardedFloDb, ShardedOptions, WalMode};
+use flodb_core::{FloDb, FloDbOptions, KvStore, ShardedFloDb, ShardedOptions, TelemetryLevel, WalMode};
 use flodb_storage::record::encode_record_parts;
 use flodb_storage::wal::WalWriter;
 use flodb_storage::{Env, FsEnv, MemEnv, Record, StorageError};
 use flodb_sync::{GroupCommitConfig, GroupCommitter, SequenceGenerator};
-use flodb_workloads::driver::{run_workload, WorkloadConfig};
+use flodb_workloads::driver::{run_workload, RunReport, WorkloadConfig};
 use flodb_workloads::keys::KeyDistribution;
 use flodb_workloads::mix::OperationMix;
 use parking_lot::Mutex;
@@ -81,6 +81,58 @@ pub struct Cell {
     /// the imbalance gauge of the `store_sharded` family. Empty for
     /// unsharded cells (and omitted from their JSON).
     pub shard_puts: Vec<u64>,
+    /// Engine telemetry level the cell ran under (`off` / `counters` /
+    /// `full`). Store families run the engine default (`counters`) except
+    /// the `store_telemetry` family, which pins Off vs Full to price the
+    /// histograms; `wal_pipeline` has no engine, reported as `off`.
+    pub telemetry: &'static str,
+    /// Total nanoseconds writers spent stalled on a full memory component
+    /// during the cell (store families only; see `StoreStats`).
+    pub write_stall_ns: u64,
+    /// Total nanoseconds spent in per-append WAL fsync during the cell
+    /// (store families only; 0 in the nosync modes the matrix runs).
+    pub wal_sync_ns: u64,
+    /// Caller-observed latency quantiles per op class, measured by the
+    /// workload driver (store families; empty for `wal_pipeline` cells
+    /// and omitted from their JSON).
+    pub latency: Vec<OpLatency>,
+}
+
+/// Caller-observed latency quantiles for one op class of a store cell,
+/// from the workload driver's log-linear histograms (≈3% relative error).
+#[derive(Debug, Clone)]
+pub struct OpLatency {
+    /// Op class (`read`, `write`, `scan`).
+    pub op: &'static str,
+    /// Median latency in nanoseconds.
+    pub lat_p50_ns: u64,
+    /// 95th-percentile latency in nanoseconds.
+    pub lat_p95_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub lat_p99_ns: u64,
+    /// Maximum observed latency in nanoseconds.
+    pub lat_max_ns: u64,
+}
+
+/// Extracts the per-op-class quantiles from a driver report, skipping op
+/// classes the mix never exercised.
+fn latency_from_report(report: &RunReport) -> Vec<OpLatency> {
+    let classes = [
+        ("read", &report.read_latency),
+        ("write", &report.write_latency),
+        ("scan", &report.scan_latency),
+    ];
+    classes
+        .iter()
+        .filter(|(_, h)| h.count() > 0)
+        .map(|&(op, h)| OpLatency {
+            op,
+            lat_p50_ns: h.percentile_ns(50.0),
+            lat_p95_ns: h.percentile_ns(95.0),
+            lat_p99_ns: h.percentile_ns(99.0),
+            lat_max_ns: h.max_ns(),
+        })
+        .collect()
 }
 
 /// Matrix dimensions; see [`MatrixConfig::full`] and [`MatrixConfig::smoke`].
@@ -243,6 +295,10 @@ fn wal_pipeline_cell(
         wal_retire_errors: 0,
         shards: 1,
         shard_puts: Vec::new(),
+        telemetry: "off",
+        write_stall_ns: 0,
+        wal_sync_ns: 0,
+        latency: Vec::new(),
     }
 }
 
@@ -262,7 +318,8 @@ fn apply_wal_mode(opts: &mut FloDbOptions, wal: &str) {
     }
 }
 
-/// End-to-end store cell via the workload driver.
+/// End-to-end store cell via the workload driver, at the engine's
+/// default telemetry level.
 fn store_cell(
     bench: &'static str,
     wal: &'static str,
@@ -270,10 +327,28 @@ fn store_cell(
     threads: usize,
     cfg: &MatrixConfig,
 ) -> Cell {
+    store_cell_at(bench, wal, mix, threads, cfg, None)
+}
+
+/// `store_cell` with the telemetry level pinned (`None` = engine
+/// default): the shared body of the default store families and the
+/// Off-vs-Full `store_telemetry` overhead pair.
+fn store_cell_at(
+    bench: &'static str,
+    wal: &'static str,
+    mix: OperationMix,
+    threads: usize,
+    cfg: &MatrixConfig,
+    level: Option<TelemetryLevel>,
+) -> Cell {
     let mut opts = FloDbOptions::default_in_memory();
     opts.memory_bytes = cfg.scale.memory_bytes;
     opts.env = Arc::new(MemEnv::new(None));
     apply_wal_mode(&mut opts, wal);
+    if let Some(level) = level {
+        opts.telemetry = level;
+    }
+    let telemetry = opts.telemetry.name();
     let db = Arc::new(FloDb::open(opts).expect("open"));
     let store: Arc<dyn KvStore> = Arc::clone(&db) as Arc<dyn KvStore>;
     let mut wl = WorkloadConfig::new(
@@ -285,6 +360,7 @@ fn store_cell(
     );
     wl.duration = cfg.cell_time;
     wl.value_bytes = cfg.scale.value_bytes;
+    wl.measure_latency = true;
     let report = run_workload(&store, &wl);
     assert_eq!(
         report.write_failures, 0,
@@ -313,6 +389,10 @@ fn store_cell(
         wal_retire_errors: stats.wal_retire_errors,
         shards: 1,
         shard_puts: Vec::new(),
+        telemetry,
+        write_stall_ns: stats.write_stall_ns,
+        wal_sync_ns: stats.wal_sync_ns,
+        latency: latency_from_report(&report),
     }
 }
 
@@ -327,6 +407,7 @@ fn store_sharded_cell(wal: &'static str, shards: u32, threads: usize, cfg: &Matr
     opts.memory_bytes = (cfg.scale.memory_bytes / shards as usize).max(64 * 1024);
     opts.env = Arc::new(MemEnv::new(None));
     apply_wal_mode(&mut opts, wal);
+    let telemetry = opts.telemetry.name();
     let db =
         Arc::new(ShardedFloDb::open(ShardedOptions::new(shards, opts)).expect("open sharded"));
     let store: Arc<dyn KvStore> = Arc::clone(&db) as Arc<dyn KvStore>;
@@ -340,6 +421,7 @@ fn store_sharded_cell(wal: &'static str, shards: u32, threads: usize, cfg: &Matr
     wl.duration = cfg.cell_time;
     wl.value_bytes = cfg.scale.value_bytes;
     wl.shards = shards;
+    wl.measure_latency = true;
     let report = run_workload(&store, &wl);
     assert_eq!(
         report.write_failures, 0,
@@ -373,6 +455,10 @@ fn store_sharded_cell(wal: &'static str, shards: u32, threads: usize, cfg: &Matr
         wal_retire_errors: stats.wal_retire_errors,
         shards: shards as usize,
         shard_puts,
+        telemetry,
+        write_stall_ns: stats.write_stall_ns,
+        wal_sync_ns: stats.wal_sync_ns,
+        latency: latency_from_report(&report),
     }
 }
 
@@ -461,6 +547,27 @@ pub fn run_matrix(cfg: &MatrixConfig) -> Vec<Cell> {
             cells.push(store_sharded_cell("group_nosync", shards, threads, cfg));
         }
     }
+
+    // Telemetry overhead family: the write-heavy store cell under the
+    // group-commit WAL with the engine's telemetry pinned Off vs Full.
+    // The committed pair is the acceptance bound for the in-engine
+    // histograms (Full within 5% of Off on write-heavy cells). Each
+    // Off/Full pair runs back-to-back (threads outer, level inner) so
+    // host-load drift over the minutes a matrix takes lands inside a
+    // pair as little as possible rather than between the two halves of
+    // the comparison.
+    for &threads in &cfg.threads {
+        for &level in &[TelemetryLevel::Off, TelemetryLevel::Full] {
+            cells.push(store_cell_at(
+                "store_telemetry",
+                "group_nosync",
+                OperationMix::write_only(),
+                threads,
+                cfg,
+                Some(level),
+            ));
+        }
+    }
     cells
 }
 
@@ -475,8 +582,8 @@ pub fn run_matrix_best_of(cfg: &MatrixConfig, repeat: usize) -> Vec<Cell> {
         // Cell order is deterministic, so runs zip index-by-index.
         for (seen, fresh) in best.iter_mut().zip(run_matrix(cfg)) {
             debug_assert_eq!(
-                (seen.bench, seen.wal, seen.env, seen.threads, seen.shards),
-                (fresh.bench, fresh.wal, fresh.env, fresh.threads, fresh.shards)
+                (seen.bench, seen.wal, seen.env, seen.threads, seen.shards, seen.telemetry),
+                (fresh.bench, fresh.wal, fresh.env, fresh.threads, fresh.shards, fresh.telemetry)
             );
             if fresh.ops_per_sec > seen.ops_per_sec {
                 *seen = fresh;
@@ -521,12 +628,29 @@ pub fn to_json(cells: &[Cell], note: &str) -> String {
             let entries: Vec<String> = c.shard_puts.iter().map(u64::to_string).collect();
             format!(", \"shard_puts\": [{}]", entries.join(", "))
         };
+        let latency = if c.latency.is_empty() {
+            String::new()
+        } else {
+            let entries: Vec<String> = c
+                .latency
+                .iter()
+                .map(|l| {
+                    format!(
+                        "{{\"op\": \"{}\", \"lat_p50_ns\": {}, \"lat_p95_ns\": {}, \
+                         \"lat_p99_ns\": {}, \"lat_max_ns\": {}}}",
+                        l.op, l.lat_p50_ns, l.lat_p95_ns, l.lat_p99_ns, l.lat_max_ns
+                    )
+                })
+                .collect();
+            format!(", \"latency\": [{}]", entries.join(", "))
+        };
         out.push_str(&format!(
             "    {{\"bench\": \"{}\", \"wal\": \"{}\", \"env\": \"{}\", \"threads\": {}, \
              \"shards\": {}, \"ops_per_sec\": {:.0}, \"total_ops\": {}, \"elapsed_s\": {:.3}, \
              \"recs_per_group\": {:.2}, \"wal_follower_writes\": {}, \
              \"wal_rotations\": {}, \"wal_retired_bytes\": {}, \
-             \"io_retries\": {}, \"io_degraded\": {}, \"wal_retire_errors\": {}{}}}{}\n",
+             \"io_retries\": {}, \"io_degraded\": {}, \"wal_retire_errors\": {}, \
+             \"telemetry\": \"{}\", \"write_stall_ns\": {}, \"wal_sync_ns\": {}{}{}}}{}\n",
             c.bench,
             c.wal,
             c.env,
@@ -542,7 +666,11 @@ pub fn to_json(cells: &[Cell], note: &str) -> String {
             c.io_retries,
             c.io_degraded,
             c.wal_retire_errors,
+            c.telemetry,
+            c.write_stall_ns,
+            c.wal_sync_ns,
             shard_puts,
+            latency,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
@@ -617,6 +745,42 @@ pub fn validate_matrix_json(text: &str) -> Result<(), String> {
             None if is_sharded => {
                 return Err(format!("cell {i}: store_sharded without shard_puts"))
             }
+            None => {}
+        }
+        // Telemetry fields (PR 10): all optional — pre-telemetry
+        // documents carry none — but shape-checked when present.
+        match fields.iter().find(|(k, _)| k == "telemetry") {
+            Some((_, json::Value::String(s)))
+                if matches!(s.as_str(), "off" | "counters" | "full") => {}
+            Some((_, other)) => return Err(format!("cell {i}: bad telemetry: {other:?}")),
+            None => {}
+        }
+        for optional in ["write_stall_ns", "wal_sync_ns"] {
+            match fields.iter().find(|(k, _)| k == optional) {
+                Some((_, json::Value::Number(n))) if *n >= 0.0 => {}
+                Some((_, other)) => return Err(format!("cell {i}: bad {optional}: {other:?}")),
+                None => {}
+            }
+        }
+        match fields.iter().find(|(k, _)| k == "latency") {
+            Some((_, json::Value::Array(entries))) => {
+                for entry in entries {
+                    let json::Value::Object(lat) = entry else {
+                        return Err(format!("cell {i}: latency entry is not an object"));
+                    };
+                    match lat.iter().find(|(k, _)| k == "op") {
+                        Some((_, json::Value::String(_))) => {}
+                        other => return Err(format!("cell {i}: bad latency op: {other:?}")),
+                    }
+                    for q in ["lat_p50_ns", "lat_p95_ns", "lat_p99_ns", "lat_max_ns"] {
+                        match lat.iter().find(|(k, _)| k == q) {
+                            Some((_, json::Value::Number(n))) if *n >= 0.0 => {}
+                            other => return Err(format!("cell {i}: bad {q}: {other:?}")),
+                        }
+                    }
+                }
+            }
+            Some((_, other)) => return Err(format!("cell {i}: bad latency: {other:?}")),
             None => {}
         }
     }
@@ -834,6 +998,28 @@ mod tests {
             assert_eq!(cell.shard_puts.len(), cell.shards);
             assert!(cell.shard_puts.iter().sum::<u64>() > 0);
         }
+        // Telemetry fields (PR 10): store cells measure caller latency,
+        // and the Off-vs-Full overhead pair runs even in smoke mode.
+        assert!(doc.contains("\"telemetry\""));
+        assert!(doc.contains("\"wal_sync_ns\""));
+        assert!(doc.contains("\"lat_p99_ns\""));
+        let tele: Vec<&Cell> = cells
+            .iter()
+            .filter(|c| c.bench == "store_telemetry")
+            .collect();
+        assert!(tele.iter().any(|c| c.telemetry == "off"));
+        assert!(tele.iter().any(|c| c.telemetry == "full"));
+        for cell in cells.iter().filter(|c| c.bench.starts_with("store")) {
+            assert!(
+                cell.latency.iter().any(|l| l.op == "write"),
+                "{}: no write latency measured",
+                cell.bench
+            );
+            for l in &cell.latency {
+                assert!(l.lat_p50_ns <= l.lat_max_ns);
+                assert!(l.lat_p99_ns <= l.lat_max_ns);
+            }
+        }
     }
 
     #[test]
@@ -868,6 +1054,44 @@ mod tests {
              \"shard_puts\": [1]}"
                 .to_string()
         ))
+        .is_err());
+    }
+
+    #[test]
+    fn validator_enforces_telemetry_shapes() {
+        let base = "{\"bench\": \"store_puts\", \"wal\": \"off\", \"env\": \"mem\", \
+                    \"threads\": 1, \"ops_per_sec\": 10.0, \"total_ops\": 5, \
+                    \"elapsed_s\": 0.5";
+        let doc = |cell: String| {
+            format!("{{\"schema\": \"flodb-bench-matrix/v1\", \"cells\": [{cell}]}}")
+        };
+        // All telemetry fields are optional (old documents stay valid)...
+        validate_matrix_json(&doc(format!("{base}}}"))).unwrap();
+        // ...and well-formed when present.
+        validate_matrix_json(&doc(format!(
+            "{base}, \"telemetry\": \"full\", \"write_stall_ns\": 12, \"wal_sync_ns\": 0, \
+             \"latency\": [{{\"op\": \"write\", \"lat_p50_ns\": 100, \"lat_p95_ns\": 200, \
+             \"lat_p99_ns\": 300, \"lat_max_ns\": 400}}]}}"
+        )))
+        .unwrap();
+        // Unknown level, non-numeric durations, and malformed latency
+        // entries are rejected.
+        assert!(validate_matrix_json(&doc(format!(
+            "{base}, \"telemetry\": \"verbose\"}}"
+        )))
+        .is_err());
+        assert!(validate_matrix_json(&doc(format!(
+            "{base}, \"write_stall_ns\": \"many\"}}"
+        )))
+        .is_err());
+        assert!(validate_matrix_json(&doc(format!(
+            "{base}, \"latency\": [{{\"op\": \"write\", \"lat_p50_ns\": 100}}]}}"
+        )))
+        .is_err());
+        assert!(validate_matrix_json(&doc(format!(
+            "{base}, \"latency\": [{{\"lat_p50_ns\": 1, \"lat_p95_ns\": 2, \
+             \"lat_p99_ns\": 3, \"lat_max_ns\": 4}}]}}"
+        )))
         .is_err());
     }
 

@@ -178,6 +178,14 @@ pub struct StoreStats {
     /// or delete retired segment files, leaving the segments on disk as
     /// stale-but-harmless leftovers (FloDB only).
     pub wal_retire_errors: u64,
+    /// Total nanoseconds writers spent stalled waiting for Memtable room
+    /// (FloDB only; 0 below `TelemetryLevel::Counters` — the companion
+    /// of `write_stalls`, sizing the stalls it counts).
+    pub write_stall_ns: u64,
+    /// Total nanoseconds spent in WAL fsync inside committed groups
+    /// (FloDB only; 0 below `TelemetryLevel::Counters` or with
+    /// `sync: false`).
+    pub wal_sync_ns: u64,
 }
 
 /// The uniform key-value store interface (§2.1 of the paper, v2 surface).

@@ -47,6 +47,7 @@ mod scan;
 pub mod sharded;
 mod stats;
 mod store;
+pub mod telemetry;
 
 // Model-checker builds (`RUSTFLAGS="--cfg flodb_model"`) expose the drain
 // pipeline and the RCU view cell so tests/model*.rs in the umbrella crate
@@ -67,3 +68,4 @@ pub use options::{FloDbOptions, WalMode};
 pub use sharded::{Partitioner, ShardedFloDb, ShardedOptions};
 pub use stats::{FloDbStats, ReclamationStats};
 pub use store::FloDb;
+pub use telemetry::{TelemetryLevel, TelemetrySnapshot};

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use flodb_storage::{DiskOptions, Env, MemEnv, ThrottleConfig};
 
 use crate::error::OptionsError;
+use crate::telemetry::TelemetryLevel;
 
 /// Write-ahead-log durability mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +109,12 @@ pub struct FloDbOptions {
     pub env: Arc<dyn Env>,
     /// Run compactions on the persist thread after each flush.
     pub compact_after_flush: bool,
+    /// How much the engine measures itself (see
+    /// [`crate::telemetry::TelemetryLevel`]): `Off` reduces every
+    /// telemetry site to a branch on a cached enum, `Counters` adds the
+    /// flight recorder plus stall/fsync duration counters, `Full` adds
+    /// per-op and per-stage latency histograms.
+    pub telemetry: TelemetryLevel,
 }
 
 impl std::fmt::Debug for FloDbOptions {
@@ -152,6 +159,7 @@ impl FloDbOptions {
             disk: DiskOptions::default(),
             env: Arc::new(MemEnv::new(None)),
             compact_after_flush: true,
+            telemetry: TelemetryLevel::Counters,
         }
     }
 

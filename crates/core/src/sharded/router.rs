@@ -15,6 +15,7 @@ use crate::sharded::merge::merge_snapshots;
 use crate::sharded::partitioner::Partitioner;
 use crate::sharded::stats::aggregate;
 use crate::store::FloDb;
+use crate::telemetry::TelemetrySnapshot;
 
 /// Default partitioner seed when the caller does not pick one.
 pub const DEFAULT_HASH_SEED: u64 = 0xF10D_B5EE_D000_0001;
@@ -169,6 +170,27 @@ impl ShardedFloDb {
     /// [`KvStore::stats`] returns their sum.
     pub fn per_shard_stats(&self) -> Vec<StoreStats> {
         self.shards.iter().map(KvStore::stats).collect()
+    }
+
+    /// Fleet-wide telemetry: every shard's snapshot merged into one
+    /// (counters summed, histograms merged — see
+    /// [`TelemetrySnapshot::merge_from`]). Pair with
+    /// [`Self::per_shard_telemetry`] to find the shard behind a tail.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut total = match self.shards.first() {
+            Some(first) => first.telemetry(),
+            None => return TelemetrySnapshot::empty(crate::TelemetryLevel::Off),
+        };
+        for shard in &self.shards[1..] {
+            total.merge_from(&shard.telemetry());
+        }
+        total
+    }
+
+    /// Per-shard telemetry snapshots, indexed by shard — the latency
+    /// imbalance gauge ([`Self::telemetry`] returns their merge).
+    pub fn per_shard_telemetry(&self) -> Vec<TelemetrySnapshot> {
+        self.shards.iter().map(FloDb::telemetry).collect()
     }
 
     /// Shard indexes currently latched degraded (see

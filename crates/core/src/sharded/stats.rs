@@ -40,6 +40,8 @@ pub(crate) fn aggregate(per_shard: &[StoreStats]) -> StoreStats {
             io_retries,
             io_degraded,
             wal_retire_errors,
+            write_stall_ns,
+            wal_sync_ns,
         } = s;
         total.puts += puts;
         total.deletes += deletes;
@@ -60,6 +62,8 @@ pub(crate) fn aggregate(per_shard: &[StoreStats]) -> StoreStats {
         total.io_retries += io_retries;
         total.io_degraded += io_degraded;
         total.wal_retire_errors += wal_retire_errors;
+        total.write_stall_ns += write_stall_ns;
+        total.wal_sync_ns += wal_sync_ns;
     }
     total
 }
@@ -90,11 +94,15 @@ mod tests {
             io_retries: 17,
             io_degraded: 18,
             wal_retire_errors: 19,
+            write_stall_ns: 20,
+            wal_sync_ns: 21,
         };
         let total = aggregate(&[a.clone(), a.clone(), StoreStats::default()]);
         assert_eq!(total.puts, 2);
         assert_eq!(total.wal_active_bytes, 32);
         assert_eq!(total.wal_retire_errors, 38);
+        assert_eq!(total.write_stall_ns, 40);
+        assert_eq!(total.wal_sync_ns, 42);
         assert_eq!(aggregate(&[]), StoreStats::default());
         assert_eq!(aggregate(std::slice::from_ref(&a)), a);
     }

@@ -84,6 +84,14 @@ pub struct FloDbStats {
     /// stay on disk as stale-but-harmless leftovers (pruned at the next
     /// open); only disk-footprint boundedness degrades.
     pub wal_retire_errors: AtomicU64,
+    /// Total nanoseconds writers spent stalled waiting for Memtable room
+    /// — the duration companion of [`Self::write_stalls`]. Recorded at
+    /// `TelemetryLevel::Counters` and above (0 at `Off`).
+    pub write_stall_ns: AtomicU64,
+    /// Total nanoseconds spent fsyncing the WAL inside committed groups.
+    /// Recorded at `TelemetryLevel::Counters` and above (0 at `Off`, and
+    /// with `sync: false` there is nothing to record).
+    pub wal_sync_ns: AtomicU64,
 }
 
 /// A snapshot of epoch-based memory reclamation activity (see
@@ -156,6 +164,8 @@ impl FloDbStats {
             io_retries: self.io_retries.load(Ordering::Relaxed),
             io_degraded: self.io_degraded.load(Ordering::Relaxed),
             wal_retire_errors: self.wal_retire_errors.load(Ordering::Relaxed),
+            write_stall_ns: self.write_stall_ns.load(Ordering::Relaxed),
+            wal_sync_ns: self.wal_sync_ns.load(Ordering::Relaxed),
         }
     }
 }

@@ -20,7 +20,7 @@ use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use flodb_membuffer::{AddResult, MemBuffer, MemBufferConfig};
 use flodb_memtable::SkipList;
@@ -43,6 +43,9 @@ use crate::error::{OpenError, WriteError};
 use crate::options::{FloDbOptions, WalMode};
 use crate::scan::{ScanCoordinator, ScanRole};
 use crate::stats::FloDbStats;
+use crate::telemetry::{
+    EngineTelemetry, OpClass, StageClass, TelemetrySnapshot, TraceEvent, TraceEventKind,
+};
 use crate::view::{ImmMembuffer, MemView, ViewCell};
 
 /// Scan outcome signalling that a concurrent update invalidated the scan.
@@ -163,6 +166,11 @@ struct Inner {
     degraded: AtomicBool,
     /// The failure that latched `degraded`.
     degraded_reason: Mutex<Option<Arc<StorageError>>>,
+    /// Level-gated latency recorder and flight recorder (see
+    /// [`crate::telemetry`]); at `TelemetryLevel::Off` this is one cached
+    /// enum and two `None`s, and every telemetry call site reduces to a
+    /// branch on it.
+    telemetry: EngineTelemetry,
 }
 
 /// The FloDB key-value store.
@@ -197,6 +205,10 @@ impl Inner {
         }
         drop(slot);
         self.degraded.store(true, Ordering::Release);
+        // Flight-recorder postmortem: the trip plus the auto-dump, after
+        // the reason lock is released (the dump takes its own leaf lock).
+        self.telemetry.event(TraceEventKind::Degraded, 0, 0);
+        self.telemetry.dump_to_stderr(what);
     }
 
     /// The [`WriteError`] a write on a degraded store reports.
@@ -244,6 +256,9 @@ fn io_with_retries<T>(
                 }
                 attempt += 1;
                 FloDbStats::bump(&inner.stats.io_retries);
+                inner
+                    .telemetry
+                    .event(TraceEventKind::IoRetry, u64::from(attempt), 0);
                 let backoff = Backoff::new();
                 while !backoff.is_completed() {
                     backoff.snooze();
@@ -406,6 +421,7 @@ impl FloDb {
             wal,
             degraded: AtomicBool::new(false),
             degraded_reason: ranked_mutex(CORE_DEGRADED, None),
+            telemetry: EngineTelemetry::new(opts.telemetry),
             opts,
         });
         if let Some(wal) = &inner.wal {
@@ -451,6 +467,24 @@ impl FloDb {
     /// Snapshot of FloDB-specific counters.
     pub fn flodb_stats(&self) -> &FloDbStats {
         &self.inner.stats
+    }
+
+    /// Snapshot of the engine's telemetry: counters plus (at
+    /// `TelemetryLevel::Full`) per-op and per-stage latency histograms.
+    /// Delta-able ([`TelemetrySnapshot::delta_since`]) and exportable as
+    /// Prometheus-style text or JSON.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.inner.telemetry.snapshot(self.inner.stats.snapshot())
+    }
+
+    /// The flight recorder's published events, oldest first (empty below
+    /// `TelemetryLevel::Counters`). A bounded, allocation-free-in-steady-
+    /// state trace of structural engine events — freezes, drains,
+    /// rotations, retirements, flushes, compactions, stalls, I/O retries
+    /// and the degraded latch — for postmortems: the same dump is written
+    /// to stderr automatically when the store degrades.
+    pub fn trace_dump(&self) -> Vec<TraceEvent> {
+        self.inner.telemetry.trace_dump()
     }
 
     /// Whether the store has latched degraded: a background flush or
@@ -603,6 +637,7 @@ impl FloDb {
             return self.write_impl(batch);
         }
         // Logged→applied window; see `put_impl`.
+        let t0 = self.inner.telemetry.full().then(Instant::now);
         let _inflight = self.inner.wal.as_ref().map(|w| w.inflight.enter());
         self.wal_append(
             |inner, buf| {
@@ -618,6 +653,11 @@ impl FloDb {
         }
         FloDbStats::add(&self.inner.stats.puts, batch.puts());
         FloDbStats::add(&self.inner.stats.deletes, batch.deletes());
+        if let Some(t0) = t0 {
+            self.inner
+                .telemetry
+                .record_op(OpClass::Put, t0.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
@@ -634,7 +674,13 @@ impl FloDb {
     /// `scanned_keys`, so aggregated stats stay comparable with the
     /// unsharded path.
     pub fn scan_snapshot(&self, low: &[u8], high: &[u8]) -> Vec<ScanEntry> {
+        let t0 = self.inner.telemetry.full().then(Instant::now);
         let merged = self.scan_impl(low, high);
+        if let Some(t0) = t0 {
+            self.inner
+                .telemetry
+                .record_op(OpClass::Scan, t0.elapsed().as_nanos() as u64);
+        }
         FloDbStats::bump(&self.inner.stats.scans);
         let out: Vec<ScanEntry> = merged
             .iter()
@@ -665,6 +711,14 @@ impl FloDb {
         if wal.poisoned.load(Ordering::Acquire) {
             return Err(wal.poison_error());
         }
+        // Commit-wait attribution (`TelemetryLevel::Full`): time the whole
+        // submission, subtract the time this thread's own commit closure
+        // ran. For a leader that leaves queueing plus group formation; for
+        // a follower (whose closure never runs) the whole submission is
+        // waiting on another thread's commit.
+        let t_submit = inner.telemetry.full().then(Instant::now);
+        let commit_ns = std::cell::Cell::new(0u64);
+        let timed_commit = |frame: &mut Vec<u8>| self.commit_group_frame(wal, frame, &commit_ns);
         let outcome = match &wal.committer {
             Some(committer) => committer.submit(
                 // Encoding runs inside the committer's critical section,
@@ -672,7 +726,7 @@ impl FloDb {
                 // sequence order exactly — and keeps a multi-record
                 // submission's records contiguous in the group.
                 |buf| encode(inner, buf),
-                |frame| self.commit_group_frame(wal, frame),
+                timed_commit,
             ),
             None => {
                 // Legacy pipeline: one submission, one frame, one append,
@@ -681,7 +735,7 @@ impl FloDb {
                 // submission still forms a single frame.
                 let mut frame = vec![0u8; wal::FRAME_HEADER_BYTES];
                 encode(inner, &mut frame);
-                self.commit_group_frame(wal, &mut frame)
+                timed_commit(&mut frame)
                     .map(|()| CommitRole::Leader {
                         records: 1,
                         bytes: 0,
@@ -689,6 +743,12 @@ impl FloDb {
                     .map_err(Arc::new)
             }
         };
+        if let Some(t_submit) = t_submit {
+            let total = t_submit.elapsed().as_nanos() as u64;
+            inner
+                .telemetry
+                .record_stage(StageClass::CommitWait, total.saturating_sub(commit_ns.get()));
+        }
         // `CommitRole::Leader::records` counts *submissions*; a
         // multi-record submission tops the record counter up by the
         // records beyond the one its submission already contributed.
@@ -711,9 +771,44 @@ impl FloDb {
     /// segment if the active one crossed its size threshold. Appends are
     /// whole groups, so the roll is exactly at a group boundary. Rotation
     /// seals a segment for retirement, so the persist thread is notified.
-    fn commit_group_frame(&self, wal: &WalState, frame: &mut [u8]) -> Result<(), StorageError> {
+    ///
+    /// At `TelemetryLevel::Full` the commit's total duration is written
+    /// into `commit_ns`, so `wal_append` can subtract it from the
+    /// submission total for commit-wait attribution without timing the
+    /// same interval twice.
+    fn commit_group_frame(
+        &self,
+        wal: &WalState,
+        frame: &mut [u8],
+        commit_ns: &std::cell::Cell<u64>,
+    ) -> Result<(), StorageError> {
         let inner = &*self.inner;
+        let t0 = inner.telemetry.full().then(Instant::now);
         let outcome = wal.append_checked(|log| log.append_group_frame(frame))?;
+        if outcome.sync_ns > 0 && inner.telemetry.counters() {
+            FloDbStats::add(&inner.stats.wal_sync_ns, outcome.sync_ns);
+        }
+        if let Some(t0) = t0 {
+            // Split the commit into its stages: the append outcome carries
+            // the fsync and rotation shares, the remainder is the write
+            // itself (frame copy + file append + lock).
+            let total = t0.elapsed().as_nanos() as u64;
+            commit_ns.set(total);
+            inner.telemetry.record_stage(
+                StageClass::WalWrite,
+                total.saturating_sub(outcome.sync_ns + outcome.rotation_ns),
+            );
+            if outcome.sync_ns > 0 {
+                inner
+                    .telemetry
+                    .record_stage(StageClass::WalFsync, outcome.sync_ns);
+            }
+            if outcome.rotated || outcome.rotation_failed {
+                inner
+                    .telemetry
+                    .record_stage(StageClass::WalRotation, outcome.rotation_ns);
+            }
+        }
         inner
             .stats
             .wal_active_bytes
@@ -724,6 +819,11 @@ impl FloDb {
             .store(outcome.live_generations, Ordering::Relaxed);
         if outcome.rotated {
             FloDbStats::bump(&inner.stats.wal_rotations);
+            inner.telemetry.event(
+                TraceEventKind::WalRotation,
+                outcome.sealed_bytes,
+                outcome.rotation_ns,
+            );
             // Checkpoint notification: a sealed generation now awaits
             // retirement; wake the persist thread so the on-disk log
             // stays bounded instead of waiting for the next size-triggered
@@ -786,7 +886,7 @@ impl FloDb {
                 }
             }
             // Wait for Memtable room (lines 17-18).
-            let mut stalled = false;
+            let mut stall_start: Option<Instant> = None;
             loop {
                 if inner.pause_writers.is_paused() {
                     break;
@@ -804,15 +904,30 @@ impl FloDb {
                     // bounded too.
                     break;
                 }
-                if !stalled {
+                if stall_start.is_none() {
                     FloDbStats::bump(&inner.stats.write_stalls);
-                    stalled = true;
+                    // The stall duration (`write_stall_ns`, the stage
+                    // histogram and the begin/end event pair) is what
+                    // attributes a write-latency tail to Memtable
+                    // backpressure; the `Instant` is only sampled once a
+                    // stall actually begins, so the unstalled hot path
+                    // pays nothing for it.
+                    stall_start = Some(Instant::now());
+                    inner.telemetry.event(TraceEventKind::StallBegin, 0, 0);
                 }
                 self.wake_persist();
                 let mut g = inner.room.lock();
                 inner
                     .room_cv
                     .wait_for(&mut g, Duration::from_micros(500));
+            }
+            if let Some(t0) = stall_start {
+                let ns = t0.elapsed().as_nanos() as u64;
+                if inner.telemetry.counters() {
+                    FloDbStats::add(&inner.stats.write_stall_ns, ns);
+                }
+                inner.telemetry.record_stage(StageClass::WriteStall, ns);
+                inner.telemetry.event(TraceEventKind::StallEnd, ns, 0);
             }
 
             // Insert with a fresh sequence number (lines 19-20). The pause
@@ -1120,6 +1235,8 @@ fn drain_loop(inner: &Arc<Inner>, worker: usize) {
 /// `pause_writers` (via the freeze lock protocol); both master scans and
 /// the WAL-retirement checkpoint come through here.
 fn freeze_and_drain_membuffer(inner: &Inner) {
+    let t0 = inner.telemetry.counters().then(Instant::now);
+    inner.telemetry.event(TraceEventKind::FreezeBegin, 0, 0);
     if inner.opts.membuffer_enabled {
         // Install a fresh Membuffer; freeze the old one (lines 6-7).
         // `update` waits a grace period, subsuming MemBufferRCUWait and
@@ -1150,6 +1267,7 @@ fn freeze_and_drain_membuffer(inner: &Inner) {
             imm.open_for_drain();
             let moved = drain::help_drain_imm_via(imm, &inner.view, &inner.seq, inner.drain_style);
             FloDbStats::add(&inner.stats.drained_entries, moved as u64);
+            inner.telemetry.event(TraceEventKind::Drain, moved as u64, 0);
             let backoff = Backoff::new();
             while !imm.tracker.is_complete() {
                 backoff.snooze();
@@ -1168,6 +1286,11 @@ fn freeze_and_drain_membuffer(inner: &Inner) {
     } else {
         // No Membuffer: a pure grace period quiesces in-flight writes.
         inner.view.update(MemView::clone);
+    }
+    if let Some(t0) = t0 {
+        let ns = t0.elapsed().as_nanos() as u64;
+        inner.telemetry.record_stage(StageClass::FreezeDrain, ns);
+        inner.telemetry.event(TraceEventKind::FreezeEnd, ns, 0);
     }
 }
 
@@ -1206,9 +1329,15 @@ fn maybe_compact(inner: &Arc<Inner>) -> bool {
     {
         return false;
     }
+    let t0 = inner.telemetry.counters().then(Instant::now);
     if let Err(e) = io_with_retries(inner, || inner.disk.compact_all()) {
         inner.degrade("compaction", &e);
         return false;
+    }
+    if let Some(t0) = t0 {
+        let ns = t0.elapsed().as_nanos() as u64;
+        inner.telemetry.record_stage(StageClass::Compaction, ns);
+        inner.telemetry.event(TraceEventKind::Compaction, ns, 0);
     }
     true
 }
@@ -1264,15 +1393,29 @@ fn flush_imm(inner: &Arc<Inner>, imm: &Arc<SkipList>) -> bool {
                 value: vv.value,
             })
             .collect();
+        let record_count = records.len() as u64;
+        let t0 = inner.telemetry.counters().then(Instant::now);
         if let Err(e) = io_with_retries(inner, || inner.disk.flush_records(records.clone())) {
             inner.degrade("memtable flush", &e);
             return false;
         }
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            inner.telemetry.record_stage(StageClass::MemtableFlush, ns);
+            inner
+                .telemetry
+                .event(TraceEventKind::Flush, record_count, ns);
+        }
         if inner.opts.compact_after_flush {
+            let t0 = inner.telemetry.counters().then(Instant::now);
             if let Err(e) = io_with_retries(inner, || inner.disk.compact_all()) {
                 // The flush itself landed, so the table can still be
                 // released below — only the level shape degrades.
                 inner.degrade("compaction", &e);
+            } else if let Some(t0) = t0 {
+                let ns = t0.elapsed().as_nanos() as u64;
+                inner.telemetry.record_stage(StageClass::Compaction, ns);
+                inner.telemetry.event(TraceEventKind::Compaction, ns, 0);
             }
         }
     }
@@ -1371,6 +1514,9 @@ fn maybe_retire_wal(inner: &Arc<Inner>) -> bool {
             None => return false,
         }
     };
+    // Times the whole retirement pass (grace + checkpoint + mark +
+    // deletions); recorded only when the pass actually retires.
+    let t0 = inner.telemetry.counters().then(Instant::now);
 
     // Step 2: grace over logged→applied windows, servicing flushes so
     // room-stalled writers can make progress (the wait is bounded: each
@@ -1441,6 +1587,15 @@ fn maybe_retire_wal(inner: &Arc<Inner>) -> bool {
     }) {
         Ok(retired) => {
             FloDbStats::add(&inner.stats.wal_retired_bytes, retired.bytes);
+            if let Some(t0) = t0 {
+                let ns = t0.elapsed().as_nanos() as u64;
+                inner.telemetry.record_stage(StageClass::WalRetirement, ns);
+                inner.telemetry.event(
+                    TraceEventKind::WalRetirement,
+                    retired.segments,
+                    retired.bytes,
+                );
+            }
             retired.segments > 0
         }
         Err(_) => {
@@ -1469,27 +1624,53 @@ fn new_oldest(wal: &WalState, horizon: u64) -> u64 {
 /// append is therefore never silently acknowledged, and never a panic.
 impl KvStore for FloDb {
     fn put(&self, key: &[u8], value: &[u8]) -> Result<(), WriteError> {
+        let t0 = self.inner.telemetry.full().then(Instant::now);
         self.put_impl(key, Some(value))?;
         FloDbStats::bump(&self.inner.stats.puts);
+        if let Some(t0) = t0 {
+            self.inner
+                .telemetry
+                .record_op(OpClass::Put, t0.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
     fn delete(&self, key: &[u8]) -> Result<(), WriteError> {
+        let t0 = self.inner.telemetry.full().then(Instant::now);
         self.put_impl(key, None)?;
         FloDbStats::bump(&self.inner.stats.deletes);
+        if let Some(t0) = t0 {
+            // Deletes are tombstone puts; they share the put class.
+            self.inner
+                .telemetry
+                .record_op(OpClass::Put, t0.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
     fn write(&self, batch: &WriteBatch) -> Result<(), WriteError> {
+        let t0 = self.inner.telemetry.full().then(Instant::now);
         self.write_impl(batch)?;
         FloDbStats::add(&self.inner.stats.puts, batch.puts());
         FloDbStats::add(&self.inner.stats.deletes, batch.deletes());
+        if let Some(t0) = t0 {
+            // One sample per batch: the caller-visible commit latency.
+            self.inner
+                .telemetry
+                .record_op(OpClass::Put, t0.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let t0 = self.inner.telemetry.full().then(Instant::now);
         let r = self.get_impl(key);
         FloDbStats::bump(&self.inner.stats.gets);
+        if let Some(t0) = t0 {
+            self.inner
+                .telemetry
+                .record_op(OpClass::Get, t0.elapsed().as_nanos() as u64);
+        }
         r
     }
 
@@ -1499,7 +1680,15 @@ impl KvStore for FloDb {
         high: &[u8],
         visitor: &mut dyn FnMut(&[u8], &[u8]) -> ControlFlow<()>,
     ) {
+        let t0 = self.inner.telemetry.full().then(Instant::now);
         let merged = self.scan_impl(low, high);
+        if let Some(t0) = t0 {
+            // The scan sample covers the restart protocol and snapshot
+            // construction, not the caller's visitor.
+            self.inner
+                .telemetry
+                .record_op(OpClass::Scan, t0.elapsed().as_nanos() as u64);
+        }
         FloDbStats::bump(&self.inner.stats.scans);
         let mut emitted = 0u64;
         for (key, (_, value)) in &merged {

@@ -1,0 +1,283 @@
+//! Log-linear latency histograms (median / p99 reporting, Figures 3-4).
+//!
+//! This is the engine's one histogram implementation: the workload
+//! driver's per-thread recording (`flodb-workloads` re-exports this
+//! type) and the in-engine [`LatencyRecorder`](super::LatencyRecorder)
+//! both build on it, so quantile math cannot diverge between the
+//! harness and the store.
+
+/// Linear sub-buckets per power-of-two octave (HdrHistogram-style);
+/// the relative resolution is `1/SUB_BUCKETS` ≈ 3%.
+const SUB_BUCKETS: usize = 32;
+/// log2 of `SUB_BUCKETS`.
+const SUB_SHIFT: u32 = 5;
+/// Total buckets: values below `SUB_BUCKETS` get exact buckets, octaves
+/// 5..=63 get `SUB_BUCKETS` each.
+pub(super) const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - SUB_SHIFT as usize) * SUB_BUCKETS;
+
+/// A lock-free-to-merge latency histogram with log-linear nanosecond
+/// buckets: exact below 32 ns, then 32 linear sub-buckets per power of
+/// two (≈3% relative error), which is fine enough to resolve the
+/// latency-vs-memory-size trends of Figures 3-4.
+///
+/// Each thread records into its own histogram; the driver merges them at
+/// the end, so recording needs no synchronization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+pub(super) fn bucket_index(ns: u64) -> usize {
+    if ns < SUB_BUCKETS as u64 {
+        return ns as usize;
+    }
+    let octave = 63 - ns.leading_zeros(); // >= SUB_SHIFT here.
+    let sub = ((ns >> (octave - SUB_SHIFT)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    ((octave - SUB_SHIFT) as usize + 1) * SUB_BUCKETS + sub
+}
+
+/// Returns the `[lo, hi)` value range of bucket `i` (the top bucket's
+/// upper bound saturates at `u64::MAX`).
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < SUB_BUCKETS {
+        return (i as u64, i as u64 + 1);
+    }
+    let octave = (i / SUB_BUCKETS - 1) as u32 + SUB_SHIFT;
+    let sub = (i % SUB_BUCKETS) as u64;
+    let step = 1u64 << (octave - SUB_SHIFT);
+    let lo = (1u64 << octave) + sub * step;
+    (lo, lo.saturating_add(step))
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Rebuilds a histogram from raw bucket counts (the atomic recorder's
+    /// snapshot path). `count` is derived from the buckets so the
+    /// invariant `count == Σ buckets` holds even when the counts were
+    /// read with relaxed atomics.
+    pub(super) fn from_parts(buckets: Vec<u64>, sum_ns: u128, max_ns: u64) -> Self {
+        debug_assert_eq!(buckets.len(), NUM_BUCKETS);
+        let count = buckets.iter().sum();
+        Self {
+            buckets,
+            count,
+            sum_ns,
+            max_ns,
+        }
+    }
+
+    /// Records one sample in nanoseconds.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Returns the samples recorded since `earlier` (per-bucket
+    /// saturating subtraction): the delta between two cumulative
+    /// snapshots of the same histogram. `max_ns` is kept from `self` —
+    /// a maximum is not delta-able, so the delta's max is an upper bound
+    /// (exact whenever the interval contains the all-time maximum).
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter())
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let sum_ns = self.sum_ns.saturating_sub(earlier.sum_ns);
+        Histogram::from_parts(buckets, sum_ns, self.max_ns)
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded value.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Approximate value at percentile `p` in `[0, 100]` (bucket
+    /// midpoint, ≈3% relative error), 0 when empty.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                return (lo + (hi - lo) / 2).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median (p50).
+    pub fn median_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.median_ns(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut prev = 0usize;
+        for ns in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_index(ns);
+            assert!(i >= prev, "bucket index must not decrease (ns={ns})");
+            assert!(i < NUM_BUCKETS);
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_invert_index() {
+        for ns in [0u64, 5, 31, 32, 100, 999, 4096, 1_000_000, 1 << 40] {
+            let i = bucket_index(ns);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(
+                (lo..hi).contains(&ns),
+                "ns={ns} not in bucket {i} = [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        for ns in [10u64, 100, 1000, 10_000, 100_000] {
+            for _ in 0..100 {
+                h.record(ns);
+            }
+        }
+        assert!(h.percentile_ns(10.0) <= h.percentile_ns(50.0));
+        assert!(h.percentile_ns(50.0) <= h.percentile_ns(99.0));
+        assert!(h.percentile_ns(99.0) <= h.max_ns());
+    }
+
+    #[test]
+    fn median_within_three_percent() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(1000);
+        }
+        let m = h.median_ns() as f64;
+        assert!((m - 1000.0).abs() / 1000.0 < 0.04, "median {m}");
+    }
+
+    #[test]
+    fn resolves_small_latency_shifts() {
+        // A 25% shift must be visible — the motivation for log-linear
+        // buckets (power-of-two buckets collapse 1000 and 1250 together).
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..1000 {
+            a.record(1000);
+            b.record(1250);
+        }
+        let (ma, mb) = (a.median_ns() as f64, b.median_ns() as f64);
+        assert!(mb / ma > 1.15, "25% shift collapsed: {ma} vs {mb}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(200);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!(a.mean_ns() > 100.0);
+        assert_eq!(a.max_ns(), 300);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile_ns(100.0) > 0);
+    }
+
+    #[test]
+    fn exact_buckets_below_threshold() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(7);
+        }
+        assert_eq!(h.median_ns(), 7, "small values are exact");
+    }
+
+    #[test]
+    fn diff_recovers_the_interval() {
+        let mut early = Histogram::new();
+        early.record(100);
+        early.record(200);
+        let mut late = early.clone();
+        late.record(1000);
+        late.record(1000);
+        let delta = late.diff(&early);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.median_ns(), late.percentile_ns(99.0));
+        // Delta of a snapshot against itself is empty.
+        assert_eq!(late.diff(&late).count(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! In-engine observability: latency histograms, stage timers, and the
+//! flight-recorder event trace.
+//!
+//! FloDB's pitch is *latency* — write stalls and p99 spikes that plain
+//! counters cannot attribute. This module gives the engine three layers
+//! of its own measurement (see ARCHITECTURE.md, "Observability"):
+//!
+//! 1. **Latency histograms** ([`Histogram`], recorded by the private
+//!    in-engine `LatencyRecorder`): per-op latencies (put/get/scan) plus
+//!    internal stage durations — group-commit wait vs. write vs. fsync,
+//!    write-stall duration, freeze→drain, flush, compaction, WAL
+//!    rotation and retirement — recorded with relaxed atomics into
+//!    thread-striped buckets (no hot-path lock).
+//! 2. **Flight recorder** ([`TraceRing`]): a fixed-size lock-free ring
+//!    of structured engine events, dumpable via
+//!    [`FloDb::trace_dump`](crate::FloDb::trace_dump) and auto-dumped
+//!    to stderr when the degraded latch trips.
+//! 3. **Export** ([`TelemetrySnapshot`]): counters + quantiles,
+//!    delta-able and shard-mergeable, with dependency-free
+//!    Prometheus-style text and JSON encoders.
+//!
+//! Everything is gated by [`TelemetryLevel`]
+//! ([`FloDbOptions::telemetry`](crate::FloDbOptions::telemetry)):
+//! `Off` allocates nothing and reduces every telemetry call site to a
+//! branch on a cached enum; `Counters` adds the flight recorder and two
+//! duration counters (`write_stall_ns`, `wal_sync_ns`) on paths that
+//! already stall or sync; `Full` adds the histograms.
+
+mod histogram;
+mod recorder;
+mod snapshot;
+mod trace;
+
+pub use histogram::Histogram;
+pub use recorder::{OpClass, StageClass};
+pub use snapshot::{HistogramSummary, TelemetrySnapshot};
+pub use trace::{TraceEvent, TraceEventKind, TraceRing};
+
+pub(crate) use recorder::{small_tid, LatencyRecorder};
+
+/// How much telemetry the engine records; see the module docs for what
+/// each level costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TelemetryLevel {
+    /// Record nothing beyond the existing [`StoreStats`](crate::StoreStats)
+    /// counters. Telemetry call sites reduce to a branch on a cached
+    /// enum — no allocation, no lock, no atomic.
+    Off,
+    /// Also run the flight recorder and size stalls/fsyncs
+    /// (`write_stall_ns`, `wal_sync_ns`): cheap enough to leave on.
+    Counters,
+    /// Also record per-op and per-stage latency histograms.
+    Full,
+}
+
+impl TelemetryLevel {
+    /// Stable lowercase label (`off` / `counters` / `full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Counters => "counters",
+            TelemetryLevel::Full => "full",
+        }
+    }
+}
+
+/// Events the flight recorder retains (once wrapped, oldest are
+/// overwritten).
+const RING_EVENTS: usize = 1024;
+
+/// The engine-side telemetry state: the cached level plus the
+/// level-gated recorder and ring. `Off` holds two `None`s — the whole
+/// subsystem is then one enum field's worth of memory.
+#[derive(Debug)]
+pub(crate) struct EngineTelemetry {
+    level: TelemetryLevel,
+    recorder: Option<LatencyRecorder>,
+    ring: Option<TraceRing>,
+}
+
+impl EngineTelemetry {
+    pub(crate) fn new(level: TelemetryLevel) -> Self {
+        Self {
+            level,
+            recorder: (level == TelemetryLevel::Full).then(LatencyRecorder::new),
+            ring: (level >= TelemetryLevel::Counters)
+                .then(|| TraceRing::with_capacity(RING_EVENTS)),
+        }
+    }
+
+    /// True at `Counters` and `Full` (events + duration counters).
+    #[inline]
+    pub(crate) fn counters(&self) -> bool {
+        self.level >= TelemetryLevel::Counters
+    }
+
+    /// True at `Full` (histograms).
+    #[inline]
+    pub(crate) fn full(&self) -> bool {
+        self.level == TelemetryLevel::Full
+    }
+
+    /// Records an op latency (no-op below `Full`).
+    #[inline]
+    pub(crate) fn record_op(&self, op: OpClass, ns: u64) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record_op(op, ns);
+        }
+    }
+
+    /// Records a stage duration (no-op below `Full`).
+    #[inline]
+    pub(crate) fn record_stage(&self, stage: StageClass, ns: u64) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record_stage(stage, ns);
+        }
+    }
+
+    /// Emits a flight-recorder event (no-op below `Counters`).
+    #[inline]
+    pub(crate) fn event(&self, kind: TraceEventKind, a: u64, b: u64) {
+        if let Some(ring) = &self.ring {
+            ring.push(kind, small_tid(), a, b);
+        }
+    }
+
+    /// The published event trace, oldest first (empty at `Off`).
+    pub(crate) fn trace_dump(&self) -> Vec<TraceEvent> {
+        self.ring.as_ref().map(TraceRing::dump).unwrap_or_default()
+    }
+
+    /// Dumps the event trace to stderr (the degraded-latch auto-dump);
+    /// no-op at `Off`.
+    pub(crate) fn dump_to_stderr(&self, why: &str) {
+        if let Some(ring) = &self.ring {
+            ring.dump_to_stderr(why);
+        }
+    }
+
+    /// Builds the exportable snapshot around the caller-supplied
+    /// counters.
+    pub(crate) fn snapshot(&self, counters: crate::api::StoreStats) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::empty(self.level);
+        snap.counters = counters;
+        if let Some(recorder) = &self.recorder {
+            snap.ops = recorder.snapshot_ops();
+            snap.stages = recorder.snapshot_stages();
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_allocates_nothing() {
+        let t = EngineTelemetry::new(TelemetryLevel::Off);
+        assert!(t.recorder.is_none());
+        assert!(t.ring.is_none());
+        // Every entry point is a safe no-op.
+        t.record_op(OpClass::Put, 100);
+        t.record_stage(StageClass::WalFsync, 100);
+        t.event(TraceEventKind::Flush, 1, 2);
+        assert!(t.trace_dump().is_empty());
+        t.dump_to_stderr("noop");
+        let snap = t.snapshot(crate::api::StoreStats::default());
+        assert_eq!(snap.level, TelemetryLevel::Off);
+        assert_eq!(snap.op(OpClass::Put).count(), 0);
+    }
+
+    #[test]
+    fn counters_gets_the_ring_but_no_histograms() {
+        let t = EngineTelemetry::new(TelemetryLevel::Counters);
+        assert!(t.recorder.is_none());
+        assert!(t.ring.is_some());
+        t.event(TraceEventKind::StallBegin, 0, 0);
+        t.record_op(OpClass::Put, 100); // dropped: no recorder
+        assert_eq!(t.trace_dump().len(), 1);
+        let snap = t.snapshot(crate::api::StoreStats::default());
+        assert_eq!(snap.op(OpClass::Put).count(), 0);
+    }
+
+    #[test]
+    fn full_records_everything() {
+        let t = EngineTelemetry::new(TelemetryLevel::Full);
+        t.record_op(OpClass::Get, 250);
+        t.record_stage(StageClass::WriteStall, 7_000);
+        t.event(TraceEventKind::StallEnd, 7_000, 0);
+        let snap = t.snapshot(crate::api::StoreStats::default());
+        assert_eq!(snap.op(OpClass::Get).count(), 1);
+        assert_eq!(snap.stage(StageClass::WriteStall).count(), 1);
+        assert_eq!(t.trace_dump().len(), 1);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(TelemetryLevel::Off < TelemetryLevel::Counters);
+        assert!(TelemetryLevel::Counters < TelemetryLevel::Full);
+        assert_eq!(TelemetryLevel::Full.name(), "full");
+    }
+}

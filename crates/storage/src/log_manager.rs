@@ -81,6 +81,15 @@ pub struct AppendOutcome {
     pub active_bytes: u64,
     /// Live generations on disk: sealed-but-unretired plus the active one.
     pub live_generations: u64,
+    /// Nanoseconds this append spent fsyncing (0 with `sync_on_write`
+    /// off). Drained from the writer before any rotation swaps it, so the
+    /// time is always attributed to the group that paid it.
+    pub sync_ns: u64,
+    /// Nanoseconds spent sealing and rolling the segment (0 unless
+    /// `rotated` or `rotation_failed` is set).
+    pub rotation_ns: u64,
+    /// File bytes of the segment this append sealed (0 unless `rotated`).
+    pub sealed_bytes: u64,
 }
 
 /// What a retirement pass deleted.
@@ -133,12 +142,22 @@ impl LogManager {
     /// group boundary and no frame straddles two segments.
     pub fn append_group_frame(&mut self, frame: &mut [u8]) -> Result<AppendOutcome> {
         self.writer.append_group_frame(frame)?;
-        let (rotated, rotation_failed) = self.maybe_rotate();
+        // Drain the fsync time *before* a rotation can swap the writer
+        // out, losing the nanoseconds this group just paid.
+        let sync_ns = self.writer.take_sync_ns();
+        let (rotated, rotation_failed, rotation_ns) = self.maybe_rotate();
         Ok(AppendOutcome {
             rotated,
             rotation_failed,
             active_bytes: self.writer.bytes_written(),
             live_generations: self.live_generations(),
+            sync_ns,
+            rotation_ns,
+            sealed_bytes: if rotated {
+                self.sealed.last().map_or(0, |s| s.bytes)
+            } else {
+                0
+            },
         })
     }
 
@@ -148,16 +167,19 @@ impl LogManager {
     /// leaves the current segment fully usable — the roll is simply
     /// retried at the next group boundary, and the log grows past its
     /// threshold instead of losing durability. Returns
-    /// `(rotated, rotation_failed)`; at most one is set.
-    fn maybe_rotate(&mut self) -> (bool, bool) {
+    /// `(rotated, rotation_failed, rotation_ns)`; at most one flag is
+    /// set, and the duration covers only attempted rolls (the cold
+    /// threshold check costs nothing and reports 0).
+    fn maybe_rotate(&mut self) -> (bool, bool, u64) {
         if self.writer.bytes_written() < self.cfg.segment_max_bytes {
-            return (false, false);
+            return (false, false, 0);
         }
+        let t0 = std::time::Instant::now();
         let next = self.active_generation + 1;
         let Ok(fresh) = WalWriter::create_segment(self.env.as_ref(), next, self.cfg.sync_on_write)
         else {
             self.failed_rotations += 1;
-            return (false, true);
+            return (false, true, t0.elapsed().as_nanos() as u64);
         };
         let sealed = mem::replace(&mut self.writer, fresh);
         let bytes = sealed.bytes_written();
@@ -171,7 +193,7 @@ impl LogManager {
         });
         self.active_generation = next;
         self.rotations += 1;
-        (true, false)
+        (true, false, t0.elapsed().as_nanos() as u64)
     }
 
     /// Deletes every sealed segment with `generation <= up_to`, then syncs

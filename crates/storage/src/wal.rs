@@ -110,6 +110,9 @@ pub struct WalWriter {
     /// Reusable frame scratch: cleared (capacity retained) across appends
     /// so steady-state appends allocate nothing.
     scratch: Vec<u8>,
+    /// Nanoseconds spent in per-append fsync since the last
+    /// [`Self::take_sync_ns`]; 0 with `sync_on_write` off.
+    sync_ns: u64,
 }
 
 impl WalWriter {
@@ -121,6 +124,7 @@ impl WalWriter {
             sync_on_write,
             bytes: 0,
             scratch: Vec::new(),
+            sync_ns: 0,
         }
     }
 
@@ -149,6 +153,7 @@ impl WalWriter {
             sync_on_write,
             bytes: SEGMENT_HEADER_BYTES as u64,
             scratch: Vec::new(),
+            sync_ns: 0,
         })
     }
 
@@ -196,7 +201,7 @@ impl WalWriter {
         self.file.append(&header)?;
         self.file.append(payload)?;
         if self.sync_on_write {
-            self.file.sync()?;
+            self.sync_timed()?;
         }
         self.bytes += 8 + payload.len() as u64;
         Ok(())
@@ -222,10 +227,27 @@ impl WalWriter {
     fn append_raw(&mut self, frame: &[u8]) -> Result<()> {
         self.file.append(frame)?;
         if self.sync_on_write {
-            self.file.sync()?;
+            self.sync_timed()?;
         }
         self.bytes += frame.len() as u64;
         Ok(())
+    }
+
+    /// Fsyncs the file, accumulating the elapsed time into the bucket
+    /// drained by [`Self::take_sync_ns`].
+    fn sync_timed(&mut self) -> Result<()> {
+        let t0 = std::time::Instant::now();
+        let result = self.file.sync();
+        self.sync_ns += t0.elapsed().as_nanos() as u64;
+        result
+    }
+
+    /// Drains the nanoseconds spent in per-append fsync since the last
+    /// call (telemetry: attributed to the committed group by the log
+    /// manager, which calls this right after each append and before any
+    /// rotation swaps the writer).
+    pub fn take_sync_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.sync_ns)
     }
 
     /// Total bytes appended so far.

@@ -59,6 +59,8 @@ pub const CORE_PERSIST_PARK: LockClass = LockClass { name: "core.persist_park", 
 pub const CORE_DEGRADED: LockClass = LockClass { name: "core.degraded", rank: 54 };
 /// `PauseFlag.lock` (+condvar): pause/resume bookkeeping (leaf).
 pub const SYNC_PAUSE: LockClass = LockClass { name: "sync.pause", rank: 56 };
+/// `TraceRing.dump_lock`: serializes flight-recorder dumps (leaf).
+pub const CORE_TRACE_DUMP: LockClass = LockClass { name: "core.trace_dump", rank: 58 };
 /// `DiskComponent.compaction_lock`: serializes compactions.
 pub const DISK_COMPACTION: LockClass = LockClass { name: "disk.compaction", rank: 60 };
 /// `DiskComponent.manifest`: manifest writer (held across append+fsync).

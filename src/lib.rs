@@ -71,8 +71,8 @@
 
 pub use flodb_core::{
     Error, FloDb, FloDbOptions, FloDbStats, KvStore, OpenError, OptionsError, Partitioner,
-    ReclamationStats, ScanEntry, ShardedFloDb, ShardedOptions, StoreStats, WalMode, WriteBatch,
-    WriteError,
+    ReclamationStats, ScanEntry, ShardedFloDb, ShardedOptions, StoreStats, TelemetryLevel,
+    TelemetrySnapshot, WalMode, WriteBatch, WriteError,
 };
 
 /// The FloDB store and the uniform `KvStore` interface (re-export of

@@ -99,3 +99,13 @@ fn inflight_grace_covers_logged_to_applied() {
 fn rcu_update_waits_for_old_view_readers() {
     dfs().model(scenarios::rcu_view_switch_body);
 }
+
+#[test]
+fn trace_ring_publishes_untorn_events() {
+    dfs().model(scenarios::trace_ring_body);
+}
+
+#[test]
+fn trace_ring_publishes_untorn_events_random() {
+    random().model(scenarios::trace_ring_body);
+}
